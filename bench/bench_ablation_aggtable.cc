@@ -1,0 +1,77 @@
+// Reproduces the paper's in-text Section 3 claim: "We have also
+// experimented with alternative Aggregate Data in Table implementation
+// using a sort-merge based algorithm that turned out to be costlier."
+//
+// Runs the Figure 12 aggregation with both strategies and compares
+// per-iteration cost. The index-probe implementation pays one index build
+// in the cold iteration and per-record probes afterwards; the sort-merge
+// implementation re-sorts the batch and rewrites the whole result table
+// every iteration.
+
+#include "bench_common.h"
+
+namespace rql::bench {
+namespace {
+
+int Run() {
+  auto uw30 = GetHistory("uw30");
+  if (!uw30.ok()) Fail(uw30.status(), "uw30 history");
+  tpch::History* history = uw30->get();
+  RqlEngine* engine = history->engine();
+  std::string qs = history->QsInterval(1, 25);
+
+  std::printf("Ablation: AggregateDataInTable strategy — index probe vs "
+              "sort-merge (Qq_agg, UW30)\n");
+  PrintBreakdownHeader("iteration");
+
+  // Warm up both paths once (process caches, allocator) so the measured
+  // runs compare like for like.
+  engine->mutable_options()->agg_table_strategy =
+      AggTableStrategy::kIndexProbe;
+  BENCH_CHECK(engine->AggregateDataInTable(qs, kQqAgg1, "Warm", "(cn,max)"));
+  engine->mutable_options()->agg_table_strategy =
+      AggTableStrategy::kSortMerge;
+  BENCH_CHECK(engine->AggregateDataInTable(qs, kQqAgg1, "Warm", "(cn,max)"));
+
+  engine->mutable_options()->agg_table_strategy =
+      AggTableStrategy::kIndexProbe;
+  BENCH_CHECK(engine->AggregateDataInTable(qs, kQqAgg1, "ProbeResult",
+                                           "(cn,max)"));
+  const RqlRunStats& probe = engine->last_run_stats();
+  PrintBreakdownRow("index-probe cold", FromIteration(probe.iterations[0]));
+  Breakdown probe_hot = MeanIterations(probe, 1);
+  PrintBreakdownRow("index-probe hot", probe_hot);
+  double probe_total = RunTotalMs(probe);
+
+  engine->mutable_options()->agg_table_strategy =
+      AggTableStrategy::kSortMerge;
+  BENCH_CHECK(engine->AggregateDataInTable(qs, kQqAgg1, "MergeResult",
+                                           "(cn,max)"));
+  const RqlRunStats& merge = engine->last_run_stats();
+  engine->mutable_options()->agg_table_strategy =
+      AggTableStrategy::kIndexProbe;
+  PrintBreakdownRow("sort-merge cold", FromIteration(merge.iterations[0]));
+  Breakdown merge_hot = MeanIterations(merge, 1);
+  PrintBreakdownRow("sort-merge hot", merge_hot);
+  double merge_total = RunTotalMs(merge);
+
+  std::printf("\nresult-processing (udf) per hot iteration: probe %.2f ms "
+              "vs merge %.2f ms\n(merge/probe = %.2fx)\n",
+              probe_hot.udf_ms, merge_hot.udf_ms,
+              merge_hot.udf_ms / std::max(0.01, probe_hot.udf_ms));
+  std::printf("run totals (dominated by the identical simulated io/spt "
+              "constants):\n  index-probe %.1f ms, sort-merge %.1f ms\n",
+              probe_total, merge_total);
+  std::printf(
+      "\nExpected: identical results (tested); the strategies differ only "
+      "in the\nresult-processing component, where sort-merge is costlier "
+      "(it re-sorts the\nbatch and rewrites the result table every "
+      "iteration) — the direction of the\npaper's finding; the margin "
+      "grows with the result-table size.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rql::bench
+
+int main() { return rql::bench::Run(); }

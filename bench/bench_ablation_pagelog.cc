@@ -1,0 +1,123 @@
+// Ablation: full-page archive vs Thresher-style adaptive page diffs
+// (Shrira & Xu, USENIX ATC'06 — cited by the paper as the space /
+// reconstruction-cost trade-off for COW snapshot systems).
+//
+// Builds the same UW30 TPC-H history twice, once per Pagelog mode, and
+// reports archive size and the cost of a cold RQL run over old snapshots.
+// Expected: the diff archive is several times smaller, while cold reads
+// fetch more records (diff chains), raising the I/O bar.
+
+#include "bench_common.h"
+
+namespace rql::bench {
+namespace {
+
+struct ModeResult {
+  double pagelog_mib = 0;
+  double records = 0;
+  double diff_share = 0;
+  double cold_io_ms = 0;
+  double cold_fetches = 0;
+  double run_ms = 0;
+};
+
+ModeResult RunMode(retro::PagelogMode mode, bool sparse_updates) {
+  storage::InMemoryEnv env;  // private throwaway history per mode
+  tpch::HistoryConfig config;
+  config.tpch.scale_factor = Sf() / 2;  // half scale: two builds per run
+  config.workload = tpch::WorkloadSpec::UW30();
+  config.snapshots = 120;
+
+  // BuildHistory has no options hook for the store; emulate it here.
+  sql::DatabaseOptions db_options;
+  db_options.store.pagelog_mode = mode;
+  auto data = sql::Database::Open(&env, "h_data", db_options);
+  auto meta = sql::Database::Open(&env, "h_meta");
+  if (!data.ok()) Fail(data.status(), "open data");
+  if (!meta.ok()) Fail(meta.status(), "open meta");
+  RqlEngine engine(data->get(), meta->get());
+  BENCH_CHECK(engine.EnsureSnapIds());
+  tpch::TpchGenerator gen(data->get(), config.tpch);
+  BENCH_CHECK(gen.CreateSchema());
+  BENCH_CHECK(gen.Populate());
+  int per_snapshot =
+      config.workload.OrdersPerSnapshot(gen.initial_order_count());
+  for (int s = 1; s <= config.snapshots; ++s) {
+    BENCH_CHECK((*data)->Exec("BEGIN"));
+    if (sparse_updates) {
+      // A few bytes change per page: the Thresher best case.
+      BENCH_CHECK((*data)->Exec(
+          "UPDATE orders SET o_totalprice = o_totalprice + 1 "
+          "WHERE o_orderkey % 97 = " + std::to_string(s % 97)));
+    } else {
+      // The paper's refresh workload: rows deleted and reinserted, so
+      // pre-states change wholesale.
+      BENCH_CHECK(gen.RefreshDelete(per_snapshot));
+      BENCH_CHECK(gen.RefreshInsert(per_snapshot));
+    }
+    BENCH_CHECK(engine.CommitWithSnapshot("s" + std::to_string(s)).status());
+  }
+  BENCH_CHECK((*data)->store()->maplog()->PrewarmSkippy());
+
+  retro::Pagelog* pagelog = (*data)->store()->pagelog();
+  ModeResult r;
+  r.pagelog_mib = pagelog->SizeBytes() / (1024.0 * 1024.0);
+  r.records = static_cast<double>(pagelog->record_count());
+  r.diff_share = pagelog->record_count() > 0
+                     ? static_cast<double>(pagelog->diff_record_count()) /
+                           static_cast<double>(pagelog->record_count())
+                     : 0.0;
+
+  // A cold RQL run over 25 old mid-history snapshots: their pre-states sit
+  // behind diff chains in kDiff mode (the first captures of the history
+  // are full records, so the earliest snapshots would hide the effect).
+  BENCH_CHECK(engine.AggregateDataInVariable(
+      "SELECT snap_id FROM SnapIds WHERE snap_id > 40 AND snap_id <= 65 "
+      "ORDER BY snap_id",
+      kQqIo, "Result", "avg"));
+  const RqlRunStats& stats = engine.last_run_stats();
+  r.cold_io_ms = stats.iterations[0].io_us / 1000.0;
+  r.cold_fetches = static_cast<double>(stats.iterations[0].pagelog_pages);
+  r.run_ms = RunTotalMs(stats);
+  return r;
+}
+
+void PrintRow(const char* label, const ModeResult& r) {
+  std::printf("%-12s %12.1f %10.0f %9.0f%% %12.2f %12.0f %10.1f\n", label,
+              r.pagelog_mib, r.records, r.diff_share * 100, r.cold_io_ms,
+              r.cold_fetches, r.run_ms);
+}
+
+void Section(const char* title, bool sparse) {
+  std::printf("\n%s\n", title);
+  std::printf("%-12s %12s %10s %10s %12s %12s %10s\n", "mode",
+              "archive_MiB", "records", "diff%", "cold_io_ms",
+              "cold_fetch", "run_ms");
+  ModeResult full = RunMode(retro::PagelogMode::kFull, sparse);
+  PrintRow("full-page", full);
+  ModeResult diff = RunMode(retro::PagelogMode::kDiff, sparse);
+  PrintRow("page-diff", diff);
+  std::printf("archive shrink: %.1fx; cold-read amplification: %.2fx\n",
+              full.pagelog_mib / std::max(0.001, diff.pagelog_mib),
+              diff.cold_fetches / std::max(1.0, full.cold_fetches));
+}
+
+int Run() {
+  std::printf("Ablation: Pagelog representation — full pages vs adaptive "
+              "page diffs (120 snapshots)\n");
+  Section("TPC-H refresh workload (rows deleted+reinserted; pages change "
+          "wholesale):", /*sparse=*/false);
+  Section("Sparse-update workload (a few bytes per page change per "
+          "snapshot):", /*sparse=*/true);
+  std::printf(
+      "\nExpected: diffs shrink the archive modestly under the rewrite-"
+      "heavy refresh\nworkload and dramatically under sparse updates, at "
+      "the cost of extra record\nfetches during reconstruction (diff "
+      "chains) — the Thresher [24] trade-off the\npaper cites.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rql::bench
+
+int main() { return rql::bench::Run(); }

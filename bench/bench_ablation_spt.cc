@@ -1,0 +1,72 @@
+// Ablation (design choice called out in DESIGN.md): SPT construction with
+// the Skippy skip-level index vs. a naive linear Maplog scan. Skippy is
+// the paper's cited mechanism (Shaull et al., SIGMOD'08) for keeping the
+// scan length ~n log n instead of proportional to the history length.
+
+#include "bench_common.h"
+
+namespace rql::bench {
+namespace {
+
+struct Sample {
+  double entries = 0;
+  double pages = 0;
+  double ms = 0;
+};
+
+Sample MeasureSpt(tpch::History* history, retro::SnapshotId snap,
+                  bool skippy, int repeats) {
+  retro::SnapshotStore* store = history->data()->store();
+  store->maplog()->set_use_skippy(skippy);
+  Sample sample;
+  for (int r = 0; r < repeats; ++r) {
+    store->ResetStats();
+    auto view = store->OpenSnapshot(snap);
+    if (!view.ok()) Fail(view.status(), "OpenSnapshot");
+    const retro::SptBuildStats& spt = store->stats()->spt;
+    sample.entries += static_cast<double>(spt.entries_scanned);
+    sample.pages += static_cast<double>(spt.maplog_pages_read);
+    sample.ms += store->stats()->SptUs(store->cost_model()) / 1000.0;
+  }
+  store->maplog()->set_use_skippy(true);
+  sample.entries /= repeats;
+  sample.pages /= repeats;
+  sample.ms /= repeats;
+  return sample;
+}
+
+int Run() {
+  auto uw30 = GetHistory("uw30");
+  if (!uw30.ok()) Fail(uw30.status(), "uw30 history");
+  tpch::History* history = uw30->get();
+  retro::SnapshotId slast = history->last_snapshot();
+
+  std::printf("Ablation: SPT build, Skippy skip levels vs linear Maplog "
+              "scan (UW30, Slast=%u)\n", slast);
+  std::printf("%-16s %12s %12s %10s %12s %12s %10s\n", "snapshot",
+              "lin_entries", "lin_pages", "lin_ms", "sk_entries", "sk_pages",
+              "sk_ms");
+  const int offsets[] = {1, 2, 4, 8, 16, 32, 64, 128, 256,
+                         static_cast<int>(slast) - 1};
+  for (int offset : offsets) {
+    auto snap = static_cast<retro::SnapshotId>(
+        static_cast<int>(slast) - offset);
+    if (snap < 1) continue;
+    Sample linear = MeasureSpt(history, snap, /*skippy=*/false, 3);
+    Sample skippy = MeasureSpt(history, snap, /*skippy=*/true, 3);
+    std::printf("Slast-%-10d %12.0f %12.0f %10.2f %12.0f %12.0f %10.2f\n",
+                offset, linear.entries, linear.pages, linear.ms,
+                skippy.entries, skippy.pages, skippy.ms);
+  }
+  std::printf(
+      "\nExpected: identical results (verified by tests); for old "
+      "snapshots the\nlinear scan reads the whole Maplog suffix while "
+      "Skippy reads each page's\nmapping roughly once per level, cutting "
+      "entries and simulated I/O by ~4-10x.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rql::bench
+
+int main() { return rql::bench::Run(); }

@@ -1,0 +1,67 @@
+// Reproduces the Section 5.3 intervals study (reported in-text in the
+// paper): memory footprint of CollateData vs. CollateDataIntoIntervals for
+// Qq_int over 50 consecutive snapshots under four update workloads
+// (UW7.5, UW15, UW30, UW60).
+//
+// Expected shape (paper): the CollateData result holds
+// 50 x |orders| records regardless of workload; the intervals result is
+// dramatically smaller and grows sublinearly as the per-snapshot update
+// volume doubles from UW7.5 to UW60; the index adds roughly half of the
+// result-table size again.
+
+#include "bench_common.h"
+
+namespace rql::bench {
+namespace {
+
+int Run() {
+  const char* keys[] = {"uw7_5", "uw15_small", "uw30_small", "uw60"};
+  const char* names[] = {"UW7.5", "UW15", "UW30", "UW60"};
+
+  std::printf("Section 5.3: CollateData vs CollateDataIntoIntervals memory "
+              "(Qq_int, 50 snapshots)\n");
+  std::printf("%-8s %14s %14s %14s %14s %14s %12s\n", "workload",
+              "collate_rows", "collate_kib", "interval_rows", "interval_kib",
+              "index_kib", "ratio");
+  for (int i = 0; i < 4; ++i) {
+    auto history = GetHistory(keys[i]);
+    if (!history.ok()) Fail(history.status(), keys[i]);
+    tpch::History* h = history->get();
+    RqlEngine* engine = h->engine();
+    std::string qs = h->QsInterval(10, 50);
+
+    BENCH_CHECK(engine->CollateData(qs, kQqInt, "CollateResult"));
+    auto collate = h->meta()->GetTableStats("CollateResult");
+    if (!collate.ok()) Fail(collate.status(), "collate stats");
+
+    BENCH_CHECK(engine->CollateDataIntoIntervals(qs, kQqInt, "IntResult"));
+    auto intervals = h->meta()->GetTableStats("IntResult");
+    if (!intervals.ok()) Fail(intervals.status(), "interval stats");
+    auto index = h->meta()->GetIndexStats("IntResult_rql_idx");
+    uint64_t index_bytes = index.ok() ? index->bytes : 0;
+
+    std::printf("%-8s %14llu %14.1f %14llu %14.1f %14.1f %12.1fx\n",
+                names[i],
+                static_cast<unsigned long long>(collate->rows),
+                collate->bytes / 1024.0,
+                static_cast<unsigned long long>(intervals->rows),
+                intervals->bytes / 1024.0, index_bytes / 1024.0,
+                collate->bytes /
+                    std::max(1.0, static_cast<double>(intervals->bytes)));
+
+    // Drop the large collate result so histories stay reusable on disk.
+    BENCH_CHECK(h->meta()->Exec("DROP TABLE IF EXISTS CollateResult"));
+    BENCH_CHECK(h->meta()->Exec("DROP TABLE IF EXISTS IntResult"));
+  }
+  std::printf(
+      "\nExpected: collate_rows identical across workloads (50 x order "
+      "count);\ninterval_rows grow with the update rate but far slower than "
+      "2x per step;\nthe intervals representation is ~an order of magnitude "
+      "smaller.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rql::bench
+
+int main() { return rql::bench::Run(); }

@@ -1,0 +1,69 @@
+// Characterizes the update workloads of the paper's Table 1 and verifies
+// the properties Section 4's analysis rests on:
+//   * each workload deletes+inserts a constant number of orders per
+//     snapshot, so diff(S1, S2) — the pages captured per epoch — is
+//     roughly constant;
+//   * UW30 overwrites the database in ~50 snapshots, UW15 in ~100 (the
+//     cumulative distinct captured pages approach the database size after
+//     one overwrite cycle);
+//   * the database itself stays at constant size under the rotation.
+
+#include <unordered_set>
+
+#include "bench_common.h"
+
+namespace rql::bench {
+namespace {
+
+void Characterize(const char* name, const char* key, int cycle) {
+  auto history = GetHistory(key);
+  if (!history.ok()) Fail(history.status(), key);
+  tpch::History* h = history->get();
+  retro::SnapshotStore* store = h->data()->store();
+
+  uint32_t db_pages = store->page_store()->allocated_pages();
+  retro::SnapshotId slast = store->latest_snapshot();
+
+  // SPT(S) size = pages of S not shared with the current database. For an
+  // old S (>= one cycle before Slast) it approaches the database size; the
+  // age at which it saturates is the overwrite cycle.
+  std::printf("\n%s: db pages=%u, snapshots=%u, nominal cycle=%d\n", name,
+              db_pages, slast, cycle);
+  std::printf("%-18s %12s %16s\n", "snapshot age", "SPT pages",
+              "fraction of db");
+  const int ages[] = {1, 2, 5, 10, 25, 50, 100, 200};
+  double prev_fraction = -1;
+  bool monotone = true;
+  for (int age : ages) {
+    if (age >= static_cast<int>(slast)) break;
+    auto view = store->OpenSnapshot(slast - static_cast<uint32_t>(age));
+    if (!view.ok()) Fail(view.status(), "OpenSnapshot");
+    double fraction = static_cast<double>((*view)->spt_size()) / db_pages;
+    std::printf("Slast-%-12d %12llu %15.1f%%\n", age,
+                static_cast<unsigned long long>((*view)->spt_size()),
+                fraction * 100);
+    if (fraction + 0.01 < prev_fraction) monotone = false;  // 1% slack: page churn
+    prev_fraction = fraction;
+  }
+  std::printf("  (monotone growth: %s; saturation ~ the overwrite cycle)\n",
+              monotone ? "yes" : "NO");
+}
+
+int Run() {
+  std::printf("Table 1: update workload characterization\n");
+  Characterize("UW30 (30K orders/snapshot at SF 1)", "uw30", 50);
+  Characterize("UW15 (15K orders/snapshot at SF 1)", "uw15", 100);
+  Characterize("UW7.5", "uw7_5", 200);
+  Characterize("UW60", "uw60", 25);
+  std::printf(
+      "\nExpected: the SPT (non-shared pages) grows with snapshot age and "
+      "saturates\nnear the database size after about one overwrite cycle — "
+      "~50 snapshots for\nUW30, ~100 for UW15 — confirming the diff/cycle "
+      "structure the paper's\nSection 4 analysis assumes.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rql::bench
+
+int main() { return rql::bench::Run(); }

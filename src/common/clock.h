@@ -1,0 +1,49 @@
+#ifndef RQL_COMMON_CLOCK_H_
+#define RQL_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rql {
+
+/// Returns the current monotonic time in microseconds. Used for all cost
+/// breakdown instrumentation so that measurements are comparable.
+inline int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Accumulates elapsed wall-clock time into a counter on destruction.
+/// Usage:
+///   { ScopedTimer t(&stats.query_eval_us); ... work ... }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int64_t* sink) : sink_(sink), start_(NowMicros()) {}
+  ~ScopedTimer() { *sink_ += NowMicros() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* sink_;
+  int64_t start_;
+};
+
+/// Simple stopwatch for ad-hoc measurements in benchmarks and examples.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowMicros()) {}
+  void Reset() { start_ = NowMicros(); }
+  int64_t ElapsedMicros() const { return NowMicros() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace rql
+
+#endif  // RQL_COMMON_CLOCK_H_

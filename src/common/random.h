@@ -1,0 +1,62 @@
+#ifndef RQL_COMMON_RANDOM_H_
+#define RQL_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rql {
+
+/// Deterministic xorshift128+ pseudo-random generator. All data generation
+/// (TPC-H tables, refresh streams, test inputs) goes through this class so
+/// that runs are reproducible from a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42) {
+    s0_ = seed ? seed : 0x9E3779B97F4A7C15ull;
+    s1_ = s0_ ^ 0xBF58476D1CE4E5B9ull;
+    // Warm up: the first few outputs of xorshift are correlated with the
+    // seed bits.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) / static_cast<double>(1ull << 53);
+  }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random lowercase ASCII string of the given length.
+  std::string NextString(size_t len) {
+    std::string s(len, 'a');
+    for (size_t i = 0; i < len; ++i) {
+      s[i] = static_cast<char>('a' + Uniform(26));
+    }
+    return s;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace rql
+
+#endif  // RQL_COMMON_RANDOM_H_

@@ -1,0 +1,142 @@
+#ifndef RQL_COMMON_STATUS_H_
+#define RQL_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rql {
+
+/// Error categories used across the library. Modeled on the Status idiom
+/// used by LevelDB/RocksDB/Arrow: library code never throws; every fallible
+/// operation returns a Status (or a Result<T>, see below).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kCorruption,
+  kNotSupported,
+  kAborted,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code`, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+
+  /// Formats as "Code: message" ("OK" when ok()).
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A Status or a value of type T. `value()` must only be accessed when
+/// `ok()`; this is checked in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error Status keeps call sites
+  /// terse (`return 42;` / `return Status::NotFound(...)`).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    // An OK status without a value would make value() unusable.
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace rql
+
+/// Propagates a non-OK Status to the caller.
+#define RQL_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::rql::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define RQL_CONCAT_IMPL(x, y) x##y
+#define RQL_CONCAT(x, y) RQL_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>), propagating the error Status on failure,
+/// otherwise assigning the value to `lhs`. `lhs` may include a declaration:
+///   RQL_ASSIGN_OR_RETURN(auto file, env->NewFile("x"));
+#define RQL_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  auto RQL_CONCAT(_result_, __LINE__) = (rexpr);                   \
+  if (!RQL_CONCAT(_result_, __LINE__).ok())                        \
+    return RQL_CONCAT(_result_, __LINE__).status();                \
+  lhs = std::move(RQL_CONCAT(_result_, __LINE__)).value()
+
+#endif  // RQL_COMMON_STATUS_H_

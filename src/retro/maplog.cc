@@ -1,0 +1,275 @@
+#include "retro/maplog.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/clock.h"
+
+namespace rql::retro {
+
+Result<std::unique_ptr<Maplog>> Maplog::Open(storage::Env* env,
+                                             const std::string& name) {
+  RQL_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> file,
+                       env->OpenFile(name));
+  if (file->Size() % sizeof(MaplogEntry) != 0) {
+    return Status::Corruption("maplog size is not entry-aligned");
+  }
+  auto log = std::unique_ptr<Maplog>(new Maplog(std::move(file)));
+  log->entry_count_ = log->file_->Size() / sizeof(MaplogEntry);
+  RQL_RETURN_IF_ERROR(log->LoadMirror());
+  return log;
+}
+
+Status Maplog::LoadMirror() {
+  entries_.resize(entry_count_);
+  if (entry_count_ > 0) {
+    RQL_RETURN_IF_ERROR(file_->Read(
+        0, entry_count_ * sizeof(MaplogEntry),
+        reinterpret_cast<char*>(entries_.data())));
+  }
+  for (uint64_t i = 0; i < entry_count_; ++i) {
+    if (entries_[i].type == MaplogEntry::kSnapshotMark) {
+      if (entries_[i].end_snap != snap_mark_index_.size() + 1) {
+        return Status::Corruption("maplog snapshot marks out of order");
+      }
+      snap_mark_index_.push_back(i);
+    } else if (entries_[i].type == MaplogEntry::kTruncate) {
+      earliest_ = std::max(earliest_, entries_[i].end_snap);
+    }
+  }
+  return Status::OK();
+}
+
+Status Maplog::AppendEntry(const MaplogEntry& entry) {
+  uint64_t offset = 0;
+  RQL_RETURN_IF_ERROR(file_->Append(sizeof(MaplogEntry),
+                                    reinterpret_cast<const char*>(&entry),
+                                    &offset));
+  entries_.push_back(entry);
+  ++entry_count_;
+  return Status::OK();
+}
+
+Status Maplog::AppendCapture(storage::PageId page, SnapshotId start,
+                             SnapshotId end, uint64_t pagelog_offset) {
+  MaplogEntry entry;
+  entry.type = MaplogEntry::kCapture;
+  entry.page = page;
+  entry.start_snap = start;
+  entry.end_snap = end;
+  entry.pagelog_offset = pagelog_offset;
+  return AppendEntry(entry);
+}
+
+Status Maplog::AppendSnapshotMark(SnapshotId snap) {
+  if (snap != snap_mark_index_.size() + 1) {
+    return Status::InvalidArgument("snapshot marks must be sequential");
+  }
+  MaplogEntry entry;
+  entry.type = MaplogEntry::kSnapshotMark;
+  entry.end_snap = snap;
+  snap_mark_index_.push_back(entry_count_);
+  return AppendEntry(entry);
+}
+
+Status Maplog::AppendTruncate(SnapshotId keep_from) {
+  MaplogEntry entry;
+  entry.type = MaplogEntry::kTruncate;
+  entry.end_snap = keep_from;
+  earliest_ = std::max(earliest_, keep_from);
+  return AppendEntry(entry);
+}
+
+Status Maplog::AppendAlloc(storage::PageId page, SnapshotId latest) {
+  MaplogEntry entry;
+  entry.type = MaplogEntry::kAlloc;
+  entry.page = page;
+  entry.end_snap = latest;
+  return AppendEntry(entry);
+}
+
+void Maplog::ScanEntries(const MaplogEntry* entries, size_t count,
+                         SnapshotId snap, SnapshotPageTable* spt) const {
+  for (size_t i = 0; i < count; ++i) {
+    const MaplogEntry& entry = entries[i];
+    if (entry.type != MaplogEntry::kCapture) continue;
+    if (entry.start_snap > snap || entry.end_snap < snap) continue;
+    spt->emplace(entry.page, entry.pagelog_offset);
+  }
+}
+
+Status Maplog::BuildSptLinear(SnapshotId snap, SnapshotPageTable* spt,
+                              SptBuildStats* stats) const {
+  uint64_t begin = snap_mark_index_[snap - 1];
+  ScanEntries(entries_.data() + begin, entry_count_ - begin, snap, spt);
+  if (stats != nullptr) {
+    int64_t scanned = static_cast<int64_t>(entry_count_ - begin);
+    stats->entries_scanned += scanned;
+    stats->maplog_pages_read +=
+        (scanned + kEntriesPerPage - 1) / kEntriesPerPage;
+  }
+  return Status::OK();
+}
+
+const std::vector<MaplogEntry>& Maplog::GetRun(uint32_t level,
+                                               SnapshotId start) const {
+  uint64_t key = (static_cast<uint64_t>(level) << 32) | start;
+  auto it = runs_.find(key);
+  if (it != runs_.end()) return it->second;
+
+  std::vector<MaplogEntry> run;
+  if (level == 0) {
+    uint64_t begin = EpochBegin(start);
+    uint64_t end = EpochEnd(start);
+    run.reserve(end - begin);
+    for (uint64_t i = begin; i < end; ++i) {
+      if (entries_[i].type == MaplogEntry::kCapture) {
+        run.push_back(entries_[i]);
+      }
+    }
+  } else {
+    const std::vector<MaplogEntry>& left = GetRun(level - 1, start);
+    const std::vector<MaplogEntry>& right =
+        GetRun(level - 1, start + (1u << (level - 1)));
+    run.reserve(left.size() + right.size());
+    std::unordered_set<storage::PageId> seen;
+    seen.reserve(left.size() + right.size());
+    for (const std::vector<MaplogEntry>* half : {&left, &right}) {
+      for (const MaplogEntry& entry : *half) {
+        if (seen.insert(entry.page).second) run.push_back(entry);
+      }
+    }
+  }
+  return runs_.emplace(key, std::move(run)).first->second;
+}
+
+Status Maplog::BuildSptSkippy(SnapshotId snap, SnapshotPageTable* spt,
+                              SptBuildStats* stats) const {
+  int64_t scanned = 0;
+  int64_t pages = 0;
+  SnapshotId e = snap;
+  SnapshotId last = latest();
+  while (e <= last) {
+    if (e == last) {
+      // The open epoch (after the most recent mark) is still growing; scan
+      // it directly without memoizing.
+      uint64_t begin = EpochBegin(e);
+      uint64_t count = entry_count_ - begin;
+      ScanEntries(entries_.data() + begin, count, snap, spt);
+      scanned += static_cast<int64_t>(count);
+      pages += (static_cast<int64_t>(count) + kEntriesPerPage - 1) /
+               kEntriesPerPage;
+      break;
+    }
+    // Largest aligned run of closed epochs starting at e.
+    uint32_t level = 0;
+    while ((static_cast<uint64_t>(e - 1) % (1ull << (level + 1))) == 0 &&
+           e + (1u << (level + 1)) - 1 <= last - 1) {
+      ++level;
+    }
+    const std::vector<MaplogEntry>& run = GetRun(level, e);
+    // The run keeps the first capture per page, so "first match wins"
+    // across runs remains correct.
+    for (const MaplogEntry& entry : run) {
+      if (entry.start_snap > snap || entry.end_snap < snap) continue;
+      spt->emplace(entry.page, entry.pagelog_offset);
+    }
+    scanned += static_cast<int64_t>(run.size());
+    pages += std::max<int64_t>(
+        1, (static_cast<int64_t>(run.size()) + kEntriesPerPage - 1) /
+               kEntriesPerPage);
+    e += 1u << level;
+  }
+  if (stats != nullptr) {
+    stats->entries_scanned += scanned;
+    stats->maplog_pages_read += pages;
+  }
+  return Status::OK();
+}
+
+Status Maplog::PrewarmSkippy() const {
+  if (latest() == kNoSnapshot) return Status::OK();
+  // Building SPT(1) visits (and memoizes) the maximal runs; the remaining
+  // alignments are covered by building from a few more start points.
+  SnapshotPageTable scratch;
+  SptBuildStats stats;
+  for (SnapshotId s = 1; s <= latest(); s = s * 2 + 1) {
+    scratch.clear();
+    RQL_RETURN_IF_ERROR(BuildSptSkippy(s, &scratch, &stats));
+  }
+  return Status::OK();
+}
+
+Status Maplog::BuildSpt(SnapshotId snap, SnapshotPageTable* spt,
+                        uint64_t* resume_index, SptBuildStats* stats) const {
+  if (snap == kNoSnapshot || snap > snap_mark_index_.size()) {
+    return Status::NotFound("unknown snapshot id " + std::to_string(snap));
+  }
+  if (snap < earliest_) {
+    return Status::NotFound("snapshot " + std::to_string(snap) +
+                            " has been truncated (earliest is " +
+                            std::to_string(earliest_) + ")");
+  }
+  spt->clear();
+  int64_t start_us = NowMicros();
+  Status s = use_skippy_ ? BuildSptSkippy(snap, spt, stats)
+                         : BuildSptLinear(snap, spt, stats);
+  *resume_index = entry_count_;
+  if (stats != nullptr) stats->cpu_us += NowMicros() - start_us;
+  return s;
+}
+
+Status Maplog::RefreshSpt(SnapshotId snap, SnapshotPageTable* spt,
+                          uint64_t* resume_index, SptBuildStats* stats) const {
+  int64_t start_us = NowMicros();
+  int64_t scanned = 0;
+  for (uint64_t index = *resume_index; index < entry_count_; ++index) {
+    const MaplogEntry& entry = entries_[index];
+    ++scanned;
+    if (entry.type != MaplogEntry::kCapture) continue;
+    if (entry.start_snap > snap || entry.end_snap < snap) continue;
+    spt->emplace(entry.page, entry.pagelog_offset);
+  }
+  *resume_index = entry_count_;
+  if (stats != nullptr) {
+    stats->entries_scanned += scanned;
+    stats->maplog_pages_read += (scanned + kEntriesPerPage - 1) /
+                                kEntriesPerPage;
+    stats->cpu_us += NowMicros() - start_us;
+  }
+  return Status::OK();
+}
+
+Status Maplog::RecoverModEpochs(
+    std::unordered_map<storage::PageId, SnapshotId>* mod_epochs,
+    SnapshotId* latest_snapshot,
+    std::unordered_map<storage::PageId, uint64_t>* last_offsets) const {
+  mod_epochs->clear();
+  *latest_snapshot = kNoSnapshot;
+  if (last_offsets != nullptr) last_offsets->clear();
+  for (const MaplogEntry& entry : entries_) {
+    switch (entry.type) {
+      case MaplogEntry::kSnapshotMark:
+        *latest_snapshot = entry.end_snap;
+        break;
+      case MaplogEntry::kCapture:
+        // After a capture the page's content belongs to the epoch following
+        // snapshot end_snap.
+        (*mod_epochs)[entry.page] = entry.end_snap;
+        if (last_offsets != nullptr) {
+          (*last_offsets)[entry.page] = entry.pagelog_offset;
+        }
+        break;
+      case MaplogEntry::kAlloc:
+        (*mod_epochs)[entry.page] = entry.end_snap;
+        break;
+      case MaplogEntry::kTruncate:
+        break;  // earliest_ handled at load
+      default:
+        return Status::Corruption("bad maplog entry type");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rql::retro

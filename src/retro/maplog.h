@@ -1,0 +1,188 @@
+#ifndef RQL_RETRO_MAPLOG_H_
+#define RQL_RETRO_MAPLOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/env.h"
+#include "storage/page.h"
+
+namespace rql::retro {
+
+/// Snapshot identifier. Snapshots are numbered 1, 2, 3, ... in declaration
+/// order; 0 means "no snapshot" / the current state.
+using SnapshotId = uint32_t;
+inline constexpr SnapshotId kNoSnapshot = 0;
+
+/// One fixed-width record in the Maplog.
+struct MaplogEntry {
+  enum Type : uint8_t {
+    /// A pre-state capture: `page` as of snapshots [start_snap, end_snap]
+    /// lives in the Pagelog at `pagelog_offset`.
+    kCapture = 1,
+    /// Declaration boundary for snapshot `end_snap`; marks where the scan
+    /// for that snapshot's page table begins.
+    kSnapshotMark = 2,
+    /// `page` was (re)allocated during the epoch following snapshot
+    /// `end_snap`; used only to recover modification epochs on reopen.
+    kAlloc = 3,
+    /// History before snapshot `end_snap` has been truncated away
+    /// (TruncateHistory); snapshots below it are no longer reconstructable.
+    kTruncate = 4,
+  };
+
+  uint8_t type = 0;
+  uint8_t pad[3] = {};
+  storage::PageId page = storage::kInvalidPageId;
+  SnapshotId start_snap = 0;
+  SnapshotId end_snap = 0;
+  uint64_t pagelog_offset = 0;
+};
+
+static_assert(sizeof(MaplogEntry) == 24);
+
+/// Aggregate cost of one snapshot-page-table construction; feeds the
+/// "SPT build" bar in the paper's cost breakdowns (Figures 8-13).
+struct SptBuildStats {
+  int64_t entries_scanned = 0;
+  int64_t maplog_pages_read = 0;  // entries_scanned rounded up to log pages
+  int64_t cpu_us = 0;
+};
+
+/// The snapshot page table: for every page captured after snapshot S was
+/// declared, its Pagelog location as of S. Pages absent from the table are
+/// shared with the current database state.
+using SnapshotPageTable = std::unordered_map<storage::PageId, uint64_t>;
+
+/// The on-disk log-structured list of page->Pagelog-location mappings
+/// (Shaull et al., "Skippy", SIGMOD'08). Mappings are appended in capture
+/// order, so entries relevant to snapshot S form a suffix starting at S's
+/// declaration mark; an efficient forward scan of that suffix constructs
+/// SPT(S).
+///
+/// Two scan strategies are provided:
+///   * linear — read the whole suffix (the naive baseline);
+///   * Skippy skip levels (the default) — precomputed runs of 2^k epochs
+///     keeping only the first mapping per page, so a scan reads each
+///     page's mapping roughly once per level instead of once per
+///     overwrite, giving the paper's ~n log n scan length.
+/// An in-memory mirror of the log avoids per-entry file reads; the
+/// simulated Maplog I/O cost is still charged per log page scanned.
+class Maplog {
+ public:
+  static Result<std::unique_ptr<Maplog>> Open(storage::Env* env,
+                                              const std::string& name);
+
+  /// Appends a capture record. `start..end` is the contiguous range of
+  /// snapshot ids whose as-of state of `page` is the recorded pre-state.
+  Status AppendCapture(storage::PageId page, SnapshotId start, SnapshotId end,
+                       uint64_t pagelog_offset);
+
+  /// Appends the declaration boundary for snapshot `snap`.
+  Status AppendSnapshotMark(SnapshotId snap);
+
+  /// Appends an allocation record for `page` in the epoch after `latest`.
+  Status AppendAlloc(storage::PageId page, SnapshotId latest);
+
+  /// Appends a truncation record: snapshots below `keep_from` are gone.
+  Status AppendTruncate(SnapshotId keep_from);
+
+  /// The oldest snapshot that can still be opened (1 if never truncated).
+  SnapshotId earliest() const { return earliest_; }
+
+  /// Read-only view of the in-memory mirror (history compaction).
+  const std::vector<MaplogEntry>& entries() const { return entries_; }
+
+  /// Builds SPT(snap) by scanning forward from snap's declaration mark.
+  /// Also returns in `resume_index` the log index scans should resume from
+  /// when refreshing the table after later captures.
+  Status BuildSpt(SnapshotId snap, SnapshotPageTable* spt,
+                  uint64_t* resume_index, SptBuildStats* stats) const;
+
+  /// Extends `spt` with captures appended at or after `*resume_index`
+  /// (exclusive of pages already mapped); advances `*resume_index`. Used to
+  /// keep an open snapshot view consistent across interleaved updates.
+  Status RefreshSpt(SnapshotId snap, SnapshotPageTable* spt,
+                    uint64_t* resume_index, SptBuildStats* stats) const;
+
+  /// Recovers per-page modification epochs: for each page, the id of the
+  /// latest snapshot declared before the page's last recorded modification.
+  /// Also recovers the number of declared snapshots and (optionally) each
+  /// page's most recent Pagelog capture offset, used as the diff base in
+  /// PagelogMode::kDiff.
+  Status RecoverModEpochs(
+      std::unordered_map<storage::PageId, SnapshotId>* mod_epochs,
+      SnapshotId* latest_snapshot,
+      std::unordered_map<storage::PageId, uint64_t>* last_offsets =
+          nullptr) const;
+
+  uint64_t entry_count() const { return entry_count_; }
+  uint64_t SizeBytes() const { return file_->Size(); }
+
+  /// Selects the SPT scan strategy (default: Skippy skip levels).
+  void set_use_skippy(bool use) { use_skippy_ = use; }
+  bool use_skippy() const { return use_skippy_; }
+
+  /// Materializes the skip-level runs for the whole current history. Retro
+  /// maintains Skippy incrementally as snapshots are declared; this plays
+  /// that role after opening an existing log, so the construction cost is
+  /// not charged to the first query's SPT-build time.
+  Status PrewarmSkippy() const;
+
+  /// Entries per on-disk log page; used to convert scan lengths to I/O.
+  static constexpr int64_t kEntriesPerPage =
+      storage::kPageSize / sizeof(MaplogEntry);
+
+ private:
+  explicit Maplog(std::unique_ptr<storage::File> file)
+      : file_(std::move(file)) {}
+
+  Status LoadMirror();
+  Status AppendEntry(const MaplogEntry& entry);
+
+  /// Number of declared snapshots (== number of marks).
+  SnapshotId latest() const {
+    return static_cast<SnapshotId>(snap_mark_index_.size());
+  }
+
+  /// Index of the first entry of epoch `s` (entries appended after
+  /// snapshot s's declaration mark).
+  uint64_t EpochBegin(SnapshotId s) const { return snap_mark_index_[s - 1] + 1; }
+  /// One past the last entry of epoch `s`.
+  uint64_t EpochEnd(SnapshotId s) const {
+    return s < latest() ? snap_mark_index_[s] : entry_count_;
+  }
+
+  Status BuildSptLinear(SnapshotId snap, SnapshotPageTable* spt,
+                        SptBuildStats* stats) const;
+  Status BuildSptSkippy(SnapshotId snap, SnapshotPageTable* spt,
+                        SptBuildStats* stats) const;
+
+  /// The Skippy run covering epochs [start, start + 2^level), containing
+  /// the first capture per page in log order. Memoized; only called for
+  /// closed epochs (start + 2^level - 1 < latest()).
+  const std::vector<MaplogEntry>& GetRun(uint32_t level,
+                                         SnapshotId start) const;
+
+  void ScanEntries(const MaplogEntry* entries, size_t count, SnapshotId snap,
+                   SnapshotPageTable* spt) const;
+
+  std::unique_ptr<storage::File> file_;
+  uint64_t entry_count_ = 0;
+  // snap_mark_index_[s-1] = log index of snapshot s's declaration mark.
+  std::vector<uint64_t> snap_mark_index_;
+  // In-memory mirror of the on-disk log.
+  std::vector<MaplogEntry> entries_;
+  SnapshotId earliest_ = 1;
+  bool use_skippy_ = true;
+  // Memoized skip-level runs, keyed by (level << 32) | start.
+  mutable std::unordered_map<uint64_t, std::vector<MaplogEntry>> runs_;
+};
+
+}  // namespace rql::retro
+
+#endif  // RQL_RETRO_MAPLOG_H_

@@ -1,0 +1,190 @@
+#include "retro/pagelog.h"
+
+#include <cstring>
+#include <vector>
+
+namespace rql::retro {
+
+namespace {
+
+using storage::kPageSize;
+using storage::Page;
+
+constexpr uint8_t kTypeFull = 1;
+constexpr uint8_t kTypeDiff = 2;
+
+struct RecordHeader {
+  uint8_t type = 0;
+  uint8_t depth = 0;
+  uint16_t range_count = 0;
+  uint32_t payload_len = 0;
+  uint64_t base_offset = 0;
+};
+static_assert(sizeof(RecordHeader) == 16);
+
+struct DiffRange {
+  uint16_t offset;
+  uint16_t len;
+};
+
+/// Byte ranges where `page` differs from `base`, merging gaps smaller than
+/// 8 bytes so range bookkeeping does not outweigh the savings.
+std::vector<DiffRange> ComputeDiff(const Page& page, const Page& base) {
+  std::vector<DiffRange> ranges;
+  constexpr uint32_t kMergeGap = 8;
+  uint32_t i = 0;
+  while (i < kPageSize) {
+    if (page.data[i] == base.data[i]) {
+      ++i;
+      continue;
+    }
+    uint32_t start = i;
+    uint32_t last_diff = i;
+    while (i < kPageSize) {
+      if (page.data[i] != base.data[i]) {
+        last_diff = i;
+        ++i;
+      } else if (i - last_diff < kMergeGap) {
+        ++i;
+      } else {
+        break;
+      }
+    }
+    ranges.push_back({static_cast<uint16_t>(start),
+                      static_cast<uint16_t>(last_diff - start + 1)});
+  }
+  return ranges;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Pagelog>> Pagelog::Open(storage::Env* env,
+                                               const std::string& name) {
+  RQL_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> file,
+                       env->OpenFile(name));
+  auto log = std::unique_ptr<Pagelog>(new Pagelog(std::move(file)));
+  RQL_RETURN_IF_ERROR(log->ScanExisting());
+  return log;
+}
+
+Status Pagelog::ScanExisting() {
+  uint64_t offset = 0;
+  uint64_t size = file_->Size();
+  RecordHeader header;
+  while (offset < size) {
+    RQL_RETURN_IF_ERROR(file_->Read(offset, sizeof(header),
+                                    reinterpret_cast<char*>(&header)));
+    if (header.type == kTypeFull) {
+      ++full_records_;
+    } else if (header.type == kTypeDiff) {
+      ++diff_records_;
+    } else {
+      return Status::Corruption("bad pagelog record type");
+    }
+    ++record_count_;
+    offset += sizeof(header) + header.payload_len;
+  }
+  if (offset != size) return Status::Corruption("truncated pagelog record");
+  return Status::OK();
+}
+
+Result<uint64_t> Pagelog::AppendFull(const Page& page) {
+  RecordHeader header;
+  header.type = kTypeFull;
+  header.payload_len = kPageSize;
+  std::string record(reinterpret_cast<const char*>(&header), sizeof(header));
+  record.append(page.data, kPageSize);
+  uint64_t offset = 0;
+  RQL_RETURN_IF_ERROR(
+      file_->Append(record.size(), record.data(), &offset));
+  ++record_count_;
+  ++full_records_;
+  return offset;
+}
+
+Result<uint64_t> Pagelog::AppendDiff(const Page& page, uint64_t base_offset,
+                                     const Page& base) {
+  RQL_ASSIGN_OR_RETURN(int base_depth, DepthAt(base_offset));
+  if (base_depth + 1 > max_diff_chain_) return AppendFull(page);
+
+  std::vector<DiffRange> ranges = ComputeDiff(page, base);
+  uint32_t data_bytes = 0;
+  for (const DiffRange& r : ranges) data_bytes += r.len;
+  uint32_t payload = static_cast<uint32_t>(ranges.size()) * 4 + data_bytes;
+  if (ranges.empty() || payload > kDiffPayloadLimit ||
+      ranges.size() > UINT16_MAX) {
+    return AppendFull(page);
+  }
+
+  RecordHeader header;
+  header.type = kTypeDiff;
+  header.depth = static_cast<uint8_t>(base_depth + 1);
+  header.range_count = static_cast<uint16_t>(ranges.size());
+  header.payload_len = payload;
+  header.base_offset = base_offset;
+  std::string record(reinterpret_cast<const char*>(&header), sizeof(header));
+  for (const DiffRange& r : ranges) {
+    record.append(reinterpret_cast<const char*>(&r.offset), 2);
+    record.append(reinterpret_cast<const char*>(&r.len), 2);
+  }
+  for (const DiffRange& r : ranges) {
+    record.append(page.data + r.offset, r.len);
+  }
+  uint64_t offset = 0;
+  RQL_RETURN_IF_ERROR(file_->Append(record.size(), record.data(), &offset));
+  ++record_count_;
+  ++diff_records_;
+  return offset;
+}
+
+Status Pagelog::Read(uint64_t offset, Page* page,
+                     int64_t* records_fetched) const {
+  RecordHeader header;
+  if (offset + sizeof(header) > file_->Size()) {
+    return Status::InvalidArgument("pagelog read at bad offset");
+  }
+  RQL_RETURN_IF_ERROR(file_->Read(offset, sizeof(header),
+                                  reinterpret_cast<char*>(&header)));
+  if (records_fetched != nullptr) ++*records_fetched;
+  if (header.type == kTypeFull) {
+    if (header.payload_len != kPageSize) {
+      return Status::Corruption("bad full-page record length");
+    }
+    return file_->Read(offset + sizeof(header), kPageSize, page->data);
+  }
+  if (header.type != kTypeDiff) {
+    return Status::Corruption("bad pagelog record type");
+  }
+  // Reconstruct the base first (recursively), then patch.
+  RQL_RETURN_IF_ERROR(Read(header.base_offset, page, records_fetched));
+  std::string payload(header.payload_len, '\0');
+  RQL_RETURN_IF_ERROR(
+      file_->Read(offset + sizeof(header), header.payload_len,
+                  payload.data()));
+  const char* range_ptr = payload.data();
+  const char* data_ptr = payload.data() + header.range_count * 4;
+  for (uint16_t i = 0; i < header.range_count; ++i) {
+    uint16_t range_offset, range_len;
+    std::memcpy(&range_offset, range_ptr, 2);
+    std::memcpy(&range_len, range_ptr + 2, 2);
+    range_ptr += 4;
+    if (static_cast<uint32_t>(range_offset) + range_len > kPageSize) {
+      return Status::Corruption("diff range out of bounds");
+    }
+    std::memcpy(page->data + range_offset, data_ptr, range_len);
+    data_ptr += range_len;
+  }
+  return Status::OK();
+}
+
+Result<int> Pagelog::DepthAt(uint64_t offset) const {
+  RecordHeader header;
+  if (offset + sizeof(header) > file_->Size()) {
+    return Status::InvalidArgument("pagelog DepthAt at bad offset");
+  }
+  RQL_RETURN_IF_ERROR(file_->Read(offset, sizeof(header),
+                                  reinterpret_cast<char*>(&header)));
+  return static_cast<int>(header.depth);
+}
+
+}  // namespace rql::retro

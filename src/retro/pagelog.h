@@ -1,0 +1,100 @@
+#ifndef RQL_RETRO_PAGELOG_H_
+#define RQL_RETRO_PAGELOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/env.h"
+#include "storage/page.h"
+
+namespace rql::retro {
+
+/// Snapshot archive representation.
+enum class PagelogMode {
+  /// Every pre-state is stored as a full page (Retro's baseline).
+  kFull,
+  /// Pre-states are stored as byte diffs against the page's previously
+  /// archived version when profitable — the adaptive page-diff approach of
+  /// Thresher (Shrira & Xu, USENIX ATC'06) the paper cites as the space /
+  /// reconstruction-cost trade-off. Reading a diffed pre-state walks the
+  /// diff chain back to a full page; chains are bounded by
+  /// `max_diff_chain`.
+  kDiff,
+};
+
+/// The on-disk log-structured snapshot archive. Retro copies out the
+/// pre-modification state (pre-state) of each page the first time the page
+/// is modified after a snapshot declaration and appends it here. Records
+/// are immutable once written; snapshots reference them by byte offset.
+///
+/// Record layout:
+///   u8  type (1 = full, 2 = diff)
+///   u8  depth (length of the diff chain below this record)
+///   u16 range_count (diff only)
+///   u32 payload_len
+///   u64 base_offset (diff only; the record this diff applies to)
+///   payload: full page bytes, or range_count x (u16 off, u16 len)
+///            followed by the concatenated replacement bytes
+class Pagelog {
+ public:
+  static Result<std::unique_ptr<Pagelog>> Open(storage::Env* env,
+                                               const std::string& name);
+
+  /// Appends a full pre-state page; returns its record offset.
+  Result<uint64_t> AppendFull(const storage::Page& page);
+
+  /// Appends `page`, stored as a diff against the record at `base_offset`
+  /// (whose content is `base`) when the diff is small enough and the chain
+  /// depth permits; falls back to a full page otherwise. Returns the new
+  /// record's offset.
+  Result<uint64_t> AppendDiff(const storage::Page& page,
+                              uint64_t base_offset,
+                              const storage::Page& base);
+
+  /// Reconstructs the pre-state at `offset`, walking diff chains.
+  /// `records_fetched`, when non-null, is incremented once per record
+  /// touched — the I/O units a cold read of this pre-state costs.
+  Status Read(uint64_t offset, storage::Page* page,
+              int64_t* records_fetched = nullptr) const;
+
+  /// Diff-chain depth of the record at `offset` (0 for full pages).
+  Result<int> DepthAt(uint64_t offset) const;
+
+  /// Total archive size in bytes. Grows with history length, limited only
+  /// by storage — the paper's motivation for the cold-cache assumption.
+  uint64_t SizeBytes() const { return file_->Size(); }
+
+  /// Number of page-sized units the archive occupies (space reporting).
+  uint64_t page_count() const {
+    return (file_->Size() + storage::kPageSize - 1) / storage::kPageSize;
+  }
+
+  uint64_t record_count() const { return record_count_; }
+  uint64_t full_record_count() const { return full_records_; }
+  uint64_t diff_record_count() const { return diff_records_; }
+
+  /// Longest diff chain before a full page is forced (kDiff mode).
+  int max_diff_chain() const { return max_diff_chain_; }
+  void set_max_diff_chain(int depth) { max_diff_chain_ = depth; }
+
+  /// A diff larger than this many payload bytes is stored as a full page.
+  static constexpr uint32_t kDiffPayloadLimit = storage::kPageSize / 2;
+
+ private:
+  explicit Pagelog(std::unique_ptr<storage::File> file)
+      : file_(std::move(file)) {}
+
+  Status ScanExisting();
+
+  std::unique_ptr<storage::File> file_;
+  uint64_t record_count_ = 0;
+  uint64_t full_records_ = 0;
+  uint64_t diff_records_ = 0;
+  int max_diff_chain_ = 8;
+};
+
+}  // namespace rql::retro
+
+#endif  // RQL_RETRO_PAGELOG_H_

@@ -1,0 +1,314 @@
+#include "retro/snapshot_store.h"
+
+namespace rql::retro {
+
+namespace {
+std::string TruncateMarkerName(const std::string& name) {
+  return name + ".compact.commit";
+}
+}  // namespace
+
+Status SnapshotStore::RecoverTruncation(storage::Env* env,
+                                        const std::string& name) {
+  const std::string pagelog = name + ".pagelog";
+  const std::string maplog = name + ".maplog";
+  if (env->FileExists(TruncateMarkerName(name))) {
+    // The compacted logs were complete when the marker was written:
+    // (re)finish the swap.
+    for (const std::string& file : {pagelog, maplog}) {
+      if (env->FileExists(file + ".compact")) {
+        if (env->FileExists(file)) {
+          RQL_RETURN_IF_ERROR(env->DeleteFile(file));
+        }
+        RQL_RETURN_IF_ERROR(env->RenameFile(file + ".compact", file));
+      }
+    }
+    return env->DeleteFile(TruncateMarkerName(name));
+  }
+  // No marker: any leftover .compact files belong to an interrupted
+  // compaction that never committed; discard them.
+  for (const std::string& file : {pagelog, maplog}) {
+    if (env->FileExists(file + ".compact")) {
+      RQL_RETURN_IF_ERROR(env->DeleteFile(file + ".compact"));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SnapshotStore>> SnapshotStore::Open(
+    storage::Env* env, const std::string& name, Options options) {
+  RQL_RETURN_IF_ERROR(RecoverTruncation(env, name));
+  auto store = std::unique_ptr<SnapshotStore>(new SnapshotStore(options));
+  store->env_ = env;
+  store->name_ = name;
+  RQL_ASSIGN_OR_RETURN(store->store_,
+                       storage::PageStore::Open(env, name + ".db"));
+  RQL_ASSIGN_OR_RETURN(store->pagelog_,
+                       Pagelog::Open(env, name + ".pagelog"));
+  RQL_ASSIGN_OR_RETURN(store->maplog_, Maplog::Open(env, name + ".maplog"));
+  RQL_RETURN_IF_ERROR(store->maplog_->RecoverModEpochs(
+      &store->mod_epoch_, &store->latest_snap_,
+      &store->last_capture_offset_));
+  store->snapshot_cache_.set_capacity(options.snapshot_cache_pages);
+  return store;
+}
+
+Status SnapshotStore::CaptureIfNeeded(storage::PageId id,
+                                      const storage::Page* current) {
+  if (latest_snap_ == kNoSnapshot) return Status::OK();
+  SnapshotId epoch = ModEpoch(id);
+  if (epoch >= latest_snap_) return Status::OK();  // already captured/fresh
+  storage::Page pre_state;
+  if (current == nullptr) {
+    RQL_RETURN_IF_ERROR(store_->ReadPage(id, &pre_state));
+    current = &pre_state;
+  }
+  uint64_t offset = 0;
+  auto base_it = last_capture_offset_.find(id);
+  if (options_.pagelog_mode == PagelogMode::kDiff &&
+      base_it != last_capture_offset_.end()) {
+    storage::Page base;
+    RQL_RETURN_IF_ERROR(pagelog_->Read(base_it->second, &base));
+    RQL_ASSIGN_OR_RETURN(offset,
+                         pagelog_->AppendDiff(*current, base_it->second,
+                                              base));
+  } else {
+    RQL_ASSIGN_OR_RETURN(offset, pagelog_->AppendFull(*current));
+  }
+  last_capture_offset_[id] = offset;
+  RQL_RETURN_IF_ERROR(
+      maplog_->AppendCapture(id, epoch + 1, latest_snap_, offset));
+  mod_epoch_[id] = latest_snap_;
+  return Status::OK();
+}
+
+Result<storage::PageId> SnapshotStore::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RQL_ASSIGN_OR_RETURN(storage::PageId id, store_->AllocatePage());
+  if (latest_snap_ != kNoSnapshot && ModEpoch(id) != latest_snap_) {
+    mod_epoch_[id] = latest_snap_;
+    RQL_RETURN_IF_ERROR(maplog_->AppendAlloc(id, latest_snap_));
+  }
+  return id;
+}
+
+Status SnapshotStore::FreePage(storage::PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Freeing rewrites the page (free-list link), so the pre-state must be
+  // archived like any other modification.
+  storage::Page current;
+  RQL_RETURN_IF_ERROR(store_->ReadPage(id, &current));
+  RQL_RETURN_IF_ERROR(CaptureIfNeeded(id, &current));
+  return store_->FreePage(id);
+}
+
+Status SnapshotStore::ReadPage(storage::PageId id, storage::Page* page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->ReadPage(id, page);
+}
+
+Status SnapshotStore::WritePage(storage::PageId id,
+                                const storage::Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (latest_snap_ != kNoSnapshot && ModEpoch(id) < latest_snap_) {
+    storage::Page current;
+    RQL_RETURN_IF_ERROR(store_->ReadPage(id, &current));
+    RQL_RETURN_IF_ERROR(CaptureIfNeeded(id, &current));
+  }
+  return store_->WritePage(id, page);
+}
+
+Status SnapshotStore::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_txn_) return Status::InvalidArgument("transaction already active");
+  RQL_RETURN_IF_ERROR(store_->BeginBatch());
+  in_txn_ = true;
+  return Status::OK();
+}
+
+Status SnapshotStore::Commit(bool declare_snapshot, SnapshotId* declared) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!in_txn_) return Status::InvalidArgument("no active transaction");
+  RQL_RETURN_IF_ERROR(store_->CommitBatch());
+  in_txn_ = false;
+  if (declare_snapshot) {
+    RQL_ASSIGN_OR_RETURN(SnapshotId snap, DeclareSnapshotLocked());
+    if (declared != nullptr) *declared = snap;
+  }
+  return Status::OK();
+}
+
+Status SnapshotStore::Rollback() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!in_txn_) return Status::InvalidArgument("no active transaction");
+  // The WAL batch never reached the file; dropping it undoes everything.
+  // Captures made during the transaction stay in the archive, and remain
+  // correct: they recorded exactly the content the rollback restores.
+  RQL_RETURN_IF_ERROR(store_->RollbackBatch());
+  in_txn_ = false;
+  return Status::OK();
+}
+
+Result<SnapshotId> SnapshotStore::DeclareSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DeclareSnapshotLocked();
+}
+
+Result<SnapshotId> SnapshotStore::DeclareSnapshotLocked() {
+  if (in_txn_) {
+    return Status::InvalidArgument(
+        "DeclareSnapshot inside a transaction; use Commit(declare_snapshot)");
+  }
+  SnapshotId snap = latest_snap_ + 1;
+  RQL_RETURN_IF_ERROR(maplog_->AppendSnapshotMark(snap));
+  latest_snap_ = snap;
+  return snap;
+}
+
+Status SnapshotStore::TruncateHistory(SnapshotId keep_from) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_txn_) {
+    return Status::InvalidArgument(
+        "TruncateHistory inside a transaction is not allowed");
+  }
+  if (keep_from <= maplog_->earliest()) return Status::OK();
+  if (keep_from > latest_snap_ + 1) {
+    return Status::InvalidArgument("cannot truncate beyond the history");
+  }
+
+  const std::string pagelog_name = name_ + ".pagelog";
+  const std::string maplog_name = name_ + ".maplog";
+  // Start from a clean slate in case an earlier attempt was interrupted
+  // before committing.
+  RQL_RETURN_IF_ERROR(RecoverTruncation(env_, name_));
+
+  // 1. Stream-rewrite both logs, dropping captures that cover only
+  //    truncated snapshots and re-basing kept pre-states.
+  RQL_ASSIGN_OR_RETURN(std::unique_ptr<Pagelog> new_pagelog,
+                       Pagelog::Open(env_, pagelog_name + ".compact"));
+  RQL_ASSIGN_OR_RETURN(std::unique_ptr<Maplog> new_maplog,
+                       Maplog::Open(env_, maplog_name + ".compact"));
+  RQL_RETURN_IF_ERROR(new_maplog->AppendTruncate(keep_from));
+
+  // Per page: the offset of its last rewritten record (the diff base).
+  std::unordered_map<storage::PageId, uint64_t> rebase;
+  for (const MaplogEntry& entry : maplog_->entries()) {
+    switch (entry.type) {
+      case MaplogEntry::kSnapshotMark:
+        RQL_RETURN_IF_ERROR(new_maplog->AppendSnapshotMark(entry.end_snap));
+        break;
+      case MaplogEntry::kAlloc:
+        RQL_RETURN_IF_ERROR(
+            new_maplog->AppendAlloc(entry.page, entry.end_snap));
+        break;
+      case MaplogEntry::kTruncate:
+        break;  // superseded by the new truncate record
+      case MaplogEntry::kCapture: {
+        if (entry.end_snap < keep_from) break;  // covers dropped snaps only
+        storage::Page content;
+        RQL_RETURN_IF_ERROR(pagelog_->Read(entry.pagelog_offset, &content));
+        uint64_t new_offset = 0;
+        auto base = rebase.find(entry.page);
+        if (options_.pagelog_mode == PagelogMode::kDiff &&
+            base != rebase.end()) {
+          storage::Page base_content;
+          RQL_RETURN_IF_ERROR(
+              new_pagelog->Read(base->second, &base_content));
+          RQL_ASSIGN_OR_RETURN(
+              new_offset,
+              new_pagelog->AppendDiff(content, base->second, base_content));
+        } else {
+          RQL_ASSIGN_OR_RETURN(new_offset, new_pagelog->AppendFull(content));
+        }
+        rebase[entry.page] = new_offset;
+        RQL_RETURN_IF_ERROR(new_maplog->AppendCapture(
+            entry.page, entry.start_snap, entry.end_snap, new_offset));
+        break;
+      }
+      default:
+        return Status::Corruption("bad maplog entry during truncation");
+    }
+  }
+  new_pagelog.reset();
+  new_maplog.reset();
+
+  // 2. Commit point: once the marker exists, recovery completes the swap.
+  {
+    RQL_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> marker,
+                         env_->OpenFile(TruncateMarkerName(name_)));
+    uint64_t offset = 0;
+    RQL_RETURN_IF_ERROR(marker->Append(2, "ok", &offset));
+    RQL_RETURN_IF_ERROR(marker->Sync());
+  }
+  pagelog_.reset();
+  maplog_.reset();
+  RQL_RETURN_IF_ERROR(RecoverTruncation(env_, name_));
+
+  // 3. Reopen on the compacted logs and rebuild in-memory state.
+  RQL_ASSIGN_OR_RETURN(pagelog_, Pagelog::Open(env_, pagelog_name));
+  RQL_ASSIGN_OR_RETURN(maplog_, Maplog::Open(env_, maplog_name));
+  RQL_RETURN_IF_ERROR(maplog_->RecoverModEpochs(&mod_epoch_, &latest_snap_,
+                                                &last_capture_offset_));
+  snapshot_cache_.Clear();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SnapshotView>> SnapshotStore::OpenSnapshot(
+    SnapshotId snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (snap == kNoSnapshot || snap > latest_snap_) {
+    return Status::NotFound("unknown snapshot id " + std::to_string(snap));
+  }
+  auto view = std::unique_ptr<SnapshotView>(new SnapshotView(this, snap));
+  RQL_RETURN_IF_ERROR(maplog_->BuildSpt(snap, &view->spt_,
+                                        &view->resume_index_, &stats_.spt));
+  return view;
+}
+
+Status SnapshotStore::ReadArchived(uint64_t pagelog_offset,
+                                   storage::Page* page) {
+  bool missed = false;
+  int64_t fetches = 0;
+  RQL_ASSIGN_OR_RETURN(
+      const storage::Page* cached,
+      snapshot_cache_.Get(
+          pagelog_offset,
+          [this, &missed, &fetches](uint64_t off, storage::Page* p) {
+            missed = true;
+            // Diff-chain reconstruction may touch several records; each
+            // counts as an archive fetch (the Thresher trade-off).
+            return pagelog_->Read(off, p, &fetches);
+          }));
+  if (missed) {
+    stats_.pagelog_page_reads += fetches;
+  } else {
+    ++stats_.snapshot_cache_hits;
+  }
+  *page = *cached;
+  return Status::OK();
+}
+
+Status SnapshotView::ReadPage(storage::PageId id, storage::Page* page) {
+  std::lock_guard<std::mutex> lock(store_->mu_);
+  auto it = spt_.find(id);
+  if (it == spt_.end() && store_->ModEpoch(id) >= snap_) {
+    // The page was modified after this view was built; its pre-state is in
+    // a Maplog suffix we have not scanned yet.
+    RQL_RETURN_IF_ERROR(store_->maplog_->RefreshSpt(
+        snap_, &spt_, &resume_index_, &store_->stats_.spt));
+    it = spt_.find(id);
+    if (it == spt_.end()) {
+      return Status::Corruption("page " + std::to_string(id) +
+                                " does not exist in snapshot " +
+                                std::to_string(snap_));
+    }
+  }
+  if (it != spt_.end()) {
+    return store_->ReadArchived(it->second, page);
+  }
+  // Shared with the current database state.
+  ++store_->stats_.db_page_reads;
+  return store_->store_->ReadPage(id, page);
+}
+
+}  // namespace rql::retro

@@ -1,0 +1,72 @@
+#include "rql/aggregates.h"
+
+#include "sql/schema.h"
+
+namespace rql {
+
+using sql::Value;
+
+Result<RqlAggFunc> RqlAggFuncFromName(std::string_view name) {
+  std::string lower = sql::IdentLower(name);
+  if (lower == "min") return RqlAggFunc::kMin;
+  if (lower == "max") return RqlAggFunc::kMax;
+  if (lower == "sum") return RqlAggFunc::kSum;
+  if (lower == "count") return RqlAggFunc::kCount;
+  if (lower == "avg") return RqlAggFunc::kAvg;
+  if (lower == "count distinct" || lower == "sum distinct" ||
+      lower == "avg distinct") {
+    return Status::NotSupported(
+        "aggregations over distinct elements are not abelian-monoid "
+        "definable; use Collate Data and aggregate the result with SQL");
+  }
+  return Status::InvalidArgument("unknown RQL aggregate function: " +
+                                 std::string(name));
+}
+
+std::string_view RqlAggFuncName(RqlAggFunc func) {
+  switch (func) {
+    case RqlAggFunc::kMin: return "min";
+    case RqlAggFunc::kMax: return "max";
+    case RqlAggFunc::kSum: return "sum";
+    case RqlAggFunc::kCount: return "count";
+    case RqlAggFunc::kAvg: return "avg";
+  }
+  return "?";
+}
+
+bool IsMonoid(RqlAggFunc func) { return func != RqlAggFunc::kAvg; }
+
+Result<Value> RqlCombine(RqlAggFunc func, const Value& acc,
+                         const Value& next) {
+  // NULL is absorbed: the identity element of every supported monoid.
+  if (acc.is_null()) {
+    if (func == RqlAggFunc::kCount) {
+      return Value::Integer(next.is_null() ? 0 : 1);
+    }
+    return next;
+  }
+  if (next.is_null()) return acc;
+  switch (func) {
+    case RqlAggFunc::kMin:
+      return sql::CompareValues(next, acc) < 0 ? next : acc;
+    case RqlAggFunc::kMax:
+      return sql::CompareValues(next, acc) > 0 ? next : acc;
+    case RqlAggFunc::kSum:
+      if (!acc.is_numeric() || !next.is_numeric()) {
+        return Status::InvalidArgument("sum over non-numeric values");
+      }
+      if (acc.type() == sql::ValueType::kInteger &&
+          next.type() == sql::ValueType::kInteger) {
+        return Value::Integer(acc.integer() + next.integer());
+      }
+      return Value::Real(acc.AsDouble() + next.AsDouble());
+    case RqlAggFunc::kCount:
+      // acc holds the running count; each non-null next adds one.
+      return Value::Integer(acc.AsInt() + 1);
+    case RqlAggFunc::kAvg:
+      return Status::Internal("avg must use AvgState, not RqlCombine");
+  }
+  return Status::Internal("bad aggregate function");
+}
+
+}  // namespace rql

@@ -1,0 +1,62 @@
+#ifndef RQL_RQL_AGGREGATES_H_
+#define RQL_RQL_AGGREGATES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/value.h"
+
+namespace rql {
+
+/// Aggregate functions usable in RQL's Aggregate Data In Variable /
+/// Aggregate Data In Table mechanisms.
+///
+/// Section 2.3 of the paper: the function must be definable by an abelian
+/// monoid (X, op, e) — op associative and commutative with identity e — so
+/// that folding values across snapshots in iteration order is well
+/// defined. MIN, MAX, SUM and COUNT qualify; AVG does not, but is widely
+/// used, so the mechanisms implement it as a special case by carrying a
+/// (sum, count) pair. COUNT DISTINCT and friends are rejected — the paper
+/// directs those to Collate Data plus a final SQL query.
+enum class RqlAggFunc {
+  kMin,
+  kMax,
+  kSum,
+  kCount,
+  kAvg,  // special case: not a monoid, handled via (sum, count) state
+};
+
+/// Parses "min"/"max"/"sum"/"count"/"avg" (case-insensitive).
+Result<RqlAggFunc> RqlAggFuncFromName(std::string_view name);
+
+std::string_view RqlAggFuncName(RqlAggFunc func);
+
+/// True for the functions that satisfy the monoid requirement directly.
+bool IsMonoid(RqlAggFunc func);
+
+/// The monoid combine: op(acc, next). NULLs act as the identity (they are
+/// absorbed), matching SQL aggregate NULL handling. Not valid for kAvg.
+Result<sql::Value> RqlCombine(RqlAggFunc func, const sql::Value& acc,
+                              const sql::Value& next);
+
+/// Running state for AVG's special-case implementation.
+struct AvgState {
+  long double sum = 0;
+  int64_t count = 0;
+
+  void Add(const sql::Value& v) {
+    if (v.is_null()) return;
+    sum += v.AsDouble();
+    ++count;
+  }
+  sql::Value Final() const {
+    if (count == 0) return sql::Value::Null();
+    return sql::Value::Real(static_cast<double>(sum) /
+                            static_cast<double>(count));
+  }
+};
+
+}  // namespace rql
+
+#endif  // RQL_RQL_AGGREGATES_H_

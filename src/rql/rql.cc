@@ -1,0 +1,1059 @@
+#include "rql/rql.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <thread>
+
+#include "common/clock.h"
+#include "sql/btree.h"
+#include "sql/executor.h"
+#include "sql/heap_table.h"
+#include "sql/parser.h"
+
+namespace rql {
+
+using sql::Row;
+using sql::Value;
+
+namespace {
+
+/// Infers a result-table schema from Qq's output columns and a sample row.
+sql::TableSchema SchemaFrom(const std::vector<std::string>& cols,
+                            const Row& row) {
+  sql::TableSchema schema;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    sql::ColumnDef col;
+    col.name = cols[i];
+    col.type = (i < row.size() && !row[i].is_null()) ? row[i].type()
+                                                     : sql::ValueType::kText;
+    schema.columns.push_back(std::move(col));
+  }
+  return schema;
+}
+
+/// Creates an index and populates it from the table's current contents
+/// (used after the first cold iteration fills the result table).
+Status CreateAndPopulateIndex(sql::Database* db, const std::string& name,
+                              const std::string& table,
+                              const std::vector<std::string>& columns) {
+  RQL_ASSIGN_OR_RETURN(const sql::IndexInfo* index,
+                       db->catalog()->CreateIndex(name, table, columns));
+  const sql::TableInfo* info = db->catalog()->data().FindTable(table);
+  sql::BTree tree(db->store(), index->root);
+  for (auto it = sql::HeapTable::Scan(db->store(), info->root); it.Valid();
+       it.Next()) {
+    RQL_ASSIGN_OR_RETURN(Row row, sql::DecodeRow(it.record()));
+    Row key;
+    key.reserve(index->column_idx.size() + 1);
+    for (int idx : index->column_idx) {
+      key.push_back(row[static_cast<size_t>(idx)]);
+    }
+    key.push_back(Value::Integer(static_cast<int64_t>(it.rid())));
+    RQL_RETURN_IF_ERROR(tree.Insert(key, it.rid()));
+  }
+  return Status::OK();
+}
+
+struct ProbeMatch {
+  sql::Rid rid;
+  Row row;
+};
+
+/// All rows of `table` whose values on the index's columns equal `prefix`.
+Result<std::vector<ProbeMatch>> ProbeByPrefix(sql::Database* db,
+                                              const sql::IndexInfo* index,
+                                              const Row& prefix) {
+  std::vector<ProbeMatch> matches;
+  RQL_ASSIGN_OR_RETURN(sql::BTree::Iterator it,
+                       sql::BTree::Seek(db->store(), index->root, prefix));
+  for (; it.Valid(); it.Next()) {
+    const Row& key = it.key();
+    if (key.size() < prefix.size()) break;
+    bool equal = true;
+    for (size_t i = 0; i < prefix.size(); ++i) {
+      if (sql::CompareValues(key[i], prefix[i]) != 0) {
+        equal = false;
+        break;
+      }
+    }
+    if (!equal) break;
+    RQL_ASSIGN_OR_RETURN(std::string record,
+                         sql::HeapTable::Get(db->store(), it.value()));
+    RQL_ASSIGN_OR_RETURN(Row row, sql::DecodeRow(record));
+    matches.push_back(ProbeMatch{it.value(), std::move(row)});
+  }
+  RQL_RETURN_IF_ERROR(it.status());
+  return matches;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Mechanism states
+// ---------------------------------------------------------------------------
+
+/// Shared per-run state of one mechanism invocation; subclasses implement
+/// the "loop body" result processing of Figure 5.
+class RqlEngine::MechanismState {
+ public:
+  MechanismState(RqlEngine* engine, std::string qq, std::string table)
+      : engine_(engine), qq_(std::move(qq)), table_(std::move(table)) {}
+  virtual ~MechanismState() = default;
+
+  virtual Status OnRow(retro::SnapshotId snap,
+                       const std::vector<std::string>& cols,
+                       const Row& row) = 0;
+  virtual Status OnIterationEnd(retro::SnapshotId snap) {
+    (void)snap;
+    return Status::OK();
+  }
+  virtual Status Finish() { return Status::OK(); }
+
+  /// Whether results may be produced by concurrent Qq evaluation and
+  /// replayed in order (false for order-*processing*-dependent states
+  /// that also mutate shared structures between iterations).
+  virtual bool SupportsParallel() const { return false; }
+
+  /// Moves per-iteration result-table counters into `iter`.
+  void CollectCounters(RqlIterationStats* iter) {
+    iter->result_probes = probes_;
+    iter->result_inserts = inserts_;
+    iter->result_updates = updates_;
+    probes_ = inserts_ = updates_ = 0;
+  }
+
+  const std::string& qq() const { return qq_; }
+  const std::string& table() const { return table_; }
+
+ protected:
+  sql::Database* meta() { return engine_->meta_db_; }
+
+  Status EnsureTable(const std::vector<std::string>& cols, const Row& row) {
+    if (table_created_) return Status::OK();
+    RQL_RETURN_IF_ERROR(
+        meta()->catalog()->CreateTable(table_, SchemaFrom(cols, row)));
+    table_created_ = true;
+    return Status::OK();
+  }
+
+  RqlEngine* engine_;
+  std::string qq_;
+  std::string table_;
+  bool table_created_ = false;
+  int64_t probes_ = 0;
+  int64_t inserts_ = 0;
+  int64_t updates_ = 0;
+};
+
+/// Collate Data: append every Qq row to T.
+class RqlEngine::CollateState : public MechanismState {
+ public:
+  using MechanismState::MechanismState;
+
+  Status OnRow(retro::SnapshotId, const std::vector<std::string>& cols,
+               const Row& row) override {
+    RQL_RETURN_IF_ERROR(EnsureTable(cols, row));
+    ++inserts_;
+    return meta()->AppendRow(table_, row).status();
+  }
+
+  bool SupportsParallel() const override { return true; }
+};
+
+/// Aggregate Data In Variable: fold a single value per snapshot.
+class RqlEngine::AggVariableState : public MechanismState {
+ public:
+  AggVariableState(RqlEngine* engine, std::string qq, std::string table,
+                   RqlAggFunc func)
+      : MechanismState(engine, std::move(qq), std::move(table)),
+        func_(func) {}
+
+  Status OnRow(retro::SnapshotId, const std::vector<std::string>& cols,
+               const Row& row) override {
+    if (row.size() != 1) {
+      return Status::InvalidArgument(
+          "AggregateDataInVariable requires Qq to return a single column");
+    }
+    if (row_this_iteration_) {
+      return Status::InvalidArgument(
+          "AggregateDataInVariable requires Qq to return a single row");
+    }
+    row_this_iteration_ = true;
+    if (column_name_.empty() && !cols.empty()) column_name_ = cols[0];
+    if (func_ == RqlAggFunc::kAvg) {
+      avg_.Add(row[0]);
+      return Status::OK();
+    }
+    RQL_ASSIGN_OR_RETURN(acc_, RqlCombine(func_, acc_, row[0]));
+    return Status::OK();
+  }
+
+  Status OnIterationEnd(retro::SnapshotId) override {
+    row_this_iteration_ = false;
+    return Status::OK();
+  }
+
+  Status Finish() override {
+    Value final = func_ == RqlAggFunc::kAvg ? avg_.Final() : acc_;
+    std::string col = column_name_.empty() ? "value" : column_name_;
+    RQL_RETURN_IF_ERROR(EnsureTable({col}, {final}));
+    ++inserts_;
+    return meta()->AppendRow(table_, {final}).status();
+  }
+
+  /// Running value (exposed so the UDF form can return it per iteration).
+  Value Current() const {
+    return func_ == RqlAggFunc::kAvg ? avg_.Final() : acc_;
+  }
+
+  bool SupportsParallel() const override { return true; }
+
+ private:
+  RqlAggFunc func_;
+  Value acc_;  // NULL = identity
+  AvgState avg_;
+  std::string column_name_;
+  bool row_this_iteration_ = false;
+};
+
+/// Aggregate Data In Table: an across-time GROUP BY. Grouping columns are
+/// the Qq output columns not named in the (column, func) pairs.
+class RqlEngine::AggTableState : public MechanismState {
+ public:
+  AggTableState(RqlEngine* engine, std::string qq, std::string table,
+                std::vector<ColFuncPair> pairs)
+      : MechanismState(engine, std::move(qq), std::move(table)),
+        pairs_(std::move(pairs)) {}
+
+  Status OnRow(retro::SnapshotId, const std::vector<std::string>& cols,
+               const Row& row) override {
+    if (!layout_resolved_) {
+      RQL_RETURN_IF_ERROR(ResolveLayout(cols));
+      RQL_RETURN_IF_ERROR(EnsureTable(cols, row));
+      strategy_ = engine_->options().agg_table_strategy;
+    }
+    if (strategy_ == AggTableStrategy::kSortMerge && first_done_) {
+      // Sort-merge: buffer the iteration's batch; merge at iteration end.
+      batch_.push_back(row);
+      return Status::OK();
+    }
+    if (!first_done_) {
+      // First (cold) iteration: plain inserts; the index (index-probe
+      // strategy only) is built at the end of the iteration (Fig. 12's
+      // costlier cold iteration).
+      RQL_RETURN_IF_ERROR(SeedAvg(row));
+      ++inserts_;
+      return meta()->AppendRow(table_, row).status();
+    }
+
+    // Subsequent iterations: probe by grouping columns, then update or
+    // insert — the across-snapshot aggregation step.
+    Row group;
+    group.reserve(group_idx_.size());
+    for (size_t idx : group_idx_) group.push_back(row[idx]);
+    ++probes_;
+    const sql::IndexInfo* index = meta()->catalog()->data().FindIndex(
+        IndexName());
+    RQL_ASSIGN_OR_RETURN(std::vector<ProbeMatch> matches,
+                         ProbeByPrefix(meta(), index, group));
+    if (matches.empty()) {
+      RQL_RETURN_IF_ERROR(SeedAvg(row));
+      ++inserts_;
+      return meta()->AppendRow(table_, row).status();
+    }
+    const ProbeMatch& match = matches.front();
+    Row updated = match.row;
+    bool changed = false;
+    for (size_t p = 0; p < pairs_.size(); ++p) {
+      size_t col = agg_idx_[p];
+      if (pairs_[p].func == RqlAggFunc::kAvg) {
+        AvgState& avg = avg_state_[sql::EncodeRow(group)][p];
+        avg.Add(row[col]);
+        Value v = avg.Final();
+        if (sql::CompareValues(v, updated[col]) != 0) {
+          updated[col] = std::move(v);
+          changed = true;
+        }
+        continue;
+      }
+      RQL_ASSIGN_OR_RETURN(
+          Value combined,
+          RqlCombine(pairs_[p].func, updated[col], row[col]));
+      if (sql::CompareValues(combined, updated[col]) != 0) {
+        updated[col] = std::move(combined);
+        changed = true;
+      }
+    }
+    if (!changed) return Status::OK();
+    ++updates_;
+    return meta()
+        ->UpdateRowAt(table_, match.rid, match.row, updated)
+        .status();
+  }
+
+  Status OnIterationEnd(retro::SnapshotId) override {
+    if (strategy_ == AggTableStrategy::kSortMerge) {
+      if (!first_done_) {
+        first_done_ = table_created_;
+        return Status::OK();
+      }
+      return MergeBatch();
+    }
+    if (table_created_ && !first_done_) {
+      RQL_RETURN_IF_ERROR(CreateAndPopulateIndex(meta(), IndexName(), table_,
+                                                 group_cols_));
+      first_done_ = true;
+    }
+    return Status::OK();
+  }
+
+ protected:
+  std::string IndexName() const { return table_ + "_rql_idx"; }
+
+  Row GroupKey(const Row& row) const {
+    Row key;
+    key.reserve(group_idx_.size());
+    for (size_t idx : group_idx_) key.push_back(row[idx]);
+    return key;
+  }
+
+  /// Combines `incoming` into `target` (aggregate columns only); sets
+  /// *changed when any value moved.
+  Status CombineInto(const Row& incoming, Row* target, bool* changed) {
+    Row group = GroupKey(incoming);
+    for (size_t p = 0; p < pairs_.size(); ++p) {
+      size_t col = agg_idx_[p];
+      Value combined;
+      if (pairs_[p].func == RqlAggFunc::kAvg) {
+        AvgState& avg = avg_state_[sql::EncodeRow(group)][p];
+        avg.Add(incoming[col]);
+        combined = avg.Final();
+      } else {
+        RQL_ASSIGN_OR_RETURN(
+            combined,
+            RqlCombine(pairs_[p].func, (*target)[col], incoming[col]));
+      }
+      if (sql::CompareValues(combined, (*target)[col]) != 0) {
+        (*target)[col] = std::move(combined);
+        *changed = true;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// The sort-merge alternative the paper reports as costlier: sort the
+  /// batch by grouping columns, merge with the (sorted) result table, and
+  /// rewrite the table.
+  Status MergeBatch() {
+    auto key_less = [this](const Row& a, const Row& b) {
+      return sql::CompareRows(GroupKey(a), GroupKey(b)) < 0;
+    };
+    std::stable_sort(batch_.begin(), batch_.end(), key_less);
+
+    const sql::TableInfo* info = meta()->catalog()->data().FindTable(table_);
+    if (info == nullptr) return Status::Internal("result table missing");
+    std::vector<std::pair<sql::Rid, Row>> existing;
+    for (auto it = sql::HeapTable::Scan(meta()->store(), info->root);
+         it.Valid(); it.Next()) {
+      RQL_ASSIGN_OR_RETURN(Row row, sql::DecodeRow(it.record()));
+      existing.emplace_back(it.rid(), std::move(row));
+    }
+    std::stable_sort(existing.begin(), existing.end(),
+                     [&](const auto& a, const auto& b) {
+                       return key_less(a.second, b.second);
+                     });
+
+    std::vector<Row> merged;
+    merged.reserve(existing.size() + batch_.size());
+    size_t i = 0, j = 0;
+    while (i < existing.size() || j < batch_.size()) {
+      ++probes_;
+      int cmp;
+      if (i >= existing.size()) {
+        cmp = 1;
+      } else if (j >= batch_.size()) {
+        cmp = -1;
+      } else {
+        cmp = sql::CompareRows(GroupKey(existing[i].second),
+                               GroupKey(batch_[j]));
+      }
+      if (cmp < 0) {
+        merged.push_back(std::move(existing[i].second));
+        ++i;
+      } else if (cmp > 0) {
+        RQL_RETURN_IF_ERROR(SeedAvg(batch_[j]));
+        merged.push_back(std::move(batch_[j]));
+        ++inserts_;
+        ++j;
+      } else {
+        Row target = std::move(existing[i].second);
+        bool changed = false;
+        RQL_RETURN_IF_ERROR(CombineInto(batch_[j], &target, &changed));
+        if (changed) ++updates_;
+        merged.push_back(std::move(target));
+        ++i;
+        ++j;
+      }
+    }
+    batch_.clear();
+
+    // Rewrite the result table with the merged contents.
+    sql::HeapTable heap(meta()->store(), info->root);
+    for (const auto& [rid, row] : existing) {
+      Status s = heap.Delete(rid);
+      // Rows moved into `merged` were emptied; rids are still valid.
+      if (!s.ok() && !s.IsNotFound()) return s;
+    }
+    for (const Row& row : merged) {
+      RQL_RETURN_IF_ERROR(heap.Insert(sql::EncodeRow(row)).status());
+    }
+    return Status::OK();
+  }
+
+  Status ResolveLayout(const std::vector<std::string>& cols) {
+    for (const ColFuncPair& pair : pairs_) {
+      bool found = false;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (sql::IdentEquals(cols[i], pair.column)) {
+          agg_idx_.push_back(i);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument("aggregate column not in Qq output: " +
+                                       pair.column);
+      }
+    }
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (std::find(agg_idx_.begin(), agg_idx_.end(), i) == agg_idx_.end()) {
+        group_idx_.push_back(i);
+        group_cols_.push_back(cols[i]);
+      }
+    }
+    if (group_cols_.empty()) {
+      return Status::InvalidArgument(
+          "AggregateDataInTable requires at least one grouping column");
+    }
+    layout_resolved_ = true;
+    return Status::OK();
+  }
+
+  Status SeedAvg(const Row& row) {
+    bool any_avg = false;
+    for (const ColFuncPair& pair : pairs_) {
+      if (pair.func == RqlAggFunc::kAvg) any_avg = true;
+    }
+    if (!any_avg) return Status::OK();
+    Row group;
+    for (size_t idx : group_idx_) group.push_back(row[idx]);
+    auto& states = avg_state_[sql::EncodeRow(group)];
+    states.resize(pairs_.size());
+    for (size_t p = 0; p < pairs_.size(); ++p) {
+      if (pairs_[p].func == RqlAggFunc::kAvg) {
+        states[p].Add(row[agg_idx_[p]]);
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<ColFuncPair> pairs_;
+  std::vector<size_t> agg_idx_;    // positions of aggregated columns
+  std::vector<size_t> group_idx_;  // positions of grouping columns
+  std::vector<std::string> group_cols_;
+  bool layout_resolved_ = false;
+  // First (cold) iteration finished: result table populated, and — for
+  // the index-probe strategy — its index built.
+  bool first_done_ = false;
+  AggTableStrategy strategy_ = AggTableStrategy::kIndexProbe;
+  std::vector<Row> batch_;  // sort-merge: the current iteration's rows
+  // AVG special case: per-group running (sum, count) per pair slot.
+  std::unordered_map<std::string, std::vector<AvgState>> avg_state_;
+};
+
+/// Collate Data Into Intervals: compact consecutive appearances of a
+/// record into [start_snapshot, end_snapshot] lifetimes.
+class RqlEngine::IntervalState : public MechanismState {
+ public:
+  using MechanismState::MechanismState;
+
+  Status OnRow(retro::SnapshotId snap, const std::vector<std::string>& cols,
+               const Row& row) override {
+    if (!table_created_) {
+      group_width_ = row.size();
+      std::vector<std::string> all_cols = cols;
+      all_cols.push_back("start_snapshot");
+      all_cols.push_back("end_snapshot");
+      Row sample = row;
+      sample.push_back(Value::Integer(snap));
+      sample.push_back(Value::Integer(snap));
+      RQL_RETURN_IF_ERROR(EnsureTable(all_cols, sample));
+      group_cols_ = cols;
+    }
+    Row full = row;
+    full.push_back(Value::Integer(snap));
+    full.push_back(Value::Integer(snap));
+
+    if (!index_created_) {
+      ++inserts_;
+      return meta()->AppendRow(table_, full).status();
+    }
+    ++probes_;
+    const sql::IndexInfo* index =
+        meta()->catalog()->data().FindIndex(IndexName());
+    RQL_ASSIGN_OR_RETURN(std::vector<ProbeMatch> matches,
+                         ProbeByPrefix(meta(), index, row));
+    // Extend the lifetime whose end is the previous iteration's snapshot;
+    // otherwise a new lifetime interval starts.
+    for (const ProbeMatch& match : matches) {
+      const Value& end = match.row[group_width_ + 1];
+      if (end.type() == sql::ValueType::kInteger &&
+          end.integer() == static_cast<int64_t>(prev_snap_)) {
+        Row updated = match.row;
+        updated[group_width_ + 1] = Value::Integer(snap);
+        ++updates_;
+        return meta()
+            ->UpdateRowAt(table_, match.rid, match.row, updated)
+            .status();
+      }
+    }
+    ++inserts_;
+    return meta()->AppendRow(table_, full).status();
+  }
+
+  Status OnIterationEnd(retro::SnapshotId snap) override {
+    if (table_created_ && !index_created_) {
+      RQL_RETURN_IF_ERROR(CreateAndPopulateIndex(meta(), IndexName(), table_,
+                                                 group_cols_));
+      index_created_ = true;
+    }
+    prev_snap_ = snap;
+    return Status::OK();
+  }
+
+ private:
+  std::string IndexName() const { return table_ + "_rql_idx"; }
+
+  size_t group_width_ = 0;
+  std::vector<std::string> group_cols_;
+  bool index_created_ = false;
+  retro::SnapshotId prev_snap_ = retro::kNoSnapshot;
+};
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+RqlEngine::RqlEngine(sql::Database* data_db, sql::Database* meta_db,
+                     RqlOptions options)
+    : data_db_(data_db), meta_db_(meta_db), options_(std::move(options)) {}
+
+RqlEngine::~RqlEngine() = default;
+
+Status RqlEngine::EnsureSnapIds() {
+  return meta_db_->Exec("CREATE TABLE IF NOT EXISTS " +
+                        options_.snapids_table +
+                        " (snap_id INTEGER, snap_ts TEXT, label TEXT)");
+}
+
+Result<retro::SnapshotId> RqlEngine::CommitWithSnapshot(
+    const std::string& timestamp, const std::string& label) {
+  RQL_RETURN_IF_ERROR(EnsureSnapIds());
+  if (data_db_->store()->in_transaction()) {
+    RQL_RETURN_IF_ERROR(data_db_->Exec("COMMIT WITH SNAPSHOT"));
+  } else {
+    RQL_RETURN_IF_ERROR(data_db_->Exec("BEGIN; COMMIT WITH SNAPSHOT;"));
+  }
+  retro::SnapshotId snap = data_db_->last_declared_snapshot();
+  // SnapIds updates are transactional in the metadata database.
+  RQL_RETURN_IF_ERROR(
+      meta_db_->AppendRow(options_.snapids_table,
+                          {Value::Integer(snap), Value::Text(timestamp),
+                           Value::Text(label)})
+          .status());
+  return snap;
+}
+
+Status RqlEngine::TruncateHistory(retro::SnapshotId keep_from) {
+  RQL_RETURN_IF_ERROR(data_db_->store()->TruncateHistory(keep_from));
+  // The snapshots are gone; drop their SnapIds rows so Qs never selects
+  // them. (SnapIds lives at application level, as in the paper.)
+  return meta_db_->Exec("DELETE FROM " + options_.snapids_table +
+                        " WHERE snap_id < " + std::to_string(keep_from));
+}
+
+std::string RqlEngine::InjectAsOf(const std::string& qq,
+                                  retro::SnapshotId snap) {
+  // Find the first top-level SELECT keyword outside string literals and
+  // splice in the Retro extension.
+  bool in_string = false;
+  for (size_t i = 0; i + 6 <= qq.size(); ++i) {
+    char c = qq[i];
+    if (c == '\'') {
+      in_string = !in_string;
+      continue;
+    }
+    if (in_string) continue;
+    auto is_word = [](char ch) {
+      return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_';
+    };
+    if ((i == 0 || !is_word(qq[i - 1])) &&
+        std::toupper(static_cast<unsigned char>(qq[i])) == 'S') {
+      static constexpr char kSelect[] = "SELECT";
+      bool match = true;
+      for (int k = 0; k < 6; ++k) {
+        if (std::toupper(static_cast<unsigned char>(qq[i + k])) !=
+            kSelect[k]) {
+          match = false;
+          break;
+        }
+      }
+      if (match && (i + 6 == qq.size() || !is_word(qq[i + 6]))) {
+        return qq.substr(0, i + 6) + " AS OF " + std::to_string(snap) +
+               qq.substr(i + 6);
+      }
+    }
+  }
+  return qq;  // no SELECT found; leave unchanged (will fail to parse)
+}
+
+std::string RqlEngine::ReplaceCurrentSnapshot(const std::string& qq,
+                                              retro::SnapshotId snap) {
+  static constexpr char kName[] = "current_snapshot";
+  constexpr size_t kNameLen = sizeof(kName) - 1;
+  std::string out;
+  out.reserve(qq.size());
+  bool in_string = false;
+  auto is_word = [](char ch) {
+    return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_';
+  };
+  for (size_t i = 0; i < qq.size();) {
+    char c = qq[i];
+    if (c == '\'') in_string = !in_string;
+    auto name_matches = [&]() {
+      if (i + kNameLen > qq.size()) return false;
+      for (size_t n = 0; n < kNameLen; ++n) {
+        if (std::tolower(static_cast<unsigned char>(qq[i + n])) !=
+            kName[n]) {
+          return false;
+        }
+      }
+      return true;
+    };
+    if (!in_string && (i == 0 || !is_word(qq[i - 1])) && name_matches()) {
+      // Match optional whitespace and "()" after the name.
+      size_t j = i + kNameLen;
+      while (j < qq.size() &&
+             std::isspace(static_cast<unsigned char>(qq[j]))) {
+        ++j;
+      }
+      if (j < qq.size() && qq[j] == '(') {
+        size_t k = j + 1;
+        while (k < qq.size() &&
+               std::isspace(static_cast<unsigned char>(qq[k]))) {
+          ++k;
+        }
+        if (k < qq.size() && qq[k] == ')') {
+          out += std::to_string(snap);
+          i = k + 1;
+          continue;
+        }
+      }
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+Status RqlEngine::PrepareResultTable(const std::string& table) {
+  if (!options_.replace_result_table) return Status::OK();
+  return meta_db_->Exec("DROP TABLE IF EXISTS " + table);
+}
+
+Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
+  stats_ = RqlRunStats{};
+  RQL_RETURN_IF_ERROR(PrepareResultTable(state->table()));
+  if (options_.cold_cache_per_run) {
+    data_db_->store()->ClearSnapshotCache();
+  }
+  RQL_ASSIGN_OR_RETURN(sql::QueryResult snaps, meta_db_->Query(qs));
+  std::vector<retro::SnapshotId> snap_ids;
+  snap_ids.reserve(snaps.rows.size());
+  for (const Row& row : snaps.rows) {
+    if (row.empty() || !row[0].is_numeric()) {
+      return Status::InvalidArgument(
+          "Qs must return a column of snapshot identifiers");
+    }
+    snap_ids.push_back(static_cast<retro::SnapshotId>(row[0].AsInt()));
+  }
+  if (options_.parallel_workers > 1 && state->SupportsParallel() &&
+      snap_ids.size() > 1) {
+    RQL_RETURN_IF_ERROR(RunMechanismParallel(snap_ids, state));
+  } else {
+    for (retro::SnapshotId snap : snap_ids) {
+      RQL_RETURN_IF_ERROR(RunIteration(snap, state));
+    }
+  }
+  return state->Finish();
+}
+
+namespace {
+
+/// The per-snapshot output of one parallel Qq evaluation.
+struct QqResult {
+  Status status;
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  int64_t wall_us = 0;
+};
+
+}  // namespace
+
+Status RqlEngine::RunMechanismParallel(
+    const std::vector<retro::SnapshotId>& snaps, MechanismState* state) {
+  stats_.parallel = true;
+  retro::SnapshotStore* store = data_db_->store();
+  store->ResetStats();
+  const sql::FunctionRegistry* functions = data_db_->functions();
+  storage::PageId catalog_root = data_db_->catalog()->root();
+
+  std::vector<QqResult> results(snaps.size());
+  std::atomic<size_t> next{0};
+  int workers = std::min<int>(options_.parallel_workers,
+                              static_cast<int>(snaps.size()));
+
+  auto worker_body = [&]() {
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= snaps.size()) return;
+      QqResult& out = results[i];
+      int64_t start = NowMicros();
+      out.status = [&]() -> Status {
+        // The paper's full textual rewrite: AS OF injection plus literal
+        // current_snapshot() substitution (no shared engine state).
+        std::string rewritten = ReplaceCurrentSnapshot(
+            InjectAsOf(state->qq(), snaps[i]), snaps[i]);
+        RQL_ASSIGN_OR_RETURN(sql::Statement stmt,
+                             sql::ParseSingle(rewritten));
+        auto* select = std::get_if<sql::SelectStmt>(&stmt);
+        if (select == nullptr) {
+          return Status::InvalidArgument("Qq must be a SELECT");
+        }
+        RQL_ASSIGN_OR_RETURN(std::unique_ptr<retro::SnapshotView> view,
+                             store->OpenSnapshot(snaps[i]));
+        RQL_ASSIGN_OR_RETURN(
+            sql::CatalogData catalog,
+            sql::CatalogData::Load(view.get(), catalog_root));
+        sql::ExecStats exec_stats;
+        sql::ExecContext ctx;
+        ctx.reader = view.get();
+        ctx.catalog = &catalog;
+        ctx.functions = functions;
+        ctx.stats = &exec_stats;
+        RQL_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectExecutor> exec,
+                             sql::SelectExecutor::Prepare(select, ctx));
+        out.columns = exec->columns();
+        return exec->Run([&out](const Row& row) {
+          out.rows.push_back(row);
+          return Status::OK();
+        });
+      }();
+      out.wall_us = NowMicros() - start;
+    }
+  };
+
+  int64_t phase_start = NowMicros();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) threads.emplace_back(worker_body);
+  for (std::thread& t : threads) t.join();
+  stats_.parallel_wall_us = NowMicros() - phase_start;
+
+  const retro::CostModel& cm = store->cost_model();
+  stats_.parallel_io_us = store->stats()->IoUs(cm);
+  stats_.parallel_spt_us = store->stats()->SptUs(cm);
+
+  // Sequential replay in Qs order: semantics identical to the serial run.
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    RQL_RETURN_IF_ERROR(results[i].status);
+    RqlIterationStats iter;
+    iter.snapshot = snaps[i];
+    iter.query_eval_us = results[i].wall_us;
+    iter.qq_rows = static_cast<int64_t>(results[i].rows.size());
+    int64_t udf_us = 0;
+    RQL_RETURN_IF_ERROR(meta_db_->Exec("BEGIN"));
+    Status s = Status::OK();
+    {
+      ScopedTimer timer(&udf_us);
+      for (const Row& row : results[i].rows) {
+        s = state->OnRow(snaps[i], results[i].columns, row);
+        if (!s.ok()) break;
+      }
+      if (s.ok()) s = state->OnIterationEnd(snaps[i]);
+    }
+    if (!s.ok()) {
+      (void)meta_db_->Exec("ROLLBACK");
+      return s;
+    }
+    RQL_RETURN_IF_ERROR(meta_db_->Exec("COMMIT"));
+    iter.udf_us = udf_us;
+    state->CollectCounters(&iter);
+    stats_.iterations.push_back(iter);
+  }
+  return Status::OK();
+}
+
+Status RqlEngine::RunIteration(retro::SnapshotId snap,
+                               MechanismState* state) {
+  retro::SnapshotStore* store = data_db_->store();
+  if (options_.cold_cache_per_iteration) store->ClearSnapshotCache();
+  store->ResetStats();
+  RqlIterationStats iter;
+  iter.snapshot = snap;
+  int64_t udf_us = 0;
+  int64_t qq_rows = 0;
+
+  data_db_->set_current_snapshot(snap);
+  std::string rewritten = InjectAsOf(state->qq(), snap);
+  RQL_RETURN_IF_ERROR(meta_db_->Exec("BEGIN"));
+  int64_t start = NowMicros();
+  Status s = data_db_->Exec(
+      rewritten, [&](const std::vector<std::string>& cols,
+                     const Row& row) -> Status {
+        ScopedTimer timer(&udf_us);
+        ++qq_rows;
+        return state->OnRow(snap, cols, row);
+      });
+  int64_t index_create_us = data_db_->last_stats().exec.index_build_us;
+  int64_t spt_cpu_us = store->stats()->spt.cpu_us;
+  if (s.ok()) {
+    ScopedTimer timer(&udf_us);
+    s = state->OnIterationEnd(snap);
+  }
+  int64_t exec_total = NowMicros() - start;
+  data_db_->set_current_snapshot(retro::kNoSnapshot);
+  if (!s.ok()) {
+    (void)meta_db_->Exec("ROLLBACK");
+    return s;
+  }
+  RQL_RETURN_IF_ERROR(meta_db_->Exec("COMMIT"));
+
+  const retro::CostModel& cm = store->cost_model();
+  const retro::IterationStats& rs = *store->stats();
+  iter.io_us = rs.IoUs(cm);
+  iter.spt_build_us = rs.SptUs(cm);
+  iter.index_create_us = index_create_us;
+  iter.udf_us = udf_us;
+  iter.query_eval_us =
+      std::max<int64_t>(0, exec_total - udf_us - index_create_us -
+                               spt_cpu_us);
+  iter.pagelog_pages = rs.pagelog_page_reads;
+  iter.db_pages = rs.db_page_reads;
+  iter.cache_hits = rs.snapshot_cache_hits;
+  iter.qq_rows = qq_rows;
+  state->CollectCounters(&iter);
+  stats_.iterations.push_back(iter);
+  return Status::OK();
+}
+
+Status RqlEngine::CollateData(const std::string& qs, const std::string& qq,
+                              const std::string& table) {
+  CollateState state(this, qq, table);
+  return RunMechanism(qs, &state);
+}
+
+Status RqlEngine::AggregateDataInVariable(const std::string& qs,
+                                          const std::string& qq,
+                                          const std::string& table,
+                                          const std::string& agg_func) {
+  RQL_ASSIGN_OR_RETURN(RqlAggFunc func, RqlAggFuncFromName(agg_func));
+  AggVariableState state(this, qq, table, func);
+  return RunMechanism(qs, &state);
+}
+
+Status RqlEngine::AggregateDataInTable(const std::string& qs,
+                                       const std::string& qq,
+                                       const std::string& table,
+                                       const std::vector<ColFuncPair>& pairs) {
+  if (pairs.empty()) {
+    return Status::InvalidArgument(
+        "AggregateDataInTable requires at least one (column, func) pair");
+  }
+  AggTableState state(this, qq, table, pairs);
+  return RunMechanism(qs, &state);
+}
+
+Status RqlEngine::AggregateDataInTable(const std::string& qs,
+                                       const std::string& qq,
+                                       const std::string& table,
+                                       const std::string& pairs) {
+  RQL_ASSIGN_OR_RETURN(std::vector<ColFuncPair> parsed,
+                       ParseColFuncPairs(pairs));
+  return AggregateDataInTable(qs, qq, table, parsed);
+}
+
+Status RqlEngine::CollateDataIntoIntervals(const std::string& qs,
+                                           const std::string& qq,
+                                           const std::string& table) {
+  IntervalState state(this, qq, table);
+  return RunMechanism(qs, &state);
+}
+
+Result<std::vector<ColFuncPair>> RqlEngine::ParseColFuncPairs(
+    const std::string& text) {
+  // Accepts the paper's notations "(col,func)" and "(func,col)", with
+  // multiple pairs separated by ':', e.g. "(MAX,cn):(MAX,av)".
+  std::vector<ColFuncPair> pairs;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t open = text.find('(', pos);
+    if (open == std::string::npos) break;
+    size_t comma = text.find(',', open);
+    size_t close = text.find(')', open);
+    if (comma == std::string::npos || close == std::string::npos ||
+        comma > close) {
+      return Status::InvalidArgument("bad column/function pair syntax: " +
+                                     text);
+    }
+    auto trim = [](std::string s) {
+      size_t b = s.find_first_not_of(" \t");
+      size_t e = s.find_last_not_of(" \t");
+      return b == std::string::npos ? std::string()
+                                    : s.substr(b, e - b + 1);
+    };
+    std::string first = trim(text.substr(open + 1, comma - open - 1));
+    std::string second = trim(text.substr(comma + 1, close - comma - 1));
+    ColFuncPair pair;
+    auto func_first = RqlAggFuncFromName(first);
+    auto func_second = RqlAggFuncFromName(second);
+    if (func_second.ok()) {
+      pair.column = first;
+      pair.func = *func_second;
+    } else if (func_first.ok()) {
+      pair.column = second;
+      pair.func = *func_first;
+    } else {
+      return Status::InvalidArgument(
+          "no aggregate function in pair: (" + first + "," + second + ")");
+    }
+    pairs.push_back(std::move(pair));
+    pos = close + 1;
+  }
+  if (pairs.empty()) {
+    return Status::InvalidArgument("no column/function pairs in: " + text);
+  }
+  return pairs;
+}
+
+Status RqlEngine::RegisterUdfs() {
+  auto begin_run = [this](const std::string& table,
+                          auto make_state) -> Result<MechanismState*> {
+    if (!udf_run_started_) {
+      stats_ = RqlRunStats{};
+      if (options_.cold_cache_per_run) {
+        data_db_->store()->ClearSnapshotCache();
+      }
+      udf_run_started_ = true;
+    }
+    auto it = udf_states_.find(table);
+    if (it == udf_states_.end()) {
+      RQL_RETURN_IF_ERROR(PrepareResultTable(table));
+      it = udf_states_.emplace(table, make_state()).first;
+    }
+    return it->second.get();
+  };
+
+  auto snap_of = [](const Value& v) -> Result<retro::SnapshotId> {
+    if (!v.is_numeric()) {
+      return Status::InvalidArgument("snap_id argument must be an integer");
+    }
+    return static_cast<retro::SnapshotId>(v.AsInt());
+  };
+
+  meta_db_->RegisterFunction(
+      "CollateData", 3, 3,
+      [this, begin_run, snap_of](const std::vector<Value>& args)
+          -> Result<Value> {
+        RQL_ASSIGN_OR_RETURN(retro::SnapshotId snap, snap_of(args[0]));
+        const std::string& qq = args[1].text();
+        const std::string& table = args[2].text();
+        RQL_ASSIGN_OR_RETURN(
+            MechanismState* state,
+            begin_run(table, [&] {
+              return std::unique_ptr<MechanismState>(
+                  new CollateState(this, qq, table));
+            }));
+        RQL_RETURN_IF_ERROR(RunIteration(snap, state));
+        return Value::Integer(stats_.iterations.back().qq_rows);
+      });
+
+  meta_db_->RegisterFunction(
+      "AggregateDataInVariable", 4, 4,
+      [this, begin_run, snap_of](const std::vector<Value>& args)
+          -> Result<Value> {
+        RQL_ASSIGN_OR_RETURN(retro::SnapshotId snap, snap_of(args[0]));
+        const std::string& qq = args[1].text();
+        const std::string& table = args[2].text();
+        RQL_ASSIGN_OR_RETURN(RqlAggFunc func,
+                             RqlAggFuncFromName(args[3].text()));
+        RQL_ASSIGN_OR_RETURN(
+            MechanismState* state,
+            begin_run(table, [&] {
+              return std::unique_ptr<MechanismState>(
+                  new AggVariableState(this, qq, table, func));
+            }));
+        RQL_RETURN_IF_ERROR(RunIteration(snap, state));
+        return static_cast<AggVariableState*>(state)->Current();
+      });
+
+  meta_db_->RegisterFunction(
+      "AggregateDataInTable", 4, 4,
+      [this, begin_run, snap_of](const std::vector<Value>& args)
+          -> Result<Value> {
+        RQL_ASSIGN_OR_RETURN(retro::SnapshotId snap, snap_of(args[0]));
+        const std::string& qq = args[1].text();
+        const std::string& table = args[2].text();
+        RQL_ASSIGN_OR_RETURN(std::vector<ColFuncPair> pairs,
+                             ParseColFuncPairs(args[3].text()));
+        RQL_ASSIGN_OR_RETURN(
+            MechanismState* state,
+            begin_run(table, [&] {
+              return std::unique_ptr<MechanismState>(
+                  new AggTableState(this, qq, table, pairs));
+            }));
+        RQL_RETURN_IF_ERROR(RunIteration(snap, state));
+        return Value::Integer(stats_.iterations.back().qq_rows);
+      });
+
+  meta_db_->RegisterFunction(
+      "CollateDataIntoIntervals", 3, 3,
+      [this, begin_run, snap_of](const std::vector<Value>& args)
+          -> Result<Value> {
+        RQL_ASSIGN_OR_RETURN(retro::SnapshotId snap, snap_of(args[0]));
+        const std::string& qq = args[1].text();
+        const std::string& table = args[2].text();
+        RQL_ASSIGN_OR_RETURN(
+            MechanismState* state,
+            begin_run(table, [&] {
+              return std::unique_ptr<MechanismState>(
+                  new IntervalState(this, qq, table));
+            }));
+        RQL_RETURN_IF_ERROR(RunIteration(snap, state));
+        return Value::Integer(stats_.iterations.back().qq_rows);
+      });
+
+  return Status::OK();
+}
+
+Status RqlEngine::FinishUdfRuns() {
+  for (auto& [table, state] : udf_states_) {
+    RQL_RETURN_IF_ERROR(state->Finish());
+  }
+  udf_states_.clear();
+  udf_run_started_ = false;
+  return Status::OK();
+}
+
+}  // namespace rql

@@ -1,0 +1,247 @@
+#ifndef RQL_RQL_RQL_H_
+#define RQL_RQL_RQL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "retro/snapshot_store.h"
+#include "rql/aggregates.h"
+#include "sql/database.h"
+
+namespace rql {
+
+/// Cost breakdown of one RQL iteration (one Qq execution on one snapshot).
+/// These are the bars of the paper's Figures 8-13: Pagelog I/O, SPT build,
+/// query evaluation, transient index creation, and the mechanism-specific
+/// "RQL UDF" work on the result table.
+struct RqlIterationStats {
+  retro::SnapshotId snapshot = retro::kNoSnapshot;
+  int64_t io_us = 0;          // simulated Pagelog reads
+  int64_t spt_build_us = 0;   // Maplog scan (CPU + simulated log I/O)
+  int64_t query_eval_us = 0;  // Qq execution proper
+  int64_t index_create_us = 0;  // transient covering index (Fig. 9)
+  int64_t udf_us = 0;         // result collation / aggregation work
+  int64_t pagelog_pages = 0;
+  int64_t db_pages = 0;       // pages shared with the current state
+  int64_t cache_hits = 0;
+  int64_t qq_rows = 0;
+  // Result-table operation counts (Fig. 12/13: probes vs. inserts/updates).
+  int64_t result_probes = 0;
+  int64_t result_inserts = 0;
+  int64_t result_updates = 0;
+
+  int64_t TotalUs() const {
+    return io_us + spt_build_us + query_eval_us + index_create_us + udf_us;
+  }
+};
+
+/// Aggregate statistics for one RQL query run.
+struct RqlRunStats {
+  std::vector<RqlIterationStats> iterations;
+  /// Set by benchmarks for the Collate Data + final SQL pattern (Fig. 11).
+  int64_t extra_agg_us = 0;
+  /// Parallel runs: concurrent Qq evaluation makes per-iteration I/O and
+  /// SPT attribution meaningless, so they are reported as run totals here
+  /// (per-iteration entries then carry wall time, UDF time and row
+  /// counts). `parallel_wall_us` is the elapsed time of the concurrent
+  /// phase.
+  bool parallel = false;
+  int64_t parallel_io_us = 0;
+  int64_t parallel_spt_us = 0;
+  int64_t parallel_wall_us = 0;
+
+  int64_t TotalUs() const {
+    int64_t total = extra_agg_us + parallel_io_us + parallel_spt_us;
+    for (const RqlIterationStats& it : iterations) total += it.TotalUs();
+    return total;
+  }
+  int64_t IoUs() const {
+    int64_t total = 0;
+    for (const RqlIterationStats& it : iterations) total += it.io_us;
+    return total;
+  }
+  int64_t PagelogPages() const {
+    int64_t total = 0;
+    for (const RqlIterationStats& it : iterations) total += it.pagelog_pages;
+    return total;
+  }
+};
+
+/// A (column, aggregate-function) pair for Aggregate Data In Table.
+struct ColFuncPair {
+  std::string column;
+  RqlAggFunc func = RqlAggFunc::kMax;
+};
+
+/// How AggregateDataInTable combines records with the existing result
+/// table. The paper's implementation probes an index on the grouping
+/// columns per record; it reports having "also experimented with [a]
+/// sort-merge based algorithm that turned out to be costlier" — both are
+/// provided so the claim is reproducible (bench_ablation_aggtable).
+enum class AggTableStrategy {
+  /// Per-record index probe + insert/update (the paper's choice).
+  kIndexProbe,
+  /// Per-iteration: sort the Qq batch by grouping columns and merge it
+  /// with the (sorted) result table, rewriting the table.
+  kSortMerge,
+};
+
+struct RqlOptions {
+  /// Name of the snapshot table in the metadata database.
+  std::string snapids_table = "SnapIds";
+  /// Start every RQL query with an empty snapshot page cache, matching the
+  /// paper's experimental assumption (Section 5).
+  bool cold_cache_per_run = true;
+  /// Clear the snapshot cache before every iteration: the paper's
+  /// "all-cold" baseline run, denominator of the ratio C (Section 5.1).
+  bool cold_cache_per_iteration = false;
+  /// Drop a pre-existing result table T before a mechanism recreates it.
+  bool replace_result_table = true;
+  /// Workers for parallel Qq evaluation (the paper's Section 7 future
+  /// work). With N > 1, CollateData and AggregateDataInVariable evaluate
+  /// Qq on N snapshots concurrently (each worker on its own snapshot view)
+  /// and process results sequentially in Qs order, so semantics are
+  /// unchanged. Mechanisms whose result processing is order-dependent
+  /// (AggregateDataInTable, CollateDataIntoIntervals) always run
+  /// sequentially. In parallel runs current_snapshot() is substituted
+  /// textually, exactly as the paper's Section 3 rewrite describes.
+  int parallel_workers = 1;
+  AggTableStrategy agg_table_strategy = AggTableStrategy::kIndexProbe;
+};
+
+/// The Retrospective Query Language engine (the paper's contribution).
+///
+/// RQL composes two SQL programs — Qs, selecting a set of snapshot ids from
+/// the SnapIds table, and Qq, a query executed on every snapshot in that
+/// set — with a combining mechanism:
+///
+///   * CollateData(Qs, Qq, T)                  — append every Qq result row
+///     to T, tagged however Qq chooses (e.g. via current_snapshot()).
+///   * AggregateDataInVariable(Qs, Qq, T, f)   — fold the single value Qq
+///     yields per snapshot with the abelian-monoid aggregate f; store the
+///     result in T.
+///   * AggregateDataInTable(Qs, Qq, T, pairs)  — an across-time GROUP BY:
+///     rows matching on the non-aggregated columns are combined with the
+///     per-column aggregate functions.
+///   * CollateDataIntoIntervals(Qs, Qq, T)     — compact consecutive
+///     appearances of a record into [start_snapshot, end_snapshot]
+///     lifetimes, the temporal-database representation.
+///
+/// Following the paper's architecture (Fig. 5), SnapIds and all result
+/// tables live in a separate, non-snapshotable metadata database, while Qq
+/// runs against the snapshotable application database.
+class RqlEngine {
+ public:
+  /// `data_db` is the snapshotable application database; `meta_db` holds
+  /// SnapIds and result tables. They must be distinct.
+  RqlEngine(sql::Database* data_db, sql::Database* meta_db,
+            RqlOptions options = RqlOptions());
+  ~RqlEngine();  // out of line: MechanismState is an incomplete type here
+
+  /// Creates the SnapIds table if missing.
+  Status EnsureSnapIds();
+
+  /// Declares a snapshot (committing the open transaction if any with
+  /// COMMIT WITH SNAPSHOT, else an empty declaring transaction) and
+  /// records it in SnapIds with `timestamp` and `label`.
+  Result<retro::SnapshotId> CommitWithSnapshot(const std::string& timestamp,
+                                               const std::string& label = "");
+
+  /// Retention: drops snapshots with id < `keep_from` from the snapshot
+  /// store (compacting its archive) and removes their SnapIds rows, so Qs
+  /// queries can no longer select them.
+  Status TruncateHistory(retro::SnapshotId keep_from);
+
+  // --- the four mechanisms (programmatic form) ---------------------------
+  Status CollateData(const std::string& qs, const std::string& qq,
+                     const std::string& table);
+  Status AggregateDataInVariable(const std::string& qs, const std::string& qq,
+                                 const std::string& table,
+                                 const std::string& agg_func);
+  Status AggregateDataInTable(const std::string& qs, const std::string& qq,
+                              const std::string& table,
+                              const std::vector<ColFuncPair>& pairs);
+  /// Overload parsing the paper's textual pair syntax, e.g.
+  /// "(l_time,min)" or "(MAX,cn):(MAX,av)" (both element orders accepted).
+  Status AggregateDataInTable(const std::string& qs, const std::string& qq,
+                              const std::string& table,
+                              const std::string& pairs);
+  Status CollateDataIntoIntervals(const std::string& qs,
+                                  const std::string& qq,
+                                  const std::string& table);
+
+  static Result<std::vector<ColFuncPair>> ParseColFuncPairs(
+      const std::string& text);
+
+  // --- the UDF-embedded form ----------------------------------------------
+  /// Registers CollateData / AggregateDataInVariable / AggregateDataInTable
+  /// / CollateDataIntoIntervals as scalar UDFs on the metadata database, so
+  /// the paper's invocation style works verbatim:
+  ///
+  ///   SELECT CollateData(snap_id, 'SELECT ... FROM ...', 'Result')
+  ///   FROM SnapIds WHERE ...;
+  ///
+  /// Each call runs one iteration; state is keyed by the result table name.
+  /// Call FinishUdfRuns() after the driving SELECT completes.
+  Status RegisterUdfs();
+
+  /// Finalizes and clears all in-progress UDF-form runs.
+  Status FinishUdfRuns();
+
+  /// Rewrites Qq for snapshot `snap` by injecting "AS OF <snap>" after the
+  /// first top-level SELECT keyword (the paper's rewrite, Section 3).
+  static std::string InjectAsOf(const std::string& qq,
+                                retro::SnapshotId snap);
+
+  /// Replaces current_snapshot() calls (outside string literals) with the
+  /// literal snapshot id — the textual half of the paper's rewrite, used
+  /// by parallel runs where the function-based implementation would race.
+  static std::string ReplaceCurrentSnapshot(const std::string& qq,
+                                            retro::SnapshotId snap);
+
+  const RqlRunStats& last_run_stats() const { return stats_; }
+  RqlRunStats* mutable_last_run_stats() { return &stats_; }
+
+  sql::Database* data_db() { return data_db_; }
+  sql::Database* meta_db() { return meta_db_; }
+  const RqlOptions& options() const { return options_; }
+  RqlOptions* mutable_options() { return &options_; }
+
+ private:
+  class MechanismState;
+  class CollateState;
+  class AggVariableState;
+  class AggTableState;
+  class IntervalState;
+
+  /// Runs a full mechanism: evaluates Qs on the metadata database, then
+  /// iterates the state over every snapshot id.
+  Status RunMechanism(const std::string& qs, MechanismState* state);
+
+  /// Parallel variant: Qq evaluated concurrently, results replayed through
+  /// the state sequentially in Qs order.
+  Status RunMechanismParallel(const std::vector<retro::SnapshotId>& snaps,
+                              MechanismState* state);
+
+  /// One "loop body" invocation: rewrite Qq, run it on the snapshot, feed
+  /// rows to the state, and record the iteration cost breakdown.
+  Status RunIteration(retro::SnapshotId snap, MechanismState* state);
+
+  Status PrepareResultTable(const std::string& table);
+
+  sql::Database* data_db_;
+  sql::Database* meta_db_;
+  RqlOptions options_;
+  RqlRunStats stats_;
+  // UDF-form state, keyed by result table name.
+  std::unordered_map<std::string, std::unique_ptr<MechanismState>>
+      udf_states_;
+  bool udf_run_started_ = false;
+};
+
+}  // namespace rql
+
+#endif  // RQL_RQL_RQL_H_

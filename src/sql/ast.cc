@@ -1,0 +1,117 @@
+#include "sql/ast.h"
+
+namespace rql::sql {
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string table, std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeUnary(UnOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->args.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeCall(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunctionCall;
+  e->name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr MakeStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+ExprPtr CloneExpr(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->literal = e.literal;
+  out->table = e.table;
+  out->name = e.name;
+  out->bin_op = e.bin_op;
+  out->un_op = e.un_op;
+  out->subquery = e.subquery;
+  out->distinct_arg = e.distinct_arg;
+  out->negated = e.negated;
+  out->param_index = e.param_index;
+  out->param_bound = e.param_bound;
+  out->case_has_base = e.case_has_base;
+  out->case_has_else = e.case_has_else;
+  out->column_index = e.column_index;
+  for (const ExprPtr& arg : e.args) {
+    out->args.push_back(CloneExpr(*arg));
+  }
+  return out;
+}
+
+namespace {
+
+void VisitExprTree(Expr* expr, const std::function<void(Expr*)>& fn);
+
+void VisitSelect(SelectStmt* select, const std::function<void(Expr*)>& fn) {
+  for (SelectItem& item : select->items) VisitExprTree(item.expr.get(), fn);
+  if (select->where != nullptr) VisitExprTree(select->where.get(), fn);
+  for (ExprPtr& g : select->group_by) VisitExprTree(g.get(), fn);
+  if (select->having != nullptr) VisitExprTree(select->having.get(), fn);
+  for (OrderItem& o : select->order_by) VisitExprTree(o.expr.get(), fn);
+}
+
+void VisitExprTree(Expr* expr, const std::function<void(Expr*)>& fn) {
+  if (expr == nullptr) return;
+  fn(expr);
+  for (ExprPtr& arg : expr->args) VisitExprTree(arg.get(), fn);
+  if (expr->kind == ExprKind::kSubquery && expr->subquery != nullptr) {
+    VisitSelect(expr->subquery.get(), fn);
+  }
+}
+
+}  // namespace
+
+void VisitStatementExprs(Statement* stmt,
+                         const std::function<void(Expr*)>& fn) {
+  if (auto* s = std::get_if<SelectStmt>(stmt)) {
+    VisitSelect(s, fn);
+  } else if (auto* s = std::get_if<CreateTableStmt>(stmt)) {
+    if (s->as_select != nullptr) VisitSelect(s->as_select.get(), fn);
+  } else if (auto* s = std::get_if<InsertStmt>(stmt)) {
+    for (auto& row : s->rows) {
+      for (ExprPtr& e : row) VisitExprTree(e.get(), fn);
+    }
+    if (s->select != nullptr) VisitSelect(s->select.get(), fn);
+  } else if (auto* s = std::get_if<UpdateStmt>(stmt)) {
+    for (auto& [name, e] : s->assignments) VisitExprTree(e.get(), fn);
+    if (s->where != nullptr) VisitExprTree(s->where.get(), fn);
+  } else if (auto* s = std::get_if<DeleteStmt>(stmt)) {
+    if (s->where != nullptr) VisitExprTree(s->where.get(), fn);
+  } else if (auto* s = std::get_if<ExplainStmt>(stmt)) {
+    if (s->select != nullptr) VisitSelect(s->select.get(), fn);
+  }
+}
+
+}  // namespace rql::sql

@@ -1,0 +1,164 @@
+#ifndef RQL_SQL_AST_H_
+#define RQL_SQL_AST_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "sql/schema.h"
+#include "sql/value.h"
+
+namespace rql::sql {
+
+struct Expr;
+struct SelectStmt;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kBinary,
+  kUnary,
+  kFunctionCall,  // scalar UDFs and aggregate functions
+  kStar,          // '*' in select lists and COUNT(*)
+  kIn,            // args = {lhs, candidate...}; `negated` for NOT IN
+  kCase,          // args = [base?] + (when, then)... + [else?]
+  kSubquery,      // uncorrelated (SELECT ...): scalar or IN source
+  kParameter,     // '?' placeholder; bound by a PreparedStatement
+};
+
+enum class BinOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr,
+  kLike,
+};
+
+enum class UnOp { kNot, kNeg, kIsNull, kIsNotNull };
+
+/// A SQL expression tree node. Column references are resolved (to an index
+/// into the executor's combined input row) by the binder before execution.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  Value literal;             // kLiteral
+  std::string table;         // kColumnRef: optional qualifier
+  std::string name;          // kColumnRef: column; kFunctionCall: function
+  BinOp bin_op = BinOp::kEq; // kBinary; args = {lhs, rhs}
+  UnOp un_op = UnOp::kNot;   // kUnary; args = {operand}
+  std::vector<ExprPtr> args;
+  // kSubquery: the nested statement. Shared so expression clones are
+  // cheap; the statement itself is immutable after parsing.
+  std::shared_ptr<SelectStmt> subquery;
+  bool distinct_arg = false; // COUNT(DISTINCT x)
+  bool negated = false;      // kIn: NOT IN
+  int param_index = 0;       // kParameter: 1-based ordinal
+  bool param_bound = false;  // kParameter: `literal` holds the bound value
+  bool case_has_base = false;  // kCase: CASE <base> WHEN ... form
+  bool case_has_else = false;  // kCase: trailing ELSE branch
+
+  int column_index = -1;     // set by the binder for kColumnRef
+};
+
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string table, std::string name);
+ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeUnary(UnOp op, ExprPtr operand);
+ExprPtr MakeCall(std::string name, std::vector<ExprPtr> args);
+ExprPtr MakeStar();
+
+/// Structural deep copy.
+ExprPtr CloneExpr(const Expr& e);
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty = derived from the expression
+};
+
+struct TableRef {
+  std::string name;
+  std::string alias;  // empty = name
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+struct SelectStmt {
+  /// Snapshot id for "SELECT AS OF <sid> ...", 0 = current state.
+  uint32_t as_of = 0;
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;  // joins are left-deep in FROM order
+  ExprPtr where;               // includes JOIN ... ON conjuncts
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+};
+
+struct CreateTableStmt {
+  std::string name;
+  bool if_not_exists = false;
+  TableSchema schema;                     // empty when as_select is set
+  std::unique_ptr<SelectStmt> as_select;  // CREATE TABLE ... AS SELECT
+};
+
+struct CreateIndexStmt {
+  std::string name;
+  std::string table;
+  std::vector<std::string> columns;
+};
+
+struct DropStmt {
+  bool is_index = false;
+  std::string name;
+  bool if_exists = false;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;        // empty = positional
+  std::vector<std::vector<ExprPtr>> rows;  // VALUES lists
+  std::unique_ptr<SelectStmt> select;      // INSERT INTO t SELECT ...
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+};
+
+struct BeginStmt {};
+struct CommitStmt {
+  bool with_snapshot = false;
+};
+struct RollbackStmt {};
+
+/// EXPLAIN SELECT ...: emits one plan-description row per operator.
+struct ExplainStmt {
+  std::unique_ptr<SelectStmt> select;
+};
+
+using Statement =
+    std::variant<SelectStmt, CreateTableStmt, CreateIndexStmt, DropStmt,
+                 InsertStmt, UpdateStmt, DeleteStmt, BeginStmt, CommitStmt,
+                 RollbackStmt, ExplainStmt>;
+
+/// Invokes `fn` on every expression node of `stmt`, including nodes inside
+/// subqueries. Used to collect '?' parameters.
+void VisitStatementExprs(Statement* stmt,
+                         const std::function<void(Expr*)>& fn);
+
+}  // namespace rql::sql
+
+#endif  // RQL_SQL_AST_H_

@@ -1,0 +1,536 @@
+#include "sql/btree.h"
+
+#include <cstring>
+
+namespace rql::sql {
+
+namespace {
+
+using storage::kInvalidPageId;
+using storage::kPageSize;
+using storage::Page;
+using storage::PageId;
+
+// Node page layout.
+constexpr uint32_t kFlagsOff = 0;     // u8: 1 = leaf
+constexpr uint32_t kNKeysOff = 2;     // u16
+constexpr uint32_t kLinkOff = 4;      // u32: right sibling / leftmost child
+constexpr uint32_t kPrevOff = 8;      // u32: left sibling (leaves only)
+constexpr uint32_t kDataEndOff = 12;  // u16: end of cell data
+constexpr uint32_t kDataStart = 16;
+constexpr uint32_t kSlotBytes = 4;    // u16 offset, u16 len per cell
+
+bool IsLeaf(const Page& page) { return page.data[kFlagsOff] == 1; }
+uint16_t NKeys(const Page& page) { return page.ReadU16(kNKeysOff); }
+
+uint32_t SlotPos(int slot) {
+  return kPageSize - (static_cast<uint32_t>(slot) + 1) * kSlotBytes;
+}
+
+std::string_view Cell(const Page& page, int slot) {
+  uint16_t off = page.ReadU16(SlotPos(slot));
+  uint16_t len = page.ReadU16(SlotPos(slot) + 2);
+  return std::string_view(page.data + off, len);
+}
+
+// Leaf cell: encoded key + u64 value. Internal cell: encoded key + u32
+// child. The payload size is fixed per node kind, so the key length is
+// implicit.
+std::string_view CellKey(const Page& page, int slot) {
+  std::string_view cell = Cell(page, slot);
+  size_t payload = IsLeaf(page) ? 8 : 4;
+  return cell.substr(0, cell.size() - payload);
+}
+
+uint64_t LeafCellValue(const Page& page, int slot) {
+  std::string_view cell = Cell(page, slot);
+  uint64_t v;
+  std::memcpy(&v, cell.data() + cell.size() - 8, 8);
+  return v;
+}
+
+PageId InternalCellChild(const Page& page, int slot) {
+  std::string_view cell = Cell(page, slot);
+  uint32_t v;
+  std::memcpy(&v, cell.data() + cell.size() - 4, 4);
+  return v;
+}
+
+void InitNode(Page* page, bool leaf) {
+  page->Zero();
+  page->data[kFlagsOff] = leaf ? 1 : 0;
+  page->WriteU16(kDataEndOff, kDataStart);
+}
+
+// Decoded-key comparison of an encoded cell key against a decoded row.
+// Prefix semantics: if `probe` has fewer columns, only those compare.
+Result<int> CompareCellKey(std::string_view cell_key, const Row& probe,
+                           bool prefix_only) {
+  RQL_ASSIGN_OR_RETURN(Row key, DecodeRow(cell_key));
+  if (prefix_only && key.size() > probe.size()) {
+    key.resize(probe.size());
+  }
+  return CompareRows(key, probe);
+}
+
+// First slot whose key >= probe (lower bound).
+Result<int> LowerBound(const Page& page, const Row& probe, bool prefix_only) {
+  int lo = 0, hi = NKeys(page);
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    RQL_ASSIGN_OR_RETURN(int c,
+                         CompareCellKey(CellKey(page, mid), probe,
+                                        prefix_only));
+    if (c < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint32_t DirBytes(const Page& page, int extra_cells) {
+  return (static_cast<uint32_t>(NKeys(page)) + extra_cells) * kSlotBytes;
+}
+
+// Physically rewrites the node dropping dead cell bytes.
+void CompactNode(Page* page) {
+  uint16_t n = NKeys(*page);
+  std::vector<std::string> cells;
+  cells.reserve(n);
+  for (int i = 0; i < n; ++i) cells.emplace_back(Cell(*page, i));
+  uint16_t pos = kDataStart;
+  for (int i = 0; i < n; ++i) {
+    std::memcpy(page->data + pos, cells[i].data(), cells[i].size());
+    page->WriteU16(SlotPos(i), pos);
+    page->WriteU16(SlotPos(i) + 2, static_cast<uint16_t>(cells[i].size()));
+    pos = static_cast<uint16_t>(pos + cells[i].size());
+  }
+  page->WriteU16(kDataEndOff, pos);
+}
+
+bool HasRoom(const Page& page, size_t cell_len) {
+  uint32_t dir = DirBytes(page, 1);
+  uint32_t data_end = page.ReadU16(kDataEndOff);
+  return data_end + cell_len + dir <= kPageSize;
+}
+
+// Inserts a cell at `slot`, shifting the directory. Caller guarantees room
+// (after compaction if needed).
+void InsertCellAt(Page* page, int slot, std::string_view cell) {
+  uint16_t n = NKeys(*page);
+  uint16_t data_end = page->ReadU16(kDataEndOff);
+  std::memcpy(page->data + data_end, cell.data(), cell.size());
+  // Shift slots [slot, n) down one position (toward lower addresses).
+  for (int i = n; i > slot; --i) {
+    page->WriteU32(SlotPos(i), page->ReadU32(SlotPos(i - 1)));
+  }
+  page->WriteU16(SlotPos(slot), data_end);
+  page->WriteU16(SlotPos(slot) + 2, static_cast<uint16_t>(cell.size()));
+  page->WriteU16(kNKeysOff, static_cast<uint16_t>(n + 1));
+  page->WriteU16(kDataEndOff, static_cast<uint16_t>(data_end + cell.size()));
+}
+
+void RemoveCellAt(Page* page, int slot) {
+  uint16_t n = NKeys(*page);
+  for (int i = slot; i + 1 < n; ++i) {
+    page->WriteU32(SlotPos(i), page->ReadU32(SlotPos(i + 1)));
+  }
+  page->WriteU16(kNKeysOff, static_cast<uint16_t>(n - 1));
+  // Dead cell bytes are reclaimed by the next compaction.
+}
+
+std::string MakeLeafCell(std::string_view key, uint64_t value) {
+  std::string cell(key);
+  cell.append(reinterpret_cast<const char*>(&value), 8);
+  return cell;
+}
+
+std::string MakeInternalCell(std::string_view key, PageId child) {
+  std::string cell(key);
+  cell.append(reinterpret_cast<const char*>(&child), 4);
+  return cell;
+}
+
+// Moves the upper half of `page`'s cells into `right` (freshly
+// initialized with the same leaf flag). For internal nodes the first moved
+// cell's key becomes the promoted separator and its child becomes
+// `right`'s leftmost child. Returns the separator (encoded key).
+std::string SplitNode(Page* page, Page* right) {
+  uint16_t n = NKeys(*page);
+  int mid = n / 2;
+  bool leaf = IsLeaf(*page);
+  std::vector<std::string> upper;
+  for (int i = mid; i < n; ++i) upper.emplace_back(Cell(*page, i));
+
+  // Truncate the left node and reclaim its space.
+  page->WriteU16(kNKeysOff, static_cast<uint16_t>(mid));
+  CompactNode(page);
+
+  std::string separator;
+  size_t payload = leaf ? 8 : 4;
+  size_t start = 0;
+  if (leaf) {
+    separator = upper[0].substr(0, upper[0].size() - payload);
+  } else {
+    separator = upper[0].substr(0, upper[0].size() - payload);
+    uint32_t child;
+    std::memcpy(&child, upper[0].data() + upper[0].size() - 4, 4);
+    right->WriteU32(kLinkOff, child);
+    start = 1;  // the separator cell is promoted, not copied
+  }
+  for (size_t i = start; i < upper.size(); ++i) {
+    InsertCellAt(right, static_cast<int>(i - start), upper[i]);
+  }
+  return separator;
+}
+
+}  // namespace
+
+Result<PageId> BTree::Create(storage::PageWriter* writer) {
+  RQL_ASSIGN_OR_RETURN(PageId root, writer->AllocatePage());
+  Page page;
+  InitNode(&page, /*leaf=*/true);
+  RQL_RETURN_IF_ERROR(writer->WritePage(root, page));
+  return root;
+}
+
+Status BTree::InsertRec(PageId node_id, const std::string& key,
+                        uint64_t value, SplitResult* split) {
+  split->split = false;
+  Page page;
+  RQL_RETURN_IF_ERROR(writer_->ReadPage(node_id, &page));
+  RQL_ASSIGN_OR_RETURN(Row probe, DecodeRow(key));
+
+  if (IsLeaf(page)) {
+    RQL_ASSIGN_OR_RETURN(int pos, LowerBound(page, probe, false));
+    if (pos < NKeys(page)) {
+      RQL_ASSIGN_OR_RETURN(int c, CompareCellKey(CellKey(page, pos), probe,
+                                                 false));
+      if (c == 0) return Status::AlreadyExists("duplicate index key");
+    }
+    std::string cell = MakeLeafCell(key, value);
+    if (cell.size() + kDataStart + 2 * kSlotBytes > kPageSize) {
+      return Status::InvalidArgument("index key too large");
+    }
+    if (!HasRoom(page, cell.size())) {
+      CompactNode(&page);
+    }
+    if (HasRoom(page, cell.size())) {
+      InsertCellAt(&page, pos, cell);
+      return writer_->WritePage(node_id, page);
+    }
+    // Split the leaf, keeping the doubly-linked leaf chain intact.
+    RQL_ASSIGN_OR_RETURN(PageId right_id, writer_->AllocatePage());
+    PageId old_right = page.ReadU32(kLinkOff);
+    Page right;
+    InitNode(&right, /*leaf=*/true);
+    right.WriteU32(kLinkOff, old_right);
+    right.WriteU32(kPrevOff, node_id);
+    std::string separator = SplitNode(&page, &right);
+    page.WriteU32(kLinkOff, right_id);
+    if (old_right != kInvalidPageId) {
+      Page old_right_page;
+      RQL_RETURN_IF_ERROR(writer_->ReadPage(old_right, &old_right_page));
+      old_right_page.WriteU32(kPrevOff, right_id);
+      RQL_RETURN_IF_ERROR(writer_->WritePage(old_right, old_right_page));
+    }
+    // Insert into the proper half.
+    RQL_ASSIGN_OR_RETURN(Row sep_row, DecodeRow(separator));
+    Page* target = CompareRows(probe, sep_row) < 0 ? &page : &right;
+    RQL_ASSIGN_OR_RETURN(int tpos, LowerBound(*target, probe, false));
+    InsertCellAt(target, tpos, cell);
+    RQL_RETURN_IF_ERROR(writer_->WritePage(node_id, page));
+    RQL_RETURN_IF_ERROR(writer_->WritePage(right_id, right));
+    split->split = true;
+    split->separator = std::move(separator);
+    split->new_node = right_id;
+    return Status::OK();
+  }
+
+  // Internal node: descend into the child covering `probe`.
+  RQL_ASSIGN_OR_RETURN(int pos, LowerBound(page, probe, false));
+  // Child for probe: cells hold (separator, child) with separator = min key
+  // of child's subtree. Descend into the last cell with separator <= probe,
+  // or the leftmost child when probe < all separators.
+  int child_cell = pos - 1;
+  if (pos < NKeys(page)) {
+    RQL_ASSIGN_OR_RETURN(int c, CompareCellKey(CellKey(page, pos), probe,
+                                               false));
+    if (c == 0) child_cell = pos;
+  }
+  PageId child = child_cell < 0 ? page.ReadU32(kLinkOff)
+                                : InternalCellChild(page, child_cell);
+
+  SplitResult child_split;
+  RQL_RETURN_IF_ERROR(InsertRec(child, key, value, &child_split));
+  if (!child_split.split) return Status::OK();
+
+  // Re-read: the recursive call may have rewritten pages, and our buffer
+  // of this node is still valid (only descendants changed), but re-read
+  // for clarity and safety.
+  RQL_RETURN_IF_ERROR(writer_->ReadPage(node_id, &page));
+  RQL_ASSIGN_OR_RETURN(Row sep_row, DecodeRow(child_split.separator));
+  RQL_ASSIGN_OR_RETURN(int ipos, LowerBound(page, sep_row, false));
+  std::string cell = MakeInternalCell(child_split.separator,
+                                      child_split.new_node);
+  if (!HasRoom(page, cell.size())) {
+    CompactNode(&page);
+  }
+  if (HasRoom(page, cell.size())) {
+    InsertCellAt(&page, ipos, cell);
+    return writer_->WritePage(node_id, page);
+  }
+  // Split this internal node, then place the pending cell.
+  RQL_ASSIGN_OR_RETURN(PageId right_id, writer_->AllocatePage());
+  Page right;
+  InitNode(&right, /*leaf=*/false);
+  std::string separator = SplitNode(&page, &right);
+  RQL_ASSIGN_OR_RETURN(Row up_row, DecodeRow(separator));
+  Page* target = CompareRows(sep_row, up_row) < 0 ? &page : &right;
+  RQL_ASSIGN_OR_RETURN(int tpos, LowerBound(*target, sep_row, false));
+  InsertCellAt(target, tpos, cell);
+  RQL_RETURN_IF_ERROR(writer_->WritePage(node_id, page));
+  RQL_RETURN_IF_ERROR(writer_->WritePage(right_id, right));
+  split->split = true;
+  split->separator = std::move(separator);
+  split->new_node = right_id;
+  return Status::OK();
+}
+
+Status BTree::Insert(const Row& key, uint64_t value) {
+  std::string encoded = EncodeRow(key);
+  SplitResult split;
+  RQL_RETURN_IF_ERROR(InsertRec(root_, encoded, value, &split));
+  if (!split.split) return Status::OK();
+
+  // Root split with a stable root id: move the (left-half) root contents
+  // into a fresh page and turn the root into an internal node over the two
+  // halves.
+  Page old_root;
+  RQL_RETURN_IF_ERROR(writer_->ReadPage(root_, &old_root));
+  RQL_ASSIGN_OR_RETURN(PageId left_id, writer_->AllocatePage());
+  RQL_RETURN_IF_ERROR(writer_->WritePage(left_id, old_root));
+
+  Page new_root;
+  InitNode(&new_root, /*leaf=*/false);
+  new_root.WriteU32(kLinkOff, left_id);
+  InsertCellAt(&new_root, 0, MakeInternalCell(split.separator,
+                                              split.new_node));
+  return writer_->WritePage(root_, new_root);
+}
+
+Status BTree::Delete(const Row& key) {
+  // Remember the descent path so emptied pages can be removed from their
+  // parents; without reclamation a rotating workload (delete low keys,
+  // insert high keys) would leak one empty leaf per key range forever.
+  struct PathEntry {
+    PageId node;
+    int child_cell;  // -1 = reached via the leftmost-child pointer
+  };
+  std::vector<PathEntry> path;
+  PageId node_id = root_;
+  Page page;
+  for (;;) {
+    RQL_RETURN_IF_ERROR(writer_->ReadPage(node_id, &page));
+    if (IsLeaf(page)) break;
+    RQL_ASSIGN_OR_RETURN(int pos, LowerBound(page, key, false));
+    int child_cell = pos - 1;
+    if (pos < NKeys(page)) {
+      RQL_ASSIGN_OR_RETURN(int c, CompareCellKey(CellKey(page, pos), key,
+                                                 false));
+      if (c == 0) child_cell = pos;
+    }
+    path.push_back({node_id, child_cell});
+    node_id = child_cell < 0 ? page.ReadU32(kLinkOff)
+                             : InternalCellChild(page, child_cell);
+  }
+  RQL_ASSIGN_OR_RETURN(int pos, LowerBound(page, key, false));
+  if (pos >= NKeys(page)) return Status::NotFound("index key not found");
+  RQL_ASSIGN_OR_RETURN(int c, CompareCellKey(CellKey(page, pos), key, false));
+  if (c != 0) return Status::NotFound("index key not found");
+  RemoveCellAt(&page, pos);
+  if (NKeys(page) > 0 || node_id == root_) {
+    return writer_->WritePage(node_id, page);
+  }
+
+  // The leaf emptied: unlink it from the leaf chain and free it.
+  PageId next = page.ReadU32(kLinkOff);
+  PageId prev = page.ReadU32(kPrevOff);
+  if (prev != kInvalidPageId) {
+    Page prev_page;
+    RQL_RETURN_IF_ERROR(writer_->ReadPage(prev, &prev_page));
+    prev_page.WriteU32(kLinkOff, next);
+    RQL_RETURN_IF_ERROR(writer_->WritePage(prev, prev_page));
+  }
+  if (next != kInvalidPageId) {
+    Page next_page;
+    RQL_RETURN_IF_ERROR(writer_->ReadPage(next, &next_page));
+    next_page.WriteU32(kPrevOff, prev);
+    RQL_RETURN_IF_ERROR(writer_->WritePage(next, next_page));
+  }
+  RQL_RETURN_IF_ERROR(writer_->FreePage(node_id));
+
+  // Remove the dangling child reference, cascading through ancestors that
+  // empty out in turn.
+  for (size_t level = path.size(); level-- > 0;) {
+    Page parent;
+    RQL_RETURN_IF_ERROR(writer_->ReadPage(path[level].node, &parent));
+    int cc = path[level].child_cell;
+    if (cc >= 0) {
+      RemoveCellAt(&parent, cc);
+      return writer_->WritePage(path[level].node, parent);
+    }
+    // The removed child was the leftmost: promote cell 0's child.
+    if (NKeys(parent) > 0) {
+      parent.WriteU32(kLinkOff, InternalCellChild(parent, 0));
+      RemoveCellAt(&parent, 0);
+      return writer_->WritePage(path[level].node, parent);
+    }
+    // The internal node lost its only child.
+    if (path[level].node == root_) {
+      InitNode(&parent, /*leaf=*/true);
+      return writer_->WritePage(root_, parent);
+    }
+    RQL_RETURN_IF_ERROR(writer_->FreePage(path[level].node));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> BTree::Lookup(const Row& key) const {
+  RQL_ASSIGN_OR_RETURN(Iterator it, Seek(writer_, root_, key));
+  if (!it.Valid()) return Status::NotFound("index key not found");
+  if (CompareRows(it.key(), key) != 0) {
+    return Status::NotFound("index key not found");
+  }
+  return it.value();
+}
+
+Status BTree::Drop() {
+  // Collect all pages by walking the tree, then free them.
+  std::vector<PageId> stack = {root_};
+  std::vector<PageId> all;
+  Page page;
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    all.push_back(id);
+    RQL_RETURN_IF_ERROR(writer_->ReadPage(id, &page));
+    if (!IsLeaf(page)) {
+      stack.push_back(page.ReadU32(kLinkOff));
+      for (int i = 0; i < NKeys(page); ++i) {
+        stack.push_back(InternalCellChild(page, i));
+      }
+    }
+  }
+  for (PageId id : all) {
+    RQL_RETURN_IF_ERROR(writer_->FreePage(id));
+  }
+  return Status::OK();
+}
+
+void BTree::Iterator::LoadCurrent() {
+  for (;;) {
+    if (page_id_ == kInvalidPageId) {
+      valid_ = false;
+      return;
+    }
+    if (slot_ < NKeys(page_)) break;
+    // Advance to the right sibling.
+    page_id_ = page_.ReadU32(kLinkOff);
+    slot_ = 0;
+    if (page_id_ == kInvalidPageId) {
+      valid_ = false;
+      return;
+    }
+    status_ = reader_->ReadPage(page_id_, &page_);
+    if (!status_.ok()) {
+      valid_ = false;
+      return;
+    }
+  }
+  auto key = DecodeRow(CellKey(page_, slot_));
+  if (!key.ok()) {
+    status_ = key.status();
+    valid_ = false;
+    return;
+  }
+  key_ = std::move(*key);
+  value_ = LeafCellValue(page_, slot_);
+  valid_ = true;
+}
+
+void BTree::Iterator::Next() {
+  if (!valid_) return;
+  ++slot_;
+  LoadCurrent();
+}
+
+Result<BTree::Iterator> BTree::SeekFirst(storage::PageReader* reader,
+                                         PageId root) {
+  Iterator it(reader);
+  PageId id = root;
+  for (;;) {
+    RQL_RETURN_IF_ERROR(reader->ReadPage(id, &it.page_));
+    if (IsLeaf(it.page_)) break;
+    id = it.page_.ReadU32(kLinkOff);
+  }
+  it.page_id_ = id;
+  it.slot_ = 0;
+  it.LoadCurrent();
+  return it;
+}
+
+Result<BTree::Iterator> BTree::Seek(storage::PageReader* reader, PageId root,
+                                    const Row& lower) {
+  Iterator it(reader);
+  PageId id = root;
+  for (;;) {
+    RQL_RETURN_IF_ERROR(reader->ReadPage(id, &it.page_));
+    if (IsLeaf(it.page_)) break;
+    // Internal: descend into the last child whose separator <= lower.
+    // Separators are full keys; compare against the (possibly shorter)
+    // probe with full-row semantics so prefix probes descend to the
+    // leftmost candidate.
+    int lo = 0, hi = NKeys(it.page_);
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      RQL_ASSIGN_OR_RETURN(
+          int c, CompareCellKey(CellKey(it.page_, mid), lower, false));
+      if (c < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    // lo = first separator >= lower; child is lo-1 (or leftmost).
+    id = lo == 0 ? it.page_.ReadU32(kLinkOff)
+                 : InternalCellChild(it.page_, lo - 1);
+  }
+  it.page_id_ = id;
+  RQL_ASSIGN_OR_RETURN(it.slot_, LowerBound(it.page_, lower, false));
+  it.LoadCurrent();
+  return it;
+}
+
+Result<uint64_t> BTree::CountPages(storage::PageReader* reader, PageId root) {
+  std::vector<PageId> stack = {root};
+  uint64_t count = 0;
+  Page page;
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    ++count;
+    RQL_RETURN_IF_ERROR(reader->ReadPage(id, &page));
+    if (!IsLeaf(page)) {
+      stack.push_back(page.ReadU32(kLinkOff));
+      for (int i = 0; i < NKeys(page); ++i) {
+        stack.push_back(InternalCellChild(page, i));
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace rql::sql

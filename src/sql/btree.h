@@ -1,0 +1,100 @@
+#ifndef RQL_SQL_BTREE_H_
+#define RQL_SQL_BTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/value.h"
+#include "storage/page_store.h"
+
+namespace rql::sql {
+
+/// A B+-tree mapping composite-value keys to 64-bit payloads (rids).
+///
+/// Keys are rows (EncodeRow form); comparisons decode and use CompareRows,
+/// so mixed-type keys order correctly (NULL < numeric < text). Secondary
+/// indexes append the rid as a trailing key column to keep keys unique;
+/// prefix seeks then implement equality probes on the indexed columns.
+///
+/// The root page id is stable for the lifetime of the tree (root splits
+/// push the old root's contents down), so the catalog never needs
+/// rewriting when the tree grows. Deletes are lazy: no rebalancing, pages
+/// are reclaimed only by Drop().
+class BTree {
+ public:
+  /// Allocates an empty tree; returns its root page id.
+  static Result<storage::PageId> Create(storage::PageWriter* writer);
+
+  BTree(storage::PageWriter* writer, storage::PageId root)
+      : writer_(writer), root_(root) {}
+
+  /// Inserts a unique key. Fails with AlreadyExists on duplicates.
+  Status Insert(const Row& key, uint64_t value);
+
+  /// Removes an exact key. Fails with NotFound if absent.
+  Status Delete(const Row& key);
+
+  /// Exact-key lookup.
+  Result<uint64_t> Lookup(const Row& key) const;
+
+  /// Frees all pages including the root.
+  Status Drop();
+
+  storage::PageId root() const { return root_; }
+
+  /// In-order iterator, usable over the current state or a snapshot view.
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    Status status() const { return status_; }
+    const Row& key() const { return key_; }
+    uint64_t value() const { return value_; }
+    void Next();
+
+   private:
+    friend class BTree;
+    Iterator(storage::PageReader* reader) : reader_(reader) {}
+    void LoadCurrent();
+
+    storage::PageReader* reader_;
+    storage::Page page_;
+    storage::PageId page_id_ = storage::kInvalidPageId;
+    int slot_ = 0;
+    bool valid_ = false;
+    Status status_;
+    Row key_;
+    uint64_t value_ = 0;
+  };
+
+  /// Iterator positioned at the smallest key.
+  static Result<Iterator> SeekFirst(storage::PageReader* reader,
+                                    storage::PageId root);
+
+  /// Iterator positioned at the first key >= `lower` (prefix comparisons:
+  /// a shorter `lower` row matches any extension).
+  static Result<Iterator> Seek(storage::PageReader* reader,
+                               storage::PageId root, const Row& lower);
+
+  /// Number of pages in the tree (for memory-footprint reporting).
+  static Result<uint64_t> CountPages(storage::PageReader* reader,
+                                     storage::PageId root);
+
+ private:
+  struct SplitResult {
+    bool split = false;
+    std::string separator;       // encoded key
+    storage::PageId new_node = storage::kInvalidPageId;
+  };
+
+  Status InsertRec(storage::PageId node_id, const std::string& key,
+                   uint64_t value, SplitResult* split);
+
+  storage::PageWriter* writer_;
+  storage::PageId root_;
+};
+
+}  // namespace rql::sql
+
+#endif  // RQL_SQL_BTREE_H_

@@ -1,0 +1,230 @@
+#include "sql/catalog.h"
+
+#include "sql/btree.h"
+
+namespace rql::sql {
+
+namespace {
+
+// Catalog record layout (a plain row in the catalog heap table):
+//   [0] kind TEXT: "table" | "index"
+//   [1] name TEXT
+//   [2] root INTEGER
+//   [3] schema TEXT           (tables) | "" (indexes)
+//   [4] on_table TEXT         (indexes) | ""
+//   [5] columns TEXT, comma-separated (indexes) | ""
+constexpr int kKindCol = 0;
+constexpr int kNameCol = 1;
+constexpr int kRootCol = 2;
+constexpr int kSchemaCol = 3;
+constexpr int kOnTableCol = 4;
+constexpr int kColumnsCol = 5;
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= s.size() && !s.empty()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(pos));
+      break;
+    }
+    out.push_back(s.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::string JoinCommas(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += ',';
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<CatalogData> CatalogData::Load(storage::PageReader* reader,
+                                      storage::PageId catalog_root) {
+  CatalogData data;
+  for (auto it = HeapTable::Scan(reader, catalog_root); it.Valid();
+       it.Next()) {
+    RQL_ASSIGN_OR_RETURN(Row row, DecodeRow(it.record()));
+    if (row.size() != 6) return Status::Corruption("bad catalog record");
+    const std::string& kind = row[kKindCol].text();
+    if (kind == "table") {
+      TableInfo info;
+      info.name = row[kNameCol].text();
+      info.root = static_cast<storage::PageId>(row[kRootCol].integer());
+      RQL_ASSIGN_OR_RETURN(info.schema,
+                           TableSchema::Deserialize(row[kSchemaCol].text()));
+      info.catalog_rid = it.rid();
+      data.tables.emplace(IdentLower(info.name), std::move(info));
+    } else if (kind == "index") {
+      IndexInfo info;
+      info.name = row[kNameCol].text();
+      info.root = static_cast<storage::PageId>(row[kRootCol].integer());
+      info.table = row[kOnTableCol].text();
+      info.columns = SplitCommas(row[kColumnsCol].text());
+      info.catalog_rid = it.rid();
+      data.indexes.emplace(IdentLower(info.name), std::move(info));
+    } else {
+      return Status::Corruption("bad catalog record kind: " + kind);
+    }
+  }
+  // Resolve index column positions.
+  for (auto& [name, index] : data.indexes) {
+    const TableInfo* table = data.FindTable(index.table);
+    if (table == nullptr) {
+      return Status::Corruption("index " + index.name +
+                                " references missing table " + index.table);
+    }
+    for (const std::string& col : index.columns) {
+      int idx = table->schema.FindColumn(col);
+      if (idx < 0) {
+        return Status::Corruption("index " + index.name +
+                                  " references missing column " + col);
+      }
+      index.column_idx.push_back(idx);
+    }
+  }
+  return data;
+}
+
+const TableInfo* CatalogData::FindTable(std::string_view name) const {
+  auto it = tables.find(IdentLower(name));
+  return it == tables.end() ? nullptr : &it->second;
+}
+
+const IndexInfo* CatalogData::FindIndex(std::string_view name) const {
+  auto it = indexes.find(IdentLower(name));
+  return it == indexes.end() ? nullptr : &it->second;
+}
+
+std::vector<const IndexInfo*> CatalogData::TableIndexes(
+    std::string_view table) const {
+  std::vector<const IndexInfo*> out;
+  for (const auto& [name, index] : indexes) {
+    if (IdentEquals(index.table, table)) out.push_back(&index);
+  }
+  return out;
+}
+
+const IndexInfo* CatalogData::IndexOnColumn(std::string_view table,
+                                            std::string_view column) const {
+  for (const auto& [name, index] : indexes) {
+    if (IdentEquals(index.table, table) && !index.columns.empty() &&
+        IdentEquals(index.columns[0], column)) {
+      return &index;
+    }
+  }
+  return nullptr;
+}
+
+Result<std::unique_ptr<Catalog>> Catalog::Open(
+    storage::PageWriter* writer, storage::PageId* catalog_root) {
+  if (*catalog_root == storage::kInvalidPageId) {
+    RQL_ASSIGN_OR_RETURN(*catalog_root, HeapTable::Create(writer));
+  }
+  auto catalog = std::make_unique<Catalog>(writer, *catalog_root);
+  RQL_RETURN_IF_ERROR(catalog->Reload());
+  return catalog;
+}
+
+Status Catalog::Reload() {
+  RQL_ASSIGN_OR_RETURN(data_, CatalogData::Load(writer_, root_));
+  return Status::OK();
+}
+
+Status Catalog::AppendEntry(const Row& row, Rid* rid) {
+  HeapTable table(writer_, root_);
+  RQL_ASSIGN_OR_RETURN(*rid, table.Insert(EncodeRow(row)));
+  return Status::OK();
+}
+
+Status Catalog::CreateTable(const std::string& name,
+                            const TableSchema& schema) {
+  if (data_.FindTable(name) != nullptr) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  if (schema.columns.empty()) {
+    return Status::InvalidArgument("table must have at least one column");
+  }
+  RQL_ASSIGN_OR_RETURN(storage::PageId root, HeapTable::Create(writer_));
+  Row row = {Value::Text("table"),   Value::Text(name),
+             Value::Integer(root),   Value::Text(schema.Serialize()),
+             Value::Text(""),        Value::Text("")};
+  TableInfo info;
+  info.name = name;
+  info.root = root;
+  info.schema = schema;
+  RQL_RETURN_IF_ERROR(AppendEntry(row, &info.catalog_rid));
+  data_.tables.emplace(IdentLower(name), std::move(info));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  const TableInfo* info = data_.FindTable(name);
+  if (info == nullptr) return Status::NotFound("no such table: " + name);
+  // Drop dependent indexes first.
+  std::vector<std::string> index_names;
+  for (const IndexInfo* index : data_.TableIndexes(name)) {
+    index_names.push_back(index->name);
+  }
+  for (const std::string& index_name : index_names) {
+    RQL_RETURN_IF_ERROR(DropIndex(index_name));
+  }
+  info = data_.FindTable(name);  // map may have rehashed
+  HeapTable heap(writer_, info->root);
+  RQL_RETURN_IF_ERROR(heap.Drop());
+  HeapTable catalog(writer_, root_);
+  RQL_RETURN_IF_ERROR(catalog.Delete(info->catalog_rid));
+  data_.tables.erase(IdentLower(name));
+  return Status::OK();
+}
+
+Result<const IndexInfo*> Catalog::CreateIndex(
+    const std::string& name, const std::string& table,
+    const std::vector<std::string>& columns) {
+  if (data_.FindIndex(name) != nullptr) {
+    return Status::AlreadyExists("index already exists: " + name);
+  }
+  const TableInfo* table_info = data_.FindTable(table);
+  if (table_info == nullptr) {
+    return Status::NotFound("no such table: " + table);
+  }
+  IndexInfo info;
+  info.name = name;
+  info.table = table_info->name;
+  info.columns = columns;
+  for (const std::string& col : columns) {
+    int idx = table_info->schema.FindColumn(col);
+    if (idx < 0) {
+      return Status::NotFound("no such column: " + table + "." + col);
+    }
+    info.column_idx.push_back(idx);
+  }
+  RQL_ASSIGN_OR_RETURN(info.root, BTree::Create(writer_));
+  Row row = {Value::Text("index"),      Value::Text(name),
+             Value::Integer(info.root), Value::Text(""),
+             Value::Text(info.table),   Value::Text(JoinCommas(columns))};
+  RQL_RETURN_IF_ERROR(AppendEntry(row, &info.catalog_rid));
+  auto [it, inserted] = data_.indexes.emplace(IdentLower(name),
+                                              std::move(info));
+  return static_cast<const IndexInfo*>(&it->second);
+}
+
+Status Catalog::DropIndex(const std::string& name) {
+  const IndexInfo* info = data_.FindIndex(name);
+  if (info == nullptr) return Status::NotFound("no such index: " + name);
+  BTree tree(writer_, info->root);
+  RQL_RETURN_IF_ERROR(tree.Drop());
+  HeapTable catalog(writer_, root_);
+  RQL_RETURN_IF_ERROR(catalog.Delete(info->catalog_rid));
+  data_.indexes.erase(IdentLower(name));
+  return Status::OK();
+}
+
+}  // namespace rql::sql

@@ -1,0 +1,95 @@
+#ifndef RQL_SQL_CATALOG_H_
+#define RQL_SQL_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/heap_table.h"
+#include "sql/schema.h"
+#include "storage/page_store.h"
+
+namespace rql::sql {
+
+struct TableInfo {
+  std::string name;
+  storage::PageId root = storage::kInvalidPageId;
+  TableSchema schema;
+  Rid catalog_rid = 0;
+};
+
+struct IndexInfo {
+  std::string name;
+  std::string table;               // owning table name
+  std::vector<std::string> columns;
+  std::vector<int> column_idx;     // resolved against the table schema
+  storage::PageId root = storage::kInvalidPageId;
+  Rid catalog_rid = 0;
+};
+
+/// The system catalog as a point-in-time value. Loadable from the current
+/// state or from a snapshot view — the catalog lives in ordinary pages, so
+/// a Retro snapshot captures the schema as of the declaration, exactly as
+/// the paper specifies ("the entire state of the database ... system
+/// catalogs").
+struct CatalogData {
+  // Keyed by lower-cased name.
+  std::unordered_map<std::string, TableInfo> tables;
+  std::unordered_map<std::string, IndexInfo> indexes;
+
+  static Result<CatalogData> Load(storage::PageReader* reader,
+                                  storage::PageId catalog_root);
+
+  const TableInfo* FindTable(std::string_view name) const;
+  const IndexInfo* FindIndex(std::string_view name) const;
+
+  /// All indexes declared on `table`.
+  std::vector<const IndexInfo*> TableIndexes(std::string_view table) const;
+
+  /// The index whose first key column is `table.column`, if any (used for
+  /// index-scan planning).
+  const IndexInfo* IndexOnColumn(std::string_view table,
+                                 std::string_view column) const;
+};
+
+/// Mutable catalog bound to the current database state. DDL operations
+/// update both the persistent catalog table and the in-memory CatalogData.
+class Catalog {
+ public:
+  /// Creates the catalog heap table if the store has none, and loads it.
+  static Result<std::unique_ptr<Catalog>> Open(storage::PageWriter* writer,
+                                               storage::PageId* catalog_root);
+
+  Catalog(storage::PageWriter* writer, storage::PageId root)
+      : writer_(writer), root_(root) {}
+
+  Status Reload();
+
+  const CatalogData& data() const { return data_; }
+  storage::PageId root() const { return root_; }
+
+  /// Creates an empty table. Fails with AlreadyExists.
+  Status CreateTable(const std::string& name, const TableSchema& schema);
+
+  /// Drops the table, its pages, and all of its indexes.
+  Status DropTable(const std::string& name);
+
+  /// Creates an empty index; the caller populates it.
+  Result<const IndexInfo*> CreateIndex(const std::string& name,
+                                       const std::string& table,
+                                       const std::vector<std::string>& columns);
+
+  Status DropIndex(const std::string& name);
+
+ private:
+  Status AppendEntry(const Row& row, Rid* rid);
+
+  storage::PageWriter* writer_;
+  storage::PageId root_;
+  CatalogData data_;
+};
+
+}  // namespace rql::sql
+
+#endif  // RQL_SQL_CATALOG_H_

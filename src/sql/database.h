@@ -1,0 +1,177 @@
+#ifndef RQL_SQL_DATABASE_H_
+#define RQL_SQL_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "retro/snapshot_store.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/executor.h"
+#include "sql/functions.h"
+
+namespace rql::sql {
+
+/// A fully materialized query result.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+};
+
+/// Row callback in the style of sqlite3_exec: invoked once per result row
+/// with the column names. Returning a non-OK status aborts the query.
+using QueryCallback =
+    std::function<Status(const std::vector<std::string>& columns,
+                         const Row& row)>;
+
+struct DatabaseOptions {
+  retro::SnapshotStoreOptions store;
+};
+
+/// Timing and counters for the last Exec/Query call.
+struct DbExecStats {
+  int64_t parse_us = 0;
+  int64_t exec_us = 0;  // everything after parsing, incl. index builds
+  ExecStats exec;
+};
+
+class Database;
+
+/// A parsed statement with '?' placeholders, bindable and executable many
+/// times (the sqlite3_prepare/bind/step idiom). Parameters are 1-based.
+/// Not thread-safe; tied to the Database that prepared it.
+class PreparedStatement {
+ public:
+  /// Binds parameter `index` (1-based) to `value`.
+  Status BindValue(int index, Value value);
+
+  /// Convenience binders.
+  Status BindInt(int index, int64_t v) { return BindValue(index, Value(v)); }
+  Status BindReal(int index, double v) { return BindValue(index, Value(v)); }
+  Status BindText(int index, std::string v) {
+    return BindValue(index, Value(std::move(v)));
+  }
+
+  /// Executes with the current bindings; rows go to `cb` for SELECTs.
+  /// All parameters must be bound. May be executed repeatedly; bindings
+  /// persist across executions until rebound.
+  Status Execute(const QueryCallback& cb = nullptr);
+
+  /// Number of '?' placeholders in the statement.
+  int parameter_count() const {
+    return static_cast<int>(parameters_.size());
+  }
+
+ private:
+  friend class Database;
+  PreparedStatement(Database* db, Statement stmt);
+
+  Database* db_;
+  std::unique_ptr<Statement> stmt_;   // stable address for parameter nodes
+  std::vector<Expr*> parameters_;     // position i-1 holds placeholder ?i
+};
+
+/// A SQL database over the Retro snapshot store: the reproduction of the
+/// paper's "BDB SQLite with Retro" substrate.
+///
+/// Supported SQL: CREATE TABLE [AS SELECT] / CREATE INDEX / DROP,
+/// INSERT (VALUES and SELECT), UPDATE, DELETE, SELECT with joins,
+/// GROUP BY / HAVING, DISTINCT, ORDER BY, LIMIT, scalar UDFs, and the
+/// Retro extensions: BEGIN; COMMIT WITH SNAPSHOT; and SELECT AS OF <sid>.
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Open(
+      storage::Env* env, const std::string& name,
+      DatabaseOptions options = DatabaseOptions());
+
+  /// Executes a ';'-separated script. Result rows of SELECTs go to `cb`
+  /// (or are discarded when null).
+  Status Exec(std::string_view sql, const QueryCallback& cb = nullptr);
+
+  /// Executes a single SELECT (or script whose last statement is a SELECT)
+  /// and materializes the result.
+  Result<QueryResult> Query(std::string_view sql);
+
+  /// First column of the first row of `sql`; NotFound if no rows.
+  Result<Value> QueryScalar(std::string_view sql);
+
+  /// Parses one statement (which may contain '?' placeholders) for
+  /// repeated execution.
+  Result<std::unique_ptr<PreparedStatement>> Prepare(std::string_view sql);
+
+  /// Registers a scalar UDF (the hook RQL mechanisms use).
+  void RegisterFunction(const std::string& name, int min_args, int max_args,
+                        ScalarFn fn);
+
+  /// Sets the value returned by current_snapshot(); 0 clears it. The RQL
+  /// runner sets this for the duration of each Qq iteration.
+  void set_current_snapshot(retro::SnapshotId snap) {
+    current_snapshot_ = snap;
+  }
+  retro::SnapshotId current_snapshot() const { return current_snapshot_; }
+
+  /// The snapshot declared by the most recent COMMIT WITH SNAPSHOT.
+  retro::SnapshotId last_declared_snapshot() const { return last_declared_; }
+
+  retro::SnapshotStore* store() { return store_.get(); }
+  Catalog* catalog() { return catalog_.get(); }
+  FunctionRegistry* functions() { return &functions_; }
+  const DbExecStats& last_stats() const { return last_stats_; }
+
+  /// Size of a table (for the paper's memory-footprint experiments).
+  struct TableStats {
+    uint64_t pages = 0;
+    uint64_t bytes = 0;  // pages * page size
+    uint64_t rows = 0;
+    uint64_t payload_bytes = 0;  // sum of record sizes
+  };
+  Result<TableStats> GetTableStats(std::string_view table);
+
+  /// Size of an index in pages/bytes.
+  Result<TableStats> GetIndexStats(std::string_view index);
+
+  /// Appends one row to `table`, maintaining its indexes. Returns the rid.
+  /// This is the fast path the RQL mechanisms use for result tables,
+  /// standing in for SQLite prepared INSERT statements.
+  Result<Rid> AppendRow(std::string_view table, const Row& row);
+
+  /// Replaces the row at `rid` (all columns), maintaining indexes; the row
+  /// may move. Returns the new rid.
+  Result<Rid> UpdateRowAt(std::string_view table, Rid rid, const Row& old_row,
+                          const Row& new_row);
+
+ private:
+  friend class PreparedStatement;
+  Database() = default;
+
+  Status ExecStatement(Statement* stmt, const QueryCallback& cb);
+  Status ExecSelect(const SelectStmt& stmt, const QueryCallback& cb);
+  Status ExecCreateTable(CreateTableStmt* stmt);
+  Status ExecCreateIndex(const CreateIndexStmt& stmt);
+  Status ExecDrop(const DropStmt& stmt);
+  Status ExecInsert(InsertStmt* stmt);
+  Status ExecUpdate(UpdateStmt* stmt);
+  Status ExecDelete(DeleteStmt* stmt);
+
+  /// Inserts `row` and maintains all indexes of `table`.
+  Status InsertRow(const TableInfo& table, const Row& row);
+  Status DeleteRow(const TableInfo& table, Rid rid, const Row& row);
+
+  /// Runs `body` inside the current transaction, or inside an implicit
+  /// single-statement transaction with rollback on failure.
+  Status WithImplicitTxn(const std::function<Status()>& body);
+
+  std::unique_ptr<retro::SnapshotStore> store_;
+  std::unique_ptr<Catalog> catalog_;
+  FunctionRegistry functions_;
+  retro::SnapshotId current_snapshot_ = retro::kNoSnapshot;
+  retro::SnapshotId last_declared_ = retro::kNoSnapshot;
+  DbExecStats last_stats_;
+};
+
+}  // namespace rql::sql
+
+#endif  // RQL_SQL_DATABASE_H_

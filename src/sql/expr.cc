@@ -1,0 +1,349 @@
+#include "sql/expr.h"
+
+#include <cmath>
+
+namespace rql::sql {
+
+void BindScope::Add(std::string_view alias, const TableSchema* schema) {
+  entries.push_back(Entry{IdentLower(alias), schema, total_columns});
+  total_columns += static_cast<int>(schema->size());
+}
+
+Status BindExpr(Expr* expr, const BindScope& scope) {
+  if (expr->kind == ExprKind::kColumnRef) {
+    int found = -1;
+    for (const BindScope::Entry& entry : scope.entries) {
+      if (!expr->table.empty() &&
+          !IdentEquals(expr->table, entry.alias)) {
+        continue;
+      }
+      int idx = entry.schema->FindColumn(expr->name);
+      if (idx >= 0) {
+        if (found >= 0) {
+          return Status::InvalidArgument("ambiguous column: " + expr->name);
+        }
+        found = entry.offset + idx;
+      }
+    }
+    if (found < 0) {
+      return Status::InvalidArgument("no such column: " +
+                                     (expr->table.empty()
+                                          ? expr->name
+                                          : expr->table + "." + expr->name));
+    }
+    expr->column_index = found;
+    return Status::OK();
+  }
+  for (ExprPtr& arg : expr->args) {
+    RQL_RETURN_IF_ERROR(BindExpr(arg.get(), scope));
+  }
+  return Status::OK();
+}
+
+bool ContainsAggregate(const Expr& expr) {
+  if (expr.kind == ExprKind::kFunctionCall && IsAggregateFunction(expr.name)) {
+    return true;
+  }
+  for (const ExprPtr& arg : expr.args) {
+    if (ContainsAggregate(*arg)) return true;
+  }
+  return false;
+}
+
+void CollectAggregates(Expr* expr, std::vector<Expr*>* out) {
+  if (expr->kind == ExprKind::kFunctionCall &&
+      IsAggregateFunction(expr->name)) {
+    out->push_back(expr);
+    return;  // aggregates do not nest
+  }
+  for (ExprPtr& arg : expr->args) {
+    CollectAggregates(arg.get(), out);
+  }
+}
+
+bool ValueIsTrue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull: return false;
+    case ValueType::kInteger: return v.integer() != 0;
+    case ValueType::kReal: return v.real() != 0.0;
+    case ValueType::kText: return false;  // SQLite: non-numeric text is 0
+  }
+  return false;
+}
+
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  // Iterative glob with backtracking on '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+namespace {
+
+Result<Value> EvalComparison(BinOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  if (op == BinOp::kLike) {
+    return Value::Integer(LikeMatch(lhs.ToString(), rhs.ToString()) ? 1 : 0);
+  }
+  int c = CompareValues(lhs, rhs);
+  bool result = false;
+  switch (op) {
+    case BinOp::kEq: result = c == 0; break;
+    case BinOp::kNe: result = c != 0; break;
+    case BinOp::kLt: result = c < 0; break;
+    case BinOp::kLe: result = c <= 0; break;
+    case BinOp::kGt: result = c > 0; break;
+    case BinOp::kGe: result = c >= 0; break;
+    default: return Status::Internal("not a comparison");
+  }
+  return Value::Integer(result ? 1 : 0);
+}
+
+Result<Value> EvalArithmetic(BinOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  if (!lhs.is_numeric() || !rhs.is_numeric()) {
+    return Status::InvalidArgument("arithmetic on non-numeric values");
+  }
+  bool both_int = lhs.type() == ValueType::kInteger &&
+                  rhs.type() == ValueType::kInteger;
+  if (both_int && op != BinOp::kDiv) {
+    int64_t a = lhs.integer(), b = rhs.integer();
+    switch (op) {
+      case BinOp::kAdd: return Value::Integer(a + b);
+      case BinOp::kSub: return Value::Integer(a - b);
+      case BinOp::kMul: return Value::Integer(a * b);
+      case BinOp::kMod:
+        if (b == 0) return Value::Null();
+        return Value::Integer(a % b);
+      default: break;
+    }
+  }
+  double a = lhs.AsDouble(), b = rhs.AsDouble();
+  switch (op) {
+    case BinOp::kAdd: return Value::Real(a + b);
+    case BinOp::kSub: return Value::Real(a - b);
+    case BinOp::kMul: return Value::Real(a * b);
+    case BinOp::kDiv:
+      if (b == 0.0) return Value::Null();
+      if (both_int && lhs.integer() % rhs.integer() == 0) {
+        return Value::Integer(lhs.integer() / rhs.integer());
+      }
+      return Value::Real(a / b);
+    case BinOp::kMod:
+      if (b == 0.0) return Value::Null();
+      return Value::Real(std::fmod(a, b));
+    default:
+      return Status::Internal("not arithmetic");
+  }
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& expr, const EvalContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+
+    case ExprKind::kParameter:
+      if (!expr.param_bound) {
+        return Status::InvalidArgument(
+            "unbound parameter ?" + std::to_string(expr.param_index));
+      }
+      return expr.literal;
+
+    case ExprKind::kColumnRef: {
+      if (ctx.row == nullptr || expr.column_index < 0 ||
+          expr.column_index >= static_cast<int>(ctx.row->size())) {
+        return Status::Internal("unbound column reference: " + expr.name);
+      }
+      return (*ctx.row)[expr.column_index];
+    }
+
+    case ExprKind::kStar:
+      return Status::InvalidArgument("'*' is not valid here");
+
+    case ExprKind::kUnary: {
+      if (expr.un_op == UnOp::kIsNull || expr.un_op == UnOp::kIsNotNull) {
+        RQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.args[0], ctx));
+        bool is_null = v.is_null();
+        return Value::Integer(
+            (expr.un_op == UnOp::kIsNull ? is_null : !is_null) ? 1 : 0);
+      }
+      RQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.args[0], ctx));
+      if (expr.un_op == UnOp::kNot) {
+        if (v.is_null()) return Value::Null();
+        return Value::Integer(ValueIsTrue(v) ? 0 : 1);
+      }
+      // kNeg
+      if (v.is_null()) return Value::Null();
+      if (v.type() == ValueType::kInteger) return Value::Integer(-v.integer());
+      if (v.type() == ValueType::kReal) return Value::Real(-v.real());
+      return Status::InvalidArgument("cannot negate a text value");
+    }
+
+    case ExprKind::kBinary: {
+      // Kleene three-valued AND/OR with short-circuiting.
+      if (expr.bin_op == BinOp::kAnd || expr.bin_op == BinOp::kOr) {
+        RQL_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.args[0], ctx));
+        bool is_and = expr.bin_op == BinOp::kAnd;
+        if (!lhs.is_null()) {
+          bool lt = ValueIsTrue(lhs);
+          if (is_and && !lt) return Value::Integer(0);
+          if (!is_and && lt) return Value::Integer(1);
+        }
+        RQL_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.args[1], ctx));
+        if (!rhs.is_null()) {
+          bool rt = ValueIsTrue(rhs);
+          if (is_and && !rt) return Value::Integer(0);
+          if (!is_and && rt) return Value::Integer(1);
+        }
+        if (lhs.is_null() || rhs.is_null()) return Value::Null();
+        return Value::Integer(is_and ? 1 : 0);
+      }
+      RQL_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.args[0], ctx));
+      RQL_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.args[1], ctx));
+      switch (expr.bin_op) {
+        case BinOp::kEq: case BinOp::kNe: case BinOp::kLt: case BinOp::kLe:
+        case BinOp::kGt: case BinOp::kGe: case BinOp::kLike:
+          return EvalComparison(expr.bin_op, lhs, rhs);
+        default:
+          return EvalArithmetic(expr.bin_op, lhs, rhs);
+      }
+    }
+
+    case ExprKind::kIn: {
+      // SQL semantics: TRUE on a match; otherwise NULL if the operand or
+      // any candidate is NULL, else FALSE. NOT IN negates with 3VL.
+      RQL_ASSIGN_OR_RETURN(Value needle, EvalExpr(*expr.args[0], ctx));
+      bool saw_null = needle.is_null();
+      bool matched = false;
+      auto consider = [&](const Value& candidate) {
+        if (candidate.is_null()) {
+          saw_null = true;
+        } else if (!matched && !needle.is_null() &&
+                   CompareValues(needle, candidate) == 0) {
+          matched = true;
+        }
+      };
+      if (expr.args.size() == 2 &&
+          expr.args[1]->kind == ExprKind::kSubquery) {
+        if (ctx.subqueries == nullptr) {
+          return Status::NotSupported("subquery not supported here");
+        }
+        RQL_ASSIGN_OR_RETURN(const std::vector<Row>* rows,
+                             ctx.subqueries->RunSubquery(*expr.args[1]));
+        for (const Row& row : *rows) {
+          if (row.size() != 1) {
+            return Status::InvalidArgument(
+                "IN subquery must return a single column");
+          }
+          if (matched) break;
+          consider(row[0]);
+        }
+      } else if (!needle.is_null()) {
+        for (size_t i = 1; i < expr.args.size(); ++i) {
+          RQL_ASSIGN_OR_RETURN(Value candidate,
+                               EvalExpr(*expr.args[i], ctx));
+          consider(candidate);
+          if (matched) break;
+        }
+      }
+      if (matched) return Value::Integer(expr.negated ? 0 : 1);
+      if (saw_null) return Value::Null();
+      return Value::Integer(expr.negated ? 1 : 0);
+    }
+
+    case ExprKind::kSubquery: {
+      // Scalar position: first column of the single result row.
+      if (ctx.subqueries == nullptr) {
+        return Status::NotSupported("subquery not supported here");
+      }
+      RQL_ASSIGN_OR_RETURN(const std::vector<Row>* rows,
+                           ctx.subqueries->RunSubquery(expr));
+      if (rows->empty()) return Value::Null();
+      if (rows->size() > 1) {
+        return Status::InvalidArgument(
+            "scalar subquery returned more than one row");
+      }
+      if ((*rows)[0].size() != 1) {
+        return Status::InvalidArgument(
+            "scalar subquery must return a single column");
+      }
+      return (*rows)[0][0];
+    }
+
+    case ExprKind::kCase: {
+      size_t i = 0;
+      Value base;
+      if (expr.case_has_base) {
+        RQL_ASSIGN_OR_RETURN(base, EvalExpr(*expr.args[0], ctx));
+        i = 1;
+      }
+      size_t end = expr.args.size() - (expr.case_has_else ? 1 : 0);
+      for (; i + 1 < end + 1 && i + 1 < expr.args.size(); i += 2) {
+        RQL_ASSIGN_OR_RETURN(Value when, EvalExpr(*expr.args[i], ctx));
+        bool hit = expr.case_has_base
+                       ? (!when.is_null() && !base.is_null() &&
+                          CompareValues(base, when) == 0)
+                       : ValueIsTrue(when);
+        if (hit) return EvalExpr(*expr.args[i + 1], ctx);
+      }
+      if (expr.case_has_else) {
+        return EvalExpr(*expr.args.back(), ctx);
+      }
+      return Value::Null();
+    }
+
+    case ExprKind::kFunctionCall: {
+      if (IsAggregateFunction(expr.name)) {
+        // During group output the aggregation pipeline supplies values.
+        if (ctx.agg_nodes != nullptr) {
+          for (size_t i = 0; i < ctx.agg_nodes->size(); ++i) {
+            if ((*ctx.agg_nodes)[i] == &expr) return (*ctx.agg_values)[i];
+          }
+        }
+        return Status::InvalidArgument("aggregate " + expr.name +
+                                       " used outside an aggregation");
+      }
+      if (ctx.functions == nullptr) {
+        return Status::Internal("no function registry in scope");
+      }
+      const FunctionDef* def = ctx.functions->Find(expr.name);
+      if (def == nullptr) {
+        return Status::InvalidArgument("no such function: " + expr.name);
+      }
+      int argc = static_cast<int>(expr.args.size());
+      if (argc < def->min_args ||
+          (def->max_args >= 0 && argc > def->max_args)) {
+        return Status::InvalidArgument("wrong argument count for " +
+                                       expr.name);
+      }
+      std::vector<Value> args;
+      args.reserve(expr.args.size());
+      for (const ExprPtr& arg : expr.args) {
+        RQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*arg, ctx));
+        args.push_back(std::move(v));
+      }
+      return def->fn(args);
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+}  // namespace rql::sql

@@ -1,0 +1,75 @@
+#ifndef RQL_SQL_EXPR_H_
+#define RQL_SQL_EXPR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/functions.h"
+#include "sql/schema.h"
+
+namespace rql::sql {
+
+/// Name-resolution scope: the tables visible to an expression, in FROM
+/// order. Column references resolve to offsets into the concatenation of
+/// the tables' rows.
+struct BindScope {
+  struct Entry {
+    std::string alias;           // lower-cased
+    const TableSchema* schema;
+    int offset;                  // first column's index in the joined row
+  };
+  std::vector<Entry> entries;
+  int total_columns = 0;
+
+  void Add(std::string_view alias, const TableSchema* schema);
+};
+
+/// Resolves every column reference in `expr` against `scope`, setting
+/// Expr::column_index. Fails on unknown or ambiguous names.
+Status BindExpr(Expr* expr, const BindScope& scope);
+
+/// True if the (sub)tree contains an aggregate function call.
+bool ContainsAggregate(const Expr& expr);
+
+/// Collects pointers to the aggregate call nodes in evaluation order.
+void CollectAggregates(Expr* expr, std::vector<Expr*>* out);
+
+/// Executes uncorrelated subquery expressions for the evaluator. The
+/// SELECT executor implements this with per-statement result caching (an
+/// uncorrelated subquery's result is row-independent).
+class SubqueryRunner {
+ public:
+  virtual ~SubqueryRunner() = default;
+  /// Materialized rows of `expr` (kind == kSubquery). The pointer stays
+  /// valid for the lifetime of the enclosing statement execution.
+  virtual Result<const std::vector<Row>*> RunSubquery(const Expr& expr) = 0;
+};
+
+/// Evaluation context: the current joined input row plus, during the
+/// output phase of an aggregation, the computed value of each aggregate
+/// node.
+struct EvalContext {
+  const Row* row = nullptr;
+  const FunctionRegistry* functions = nullptr;
+  /// Parallel arrays: aggregate node -> its value for the current group.
+  const std::vector<const Expr*>* agg_nodes = nullptr;
+  const std::vector<Value>* agg_values = nullptr;
+  /// Present only where subqueries are supported (SELECT execution).
+  SubqueryRunner* subqueries = nullptr;
+};
+
+/// Evaluates a bound expression with SQL three-valued logic (comparisons
+/// with NULL yield NULL, AND/OR follow Kleene logic).
+Result<Value> EvalExpr(const Expr& expr, const EvalContext& ctx);
+
+/// SQL truthiness of a value: NULL and zero are false.
+bool ValueIsTrue(const Value& v);
+
+/// SQL LIKE with % and _ wildcards (case-sensitive).
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace rql::sql
+
+#endif  // RQL_SQL_EXPR_H_

@@ -1,0 +1,204 @@
+#include "sql/functions.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cmath>
+
+#include "sql/schema.h"
+
+namespace rql::sql {
+
+void FunctionRegistry::Register(const std::string& name, int min_args,
+                                int max_args, ScalarFn fn) {
+  functions_[IdentLower(name)] = FunctionDef{min_args, max_args,
+                                             std::move(fn)};
+}
+
+const FunctionDef* FunctionRegistry::Find(const std::string& name) const {
+  auto it = functions_.find(IdentLower(name));
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+bool IsAggregateFunction(const std::string& name) {
+  static constexpr std::string_view kAggregates[] = {"count", "sum", "min",
+                                                     "max", "avg", "total"};
+  std::string lower = IdentLower(name);
+  for (std::string_view agg : kAggregates) {
+    if (lower == agg) return true;
+  }
+  return false;
+}
+
+FunctionRegistry FunctionRegistry::WithBuiltins() {
+  FunctionRegistry reg;
+  reg.Register("abs", 1, 1, [](const std::vector<Value>& args) -> Result<Value> {
+    const Value& v = args[0];
+    if (v.is_null()) return Value::Null();
+    if (v.type() == ValueType::kInteger) {
+      return Value::Integer(std::abs(v.integer()));
+    }
+    if (v.type() == ValueType::kReal) return Value::Real(std::fabs(v.real()));
+    return Status::InvalidArgument("abs: non-numeric argument");
+  });
+  reg.Register("length", 1, 1,
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 const Value& v = args[0];
+                 if (v.is_null()) return Value::Null();
+                 if (v.type() == ValueType::kText) {
+                   return Value::Integer(
+                       static_cast<int64_t>(v.text().size()));
+                 }
+                 return Value::Integer(
+                     static_cast<int64_t>(v.ToString().size()));
+               });
+  reg.Register("substr", 2, 3,
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 if (args[0].is_null()) return Value::Null();
+                 std::string s = args[0].type() == ValueType::kText
+                                     ? args[0].text()
+                                     : args[0].ToString();
+                 // SQLite semantics: 1-based start.
+                 int64_t start = args[1].AsInt();
+                 int64_t len = args.size() > 2
+                                   ? args[2].AsInt()
+                                   : static_cast<int64_t>(s.size());
+                 if (start < 1) start = 1;
+                 if (start > static_cast<int64_t>(s.size())) {
+                   return Value::Text("");
+                 }
+                 if (len < 0) len = 0;
+                 return Value::Text(s.substr(static_cast<size_t>(start - 1),
+                                             static_cast<size_t>(len)));
+               });
+  reg.Register("upper", 1, 1,
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 if (args[0].is_null()) return Value::Null();
+                 std::string s = args[0].ToString();
+                 for (char& c : s) {
+                   c = static_cast<char>(
+                       std::toupper(static_cast<unsigned char>(c)));
+                 }
+                 return Value::Text(std::move(s));
+               });
+  reg.Register("lower", 1, 1,
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 if (args[0].is_null()) return Value::Null();
+                 std::string s = args[0].ToString();
+                 for (char& c : s) {
+                   c = static_cast<char>(
+                       std::tolower(static_cast<unsigned char>(c)));
+                 }
+                 return Value::Text(std::move(s));
+               });
+  reg.Register("coalesce", 1, -1,
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 for (const Value& v : args) {
+                   if (!v.is_null()) return v;
+                 }
+                 return Value::Null();
+               });
+  reg.Register("ifnull", 2, 2,
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 return args[0].is_null() ? args[1] : args[0];
+               });
+  reg.Register("typeof", 1, 1,
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 return Value::Text(
+                     std::string(ValueTypeName(args[0].type())));
+               });
+  reg.Register("round", 1, 2,
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 if (args[0].is_null()) return Value::Null();
+                 if (!args[0].is_numeric()) {
+                   return Status::InvalidArgument("round: non-numeric");
+                 }
+                 int64_t digits = args.size() > 1 ? args[1].AsInt() : 0;
+                 double scale = std::pow(10.0, static_cast<double>(digits));
+                 return Value::Real(std::round(args[0].AsDouble() * scale) /
+                                    scale);
+               });
+  reg.Register("nullif", 2, 2,
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 if (!args[0].is_null() && !args[1].is_null() &&
+                     CompareValues(args[0], args[1]) == 0) {
+                   return Value::Null();
+                 }
+                 return args[0];
+               });
+  reg.Register("trim", 1, 1,
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 if (args[0].is_null()) return Value::Null();
+                 std::string s = args[0].ToString();
+                 size_t b = s.find_first_not_of(" \t\r\n");
+                 size_t e = s.find_last_not_of(" \t\r\n");
+                 if (b == std::string::npos) return Value::Text("");
+                 return Value::Text(s.substr(b, e - b + 1));
+               });
+  reg.Register("replace", 3, 3,
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 if (args[0].is_null()) return Value::Null();
+                 std::string s = args[0].ToString();
+                 std::string from = args[1].ToString();
+                 std::string to = args[2].ToString();
+                 if (from.empty()) return Value::Text(std::move(s));
+                 std::string out;
+                 size_t pos = 0;
+                 for (;;) {
+                   size_t hit = s.find(from, pos);
+                   if (hit == std::string::npos) break;
+                   out.append(s, pos, hit - pos);
+                   out.append(to);
+                   pos = hit + from.size();
+                 }
+                 out.append(s, pos, std::string::npos);
+                 return Value::Text(std::move(out));
+               });
+  reg.Register("instr", 2, 2,
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 if (args[0].is_null() || args[1].is_null()) {
+                   return Value::Null();
+                 }
+                 std::string hay = args[0].ToString();
+                 size_t pos = hay.find(args[1].ToString());
+                 return Value::Integer(
+                     pos == std::string::npos
+                         ? 0
+                         : static_cast<int64_t>(pos) + 1);
+               });
+  // CAST(x AS type) compiles to these.
+  reg.Register("cast_integer", 1, 1,
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 const Value& v = args[0];
+                 if (v.is_null()) return Value::Null();
+                 if (v.type() == ValueType::kText) {
+                   errno = 0;
+                   char* end = nullptr;
+                   long long parsed = std::strtoll(v.text().c_str(), &end,
+                                                   10);
+                   return Value::Integer(end == v.text().c_str()
+                                             ? 0
+                                             : static_cast<int64_t>(parsed));
+                 }
+                 return Value::Integer(v.AsInt());
+               });
+  reg.Register("cast_real", 1, 1,
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 const Value& v = args[0];
+                 if (v.is_null()) return Value::Null();
+                 if (v.type() == ValueType::kText) {
+                   char* end = nullptr;
+                   double parsed = std::strtod(v.text().c_str(), &end);
+                   return Value::Real(end == v.text().c_str() ? 0.0
+                                                              : parsed);
+                 }
+                 return Value::Real(v.AsDouble());
+               });
+  reg.Register("cast_text", 1, 1,
+               [](const std::vector<Value>& args) -> Result<Value> {
+                 if (args[0].is_null()) return Value::Null();
+                 return Value::Text(args[0].ToString());
+               });
+  return reg;
+}
+
+}  // namespace rql::sql

@@ -1,0 +1,49 @@
+#ifndef RQL_SQL_FUNCTIONS_H_
+#define RQL_SQL_FUNCTIONS_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/value.h"
+
+namespace rql::sql {
+
+/// A scalar SQL function (built-in or user-defined). RQL's mechanisms are
+/// registered through this hook, mirroring the paper's use of the SQLite
+/// UDF framework.
+using ScalarFn = std::function<Result<Value>(const std::vector<Value>& args)>;
+
+struct FunctionDef {
+  int min_args = 0;
+  int max_args = 0;  // -1 = variadic
+  ScalarFn fn;
+};
+
+/// Name -> function registry with SQLite-style case-insensitive lookup.
+class FunctionRegistry {
+ public:
+  /// Creates a registry pre-populated with built-ins (ABS, LENGTH, SUBSTR,
+  /// UPPER, LOWER, COALESCE, IFNULL, TYPEOF).
+  static FunctionRegistry WithBuiltins();
+
+  /// Registers or replaces `name`.
+  void Register(const std::string& name, int min_args, int max_args,
+                ScalarFn fn);
+
+  /// nullptr when unknown.
+  const FunctionDef* Find(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, FunctionDef> functions_;
+};
+
+/// True for the aggregate function names handled by the executor's
+/// aggregation pipeline (COUNT, SUM, MIN, MAX, AVG, TOTAL).
+bool IsAggregateFunction(const std::string& name);
+
+}  // namespace rql::sql
+
+#endif  // RQL_SQL_FUNCTIONS_H_

@@ -1,0 +1,152 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "sql/schema.h"
+
+namespace rql::sql {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return type == TokenType::kIdentifier && IdentEquals(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto is_ident_start = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (is_ident_start(c)) {
+      size_t start = i;
+      while (i < n && is_ident(sql[i])) ++i;
+      token.type = TokenType::kIdentifier;
+      token.text = std::string(sql.substr(start, i - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      token.type = is_float ? TokenType::kFloat : TokenType::kInteger;
+      token.text = std::string(sql.substr(start, i - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string contents;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escape
+            contents.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        contents.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(token.offset));
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(contents);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '"') {  // quoted identifier
+      ++i;
+      std::string contents;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        contents.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated quoted identifier");
+      }
+      token.type = TokenType::kIdentifier;
+      token.text = std::move(contents);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Operators, longest match first.
+    static constexpr std::string_view kTwoChar[] = {"==", "!=", "<>", "<=",
+                                                    ">="};
+    bool matched = false;
+    if (i + 1 < n) {
+      std::string_view two = sql.substr(i, 2);
+      for (std::string_view op : kTwoChar) {
+        if (two == op) {
+          token.type = TokenType::kOperator;
+          token.text = std::string(op);
+          tokens.push_back(std::move(token));
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (matched) continue;
+    static constexpr std::string_view kOneChar = "=<>+-*/%(),;.?";
+    if (kOneChar.find(c) != std::string_view::npos) {
+      token.type = TokenType::kOperator;
+      token.text = std::string(1, c);
+      tokens.push_back(std::move(token));
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+  Token eof;
+  eof.type = TokenType::kEof;
+  eof.offset = n;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace rql::sql

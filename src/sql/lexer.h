@@ -1,0 +1,37 @@
+#ifndef RQL_SQL_LEXER_H_
+#define RQL_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rql::sql {
+
+enum class TokenType {
+  kEof,
+  kIdentifier,   // possibly a keyword; the parser matches case-insensitively
+  kInteger,
+  kFloat,
+  kString,       // contents with quotes removed, '' unescaped
+  kOperator,     // one of = == != <> < <= > >= + - * / % ( ) , ; .
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;   // identifier/operator spelling or literal contents
+  size_t offset = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(std::string_view kw) const;
+  bool IsOp(std::string_view op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+/// Tokenizes `sql`. The final token is always kEof.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace rql::sql
+
+#endif  // RQL_SQL_LEXER_H_

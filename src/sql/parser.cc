@@ -1,0 +1,692 @@
+#include "sql/parser.h"
+
+#include <charconv>
+
+#include "sql/lexer.h"
+
+namespace rql::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<Statement>> ParseScript() {
+    std::vector<Statement> statements;
+    while (!AtEof()) {
+      if (ConsumeOp(";")) continue;  // empty statement
+      RQL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+      statements.push_back(std::move(stmt));
+      if (!AtEof() && !ConsumeOp(";")) {
+        return Error("expected ';' between statements");
+      }
+    }
+    return statements;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEof() const { return Peek().type == TokenType::kEof; }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeOp(std::string_view op) {
+    if (Peek().IsOp(op)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("parse error at offset " +
+                                   std::to_string(Peek().offset) + ": " +
+                                   message + " (near '" + Peek().text + "')");
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!ConsumeKeyword(kw)) {
+      return Error("expected " + std::string(kw));
+    }
+    return Status::OK();
+  }
+  Status ExpectOp(std::string_view op) {
+    if (!ConsumeOp(op)) {
+      return Error("expected '" + std::string(op) + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected " + what);
+    }
+    return Advance().text;
+  }
+
+  // ---- statements --------------------------------------------------------
+
+  Result<Statement> ParseStatement() {
+    if (Peek().IsKeyword("SELECT")) {
+      RQL_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect());
+      return Statement(std::move(stmt));
+    }
+    if (ConsumeKeyword("EXPLAIN")) {
+      if (!Peek().IsKeyword("SELECT")) {
+        return Error("EXPLAIN supports only SELECT statements");
+      }
+      RQL_ASSIGN_OR_RETURN(SelectStmt select, ParseSelect());
+      ExplainStmt stmt;
+      stmt.select = std::make_unique<SelectStmt>(std::move(select));
+      return Statement(std::move(stmt));
+    }
+    if (ConsumeKeyword("CREATE")) return ParseCreate();
+    if (ConsumeKeyword("DROP")) return ParseDrop();
+    if (ConsumeKeyword("INSERT")) return ParseInsert();
+    if (ConsumeKeyword("UPDATE")) return ParseUpdate();
+    if (ConsumeKeyword("DELETE")) return ParseDelete();
+    if (ConsumeKeyword("BEGIN")) return Statement(BeginStmt{});
+    if (ConsumeKeyword("COMMIT")) {
+      CommitStmt stmt;
+      if (ConsumeKeyword("WITH")) {
+        RQL_RETURN_IF_ERROR(ExpectKeyword("SNAPSHOT"));
+        stmt.with_snapshot = true;
+      }
+      return Statement(std::move(stmt));
+    }
+    if (ConsumeKeyword("ROLLBACK")) return Statement(RollbackStmt{});
+    return Error("expected a statement");
+  }
+
+  Result<SelectStmt> ParseSelect() {
+    RQL_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectStmt stmt;
+    // Retro extension: SELECT AS OF <sid> ...
+    if (Peek().IsKeyword("AS") && Peek(1).IsKeyword("OF")) {
+      pos_ += 2;
+      if (Peek().type != TokenType::kInteger) {
+        return Error("expected snapshot id after AS OF");
+      }
+      stmt.as_of = static_cast<uint32_t>(std::stoull(Advance().text));
+    }
+    if (ConsumeKeyword("DISTINCT")) stmt.distinct = true;
+    else ConsumeKeyword("ALL");
+
+    // Select list.
+    do {
+      SelectItem item;
+      RQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (ConsumeKeyword("AS")) {
+        RQL_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+      } else if (Peek().type == TokenType::kIdentifier &&
+                 !IsClauseKeyword(Peek())) {
+        item.alias = Advance().text;
+      }
+      stmt.items.push_back(std::move(item));
+    } while (ConsumeOp(","));
+
+    if (ConsumeKeyword("FROM")) {
+      RQL_RETURN_IF_ERROR(ParseFromClause(&stmt));
+    }
+    if (ConsumeKeyword("WHERE")) {
+      RQL_ASSIGN_OR_RETURN(ExprPtr where, ParseExpr());
+      stmt.where = stmt.where
+                       ? MakeBinary(BinOp::kAnd, std::move(stmt.where),
+                                    std::move(where))
+                       : std::move(where);
+    }
+    if (ConsumeKeyword("GROUP")) {
+      RQL_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        RQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+      } while (ConsumeOp(","));
+    }
+    if (ConsumeKeyword("HAVING")) {
+      RQL_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (ConsumeKeyword("ORDER")) {
+      RQL_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderItem item;
+        RQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("DESC")) item.desc = true;
+        else ConsumeKeyword("ASC");
+        stmt.order_by.push_back(std::move(item));
+      } while (ConsumeOp(","));
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kInteger) {
+        return Error("expected integer after LIMIT");
+      }
+      stmt.limit = std::stoll(Advance().text);
+    }
+    return stmt;
+  }
+
+  static bool IsClauseKeyword(const Token& t) {
+    static constexpr std::string_view kClauses[] = {
+        "FROM",  "WHERE", "GROUP",   "HAVING", "ORDER", "LIMIT", "AS",
+        "ASC",   "DESC",  "VALUES",  "ON",     "JOIN",  "INNER", "SET",
+        "WHEN",  "THEN",  "ELSE",    "END",    "IN",    "BETWEEN", "NOT",
+        "AND",   "OR",    "IS",      "LIKE"};
+    for (std::string_view kw : kClauses) {
+      if (t.IsKeyword(kw)) return true;
+    }
+    return false;
+  }
+
+  Status ParseFromClause(SelectStmt* stmt) {
+    RQL_RETURN_IF_ERROR(ParseTableRef(stmt));
+    for (;;) {
+      if (ConsumeOp(",")) {
+        RQL_RETURN_IF_ERROR(ParseTableRef(stmt));
+        continue;
+      }
+      if (Peek().IsKeyword("JOIN") ||
+          (Peek().IsKeyword("INNER") && Peek(1).IsKeyword("JOIN"))) {
+        ConsumeKeyword("INNER");
+        ConsumeKeyword("JOIN");
+        RQL_RETURN_IF_ERROR(ParseTableRef(stmt));
+        if (ConsumeKeyword("ON")) {
+          RQL_ASSIGN_OR_RETURN(ExprPtr on, ParseExpr());
+          stmt->where = stmt->where
+                            ? MakeBinary(BinOp::kAnd, std::move(stmt->where),
+                                         std::move(on))
+                            : std::move(on);
+        }
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableRef(SelectStmt* stmt) {
+    TableRef ref;
+    RQL_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier("table name"));
+    if (ConsumeKeyword("AS")) {
+      RQL_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("table alias"));
+    } else if (Peek().type == TokenType::kIdentifier &&
+               !IsClauseKeyword(Peek())) {
+      ref.alias = Advance().text;
+    }
+    if (ref.alias.empty()) ref.alias = ref.name;
+    stmt->from.push_back(std::move(ref));
+    return Status::OK();
+  }
+
+  Result<Statement> ParseCreate() {
+    if (ConsumeKeyword("TABLE")) {
+      CreateTableStmt stmt;
+      if (ConsumeKeyword("IF")) {
+        RQL_RETURN_IF_ERROR(ExpectKeyword("NOT"));
+        RQL_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+        stmt.if_not_exists = true;
+      }
+      RQL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("table name"));
+      if (ConsumeKeyword("AS")) {
+        RQL_ASSIGN_OR_RETURN(SelectStmt select, ParseSelect());
+        stmt.as_select = std::make_unique<SelectStmt>(std::move(select));
+        return Statement(std::move(stmt));
+      }
+      RQL_RETURN_IF_ERROR(ExpectOp("("));
+      do {
+        ColumnDef col;
+        RQL_ASSIGN_OR_RETURN(col.name, ExpectIdentifier("column name"));
+        RQL_ASSIGN_OR_RETURN(col.type, ParseColumnType());
+        // Constraints are accepted and ignored (no enforcement).
+        while (ConsumeKeyword("PRIMARY")) {
+          RQL_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        }
+        while (ConsumeKeyword("NOT")) {
+          RQL_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+        }
+        stmt.schema.columns.push_back(std::move(col));
+      } while (ConsumeOp(","));
+      RQL_RETURN_IF_ERROR(ExpectOp(")"));
+      return Statement(std::move(stmt));
+    }
+    if (ConsumeKeyword("INDEX")) {
+      CreateIndexStmt stmt;
+      RQL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("index name"));
+      RQL_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      RQL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+      RQL_RETURN_IF_ERROR(ExpectOp("("));
+      do {
+        RQL_ASSIGN_OR_RETURN(std::string col,
+                             ExpectIdentifier("column name"));
+        stmt.columns.push_back(std::move(col));
+      } while (ConsumeOp(","));
+      RQL_RETURN_IF_ERROR(ExpectOp(")"));
+      return Statement(std::move(stmt));
+    }
+    return Error("expected TABLE or INDEX after CREATE");
+  }
+
+  Result<ValueType> ParseColumnType() {
+    RQL_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("column type"));
+    if (IdentEquals(name, "INTEGER") || IdentEquals(name, "INT") ||
+        IdentEquals(name, "BIGINT")) {
+      return ValueType::kInteger;
+    }
+    if (IdentEquals(name, "REAL") || IdentEquals(name, "DOUBLE") ||
+        IdentEquals(name, "FLOAT") || IdentEquals(name, "DECIMAL") ||
+        IdentEquals(name, "NUMERIC")) {
+      // Optional (p, s) suffix.
+      if (ConsumeOp("(")) {
+        while (!ConsumeOp(")")) {
+          if (AtEof()) return Error("unterminated type suffix");
+          Advance();
+        }
+      }
+      return ValueType::kReal;
+    }
+    if (IdentEquals(name, "TEXT") || IdentEquals(name, "VARCHAR") ||
+        IdentEquals(name, "CHAR") || IdentEquals(name, "DATE") ||
+        IdentEquals(name, "STRING")) {
+      if (ConsumeOp("(")) {
+        while (!ConsumeOp(")")) {
+          if (AtEof()) return Error("unterminated type suffix");
+          Advance();
+        }
+      }
+      return ValueType::kText;
+    }
+    return Error("unknown column type " + name);
+  }
+
+  Result<Statement> ParseDrop() {
+    DropStmt stmt;
+    if (ConsumeKeyword("TABLE")) {
+      stmt.is_index = false;
+    } else if (ConsumeKeyword("INDEX")) {
+      stmt.is_index = true;
+    } else {
+      return Error("expected TABLE or INDEX after DROP");
+    }
+    if (ConsumeKeyword("IF")) {
+      RQL_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+      stmt.if_exists = true;
+    }
+    RQL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("name"));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseInsert() {
+    RQL_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStmt stmt;
+    RQL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (ConsumeOp("(")) {
+      do {
+        RQL_ASSIGN_OR_RETURN(std::string col,
+                             ExpectIdentifier("column name"));
+        stmt.columns.push_back(std::move(col));
+      } while (ConsumeOp(","));
+      RQL_RETURN_IF_ERROR(ExpectOp(")"));
+    }
+    if (ConsumeKeyword("VALUES")) {
+      do {
+        RQL_RETURN_IF_ERROR(ExpectOp("("));
+        std::vector<ExprPtr> row;
+        do {
+          RQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          row.push_back(std::move(e));
+        } while (ConsumeOp(","));
+        RQL_RETURN_IF_ERROR(ExpectOp(")"));
+        stmt.rows.push_back(std::move(row));
+      } while (ConsumeOp(","));
+      return Statement(std::move(stmt));
+    }
+    if (Peek().IsKeyword("SELECT")) {
+      RQL_ASSIGN_OR_RETURN(SelectStmt select, ParseSelect());
+      stmt.select = std::make_unique<SelectStmt>(std::move(select));
+      return Statement(std::move(stmt));
+    }
+    return Error("expected VALUES or SELECT after INSERT INTO");
+  }
+
+  Result<Statement> ParseUpdate() {
+    UpdateStmt stmt;
+    RQL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    RQL_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    do {
+      RQL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      RQL_RETURN_IF_ERROR(ExpectOp("="));
+      RQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt.assignments.emplace_back(std::move(col), std::move(e));
+    } while (ConsumeOp(","));
+    if (ConsumeKeyword("WHERE")) {
+      RQL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDelete() {
+    RQL_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStmt stmt;
+    RQL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (ConsumeKeyword("WHERE")) {
+      RQL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return Statement(std::move(stmt));
+  }
+
+  // ---- expressions (precedence climbing) ---------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  // CASE [base] WHEN w THEN t ... [ELSE e] END
+  Result<ExprPtr> ParseCase() {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = ExprKind::kCase;
+    if (!Peek().IsKeyword("WHEN")) {
+      RQL_ASSIGN_OR_RETURN(ExprPtr base, ParseExpr());
+      expr->args.push_back(std::move(base));
+      expr->case_has_base = true;
+    }
+    if (!Peek().IsKeyword("WHEN")) {
+      return Error("expected WHEN in CASE expression");
+    }
+    while (ConsumeKeyword("WHEN")) {
+      RQL_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+      RQL_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+      RQL_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+      expr->args.push_back(std::move(when));
+      expr->args.push_back(std::move(then));
+    }
+    if (ConsumeKeyword("ELSE")) {
+      RQL_ASSIGN_OR_RETURN(ExprPtr otherwise, ParseExpr());
+      expr->args.push_back(std::move(otherwise));
+      expr->case_has_else = true;
+    }
+    RQL_RETURN_IF_ERROR(ExpectKeyword("END"));
+    return expr;
+  }
+
+  Result<ExprPtr> ParseOr() {
+    RQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (ConsumeKeyword("OR")) {
+      RQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    RQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (ConsumeKeyword("AND")) {
+      RQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      RQL_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return MakeUnary(UnOp::kNot, std::move(e));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    RQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    for (;;) {
+      // [NOT] IN (...) and [NOT] BETWEEN lo AND hi.
+      bool negated = false;
+      size_t saved = pos_;
+      if (ConsumeKeyword("NOT")) {
+        if (Peek().IsKeyword("IN") || Peek().IsKeyword("BETWEEN")) {
+          negated = true;
+        } else {
+          pos_ = saved;  // NOT belongs to a different production
+        }
+      }
+      if (ConsumeKeyword("IN")) {
+        RQL_RETURN_IF_ERROR(ExpectOp("("));
+        auto in = std::make_unique<Expr>();
+        in->kind = ExprKind::kIn;
+        in->negated = negated;
+        in->args.push_back(std::move(lhs));
+        if (Peek().IsKeyword("SELECT")) {
+          RQL_ASSIGN_OR_RETURN(SelectStmt select, ParseSelect());
+          auto sub = std::make_unique<Expr>();
+          sub->kind = ExprKind::kSubquery;
+          sub->subquery = std::make_shared<SelectStmt>(std::move(select));
+          in->args.push_back(std::move(sub));
+        } else {
+          do {
+            RQL_ASSIGN_OR_RETURN(ExprPtr candidate, ParseExpr());
+            in->args.push_back(std::move(candidate));
+          } while (ConsumeOp(","));
+        }
+        RQL_RETURN_IF_ERROR(ExpectOp(")"));
+        lhs = std::move(in);
+        continue;
+      }
+      if (ConsumeKeyword("BETWEEN")) {
+        RQL_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+        RQL_RETURN_IF_ERROR(ExpectKeyword("AND"));
+        RQL_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+        ExprPtr lower = MakeBinary(BinOp::kGe, CloneExpr(*lhs), std::move(lo));
+        ExprPtr upper = MakeBinary(BinOp::kLe, std::move(lhs), std::move(hi));
+        lhs = MakeBinary(BinOp::kAnd, std::move(lower), std::move(upper));
+        if (negated) lhs = MakeUnary(UnOp::kNot, std::move(lhs));
+        continue;
+      }
+      BinOp op;
+      if (ConsumeOp("=") || ConsumeOp("==")) {
+        op = BinOp::kEq;
+      } else if (ConsumeOp("!=") || ConsumeOp("<>")) {
+        op = BinOp::kNe;
+      } else if (ConsumeOp("<=")) {
+        op = BinOp::kLe;
+      } else if (ConsumeOp(">=")) {
+        op = BinOp::kGe;
+      } else if (ConsumeOp("<")) {
+        op = BinOp::kLt;
+      } else if (ConsumeOp(">")) {
+        op = BinOp::kGt;
+      } else if (Peek().IsKeyword("LIKE")) {
+        ++pos_;
+        op = BinOp::kLike;
+      } else if (Peek().IsKeyword("IS")) {
+        ++pos_;
+        bool negated = ConsumeKeyword("NOT");
+        RQL_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+        lhs = MakeUnary(negated ? UnOp::kIsNotNull : UnOp::kIsNull,
+                        std::move(lhs));
+        continue;
+      } else {
+        break;
+      }
+      RQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    RQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      BinOp op;
+      if (ConsumeOp("+")) {
+        op = BinOp::kAdd;
+      } else if (ConsumeOp("-")) {
+        op = BinOp::kSub;
+      } else {
+        break;
+      }
+      RQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    RQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    for (;;) {
+      BinOp op;
+      if (ConsumeOp("*")) {
+        op = BinOp::kMul;
+      } else if (ConsumeOp("/")) {
+        op = BinOp::kDiv;
+      } else if (ConsumeOp("%")) {
+        op = BinOp::kMod;
+      } else {
+        break;
+      }
+      RQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (ConsumeOp("-")) {
+      RQL_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return MakeUnary(UnOp::kNeg, std::move(e));
+    }
+    if (ConsumeOp("+")) return ParseUnary();
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& token = Peek();
+    switch (token.type) {
+      case TokenType::kInteger: {
+        int64_t v = std::stoll(Advance().text);
+        return MakeLiteral(Value::Integer(v));
+      }
+      case TokenType::kFloat: {
+        double v = std::stod(Advance().text);
+        return MakeLiteral(Value::Real(v));
+      }
+      case TokenType::kString:
+        return MakeLiteral(Value::Text(Advance().text));
+      case TokenType::kOperator:
+        if (ConsumeOp("(")) {
+          if (Peek().IsKeyword("SELECT")) {
+            // Uncorrelated scalar subquery.
+            RQL_ASSIGN_OR_RETURN(SelectStmt select, ParseSelect());
+            RQL_RETURN_IF_ERROR(ExpectOp(")"));
+            auto sub = std::make_unique<Expr>();
+            sub->kind = ExprKind::kSubquery;
+            sub->subquery = std::make_shared<SelectStmt>(std::move(select));
+            return sub;
+          }
+          RQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          RQL_RETURN_IF_ERROR(ExpectOp(")"));
+          return e;
+        }
+        if (ConsumeOp("*")) return MakeStar();
+        if (ConsumeOp("?")) {
+          auto param = std::make_unique<Expr>();
+          param->kind = ExprKind::kParameter;
+          param->param_index = ++parameter_count_;
+          return param;
+        }
+        return Error("expected an expression");
+      case TokenType::kIdentifier: {
+        if (token.IsKeyword("NULL")) {
+          Advance();
+          return MakeLiteral(Value::Null());
+        }
+        if (token.IsKeyword("CASE")) {
+          Advance();
+          return ParseCase();
+        }
+        if (token.IsKeyword("CAST")) {
+          Advance();
+          RQL_RETURN_IF_ERROR(ExpectOp("("));
+          RQL_ASSIGN_OR_RETURN(ExprPtr operand, ParseExpr());
+          RQL_RETURN_IF_ERROR(ExpectKeyword("AS"));
+          RQL_ASSIGN_OR_RETURN(ValueType type, ParseColumnType());
+          RQL_RETURN_IF_ERROR(ExpectOp(")"));
+          const char* fn = type == ValueType::kInteger ? "cast_integer"
+                           : type == ValueType::kReal  ? "cast_real"
+                                                       : "cast_text";
+          std::vector<ExprPtr> args;
+          args.push_back(std::move(operand));
+          return MakeCall(fn, std::move(args));
+        }
+        // Reserved words cannot start an expression; catching them here
+        // turns "SELECT FROM t" into a parse error instead of a bogus
+        // column reference.
+        static constexpr std::string_view kReserved[] = {
+            "FROM",  "WHERE", "GROUP", "HAVING", "ORDER",    "LIMIT",
+            "SELECT", "JOIN", "ON",    "SET",    "VALUES",   "AND",
+            "OR",     "INTO", "CREATE", "DROP",  "INSERT",   "UPDATE",
+            "DELETE", "BY"};
+        for (std::string_view kw : kReserved) {
+          if (token.IsKeyword(kw)) {
+            return Error("unexpected keyword " + token.text);
+          }
+        }
+        std::string name = Advance().text;
+        if (ConsumeOp("(")) {  // function call
+          std::vector<ExprPtr> args;
+          bool distinct = false;
+          if (!Peek().IsOp(")")) {
+            if (ConsumeKeyword("DISTINCT")) distinct = true;
+            do {
+              if (Peek().IsOp("*")) {
+                Advance();
+                args.push_back(MakeStar());
+              } else {
+                RQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+                args.push_back(std::move(e));
+              }
+            } while (ConsumeOp(","));
+          }
+          RQL_RETURN_IF_ERROR(ExpectOp(")"));
+          ExprPtr call = MakeCall(std::move(name), std::move(args));
+          call->distinct_arg = distinct;
+          return call;
+        }
+        if (ConsumeOp(".")) {  // qualified column
+          RQL_ASSIGN_OR_RETURN(std::string col,
+                               ExpectIdentifier("column name"));
+          return MakeColumnRef(std::move(name), std::move(col));
+        }
+        return MakeColumnRef("", std::move(name));
+      }
+      default:
+        return Error("expected an expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int parameter_count_ = 0;  // '?' ordinals, 1-based across the script
+};
+
+}  // namespace
+
+Result<std::vector<Statement>> ParseSql(std::string_view sql) {
+  RQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseScript();
+}
+
+Result<Statement> ParseSingle(std::string_view sql) {
+  RQL_ASSIGN_OR_RETURN(std::vector<Statement> statements, ParseSql(sql));
+  if (statements.size() != 1) {
+    return Status::InvalidArgument("expected exactly one statement");
+  }
+  return std::move(statements[0]);
+}
+
+}  // namespace rql::sql

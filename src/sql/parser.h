@@ -1,0 +1,20 @@
+#ifndef RQL_SQL_PARSER_H_
+#define RQL_SQL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace rql::sql {
+
+/// Parses a script of one or more ';'-separated statements.
+Result<std::vector<Statement>> ParseSql(std::string_view sql);
+
+/// Parses exactly one statement.
+Result<Statement> ParseSingle(std::string_view sql);
+
+}  // namespace rql::sql
+
+#endif  // RQL_SQL_PARSER_H_

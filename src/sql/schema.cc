@@ -1,0 +1,76 @@
+#include "sql/schema.h"
+
+#include <cctype>
+
+namespace rql::sql {
+
+bool IdentEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string IdentLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return out;
+}
+
+int TableSchema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (IdentEquals(columns[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string TableSchema::Serialize() const {
+  std::string out;
+  for (const ColumnDef& col : columns) {
+    if (!out.empty()) out += ',';
+    out += col.name;
+    out += ' ';
+    out += ValueTypeName(col.type);
+  }
+  return out;
+}
+
+Result<TableSchema> TableSchema::Deserialize(std::string_view text) {
+  TableSchema schema;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    std::string_view part = text.substr(
+        pos, comma == std::string_view::npos ? text.size() - pos
+                                             : comma - pos);
+    size_t space = part.find(' ');
+    if (space == std::string_view::npos) {
+      return Status::Corruption("bad schema text: " + std::string(text));
+    }
+    ColumnDef col;
+    col.name = std::string(part.substr(0, space));
+    std::string_view type_name = part.substr(space + 1);
+    if (type_name == "INTEGER") {
+      col.type = ValueType::kInteger;
+    } else if (type_name == "REAL") {
+      col.type = ValueType::kReal;
+    } else if (type_name == "TEXT") {
+      col.type = ValueType::kText;
+    } else if (type_name == "NULL") {
+      col.type = ValueType::kNull;
+    } else {
+      return Status::Corruption("bad column type: " + std::string(type_name));
+    }
+    schema.columns.push_back(std::move(col));
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return schema;
+}
+
+}  // namespace rql::sql

@@ -1,0 +1,39 @@
+#ifndef RQL_SQL_SCHEMA_H_
+#define RQL_SQL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/value.h"
+
+namespace rql::sql {
+
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kNull;  // declared affinity; values may vary
+};
+
+/// The schema of a table: an ordered list of named, typed columns.
+struct TableSchema {
+  std::vector<ColumnDef> columns;
+
+  /// Index of `name` (case-insensitive), or -1.
+  int FindColumn(std::string_view name) const;
+
+  size_t size() const { return columns.size(); }
+
+  /// Text form stored in the catalog, e.g. "a INTEGER,b TEXT".
+  std::string Serialize() const;
+  static Result<TableSchema> Deserialize(std::string_view text);
+};
+
+/// Case-insensitive ASCII identifier comparison (SQL identifiers).
+bool IdentEquals(std::string_view a, std::string_view b);
+
+/// Lower-cases an identifier for use as a lookup key.
+std::string IdentLower(std::string_view s);
+
+}  // namespace rql::sql
+
+#endif  // RQL_SQL_SCHEMA_H_

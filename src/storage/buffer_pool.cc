@@ -1,0 +1,63 @@
+#include "storage/buffer_pool.h"
+
+namespace rql::storage {
+
+Result<const Page*> BufferPool::Get(uint64_t key, const Loader& loader) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    TouchFront(it->second);
+    return static_cast<const Page*>(it->second->page.get());
+  }
+  ++stats_.misses;
+  auto page = std::make_unique<Page>();
+  RQL_RETURN_IF_ERROR(loader(key, page.get()));
+  lru_.push_front(Entry{key, std::move(page)});
+  entries_[key] = lru_.begin();
+  EvictIfNeeded();
+  return static_cast<const Page*>(lru_.front().page.get());
+}
+
+const Page* BufferPool::Lookup(uint64_t key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  ++stats_.hits;
+  TouchFront(it->second);
+  return it->second->page.get();
+}
+
+void BufferPool::Put(uint64_t key, const Page& page) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    *it->second->page = page;
+    TouchFront(it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::make_unique<Page>(page)});
+  entries_[key] = lru_.begin();
+  EvictIfNeeded();
+}
+
+void BufferPool::Erase(uint64_t key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second);
+  entries_.erase(it);
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+void BufferPool::EvictIfNeeded() {
+  if (capacity_ == 0) return;
+  while (entries_.size() > capacity_) {
+    const Entry& victim = lru_.back();
+    entries_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace rql::storage

@@ -1,0 +1,89 @@
+#ifndef RQL_STORAGE_BUFFER_POOL_H_
+#define RQL_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace rql::storage {
+
+/// Counters exposed by the buffer pool. The Retro layer uses these to
+/// attribute snapshot-query cost: a miss on a Pagelog-backed key corresponds
+/// to one page fetched from the snapshot archive (Section 4 of the paper).
+struct BufferPoolStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+
+  void Reset() { *this = BufferPoolStats{}; }
+};
+
+/// A fixed-capacity LRU cache of pages keyed by an opaque 64-bit key.
+///
+/// Keys are assigned by the caller; the Retro snapshot cache keys pages by
+/// their Pagelog offset, so a pre-state page shared by several snapshots
+/// occupies a single frame and later snapshots hit in cache — the page
+/// sharing effect the paper's Section 5.1 measures.
+///
+/// Not thread-safe; the engine serializes access per database.
+class BufferPool {
+ public:
+  using Loader = std::function<Status(uint64_t key, Page* page)>;
+
+  /// `capacity_pages` of zero means unbounded (cache never evicts).
+  explicit BufferPool(uint64_t capacity_pages)
+      : capacity_(capacity_pages) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the page for `key`, loading it with `loader` on a miss. The
+  /// returned pointer is valid until the next Get/Erase/Clear call.
+  Result<const Page*> Get(uint64_t key, const Loader& loader);
+
+  /// Returns the cached page or nullptr without invoking any loader.
+  const Page* Lookup(uint64_t key);
+
+  /// Inserts (or overwrites) `page` under `key`.
+  void Put(uint64_t key, const Page& page);
+
+  /// Drops `key` if cached.
+  void Erase(uint64_t key);
+
+  /// Drops everything. Used by benchmarks to start an RQL query with a cold
+  /// snapshot cache, matching the paper's setup.
+  void Clear();
+
+  uint64_t size() const { return entries_.size(); }
+  uint64_t capacity() const { return capacity_; }
+  void set_capacity(uint64_t capacity_pages) { capacity_ = capacity_pages; }
+
+  const BufferPoolStats& stats() const { return stats_; }
+  BufferPoolStats* mutable_stats() { return &stats_; }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    std::unique_ptr<Page> page;
+  };
+  using LruList = std::list<Entry>;
+
+  void TouchFront(LruList::iterator it) {
+    lru_.splice(lru_.begin(), lru_, it);
+  }
+  void EvictIfNeeded();
+
+  uint64_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<uint64_t, LruList::iterator> entries_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace rql::storage
+
+#endif  // RQL_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,56 @@
+#ifndef RQL_STORAGE_PAGE_H_
+#define RQL_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace rql::storage {
+
+/// Fixed database page size. All state — heap tables, B+-tree index nodes,
+/// the catalog, the free list — lives in pages of this size, and Retro
+/// snapshots are captured at this granularity.
+inline constexpr uint32_t kPageSize = 4096;
+
+/// Logical page number within a database file. Page 0 is the file header.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0;
+
+/// A page-sized buffer with helpers for fixed-width little-endian fields.
+/// Deliberately a passive byte container: layout invariants belong to the
+/// structures stored in pages (heap page, B+-tree node, header).
+struct Page {
+  char data[kPageSize];
+
+  void Zero() { std::memset(data, 0, kPageSize); }
+
+  uint32_t ReadU32(uint32_t offset) const {
+    uint32_t v;
+    std::memcpy(&v, data + offset, sizeof(v));
+    return v;
+  }
+  void WriteU32(uint32_t offset, uint32_t v) {
+    std::memcpy(data + offset, &v, sizeof(v));
+  }
+  uint64_t ReadU64(uint32_t offset) const {
+    uint64_t v;
+    std::memcpy(&v, data + offset, sizeof(v));
+    return v;
+  }
+  void WriteU64(uint32_t offset, uint64_t v) {
+    std::memcpy(data + offset, &v, sizeof(v));
+  }
+  uint16_t ReadU16(uint32_t offset) const {
+    uint16_t v;
+    std::memcpy(&v, data + offset, sizeof(v));
+    return v;
+  }
+  void WriteU16(uint32_t offset, uint16_t v) {
+    std::memcpy(data + offset, &v, sizeof(v));
+  }
+};
+
+static_assert(sizeof(Page) == kPageSize);
+
+}  // namespace rql::storage
+
+#endif  // RQL_STORAGE_PAGE_H_

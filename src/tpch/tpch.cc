@@ -1,0 +1,216 @@
+#include "tpch/tpch.h"
+
+#include <array>
+
+namespace rql::tpch {
+
+using sql::Row;
+using sql::Value;
+
+namespace {
+
+constexpr std::array<const char*, 6> kTypeSyllable1 = {
+    "STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"};
+constexpr std::array<const char*, 5> kTypeSyllable2 = {
+    "ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"};
+constexpr std::array<const char*, 5> kTypeSyllable3 = {
+    "TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+
+constexpr std::array<const char*, 5> kPartNames = {
+    "almond", "antique", "aquamarine", "azure", "beige"};
+
+// Days per month, non-leap (TPC-H dates avoid Feb 29 subtleties at our
+// fidelity level).
+constexpr int kDaysInMonth[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30,
+                                31};
+
+std::string FormatDate(int year, int month, int day) {
+  char buf[11];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string TpchGenerator::PartType(Random* rng) {
+  std::string type = kTypeSyllable1[rng->Uniform(kTypeSyllable1.size())];
+  type += ' ';
+  type += kTypeSyllable2[rng->Uniform(kTypeSyllable2.size())];
+  type += ' ';
+  type += kTypeSyllable3[rng->Uniform(kTypeSyllable3.size())];
+  return type;
+}
+
+std::string TpchGenerator::OrderDate(Random* rng) {
+  int year = static_cast<int>(1992 + rng->Uniform(7));
+  int month = static_cast<int>(rng->Uniform(12));
+  int day = static_cast<int>(1 + rng->Uniform(
+      static_cast<uint64_t>(kDaysInMonth[month])));
+  return FormatDate(year, month + 1, day);
+}
+
+TpchGenerator::TpchGenerator(sql::Database* db, TpchConfig config)
+    : db_(db), config_(config), rng_(config.seed) {
+  customer_count_ = static_cast<int64_t>(150000 * config_.scale_factor);
+  part_count_ = static_cast<int64_t>(200000 * config_.scale_factor);
+  initial_order_count_ = static_cast<int64_t>(1500000 * config_.scale_factor);
+  if (customer_count_ < 1) customer_count_ = 1;
+  if (part_count_ < 1) part_count_ = 1;
+  if (initial_order_count_ < 1) initial_order_count_ = 1;
+}
+
+Status TpchGenerator::CreateSchema() {
+  RQL_RETURN_IF_ERROR(db_->Exec(
+      "CREATE TABLE part (p_partkey INTEGER, p_name TEXT, p_type TEXT, "
+      "p_retailprice REAL)"));
+  RQL_RETURN_IF_ERROR(db_->Exec(
+      "CREATE TABLE customer (c_custkey INTEGER, c_name TEXT, "
+      "c_nationkey INTEGER, c_acctbal REAL)"));
+  RQL_RETURN_IF_ERROR(db_->Exec(
+      "CREATE TABLE orders (o_orderkey INTEGER, o_custkey INTEGER, "
+      "o_orderstatus TEXT, o_totalprice REAL, o_orderdate TEXT)"));
+  RQL_RETURN_IF_ERROR(db_->Exec(
+      "CREATE TABLE lineitem (l_orderkey INTEGER, l_partkey INTEGER, "
+      "l_linenumber INTEGER, l_quantity REAL, l_extendedprice REAL, "
+      "l_shipdate TEXT)"));
+  if (config_.create_indexes) {
+    RQL_RETURN_IF_ERROR(
+        db_->Exec("CREATE INDEX pk_part ON part (p_partkey)"));
+    RQL_RETURN_IF_ERROR(
+        db_->Exec("CREATE INDEX pk_customer ON customer (c_custkey)"));
+    RQL_RETURN_IF_ERROR(
+        db_->Exec("CREATE INDEX pk_orders ON orders (o_orderkey)"));
+    RQL_RETURN_IF_ERROR(
+        db_->Exec("CREATE INDEX pk_lineitem ON lineitem (l_orderkey)"));
+  }
+  if (config_.index_lineitem_partkey) {
+    // Covering index for the paper's Qq_cpu join: includes the aggregated
+    // column so probes are index-only.
+    RQL_RETURN_IF_ERROR(db_->Exec(
+        "CREATE INDEX lineitem_partkey ON lineitem "
+        "(l_partkey, l_extendedprice)"));
+  }
+  return Status::OK();
+}
+
+Status TpchGenerator::InsertOrderWithLineitems(int64_t orderkey) {
+  int64_t custkey = 1 + static_cast<int64_t>(rng_.Uniform(
+      static_cast<uint64_t>(customer_count_)));
+  // TPC-H: roughly half the orders are still open ('O'), the rest
+  // finished ('F') or in progress ('P').
+  const char* status = rng_.Bernoulli(0.5) ? "O"
+                       : rng_.Bernoulli(0.9) ? "F" : "P";
+  int lineitems = 1 + static_cast<int>(rng_.Uniform(
+      static_cast<uint64_t>(2 * config_.avg_lineitems_per_order - 1)));
+  double total = 0;
+  std::string date = OrderDate(&rng_);
+  for (int line = 1; line <= lineitems; ++line) {
+    int64_t partkey = 1 + static_cast<int64_t>(rng_.Uniform(
+        static_cast<uint64_t>(part_count_)));
+    double quantity = 1 + static_cast<double>(rng_.Uniform(50));
+    double price = quantity * (900 + static_cast<double>(rng_.Uniform(
+        100000)) / 100.0);
+    total += price;
+    RQL_RETURN_IF_ERROR(
+        db_->AppendRow("lineitem",
+                       {Value::Integer(orderkey), Value::Integer(partkey),
+                        Value::Integer(line), Value::Real(quantity),
+                        Value::Real(price), Value::Text(date)})
+            .status());
+  }
+  return db_
+      ->AppendRow("orders",
+                  {Value::Integer(orderkey), Value::Integer(custkey),
+                   Value::Text(status), Value::Real(total),
+                   Value::Text(date)})
+      .status();
+}
+
+Status TpchGenerator::Populate() {
+  // Bulk load inside explicit transactions: one WAL commit per batch
+  // instead of one per row.
+  int64_t batched = 0;
+  bool owns_txn = !db_->store()->in_transaction();
+  auto batch_tick = [&]() -> Status {
+    if (!owns_txn) return Status::OK();
+    if (batched == 0) RQL_RETURN_IF_ERROR(db_->Exec("BEGIN"));
+    if (++batched >= 2000) {
+      RQL_RETURN_IF_ERROR(db_->Exec("COMMIT"));
+      batched = 0;
+    }
+    return Status::OK();
+  };
+  auto batch_end = [&]() -> Status {
+    if (owns_txn && batched > 0) return db_->Exec("COMMIT");
+    return Status::OK();
+  };
+  for (int64_t p = 1; p <= part_count_; ++p) {
+    RQL_RETURN_IF_ERROR(batch_tick());
+    std::string name = std::string(kPartNames[rng_.Uniform(
+        kPartNames.size())]) + " " + rng_.NextString(8);
+    RQL_RETURN_IF_ERROR(
+        db_->AppendRow("part",
+                       {Value::Integer(p), Value::Text(name),
+                        Value::Text(PartType(&rng_)),
+                        Value::Real(900 + static_cast<double>(p % 200))})
+            .status());
+  }
+  for (int64_t c = 1; c <= customer_count_; ++c) {
+    RQL_RETURN_IF_ERROR(batch_tick());
+    RQL_RETURN_IF_ERROR(
+        db_->AppendRow("customer",
+                       {Value::Integer(c),
+                        Value::Text("Customer#" + std::to_string(c)),
+                        Value::Integer(static_cast<int64_t>(rng_.Uniform(25))),
+                        Value::Real(static_cast<double>(rng_.Uniform(
+                            1000000)) / 100.0)})
+            .status());
+  }
+  for (int64_t o = 0; o < initial_order_count_; ++o) {
+    RQL_RETURN_IF_ERROR(batch_tick());
+    RQL_RETURN_IF_ERROR(InsertOrderWithLineitems(next_orderkey_));
+    ++next_orderkey_;
+  }
+  return batch_end();
+}
+
+Status TpchGenerator::RefreshInsert(int order_count) {
+  for (int i = 0; i < order_count; ++i) {
+    RQL_RETURN_IF_ERROR(InsertOrderWithLineitems(next_orderkey_));
+    ++next_orderkey_;
+  }
+  return Status::OK();
+}
+
+Status TpchGenerator::AttachExisting() {
+  RQL_ASSIGN_OR_RETURN(Value customers,
+                       db_->QueryScalar("SELECT COUNT(*) FROM customer"));
+  RQL_ASSIGN_OR_RETURN(Value parts,
+                       db_->QueryScalar("SELECT COUNT(*) FROM part"));
+  RQL_ASSIGN_OR_RETURN(
+      Value lo, db_->QueryScalar("SELECT MIN(o_orderkey) FROM orders"));
+  RQL_ASSIGN_OR_RETURN(
+      Value hi, db_->QueryScalar("SELECT MAX(o_orderkey) FROM orders"));
+  if (lo.is_null() || hi.is_null()) {
+    return Status::InvalidArgument("cannot attach: orders table is empty");
+  }
+  customer_count_ = customers.AsInt();
+  part_count_ = parts.AsInt();
+  oldest_orderkey_ = lo.AsInt();
+  next_orderkey_ = hi.AsInt() + 1;
+  return Status::OK();
+}
+
+Status TpchGenerator::RefreshDelete(int order_count) {
+  for (int i = 0; i < order_count && oldest_orderkey_ < next_orderkey_; ++i) {
+    std::string key = std::to_string(oldest_orderkey_);
+    RQL_RETURN_IF_ERROR(
+        db_->Exec("DELETE FROM lineitem WHERE l_orderkey = " + key));
+    RQL_RETURN_IF_ERROR(
+        db_->Exec("DELETE FROM orders WHERE o_orderkey = " + key));
+    ++oldest_orderkey_;
+  }
+  return Status::OK();
+}
+
+}  // namespace rql::tpch

@@ -1,0 +1,73 @@
+#include "tpch/workload.h"
+
+namespace rql::tpch {
+
+std::string History::QsInterval(retro::SnapshotId first, int count,
+                                int step) const {
+  // Snapshot ids are dense (1..Slast), so an interval with a step is a
+  // simple predicate over SnapIds — Qs is ordinary SQL, as in the paper.
+  retro::SnapshotId last_exclusive =
+      first + static_cast<retro::SnapshotId>(count * step);
+  std::string qs = "SELECT snap_id FROM SnapIds WHERE snap_id >= " +
+                   std::to_string(first) + " AND snap_id < " +
+                   std::to_string(last_exclusive);
+  if (step > 1) {
+    qs += " AND (snap_id - " + std::to_string(first) + ") % " +
+          std::to_string(step) + " = 0";
+  }
+  qs += " ORDER BY snap_id";
+  return qs;
+}
+
+Result<std::unique_ptr<History>> BuildHistory(storage::Env* env,
+                                              const std::string& name,
+                                              const HistoryConfig& config) {
+  auto history = std::make_unique<History>();
+  history->config_ = config;
+  RQL_ASSIGN_OR_RETURN(history->data_,
+                       sql::Database::Open(env, name + "_data"));
+  RQL_ASSIGN_OR_RETURN(history->meta_,
+                       sql::Database::Open(env, name + "_meta"));
+  history->engine_ = std::make_unique<RqlEngine>(history->data_.get(),
+                                                 history->meta_.get());
+  RQL_RETURN_IF_ERROR(history->engine_->EnsureSnapIds());
+  history->generator_ = std::make_unique<TpchGenerator>(history->data_.get(),
+                                                        config.tpch);
+  TpchGenerator* gen = history->generator_.get();
+  sql::Database* data = history->data_.get();
+
+  retro::SnapshotId existing = data->store()->latest_snapshot();
+  if (existing == static_cast<retro::SnapshotId>(config.snapshots)) {
+    // Reopened a previously built history: recover the refresh key range.
+    RQL_RETURN_IF_ERROR(gen->AttachExisting());
+    return history;
+  }
+  if (existing != retro::kNoSnapshot) {
+    return Status::InvalidArgument(
+        "history '" + name + "' exists with " + std::to_string(existing) +
+        " snapshots, expected " + std::to_string(config.snapshots) +
+        "; delete the files or use a different name");
+  }
+
+  RQL_RETURN_IF_ERROR(gen->CreateSchema());
+  RQL_RETURN_IF_ERROR(gen->Populate());
+  int per_snapshot =
+      config.workload.OrdersPerSnapshot(gen->initial_order_count());
+  if (per_snapshot < 1) per_snapshot = 1;
+  for (int s = 1; s <= config.snapshots; ++s) {
+    RQL_RETURN_IF_ERROR(data->Exec("BEGIN"));
+    Status st = gen->RefreshDelete(per_snapshot);
+    if (st.ok()) st = gen->RefreshInsert(per_snapshot);
+    if (!st.ok()) {
+      (void)data->Exec("ROLLBACK");
+      return st;
+    }
+    RQL_RETURN_IF_ERROR(history->engine_
+                            ->CommitWithSnapshot("snap-" + std::to_string(s),
+                                                 config.workload.name)
+                            .status());
+  }
+  return history;
+}
+
+}  // namespace rql::tpch

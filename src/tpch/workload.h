@@ -1,0 +1,63 @@
+#ifndef RQL_TPCH_WORKLOAD_H_
+#define RQL_TPCH_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "rql/rql.h"
+#include "sql/database.h"
+#include "tpch/tpch.h"
+
+namespace rql::tpch {
+
+/// A TPC-H database plus a history of snapshots produced by an update
+/// workload — the substrate every experiment in the paper's Section 5
+/// runs against.
+struct HistoryConfig {
+  TpchConfig tpch;
+  WorkloadSpec workload = WorkloadSpec::UW30();
+  /// Total snapshots to declare.
+  int snapshots = 160;
+};
+
+class History {
+ public:
+  sql::Database* data() { return data_.get(); }
+  sql::Database* meta() { return meta_.get(); }
+  RqlEngine* engine() { return engine_.get(); }
+  TpchGenerator* generator() { return generator_.get(); }
+  const HistoryConfig& config() const { return config_; }
+
+  /// The most recent declared snapshot id (Slast in the paper's notation).
+  retro::SnapshotId last_snapshot() const {
+    return data_->store()->latest_snapshot();
+  }
+
+  /// Qs for the interval [first, first + count*step) with the given step,
+  /// e.g. "SELECT snap_id FROM SnapIds WHERE ...".
+  std::string QsInterval(retro::SnapshotId first, int count,
+                         int step = 1) const;
+
+ private:
+  friend Result<std::unique_ptr<History>> BuildHistory(
+      storage::Env* env, const std::string& name, const HistoryConfig&);
+
+  HistoryConfig config_;
+  std::unique_ptr<sql::Database> data_;
+  std::unique_ptr<sql::Database> meta_;
+  std::unique_ptr<RqlEngine> engine_;
+  std::unique_ptr<TpchGenerator> generator_;
+};
+
+/// Builds (or reopens, when the files already hold the requested history —
+/// the expensive part of every benchmark) a TPC-H snapshot history named
+/// `name` inside `env`. The data database lives in <name>_data.*, the
+/// metadata (SnapIds) database in <name>_meta.*.
+Result<std::unique_ptr<History>> BuildHistory(storage::Env* env,
+                                              const std::string& name,
+                                              const HistoryConfig& config);
+
+}  // namespace rql::tpch
+
+#endif  // RQL_TPCH_WORKLOAD_H_

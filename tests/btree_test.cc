@@ -1,0 +1,250 @@
+#include "sql/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "retro/snapshot_store.h"
+
+namespace rql::sql {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto store = retro::SnapshotStore::Open(&env_, "t");
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+    auto root = BTree::Create(store_.get());
+    ASSERT_TRUE(root.ok());
+    root_ = *root;
+    tree_ = std::make_unique<BTree>(store_.get(), root_);
+  }
+
+  std::vector<std::pair<Row, uint64_t>> ScanAll() {
+    std::vector<std::pair<Row, uint64_t>> out;
+    auto it = BTree::SeekFirst(store_.get(), root_);
+    EXPECT_TRUE(it.ok());
+    for (; it->Valid(); it->Next()) {
+      out.emplace_back(it->key(), it->value());
+    }
+    EXPECT_TRUE(it->status().ok()) << it->status().ToString();
+    return out;
+  }
+
+  storage::InMemoryEnv env_;
+  std::unique_ptr<retro::SnapshotStore> store_;
+  storage::PageId root_ = storage::kInvalidPageId;
+  std::unique_ptr<BTree> tree_;
+};
+
+Row IntKey(int64_t v) { return {Value::Integer(v)}; }
+
+TEST_F(BTreeTest, InsertLookupSmall) {
+  ASSERT_TRUE(tree_->Insert(IntKey(5), 50).ok());
+  ASSERT_TRUE(tree_->Insert(IntKey(1), 10).ok());
+  ASSERT_TRUE(tree_->Insert(IntKey(3), 30).ok());
+  auto v = tree_->Lookup(IntKey(3));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 30u);
+  EXPECT_FALSE(tree_->Lookup(IntKey(4)).ok());
+}
+
+TEST_F(BTreeTest, DuplicateKeyRejected) {
+  ASSERT_TRUE(tree_->Insert(IntKey(7), 1).ok());
+  Status s = tree_->Insert(IntKey(7), 2);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(BTreeTest, InOrderIterationAfterManyInserts) {
+  // Enough keys to force multiple levels of splits.
+  Random rng(7);
+  std::vector<int64_t> keys;
+  for (int64_t i = 0; i < 5000; ++i) keys.push_back(i);
+  // Shuffle.
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.Uniform(i)]);
+  }
+  for (int64_t k : keys) {
+    ASSERT_TRUE(tree_->Insert(IntKey(k), static_cast<uint64_t>(k * 2)).ok())
+        << k;
+  }
+  auto all = ScanAll();
+  ASSERT_EQ(all.size(), 5000u);
+  for (int64_t i = 0; i < 5000; ++i) {
+    EXPECT_EQ(all[static_cast<size_t>(i)].first[0].integer(), i);
+    EXPECT_EQ(all[static_cast<size_t>(i)].second,
+              static_cast<uint64_t>(i * 2));
+  }
+}
+
+TEST_F(BTreeTest, RootPageIdStaysStable) {
+  storage::PageId original = tree_->root();
+  for (int64_t i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(tree_->Insert(IntKey(i), 1).ok());
+  }
+  EXPECT_EQ(tree_->root(), original);
+  // The tree must have split into multiple pages.
+  auto pages = BTree::CountPages(store_.get(), root_);
+  ASSERT_TRUE(pages.ok());
+  EXPECT_GT(*pages, 3u);
+}
+
+TEST_F(BTreeTest, SeekLowerBound) {
+  for (int64_t i = 0; i < 100; i += 10) {
+    ASSERT_TRUE(tree_->Insert(IntKey(i), static_cast<uint64_t>(i)).ok());
+  }
+  auto it = BTree::Seek(store_.get(), root_, IntKey(35));
+  ASSERT_TRUE(it.ok());
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key()[0].integer(), 40);
+  it = BTree::Seek(store_.get(), root_, IntKey(90));
+  ASSERT_TRUE(it.ok());
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key()[0].integer(), 90);
+  it = BTree::Seek(store_.get(), root_, IntKey(91));
+  ASSERT_TRUE(it.ok());
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(BTreeTest, PrefixSeekOnCompositeKeys) {
+  // Secondary-index shape: (col value, rid) -> rid.
+  for (int64_t col = 0; col < 20; ++col) {
+    for (int64_t rid = 0; rid < 5; ++rid) {
+      Row key = {Value::Integer(col), Value::Integer(rid)};
+      ASSERT_TRUE(
+          tree_->Insert(key, static_cast<uint64_t>(col * 100 + rid)).ok());
+    }
+  }
+  // Probe col == 7 by prefix.
+  auto it = BTree::Seek(store_.get(), root_, IntKey(7));
+  ASSERT_TRUE(it.ok());
+  int found = 0;
+  for (; it->Valid(); it->Next()) {
+    if (it->key()[0].integer() != 7) break;
+    EXPECT_EQ(it->value(), static_cast<uint64_t>(700 + found));
+    ++found;
+  }
+  EXPECT_EQ(found, 5);
+}
+
+TEST_F(BTreeTest, DeleteRemovesKeys) {
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree_->Insert(IntKey(i), static_cast<uint64_t>(i)).ok());
+  }
+  for (int64_t i = 0; i < 1000; i += 2) {
+    ASSERT_TRUE(tree_->Delete(IntKey(i)).ok());
+  }
+  EXPECT_FALSE(tree_->Lookup(IntKey(0)).ok());
+  EXPECT_TRUE(tree_->Lookup(IntKey(1)).ok());
+  auto all = ScanAll();
+  ASSERT_EQ(all.size(), 500u);
+  for (const auto& [key, value] : all) {
+    EXPECT_EQ(key[0].integer() % 2, 1);
+  }
+  EXPECT_FALSE(tree_->Delete(IntKey(0)).ok());  // already gone
+}
+
+TEST_F(BTreeTest, MixedTypeKeysOrderCorrectly) {
+  ASSERT_TRUE(tree_->Insert({Value::Text("b")}, 4).ok());
+  ASSERT_TRUE(tree_->Insert({Value::Integer(10)}, 2).ok());
+  ASSERT_TRUE(tree_->Insert({Value::Null()}, 1).ok());
+  ASSERT_TRUE(tree_->Insert({Value::Real(10.5)}, 3).ok());
+  auto all = ScanAll();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].second, 1u);  // NULL first
+  EXPECT_EQ(all[1].second, 2u);  // 10
+  EXPECT_EQ(all[2].second, 3u);  // 10.5
+  EXPECT_EQ(all[3].second, 4u);  // text last
+}
+
+TEST_F(BTreeTest, TextKeysWithSplits) {
+  Random rng(11);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 2000; ++i) {
+    keys.push_back("key-" + std::to_string(i * 7919 % 100000) + "-" +
+                   rng.NextString(20));
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(
+        tree_->Insert({Value::Text(keys[i])}, static_cast<uint64_t>(i)).ok());
+  }
+  auto all = ScanAll();
+  ASSERT_EQ(all.size(), keys.size());
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].first[0].text(), all[i].first[0].text());
+  }
+  // Every key must be findable.
+  for (size_t i = 0; i < keys.size(); i += 97) {
+    auto v = tree_->Lookup({Value::Text(keys[i])});
+    ASSERT_TRUE(v.ok()) << keys[i];
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST_F(BTreeTest, RandomInsertDeleteProperty) {
+  Random rng(123);
+  std::vector<int64_t> live;
+  for (int round = 0; round < 3000; ++round) {
+    if (live.empty() || rng.Bernoulli(0.6)) {
+      int64_t k = static_cast<int64_t>(rng.Uniform(100000));
+      Status s = tree_->Insert(IntKey(k), static_cast<uint64_t>(k));
+      if (s.ok()) {
+        live.push_back(k);
+      } else {
+        ASSERT_EQ(s.code(), StatusCode::kAlreadyExists);
+      }
+    } else {
+      size_t pick = rng.Uniform(live.size());
+      int64_t k = live[pick];
+      ASSERT_TRUE(tree_->Delete(IntKey(k)).ok());
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+  }
+  std::sort(live.begin(), live.end());
+  auto all = ScanAll();
+  ASSERT_EQ(all.size(), live.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(all[i].first[0].integer(), live[i]);
+  }
+}
+
+TEST_F(BTreeTest, SnapshotViewSeesOldIndexState) {
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree_->Insert(IntKey(i), static_cast<uint64_t>(i)).ok());
+  }
+  auto snap = store_->DeclareSnapshot();
+  ASSERT_TRUE(snap.ok());
+  for (int64_t i = 0; i < 500; i += 2) {
+    ASSERT_TRUE(tree_->Delete(IntKey(i)).ok());
+  }
+
+  auto view = store_->OpenSnapshot(*snap);
+  ASSERT_TRUE(view.ok());
+  auto it = BTree::SeekFirst(view->get(), root_);
+  ASSERT_TRUE(it.ok());
+  size_t count = 0;
+  for (; it->Valid(); it->Next()) ++count;
+  ASSERT_TRUE(it->status().ok());
+  EXPECT_EQ(count, 500u);  // as-of view sees everything
+}
+
+TEST_F(BTreeTest, DropFreesAllPages) {
+  for (int64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree_->Insert(IntKey(i), 0).ok());
+  }
+  ASSERT_TRUE(tree_->Drop().ok());
+  EXPECT_EQ(store_->page_store()->allocated_pages(), 0u);
+}
+
+TEST_F(BTreeTest, EmptyTreeIteration) {
+  auto it = BTree::SeekFirst(store_.get(), root_);
+  ASSERT_TRUE(it.ok());
+  EXPECT_FALSE(it->Valid());
+  EXPECT_FALSE(tree_->Lookup(IntKey(1)).ok());
+}
+
+}  // namespace
+}  // namespace rql::sql

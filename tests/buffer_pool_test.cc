@@ -1,0 +1,108 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace rql::storage {
+namespace {
+
+Page MakePage(uint32_t tag) {
+  Page p;
+  p.Zero();
+  p.WriteU32(0, tag);
+  return p;
+}
+
+BufferPool::Loader TagLoader(int* loads) {
+  return [loads](uint64_t key, Page* page) {
+    if (loads != nullptr) ++*loads;
+    page->Zero();
+    page->WriteU32(0, static_cast<uint32_t>(key * 10));
+    return Status::OK();
+  };
+}
+
+TEST(BufferPoolTest, MissThenHit) {
+  BufferPool pool(4);
+  int loads = 0;
+  auto loader = TagLoader(&loads);
+
+  auto r1 = pool.Get(1, loader);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ((*r1)->ReadU32(0), 10u);
+  EXPECT_EQ(loads, 1);
+  EXPECT_EQ(pool.stats().misses, 1);
+
+  auto r2 = pool.Get(1, loader);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(loads, 1);
+  EXPECT_EQ(pool.stats().hits, 1);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(2);
+  int loads = 0;
+  auto loader = TagLoader(&loads);
+
+  ASSERT_TRUE(pool.Get(1, loader).ok());
+  ASSERT_TRUE(pool.Get(2, loader).ok());
+  ASSERT_TRUE(pool.Get(1, loader).ok());  // touch 1 -> 2 is LRU
+  ASSERT_TRUE(pool.Get(3, loader).ok());  // evicts 2
+  EXPECT_EQ(pool.stats().evictions, 1);
+  EXPECT_EQ(pool.Lookup(2), nullptr);
+  EXPECT_NE(pool.Lookup(1), nullptr);
+  EXPECT_NE(pool.Lookup(3), nullptr);
+}
+
+TEST(BufferPoolTest, UnboundedNeverEvicts) {
+  BufferPool pool(0);
+  auto loader = TagLoader(nullptr);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(pool.Get(k, loader).ok());
+  }
+  EXPECT_EQ(pool.size(), 1000u);
+  EXPECT_EQ(pool.stats().evictions, 0);
+}
+
+TEST(BufferPoolTest, PutOverwrites) {
+  BufferPool pool(4);
+  pool.Put(5, MakePage(111));
+  EXPECT_EQ(pool.Lookup(5)->ReadU32(0), 111u);
+  pool.Put(5, MakePage(222));
+  EXPECT_EQ(pool.Lookup(5)->ReadU32(0), 222u);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(BufferPoolTest, EraseAndClear) {
+  BufferPool pool(4);
+  pool.Put(1, MakePage(1));
+  pool.Put(2, MakePage(2));
+  pool.Erase(1);
+  EXPECT_EQ(pool.Lookup(1), nullptr);
+  EXPECT_NE(pool.Lookup(2), nullptr);
+  pool.Clear();
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.Lookup(2), nullptr);
+}
+
+TEST(BufferPoolTest, LoaderErrorPropagates) {
+  BufferPool pool(4);
+  auto r = pool.Get(9, [](uint64_t, Page*) {
+    return Status::IoError("bad sector");
+  });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  // A failed load must not leave a cache entry behind.
+  EXPECT_EQ(pool.Lookup(9), nullptr);
+}
+
+TEST(BufferPoolTest, CapacityShrinkTakesEffectOnNextInsert) {
+  BufferPool pool(8);
+  auto loader = TagLoader(nullptr);
+  for (uint64_t k = 0; k < 8; ++k) ASSERT_TRUE(pool.Get(k, loader).ok());
+  pool.set_capacity(2);
+  ASSERT_TRUE(pool.Get(100, loader).ok());
+  EXPECT_LE(pool.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rql::storage

@@ -1,0 +1,135 @@
+// Unit tests for the page-resident catalog: DDL round trips, persistence,
+// index resolution, and as-of catalog loading from snapshot views.
+
+#include "sql/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "retro/snapshot_store.h"
+
+namespace rql::sql {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto store = retro::SnapshotStore::Open(&env_, "t");
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+    storage::PageId root = storage::kInvalidPageId;
+    auto catalog = Catalog::Open(store_.get(), &root);
+    ASSERT_TRUE(catalog.ok());
+    catalog_ = std::move(*catalog);
+    root_ = root;
+  }
+
+  TableSchema SchemaOf(const std::string& text) {
+    auto schema = TableSchema::Deserialize(text);
+    EXPECT_TRUE(schema.ok());
+    return *schema;
+  }
+
+  storage::InMemoryEnv env_;
+  std::unique_ptr<retro::SnapshotStore> store_;
+  std::unique_ptr<Catalog> catalog_;
+  storage::PageId root_ = storage::kInvalidPageId;
+};
+
+TEST_F(CatalogTest, CreateAndFindTable) {
+  ASSERT_TRUE(
+      catalog_->CreateTable("users", SchemaOf("id INTEGER,name TEXT")).ok());
+  const TableInfo* info = catalog_->data().FindTable("users");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->schema.size(), 2u);
+  EXPECT_NE(info->root, storage::kInvalidPageId);
+  // Case-insensitive lookup.
+  EXPECT_NE(catalog_->data().FindTable("USERS"), nullptr);
+  EXPECT_EQ(catalog_->data().FindTable("missing"), nullptr);
+}
+
+TEST_F(CatalogTest, DuplicateTableRejected) {
+  ASSERT_TRUE(catalog_->CreateTable("t", SchemaOf("a INTEGER")).ok());
+  Status s = catalog_->CreateTable("T", SchemaOf("a INTEGER"));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, EmptySchemaRejected) {
+  EXPECT_FALSE(catalog_->CreateTable("t", TableSchema{}).ok());
+}
+
+TEST_F(CatalogTest, IndexResolution) {
+  ASSERT_TRUE(catalog_
+                  ->CreateTable("t", SchemaOf("a INTEGER,b TEXT,c REAL"))
+                  .ok());
+  auto index = catalog_->CreateIndex("t_bc", "t", {"b", "c"});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->column_idx, (std::vector<int>{1, 2}));
+
+  EXPECT_NE(catalog_->data().IndexOnColumn("t", "b"), nullptr);
+  EXPECT_EQ(catalog_->data().IndexOnColumn("t", "c"), nullptr);  // not first
+  EXPECT_EQ(catalog_->data().TableIndexes("t").size(), 1u);
+
+  // Unknown column / table rejected.
+  EXPECT_FALSE(catalog_->CreateIndex("bad", "t", {"zz"}).ok());
+  EXPECT_FALSE(catalog_->CreateIndex("bad", "missing", {"a"}).ok());
+}
+
+TEST_F(CatalogTest, DropTableDropsItsIndexes) {
+  ASSERT_TRUE(catalog_->CreateTable("t", SchemaOf("a INTEGER")).ok());
+  ASSERT_TRUE(catalog_->CreateIndex("t_a", "t", {"a"}).ok());
+  uint32_t before = store_->page_store()->allocated_pages();
+  ASSERT_GT(before, 1u);
+  ASSERT_TRUE(catalog_->DropTable("t").ok());
+  EXPECT_EQ(catalog_->data().FindTable("t"), nullptr);
+  EXPECT_EQ(catalog_->data().FindIndex("t_a"), nullptr);
+  // Only the catalog's own page(s) remain allocated.
+  EXPECT_LT(store_->page_store()->allocated_pages(), before);
+}
+
+TEST_F(CatalogTest, PersistsAcrossReload) {
+  ASSERT_TRUE(catalog_->CreateTable("t", SchemaOf("a INTEGER,b TEXT")).ok());
+  ASSERT_TRUE(catalog_->CreateIndex("t_a", "t", {"a"}).ok());
+  Catalog fresh(store_.get(), root_);
+  ASSERT_TRUE(fresh.Reload().ok());
+  ASSERT_NE(fresh.data().FindTable("t"), nullptr);
+  const IndexInfo* index = fresh.data().FindIndex("t_a");
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->table, "t");
+  EXPECT_EQ(index->column_idx, (std::vector<int>{0}));
+}
+
+TEST_F(CatalogTest, AsOfCatalogReflectsSnapshotSchema) {
+  ASSERT_TRUE(catalog_->CreateTable("old_t", SchemaOf("a INTEGER")).ok());
+  auto snap = store_->DeclareSnapshot();
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(catalog_->DropTable("old_t").ok());
+  ASSERT_TRUE(catalog_->CreateTable("new_t", SchemaOf("b TEXT")).ok());
+
+  // Current catalog: only new_t.
+  EXPECT_EQ(catalog_->data().FindTable("old_t"), nullptr);
+  EXPECT_NE(catalog_->data().FindTable("new_t"), nullptr);
+
+  // As-of catalog: only old_t.
+  auto view = store_->OpenSnapshot(*snap);
+  ASSERT_TRUE(view.ok());
+  auto as_of = CatalogData::Load(view->get(), root_);
+  ASSERT_TRUE(as_of.ok()) << as_of.status().ToString();
+  EXPECT_NE(as_of->FindTable("old_t"), nullptr);
+  EXPECT_EQ(as_of->FindTable("new_t"), nullptr);
+}
+
+TEST_F(CatalogTest, SchemaSerializationRoundTrip) {
+  TableSchema schema = SchemaOf("a INTEGER,b TEXT,c REAL,d NULL");
+  auto round = TableSchema::Deserialize(schema.Serialize());
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round->columns.size(), 4u);
+  EXPECT_EQ(round->columns[0].type, ValueType::kInteger);
+  EXPECT_EQ(round->columns[3].type, ValueType::kNull);
+  EXPECT_EQ(round->FindColumn("B"), 1);
+  EXPECT_EQ(round->FindColumn("zzz"), -1);
+  EXPECT_FALSE(TableSchema::Deserialize("garbage").ok());
+  EXPECT_FALSE(TableSchema::Deserialize("a BOGUS").ok());
+}
+
+}  // namespace
+}  // namespace rql::sql

@@ -1,0 +1,109 @@
+#include "storage/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace rql::storage {
+namespace {
+
+class EnvTest : public ::testing::TestWithParam<bool> {
+ protected:
+  Env* env() {
+    if (GetParam()) {
+      static PosixEnv posix;
+      return &posix;
+    }
+    return &mem_;
+  }
+  std::string Name(const std::string& base) {
+    return GetParam() ? "/tmp/rql_env_test_" + base : base;
+  }
+  InMemoryEnv mem_;
+};
+
+TEST_P(EnvTest, AppendReadRoundTrip) {
+  auto file = env()->OpenFile(Name("a"));
+  ASSERT_TRUE(file.ok());
+  (*file)->Truncate(0).ok();
+  uint64_t off = 0;
+  ASSERT_TRUE((*file)->Append(5, "hello", &off).ok());
+  EXPECT_EQ(off, 0u);
+  ASSERT_TRUE((*file)->Append(5, "world", &off).ok());
+  EXPECT_EQ(off, 5u);
+  char buf[10];
+  ASSERT_TRUE((*file)->Read(0, 10, buf).ok());
+  EXPECT_EQ(std::string(buf, 10), "helloworld");
+  EXPECT_EQ((*file)->Size(), 10u);
+}
+
+TEST_P(EnvTest, WriteExtendsFile) {
+  auto file = env()->OpenFile(Name("b"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Truncate(0).ok());
+  ASSERT_TRUE((*file)->Write(100, 3, "xyz").ok());
+  EXPECT_EQ((*file)->Size(), 103u);
+  char buf[3];
+  ASSERT_TRUE((*file)->Read(100, 3, buf).ok());
+  EXPECT_EQ(std::memcmp(buf, "xyz", 3), 0);
+}
+
+TEST_P(EnvTest, ReadPastEndFails) {
+  auto file = env()->OpenFile(Name("c"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Truncate(0).ok());
+  char buf[4];
+  EXPECT_FALSE((*file)->Read(0, 4, buf).ok());
+}
+
+TEST_P(EnvTest, TruncateShrinks) {
+  auto file = env()->OpenFile(Name("d"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Truncate(0).ok());
+  uint64_t off;
+  ASSERT_TRUE((*file)->Append(8, "12345678", &off).ok());
+  ASSERT_TRUE((*file)->Truncate(4).ok());
+  EXPECT_EQ((*file)->Size(), 4u);
+  char buf[4];
+  ASSERT_TRUE((*file)->Read(0, 4, buf).ok());
+  EXPECT_EQ(std::memcmp(buf, "1234", 4), 0);
+}
+
+TEST_P(EnvTest, ExistsAndDelete) {
+  ASSERT_TRUE(env()->OpenFile(Name("e")).ok());
+  EXPECT_TRUE(env()->FileExists(Name("e")));
+  EXPECT_TRUE(env()->DeleteFile(Name("e")).ok());
+  EXPECT_FALSE(env()->FileExists(Name("e")));
+  EXPECT_FALSE(env()->DeleteFile(Name("e")).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnvs, EnvTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Posix" : "InMemory";
+                         });
+
+TEST(InMemoryEnvTest, PersistsAcrossReopen) {
+  InMemoryEnv env;
+  {
+    auto file = env.OpenFile("f");
+    ASSERT_TRUE(file.ok());
+    uint64_t off;
+    ASSERT_TRUE((*file)->Append(3, "abc", &off).ok());
+  }
+  auto again = env.OpenFile("f");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->Size(), 3u);
+}
+
+TEST(InMemoryEnvTest, TotalBytes) {
+  InMemoryEnv env;
+  auto a = env.OpenFile("a");
+  auto b = env.OpenFile("b");
+  uint64_t off;
+  ASSERT_TRUE((*a)->Append(10, "0123456789", &off).ok());
+  ASSERT_TRUE((*b)->Append(5, "01234", &off).ok());
+  EXPECT_EQ(env.TotalBytes(), 15u);
+}
+
+}  // namespace
+}  // namespace rql::storage

@@ -1,0 +1,305 @@
+// Integration tests for the query executor: multi-way joins, access-path
+// equivalence (seq scan vs native vs covering vs transient index), LIMIT
+// short-circuiting, grouping/sorting edge cases, and cross-time statements
+// (CREATE TABLE AS / INSERT with AS OF sources).
+
+#include <gtest/gtest.h>
+
+#include "sql/database.h"
+
+namespace rql::sql {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(&env_, "t");
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+  }
+
+  void Ok(const std::string& sql) {
+    Status s = db_->Exec(sql);
+    ASSERT_TRUE(s.ok()) << sql << " -> " << s.ToString();
+  }
+
+  QueryResult Q(const std::string& sql) {
+    auto r = db_->Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r) : QueryResult{};
+  }
+
+  storage::InMemoryEnv env_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExecutorTest, ThreeWayJoin) {
+  Ok("CREATE TABLE region (rid INTEGER, rname TEXT)");
+  Ok("CREATE TABLE nation (nid INTEGER, rid INTEGER, nname TEXT)");
+  Ok("CREATE TABLE city (cid INTEGER, nid INTEGER, cname TEXT)");
+  Ok("INSERT INTO region VALUES (1, 'EU'), (2, 'NA')");
+  Ok("INSERT INTO nation VALUES (10, 1, 'FR'), (11, 1, 'DE'), "
+     "(12, 2, 'US')");
+  Ok("INSERT INTO city VALUES (100, 10, 'Paris'), (101, 11, 'Berlin'), "
+     "(102, 12, 'NYC'), (103, 12, 'SF')");
+
+  QueryResult r = Q(
+      "SELECT rname, nname, cname FROM region, nation, city "
+      "WHERE region.rid = nation.rid AND nation.nid = city.nid "
+      "ORDER BY cname");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][2].text(), "Berlin");
+  EXPECT_EQ(r.rows[0][0].text(), "EU");
+  EXPECT_EQ(r.rows[2][2].text(), "Paris");
+  EXPECT_EQ(r.rows[3][0].text(), "NA");
+}
+
+TEST_F(ExecutorTest, CrossJoinWithoutPredicate) {
+  Ok("CREATE TABLE a (x INTEGER)");
+  Ok("CREATE TABLE b (y INTEGER)");
+  Ok("INSERT INTO a VALUES (1), (2), (3)");
+  Ok("INSERT INTO b VALUES (10), (20)");
+  QueryResult r = Q("SELECT x, y FROM a, b ORDER BY x, y");
+  ASSERT_EQ(r.rows.size(), 6u);
+  EXPECT_EQ(r.rows[0][0].integer(), 1);
+  EXPECT_EQ(r.rows[0][1].integer(), 10);
+  EXPECT_EQ(r.rows[5][0].integer(), 3);
+  EXPECT_EQ(r.rows[5][1].integer(), 20);
+}
+
+TEST_F(ExecutorTest, AccessPathsAgree) {
+  // The same join answered via transient index, native index, and
+  // covering index must produce identical results.
+  Ok("CREATE TABLE f (k INTEGER, v REAL, tag TEXT)");
+  Ok("CREATE TABLE d (k INTEGER, w INTEGER)");
+  for (int i = 0; i < 60; ++i) {
+    Ok("INSERT INTO f VALUES (" + std::to_string(i % 10) + ", " +
+       std::to_string(i) + ".5, 't" + std::to_string(i) + "')");
+  }
+  for (int i = 0; i < 10; ++i) {
+    Ok("INSERT INTO d VALUES (" + std::to_string(i) + ", " +
+       std::to_string(i * 100) + ")");
+  }
+  const std::string join =
+      "SELECT SUM(v) FROM f, d WHERE f.k = d.k AND w >= 300";
+
+  auto transient = db_->QueryScalar(join);
+  ASSERT_TRUE(transient.ok());
+  EXPECT_TRUE(db_->last_stats().exec.used_transient_index);
+
+  Ok("CREATE INDEX f_k ON f (k)");
+  auto native = db_->QueryScalar(join);
+  ASSERT_TRUE(native.ok());
+  EXPECT_TRUE(db_->last_stats().exec.used_native_index);
+  EXPECT_DOUBLE_EQ(transient->AsDouble(), native->AsDouble());
+
+  Ok("DROP INDEX f_k");
+  Ok("CREATE INDEX f_kv ON f (k, v)");
+  auto covering = db_->QueryScalar(join);
+  ASSERT_TRUE(covering.ok());
+  EXPECT_DOUBLE_EQ(transient->AsDouble(), covering->AsDouble());
+}
+
+TEST_F(ExecutorTest, IndexOnlyAccessNotUsedWhenColumnsMissing) {
+  Ok("CREATE TABLE f (k INTEGER, v REAL, tag TEXT)");
+  Ok("CREATE TABLE d (k INTEGER)");
+  Ok("CREATE INDEX f_k ON f (k)");  // does not cover tag
+  Ok("INSERT INTO f VALUES (1, 2.0, 'keep')");
+  Ok("INSERT INTO d VALUES (1)");
+  QueryResult r = Q("SELECT tag FROM f, d WHERE f.k = d.k");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].text(), "keep");  // heap fetch fills tag
+}
+
+TEST_F(ExecutorTest, LimitStopsJoinEarly) {
+  Ok("CREATE TABLE big (x INTEGER)");
+  Ok("CREATE TABLE other (y INTEGER)");
+  for (int i = 0; i < 200; ++i) {
+    Ok("INSERT INTO big VALUES (" + std::to_string(i) + ")");
+  }
+  Ok("INSERT INTO other VALUES (1), (2)");
+  QueryResult r = Q("SELECT x, y FROM big, other LIMIT 5");
+  EXPECT_EQ(r.rows.size(), 5u);
+  // The scan must not have visited all 400 combinations.
+  EXPECT_LT(db_->last_stats().exec.rows_scanned, 400);
+}
+
+TEST_F(ExecutorTest, GroupByNullKey) {
+  Ok("CREATE TABLE t (k INTEGER, v INTEGER)");
+  Ok("INSERT INTO t VALUES (1, 10), (NULL, 20), (NULL, 30), (2, 40)");
+  QueryResult r = Q(
+      "SELECT k, SUM(v) AS s FROM t GROUP BY k ORDER BY s");
+  ASSERT_EQ(r.rows.size(), 3u);
+  // NULLs group together (SQL GROUP BY semantics).
+  EXPECT_TRUE(r.rows[2][0].is_null());
+  EXPECT_EQ(r.rows[2][1].integer(), 50);
+}
+
+TEST_F(ExecutorTest, DistinctTreatsNullsAsEqual) {
+  Ok("CREATE TABLE t (v INTEGER)");
+  Ok("INSERT INTO t VALUES (NULL), (NULL), (1), (1)");
+  QueryResult r = Q("SELECT DISTINCT v FROM t");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, MultiKeySortMixedDirections) {
+  Ok("CREATE TABLE t (a INTEGER, b TEXT)");
+  Ok("INSERT INTO t VALUES (1, 'z'), (1, 'a'), (2, 'm'), (2, 'b')");
+  QueryResult r = Q("SELECT a, b FROM t ORDER BY a DESC, b ASC");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][0].integer(), 2);
+  EXPECT_EQ(r.rows[0][1].text(), "b");
+  EXPECT_EQ(r.rows[3][1].text(), "z");
+}
+
+TEST_F(ExecutorTest, CreateTableAsSelectAsOf) {
+  Ok("CREATE TABLE t (v INTEGER)");
+  Ok("INSERT INTO t VALUES (1), (2)");
+  Ok("BEGIN; COMMIT WITH SNAPSHOT;");
+  Ok("INSERT INTO t VALUES (3)");
+  // Materialize a past state into a fresh table (retrospective CTAS).
+  Ok("CREATE TABLE t_past AS SELECT AS OF 1 v FROM t");
+  EXPECT_EQ(Q("SELECT COUNT(*) FROM t_past").rows[0][0].integer(), 2);
+  EXPECT_EQ(Q("SELECT COUNT(*) FROM t").rows[0][0].integer(), 3);
+}
+
+TEST_F(ExecutorTest, InsertSelectAsOfRestoresDeletedRows) {
+  Ok("CREATE TABLE t (v INTEGER)");
+  Ok("INSERT INTO t VALUES (1), (2), (3)");
+  Ok("BEGIN; COMMIT WITH SNAPSHOT;");
+  Ok("DELETE FROM t");
+  // Point-in-time restore via INSERT ... SELECT AS OF.
+  Ok("INSERT INTO t SELECT AS OF 1 v FROM t");
+  QueryResult r = Q("SELECT v FROM t ORDER BY v");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[2][0].integer(), 3);
+}
+
+TEST_F(ExecutorTest, JoinInsideAsOfSnapshot) {
+  Ok("CREATE TABLE p (id INTEGER, name TEXT)");
+  Ok("CREATE TABLE c (pid INTEGER, amount REAL)");
+  Ok("INSERT INTO p VALUES (1, 'x'), (2, 'y')");
+  Ok("INSERT INTO c VALUES (1, 5.0), (2, 7.0)");
+  Ok("BEGIN; COMMIT WITH SNAPSHOT;");
+  Ok("DELETE FROM c WHERE pid = 2");
+  auto past = db_->QueryScalar(
+      "SELECT AS OF 1 SUM(amount) FROM p, c WHERE id = pid");
+  auto now = db_->QueryScalar(
+      "SELECT SUM(amount) FROM p, c WHERE id = pid");
+  ASSERT_TRUE(past.ok() && now.ok());
+  EXPECT_DOUBLE_EQ(past->AsDouble(), 12.0);
+  EXPECT_DOUBLE_EQ(now->AsDouble(), 5.0);
+}
+
+TEST_F(ExecutorTest, IndexRangeScanMatchesSeqScan) {
+  Ok("CREATE TABLE k (id INTEGER, v TEXT)");
+  for (int i = 0; i < 300; ++i) {
+    Ok("INSERT INTO k VALUES (" + std::to_string(i * 3 % 299) + ", 'v" +
+       std::to_string(i) + "')");
+  }
+  const char* queries[] = {
+      "SELECT COUNT(*) FROM k WHERE id = 42",
+      "SELECT COUNT(*) FROM k WHERE id >= 100 AND id <= 200",
+      "SELECT COUNT(*) FROM k WHERE id > 250",
+      "SELECT COUNT(*) FROM k WHERE id < 10",
+      "SELECT COUNT(*) FROM k WHERE 50 <= id AND 60 > id",
+      "SELECT SUM(id) FROM k WHERE id BETWEEN 10 AND 20",
+  };
+  std::vector<Value> before;
+  for (const char* q : queries) {
+    auto v = db_->QueryScalar(q);
+    ASSERT_TRUE(v.ok()) << q;
+    EXPECT_FALSE(db_->last_stats().exec.used_native_index);
+    before.push_back(*v);
+  }
+  Ok("CREATE INDEX k_id ON k (id)");
+  for (size_t i = 0; i < std::size(queries); ++i) {
+    auto v = db_->QueryScalar(queries[i]);
+    ASSERT_TRUE(v.ok()) << queries[i];
+    EXPECT_TRUE(db_->last_stats().exec.used_native_index) << queries[i];
+    EXPECT_EQ(CompareValues(*v, before[i]), 0) << queries[i];
+  }
+  // The range scan must visit fewer rows than the table holds.
+  ASSERT_TRUE(db_->QueryScalar("SELECT COUNT(*) FROM k WHERE id = 42").ok());
+  EXPECT_LT(db_->last_stats().exec.rows_scanned, 50);
+}
+
+TEST_F(ExecutorTest, IndexRangeScanExplain) {
+  Ok("CREATE TABLE k (id INTEGER, v TEXT)");
+  Ok("CREATE INDEX k_id ON k (id)");
+  Ok("INSERT INTO k VALUES (1, 'a')");
+  QueryResult eq = Q("EXPLAIN SELECT v FROM k WHERE id = 1");
+  EXPECT_NE(eq.rows[0][0].text().find("SEARCH k USING INDEX k_id (id=?)"),
+            std::string::npos)
+      << eq.rows[0][0].text();
+  QueryResult range = Q("EXPLAIN SELECT v FROM k WHERE id > 1 AND id < 9");
+  EXPECT_NE(range.rows[0][0].text().find("k_id (id range)"),
+            std::string::npos)
+      << range.rows[0][0].text();
+  // Covering: only indexed columns referenced.
+  QueryResult covering = Q("EXPLAIN SELECT id FROM k WHERE id = 1");
+  EXPECT_NE(covering.rows[0][0].text().find("COVERING INDEX"),
+            std::string::npos)
+      << covering.rows[0][0].text();
+  // Unbounded predicates on other columns stay sequential.
+  QueryResult seq = Q("EXPLAIN SELECT v FROM k WHERE v = 'a'");
+  EXPECT_NE(seq.rows[0][0].text().find("SCAN k"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, IndexRangeScanAsOf) {
+  Ok("CREATE TABLE k (id INTEGER)");
+  Ok("CREATE INDEX k_id ON k (id)");
+  Ok("INSERT INTO k VALUES (1), (2), (3)");
+  Ok("BEGIN; COMMIT WITH SNAPSHOT;");
+  Ok("DELETE FROM k WHERE id = 2");
+  auto past = db_->QueryScalar("SELECT AS OF 1 COUNT(*) FROM k WHERE id >= 2");
+  auto now = db_->QueryScalar("SELECT COUNT(*) FROM k WHERE id >= 2");
+  ASSERT_TRUE(past.ok() && now.ok());
+  EXPECT_EQ(past->integer(), 2);
+  EXPECT_EQ(now->integer(), 1);
+}
+
+TEST_F(ExecutorTest, SelfJoinViaAliases) {
+  Ok("CREATE TABLE e (id INTEGER, boss INTEGER, name TEXT)");
+  Ok("INSERT INTO e VALUES (1, NULL, 'ceo'), (2, 1, 'vp'), (3, 2, 'ic')");
+  QueryResult r = Q(
+      "SELECT w.name, m.name FROM e w, e m WHERE w.boss = m.id "
+      "ORDER BY w.id");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].text(), "vp");
+  EXPECT_EQ(r.rows[0][1].text(), "ceo");
+  EXPECT_EQ(r.rows[1][0].text(), "ic");
+  EXPECT_EQ(r.rows[1][1].text(), "vp");
+}
+
+TEST_F(ExecutorTest, EmptyInputsEverywhere) {
+  Ok("CREATE TABLE t (v INTEGER)");
+  EXPECT_EQ(Q("SELECT * FROM t").rows.size(), 0u);
+  EXPECT_EQ(Q("SELECT v FROM t ORDER BY v LIMIT 3").rows.size(), 0u);
+  EXPECT_EQ(Q("SELECT v, COUNT(*) FROM t GROUP BY v").rows.size(), 0u);
+  EXPECT_EQ(Q("SELECT COUNT(*) FROM t").rows[0][0].integer(), 0);
+  Ok("CREATE TABLE u (w INTEGER)");
+  Ok("INSERT INTO u VALUES (1)");
+  EXPECT_EQ(Q("SELECT * FROM t, u WHERE v = w").rows.size(), 0u);
+}
+
+TEST_F(ExecutorTest, HavingWithoutGroupBy) {
+  Ok("CREATE TABLE t (v INTEGER)");
+  Ok("INSERT INTO t VALUES (1), (2)");
+  EXPECT_EQ(Q("SELECT SUM(v) FROM t HAVING COUNT(*) > 1").rows.size(), 1u);
+  EXPECT_EQ(Q("SELECT SUM(v) FROM t HAVING COUNT(*) > 5").rows.size(), 0u);
+}
+
+TEST_F(ExecutorTest, AggregatesInsideExpressions) {
+  Ok("CREATE TABLE t (v INTEGER)");
+  Ok("INSERT INTO t VALUES (2), (4), (6)");
+  auto r = db_->QueryScalar("SELECT MAX(v) - MIN(v) + COUNT(*) FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->integer(), 7);
+  auto avg2 = db_->QueryScalar("SELECT SUM(v) / COUNT(*) FROM t");
+  ASSERT_TRUE(avg2.ok());
+  EXPECT_EQ(avg2->AsInt(), 4);
+}
+
+}  // namespace
+}  // namespace rql::sql

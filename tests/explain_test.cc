@@ -1,0 +1,108 @@
+// Tests for EXPLAIN SELECT: the plan descriptions must reflect the access
+// paths actually chosen (seq scan, native index, covering index,
+// automatic transient index, pushdown filters, aggregation operators).
+
+#include <gtest/gtest.h>
+
+#include "sql/database.h"
+
+namespace rql::sql {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(&env_, "t");
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ASSERT_TRUE(db_->Exec("CREATE TABLE part (pk INTEGER, ptype TEXT)").ok());
+    ASSERT_TRUE(db_->Exec(
+        "CREATE TABLE item (fk INTEGER, price REAL, note TEXT)").ok());
+    ASSERT_TRUE(db_->Exec("INSERT INTO part VALUES (1, 'TIN')").ok());
+    ASSERT_TRUE(db_->Exec("INSERT INTO item VALUES (1, 2.0, 'x')").ok());
+  }
+
+  std::vector<std::string> Plan(const std::string& sql) {
+    auto result = db_->Query("EXPLAIN " + sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<std::string> lines;
+    for (const Row& row : result->rows) lines.push_back(row[0].text());
+    return lines;
+  }
+
+  static bool Contains(const std::vector<std::string>& lines,
+                       const std::string& needle) {
+    for (const std::string& line : lines) {
+      if (line.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  storage::InMemoryEnv env_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExplainTest, SeqScan) {
+  auto plan = Plan("SELECT * FROM part");
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0], "SCAN part");
+}
+
+TEST_F(ExplainTest, PushdownFilterMarked) {
+  auto plan = Plan("SELECT pk FROM part WHERE ptype = 'TIN'");
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0], "SCAN part [filter]");
+}
+
+TEST_F(ExplainTest, TransientIndexJoin) {
+  auto plan = Plan(
+      "SELECT price FROM item, part WHERE pk = fk AND ptype = 'TIN'");
+  EXPECT_TRUE(Contains(plan, "SCAN part [filter]")) << plan[0];
+  EXPECT_TRUE(Contains(plan, "SEARCH item USING AUTOMATIC TRANSIENT INDEX "
+                             "(fk=?)"));
+}
+
+TEST_F(ExplainTest, NativeIndexJoin) {
+  ASSERT_TRUE(db_->Exec("CREATE INDEX item_fk ON item (fk)").ok());
+  auto plan = Plan(
+      "SELECT note FROM item, part WHERE pk = fk AND ptype = 'TIN'");
+  EXPECT_TRUE(Contains(plan, "SEARCH item USING INDEX item_fk (fk=?)"));
+}
+
+TEST_F(ExplainTest, CoveringIndexJoin) {
+  ASSERT_TRUE(
+      db_->Exec("CREATE INDEX item_fk_price ON item (fk, price)").ok());
+  auto plan = Plan(
+      "SELECT SUM(price) FROM item, part WHERE pk = fk AND ptype = 'TIN'");
+  EXPECT_TRUE(Contains(plan, "USING COVERING INDEX item_fk_price"))
+      << (plan.empty() ? "" : plan[1]);
+  EXPECT_TRUE(Contains(plan, "AGGREGATE"));
+}
+
+TEST_F(ExplainTest, AggregationOperators) {
+  auto plan = Plan(
+      "SELECT DISTINCT ptype, COUNT(*) FROM part GROUP BY ptype "
+      "HAVING COUNT(*) > 0 ORDER BY ptype LIMIT 5");
+  EXPECT_TRUE(Contains(plan, "GROUP BY (1 keys, 2 aggregates)"));
+  EXPECT_TRUE(Contains(plan, "HAVING"));
+  EXPECT_TRUE(Contains(plan, "DISTINCT"));
+  EXPECT_TRUE(Contains(plan, "SORT (1 keys)"));
+  EXPECT_TRUE(Contains(plan, "LIMIT 5"));
+}
+
+TEST_F(ExplainTest, ConstantRow) {
+  auto plan = Plan("SELECT 1 + 1");
+  EXPECT_TRUE(Contains(plan, "CONSTANT ROW"));
+}
+
+TEST_F(ExplainTest, AliasShown) {
+  auto plan = Plan("SELECT p.pk FROM part p");
+  EXPECT_EQ(plan[0], "SCAN part AS p");
+}
+
+TEST_F(ExplainTest, ExplainNonSelectRejected) {
+  EXPECT_FALSE(db_->Exec("EXPLAIN DELETE FROM part").ok());
+}
+
+}  // namespace
+}  // namespace rql::sql

@@ -1,0 +1,173 @@
+// Tests for the extended expression features: IN / NOT IN, BETWEEN, CASE,
+// CAST, LIKE, and the scalar built-in library — including their SQL
+// three-valued-logic corner cases.
+
+#include <gtest/gtest.h>
+
+#include "sql/database.h"
+
+namespace rql::sql {
+namespace {
+
+class ExprFeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(&env_, "t");
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+  }
+
+  Value Scalar(const std::string& sql) {
+    auto v = db_->QueryScalar("SELECT " + sql);
+    EXPECT_TRUE(v.ok()) << sql << " -> " << v.status().ToString();
+    return v.ok() ? *v : Value::Text("<error>");
+  }
+
+  storage::InMemoryEnv env_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExprFeaturesTest, InList) {
+  EXPECT_EQ(Scalar("2 IN (1, 2, 3)").integer(), 1);
+  EXPECT_EQ(Scalar("5 IN (1, 2, 3)").integer(), 0);
+  EXPECT_EQ(Scalar("'b' IN ('a', 'b')").integer(), 1);
+  EXPECT_EQ(Scalar("2 NOT IN (1, 3)").integer(), 1);
+  EXPECT_EQ(Scalar("2 NOT IN (1, 2)").integer(), 0);
+  // Expressions as candidates.
+  EXPECT_EQ(Scalar("4 IN (1 + 3, 9)").integer(), 1);
+}
+
+TEST_F(ExprFeaturesTest, InThreeValuedLogic) {
+  // A match wins even when NULLs are present.
+  EXPECT_EQ(Scalar("2 IN (NULL, 2)").integer(), 1);
+  // No match + NULL present -> NULL (unknown).
+  EXPECT_TRUE(Scalar("5 IN (NULL, 2)").is_null());
+  EXPECT_TRUE(Scalar("NULL IN (1, 2)").is_null());
+  // NOT IN with NULL candidate is never TRUE.
+  EXPECT_TRUE(Scalar("5 NOT IN (NULL, 2)").is_null());
+  EXPECT_EQ(Scalar("2 NOT IN (NULL, 2)").integer(), 0);
+}
+
+TEST_F(ExprFeaturesTest, Between) {
+  EXPECT_EQ(Scalar("5 BETWEEN 1 AND 10").integer(), 1);
+  EXPECT_EQ(Scalar("1 BETWEEN 1 AND 10").integer(), 1);   // inclusive
+  EXPECT_EQ(Scalar("10 BETWEEN 1 AND 10").integer(), 1);  // inclusive
+  EXPECT_EQ(Scalar("11 BETWEEN 1 AND 10").integer(), 0);
+  EXPECT_EQ(Scalar("5 NOT BETWEEN 1 AND 10").integer(), 0);
+  EXPECT_EQ(Scalar("'m' BETWEEN 'a' AND 'z'").integer(), 1);
+  // Date-style text ranges, as in TPC-H predicates.
+  EXPECT_EQ(Scalar("'1995-06-15' BETWEEN '1995-01-01' AND '1995-12-31'")
+                .integer(), 1);
+}
+
+TEST_F(ExprFeaturesTest, SearchedCase) {
+  EXPECT_EQ(Scalar("CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' "
+                   "ELSE 'c' END").text(), "b");
+  EXPECT_EQ(Scalar("CASE WHEN 1 > 2 THEN 'a' ELSE 'c' END").text(), "c");
+  EXPECT_TRUE(Scalar("CASE WHEN 1 > 2 THEN 'a' END").is_null());
+}
+
+TEST_F(ExprFeaturesTest, SimpleCaseWithBase) {
+  EXPECT_EQ(Scalar("CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END").text(),
+            "two");
+  EXPECT_EQ(Scalar("CASE 'x' WHEN 'y' THEN 1 ELSE 0 END").integer(), 0);
+  // NULL base never matches a WHEN.
+  EXPECT_EQ(Scalar("CASE NULL WHEN NULL THEN 1 ELSE 0 END").integer(), 0);
+}
+
+TEST_F(ExprFeaturesTest, Cast) {
+  EXPECT_EQ(Scalar("CAST('42' AS INTEGER)").integer(), 42);
+  EXPECT_EQ(Scalar("CAST(3.9 AS INTEGER)").integer(), 3);
+  EXPECT_DOUBLE_EQ(Scalar("CAST('2.5' AS REAL)").real(), 2.5);
+  EXPECT_EQ(Scalar("CAST(7 AS TEXT)").text(), "7");
+  EXPECT_TRUE(Scalar("CAST(NULL AS INTEGER)").is_null());
+  EXPECT_EQ(Scalar("CAST('junk' AS INTEGER)").integer(), 0);
+}
+
+TEST_F(ExprFeaturesTest, NewBuiltins) {
+  EXPECT_DOUBLE_EQ(Scalar("ROUND(2.567, 2)").real(), 2.57);
+  EXPECT_DOUBLE_EQ(Scalar("ROUND(2.5)").real(), 3.0);
+  EXPECT_TRUE(Scalar("NULLIF(3, 3)").is_null());
+  EXPECT_EQ(Scalar("NULLIF(3, 4)").integer(), 3);
+  EXPECT_EQ(Scalar("TRIM('  hi  ')").text(), "hi");
+  EXPECT_EQ(Scalar("REPLACE('aXbXc', 'X', '-')").text(), "a-b-c");
+  EXPECT_EQ(Scalar("INSTR('hello', 'll')").integer(), 3);
+  EXPECT_EQ(Scalar("INSTR('hello', 'z')").integer(), 0);
+}
+
+TEST_F(ExprFeaturesTest, FeaturesInsideQueries) {
+  ASSERT_TRUE(db_->Exec("CREATE TABLE t (x INTEGER, tag TEXT)").ok());
+  ASSERT_TRUE(db_->Exec(
+      "INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'a'), "
+      "(4, 'c'), (NULL, 'a')").ok());
+
+  auto in_filter = db_->QueryScalar(
+      "SELECT COUNT(*) FROM t WHERE tag IN ('a', 'c')");
+  ASSERT_TRUE(in_filter.ok());
+  EXPECT_EQ(in_filter->integer(), 4);
+
+  auto between = db_->QueryScalar(
+      "SELECT COUNT(*) FROM t WHERE x BETWEEN 2 AND 3");
+  ASSERT_TRUE(between.ok());
+  EXPECT_EQ(between->integer(), 2);
+
+  // CASE in the select list with aggregation.
+  auto bucketed = db_->Query(
+      "SELECT CASE WHEN x <= 2 THEN 'low' ELSE 'high' END AS bucket, "
+      "COUNT(*) AS c FROM t WHERE x IS NOT NULL "
+      "GROUP BY CASE WHEN x <= 2 THEN 'low' ELSE 'high' END "
+      "ORDER BY bucket");
+  ASSERT_TRUE(bucketed.ok()) << bucketed.status().ToString();
+  ASSERT_EQ(bucketed->rows.size(), 2u);
+  EXPECT_EQ(bucketed->rows[0][0].text(), "high");
+  EXPECT_EQ(bucketed->rows[0][1].integer(), 2);
+  EXPECT_EQ(bucketed->rows[1][1].integer(), 2);
+}
+
+TEST_F(ExprFeaturesTest, ArithmeticEdgeCases) {
+  // Division/modulo by zero yield NULL (SQLite semantics), not an error.
+  EXPECT_TRUE(Scalar("1 / 0").is_null());
+  EXPECT_TRUE(Scalar("1 % 0").is_null());
+  EXPECT_TRUE(Scalar("1.5 / 0").is_null());
+  // Integer division stays integral only when exact.
+  EXPECT_EQ(Scalar("10 / 2").integer(), 5);
+  EXPECT_DOUBLE_EQ(Scalar("7 / 2").real(), 3.5);
+  // Mixed-type arithmetic promotes to real.
+  EXPECT_DOUBLE_EQ(Scalar("1 + 0.5").real(), 1.5);
+  // NULL propagates through arithmetic.
+  EXPECT_TRUE(Scalar("NULL + 1").is_null());
+  EXPECT_TRUE(Scalar("-(NULL)").is_null());
+  // Text arithmetic is an error, not silent coercion.
+  EXPECT_FALSE(db_->Query("SELECT 'a' + 1").ok());
+  EXPECT_FALSE(db_->Query("SELECT -'a'").ok());
+}
+
+TEST_F(ExprFeaturesTest, ComparisonEdgeCases) {
+  // Cross-type numeric comparison.
+  EXPECT_EQ(Scalar("2 = 2.0").integer(), 1);
+  EXPECT_EQ(Scalar("2 < 2.5").integer(), 1);
+  // Type-rank ordering: numbers sort below text.
+  EXPECT_EQ(Scalar("999999 < 'a'").integer(), 1);
+  // NULL comparisons are UNKNOWN.
+  EXPECT_TRUE(Scalar("NULL = NULL").is_null());
+  EXPECT_TRUE(Scalar("1 < NULL").is_null());
+  // Kleene logic shortcuts around NULL.
+  EXPECT_EQ(Scalar("0 AND NULL").integer(), 0);
+  EXPECT_TRUE(Scalar("1 AND NULL").is_null());
+  EXPECT_EQ(Scalar("1 OR NULL").integer(), 1);
+  EXPECT_TRUE(Scalar("0 OR NULL").is_null());
+  EXPECT_TRUE(Scalar("NOT NULL").is_null());
+}
+
+TEST_F(ExprFeaturesTest, NotStillWorksOutsideInBetween) {
+  EXPECT_EQ(Scalar("NOT 0").integer(), 1);
+  EXPECT_EQ(Scalar("NOT 1 = 2").integer(), 1);  // NOT (1 = 2)
+  ASSERT_TRUE(db_->Exec("CREATE TABLE u (a INTEGER)").ok());
+  ASSERT_TRUE(db_->Exec("INSERT INTO u VALUES (1), (2)").ok());
+  auto v = db_->QueryScalar("SELECT COUNT(*) FROM u WHERE NOT a = 1");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->integer(), 1);
+}
+
+}  // namespace
+}  // namespace rql::sql

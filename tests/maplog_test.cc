@@ -1,0 +1,201 @@
+#include "retro/maplog.h"
+
+#include <gtest/gtest.h>
+
+namespace rql::retro {
+namespace {
+
+class MaplogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto log = Maplog::Open(&env_, "m.maplog");
+    ASSERT_TRUE(log.ok());
+    log_ = std::move(*log);
+  }
+  storage::InMemoryEnv env_;
+  std::unique_ptr<Maplog> log_;
+};
+
+TEST_F(MaplogTest, MarksMustBeSequential) {
+  ASSERT_TRUE(log_->AppendSnapshotMark(1).ok());
+  EXPECT_FALSE(log_->AppendSnapshotMark(3).ok());
+  ASSERT_TRUE(log_->AppendSnapshotMark(2).ok());
+}
+
+TEST_F(MaplogTest, BuildSptPicksFirstCoveringEntryPerPage) {
+  // Snapshot 1 declared; pages 10 and 11 captured for it; page 10 captured
+  // again for snapshot 2 at a different location.
+  ASSERT_TRUE(log_->AppendSnapshotMark(1).ok());
+  ASSERT_TRUE(log_->AppendCapture(10, 1, 1, 4096).ok());
+  ASSERT_TRUE(log_->AppendCapture(11, 1, 1, 8192).ok());
+  ASSERT_TRUE(log_->AppendSnapshotMark(2).ok());
+  ASSERT_TRUE(log_->AppendCapture(10, 2, 2, 12288).ok());
+
+  SnapshotPageTable spt;
+  uint64_t resume = 0;
+  SptBuildStats stats;
+  ASSERT_TRUE(log_->BuildSpt(1, &spt, &resume, &stats).ok());
+  EXPECT_EQ(spt.size(), 2u);
+  EXPECT_EQ(spt[10], 4096u);
+  EXPECT_EQ(spt[11], 8192u);
+  EXPECT_EQ(resume, log_->entry_count());
+  EXPECT_GT(stats.entries_scanned, 0);
+
+  ASSERT_TRUE(log_->BuildSpt(2, &spt, &resume, &stats).ok());
+  EXPECT_EQ(spt.size(), 1u);
+  EXPECT_EQ(spt[10], 12288u);
+}
+
+TEST_F(MaplogTest, RangeCaptureCoversAllSnapshotsInRange) {
+  // Page untouched across snapshots 1-3, then modified: one capture covers
+  // the whole range.
+  ASSERT_TRUE(log_->AppendSnapshotMark(1).ok());
+  ASSERT_TRUE(log_->AppendSnapshotMark(2).ok());
+  ASSERT_TRUE(log_->AppendSnapshotMark(3).ok());
+  ASSERT_TRUE(log_->AppendCapture(7, 1, 3, 0).ok());
+
+  for (SnapshotId s = 1; s <= 3; ++s) {
+    SnapshotPageTable spt;
+    uint64_t resume = 0;
+    ASSERT_TRUE(log_->BuildSpt(s, &spt, &resume, nullptr).ok());
+    ASSERT_EQ(spt.size(), 1u) << "snapshot " << s;
+    EXPECT_EQ(spt[7], 0u);
+  }
+}
+
+TEST_F(MaplogTest, PagesAllocatedAfterSnapshotAreExcluded) {
+  ASSERT_TRUE(log_->AppendSnapshotMark(1).ok());
+  ASSERT_TRUE(log_->AppendSnapshotMark(2).ok());
+  // Page 20 allocated after snapshot 2, then captured for snapshot 3 only.
+  ASSERT_TRUE(log_->AppendAlloc(20, 2).ok());
+  ASSERT_TRUE(log_->AppendSnapshotMark(3).ok());
+  ASSERT_TRUE(log_->AppendCapture(20, 3, 3, 4096).ok());
+
+  SnapshotPageTable spt;
+  uint64_t resume = 0;
+  ASSERT_TRUE(log_->BuildSpt(2, &spt, &resume, nullptr).ok());
+  EXPECT_TRUE(spt.empty());
+  ASSERT_TRUE(log_->BuildSpt(3, &spt, &resume, nullptr).ok());
+  EXPECT_EQ(spt.size(), 1u);
+}
+
+TEST_F(MaplogTest, RefreshExtendsSpt) {
+  ASSERT_TRUE(log_->AppendSnapshotMark(1).ok());
+  SnapshotPageTable spt;
+  uint64_t resume = 0;
+  ASSERT_TRUE(log_->BuildSpt(1, &spt, &resume, nullptr).ok());
+  EXPECT_TRUE(spt.empty());
+
+  // A capture lands after the SPT was built (concurrent update).
+  ASSERT_TRUE(log_->AppendCapture(5, 1, 1, 4096).ok());
+  ASSERT_TRUE(log_->RefreshSpt(1, &spt, &resume, nullptr).ok());
+  EXPECT_EQ(spt.size(), 1u);
+  EXPECT_EQ(spt[5], 4096u);
+  EXPECT_EQ(resume, log_->entry_count());
+}
+
+TEST_F(MaplogTest, UnknownSnapshotFails) {
+  SnapshotPageTable spt;
+  uint64_t resume = 0;
+  EXPECT_FALSE(log_->BuildSpt(1, &spt, &resume, nullptr).ok());
+  EXPECT_FALSE(log_->BuildSpt(0, &spt, &resume, nullptr).ok());
+}
+
+TEST_F(MaplogTest, RecoverModEpochsAndLatest) {
+  ASSERT_TRUE(log_->AppendSnapshotMark(1).ok());
+  ASSERT_TRUE(log_->AppendCapture(10, 1, 1, 0).ok());
+  ASSERT_TRUE(log_->AppendAlloc(30, 1).ok());
+  ASSERT_TRUE(log_->AppendSnapshotMark(2).ok());
+  ASSERT_TRUE(log_->AppendCapture(10, 2, 2, 4096).ok());
+
+  std::unordered_map<storage::PageId, SnapshotId> epochs;
+  SnapshotId latest = 0;
+  ASSERT_TRUE(log_->RecoverModEpochs(&epochs, &latest).ok());
+  EXPECT_EQ(latest, 2u);
+  EXPECT_EQ(epochs[10], 2u);
+  EXPECT_EQ(epochs[30], 1u);
+  EXPECT_EQ(epochs.count(99), 0u);
+}
+
+TEST_F(MaplogTest, SkippyAndLinearScansAgree) {
+  // Randomized history: pages captured in arbitrary epochs; the Skippy
+  // scan must produce exactly the same SPT as the linear scan for every
+  // snapshot.
+  uint64_t seed = 987654321;
+  auto next = [&seed]() {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    return seed >> 33;
+  };
+  const SnapshotId kSnapshots = 37;
+  std::unordered_map<storage::PageId, SnapshotId> mod_epoch;
+  for (SnapshotId s = 1; s <= kSnapshots; ++s) {
+    ASSERT_TRUE(log_->AppendSnapshotMark(s).ok());
+    int captures = static_cast<int>(next() % 12);
+    for (int c = 0; c < captures; ++c) {
+      auto page = static_cast<storage::PageId>(1 + next() % 30);
+      SnapshotId epoch = mod_epoch.count(page) ? mod_epoch[page] : 0;
+      if (epoch >= s) continue;  // already captured this epoch
+      ASSERT_TRUE(
+          log_->AppendCapture(page, epoch + 1, s, (s * 100 + c) * 4096)
+              .ok());
+      mod_epoch[page] = s;
+    }
+  }
+  for (SnapshotId s = 1; s <= kSnapshots; ++s) {
+    SnapshotPageTable linear, skippy;
+    uint64_t resume = 0;
+    SptBuildStats lin_stats, sk_stats;
+    log_->set_use_skippy(false);
+    ASSERT_TRUE(log_->BuildSpt(s, &linear, &resume, &lin_stats).ok());
+    log_->set_use_skippy(true);
+    ASSERT_TRUE(log_->BuildSpt(s, &skippy, &resume, &sk_stats).ok());
+    ASSERT_EQ(linear.size(), skippy.size()) << "snapshot " << s;
+    for (const auto& [page, offset] : linear) {
+      auto it = skippy.find(page);
+      ASSERT_NE(it, skippy.end()) << "snapshot " << s << " page " << page;
+      EXPECT_EQ(it->second, offset) << "snapshot " << s << " page " << page;
+    }
+    // Skippy never scans more entries than the linear suffix.
+    EXPECT_LE(sk_stats.entries_scanned, lin_stats.entries_scanned);
+  }
+}
+
+TEST_F(MaplogTest, SkippyScansFewerEntriesOnRepeatedOverwrites) {
+  // One page overwritten every epoch: the linear scan for snapshot 1 reads
+  // every capture; Skippy reads each page once per level (~log n).
+  const SnapshotId kSnapshots = 256;
+  for (SnapshotId s = 1; s <= kSnapshots; ++s) {
+    ASSERT_TRUE(log_->AppendSnapshotMark(s).ok());
+    ASSERT_TRUE(log_->AppendCapture(7, s, s, s * 4096).ok());
+  }
+  SnapshotPageTable spt;
+  uint64_t resume = 0;
+  SptBuildStats lin_stats, sk_stats;
+  log_->set_use_skippy(false);
+  ASSERT_TRUE(log_->BuildSpt(1, &spt, &resume, &lin_stats).ok());
+  EXPECT_EQ(spt[7], 4096u);
+  log_->set_use_skippy(true);
+  ASSERT_TRUE(log_->BuildSpt(1, &spt, &resume, &sk_stats).ok());
+  EXPECT_EQ(spt[7], 4096u);
+  EXPECT_GE(lin_stats.entries_scanned, 256);
+  EXPECT_LE(sk_stats.entries_scanned, 2 * 9);  // ~log2(256) runs of size 1
+}
+
+TEST_F(MaplogTest, BoundariesSurviveReopen) {
+  ASSERT_TRUE(log_->AppendSnapshotMark(1).ok());
+  ASSERT_TRUE(log_->AppendCapture(10, 1, 1, 0).ok());
+  ASSERT_TRUE(log_->AppendSnapshotMark(2).ok());
+  log_.reset();
+
+  auto reopened = Maplog::Open(&env_, "m.maplog");
+  ASSERT_TRUE(reopened.ok());
+  SnapshotPageTable spt;
+  uint64_t resume = 0;
+  ASSERT_TRUE((*reopened)->BuildSpt(1, &spt, &resume, nullptr).ok());
+  EXPECT_EQ(spt.size(), 1u);
+  ASSERT_TRUE((*reopened)->BuildSpt(2, &spt, &resume, nullptr).ok());
+  EXPECT_TRUE(spt.empty());
+}
+
+}  // namespace
+}  // namespace rql::retro

@@ -1,0 +1,148 @@
+// Cross-cutting coverage: the function registry's dispatch rules, B+-tree
+// key limits, PosixEnv end-to-end operation, and parallel-vs-serial RQL
+// equivalence on randomized histories.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "rql/rql.h"
+#include "sql/btree.h"
+#include "sql/database.h"
+
+namespace rql {
+namespace {
+
+using sql::Row;
+using sql::Value;
+
+TEST(FunctionRegistryTest, ArgumentCountValidation) {
+  storage::InMemoryEnv env;
+  auto db = sql::Database::Open(&env, "t");
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE((*db)->Query("SELECT ABS()").ok());
+  EXPECT_FALSE((*db)->Query("SELECT ABS(1, 2)").ok());
+  EXPECT_FALSE((*db)->Query("SELECT SUBSTR('x')").ok());
+  EXPECT_TRUE((*db)->Query("SELECT COALESCE(1, 2, 3, 4, 5)").ok());
+  EXPECT_FALSE((*db)->Query("SELECT no_such_function(1)").ok());
+}
+
+TEST(FunctionRegistryTest, UdfOverridesAndErrors) {
+  storage::InMemoryEnv env;
+  auto db = sql::Database::Open(&env, "t");
+  ASSERT_TRUE(db.ok());
+  // Re-registering replaces the implementation.
+  (*db)->RegisterFunction("abs", 1, 1,
+                          [](const std::vector<Value>&) -> Result<Value> {
+                            return Value::Text("overridden");
+                          });
+  auto v = (*db)->QueryScalar("SELECT ABS(-5)");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->text(), "overridden");
+  // A UDF error aborts the statement with the UDF's status.
+  (*db)->RegisterFunction("boom", 0, 0,
+                          [](const std::vector<Value>&) -> Result<Value> {
+                            return Status::Aborted("kaboom");
+                          });
+  Status s = (*db)->Exec("SELECT boom()");
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+}
+
+TEST(BtreeLimitsTest, OversizedKeyRejected) {
+  storage::InMemoryEnv env;
+  auto store = retro::SnapshotStore::Open(&env, "t");
+  ASSERT_TRUE(store.ok());
+  auto root = sql::BTree::Create(store->get());
+  ASSERT_TRUE(root.ok());
+  sql::BTree tree(store->get(), *root);
+  Row huge_key = {Value::Text(std::string(8000, 'x'))};
+  EXPECT_FALSE(tree.Insert(huge_key, 1).ok());
+  // The tree stays usable.
+  EXPECT_TRUE(tree.Insert({Value::Integer(1)}, 1).ok());
+}
+
+TEST(PosixEndToEndTest, DatabasePersistsOnRealFiles) {
+  storage::PosixEnv env;
+  const std::string prefix = "/tmp/rql_posix_e2e";
+  for (const char* suffix :
+       {".db", ".db.wal", ".pagelog", ".maplog"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+  {
+    auto db = sql::Database::Open(&env, prefix);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->Exec("CREATE TABLE t (v INTEGER)").ok());
+    ASSERT_TRUE((*db)->Exec("INSERT INTO t VALUES (1), (2)").ok());
+    ASSERT_TRUE((*db)->Exec("BEGIN; COMMIT WITH SNAPSHOT;").ok());
+    ASSERT_TRUE((*db)->Exec("DELETE FROM t WHERE v = 1").ok());
+  }
+  {
+    auto db = sql::Database::Open(&env, prefix);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    auto now = (*db)->QueryScalar("SELECT COUNT(*) FROM t");
+    auto past = (*db)->QueryScalar("SELECT AS OF 1 COUNT(*) FROM t");
+    ASSERT_TRUE(now.ok() && past.ok());
+    EXPECT_EQ(now->integer(), 1);
+    EXPECT_EQ(past->integer(), 2);
+    // Retention works on real files too (rename-based swap).
+    ASSERT_TRUE((*db)->store()->TruncateHistory(2).ok());
+    EXPECT_FALSE((*db)->Query("SELECT AS OF 1 * FROM t").ok());
+  }
+  for (const char* suffix :
+       {".db", ".db.wal", ".pagelog", ".maplog"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(ParallelEquivalenceTest, RandomHistoriesMatchSerial) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    storage::InMemoryEnv env;
+    auto data = sql::Database::Open(&env, "d");
+    auto meta = sql::Database::Open(&env, "m");
+    ASSERT_TRUE(data.ok() && meta.ok());
+    RqlEngine engine(data->get(), meta->get());
+    ASSERT_TRUE(engine.EnsureSnapIds().ok());
+    ASSERT_TRUE(
+        (*data)->Exec("CREATE TABLE t (g INTEGER, v INTEGER)").ok());
+    Random rng(seed * 31);
+    for (int s = 0; s < 14; ++s) {
+      ASSERT_TRUE((*data)->Exec("BEGIN").ok());
+      for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE((*data)
+                        ->Exec("INSERT INTO t VALUES (" +
+                               std::to_string(rng.Uniform(5)) + ", " +
+                               std::to_string(rng.Uniform(1000)) + ")")
+                        .ok());
+      }
+      ASSERT_TRUE((*data)
+                      ->Exec("DELETE FROM t WHERE v % 5 = " +
+                             std::to_string(rng.Uniform(5)))
+                      .ok());
+      ASSERT_TRUE(engine.CommitWithSnapshot("t").ok());
+    }
+    const char* qq =
+        "SELECT g, SUM(v) AS s, current_snapshot() AS sid "
+        "FROM t GROUP BY g";
+    ASSERT_TRUE(
+        engine.CollateData("SELECT snap_id FROM SnapIds", qq, "A").ok());
+    engine.mutable_options()->parallel_workers = 4;
+    ASSERT_TRUE(
+        engine.CollateData("SELECT snap_id FROM SnapIds", qq, "B").ok());
+    engine.mutable_options()->parallel_workers = 1;
+
+    auto a = (*meta)->Query("SELECT g, s, sid FROM A ORDER BY sid, g");
+    auto b = (*meta)->Query("SELECT g, s, sid FROM B ORDER BY sid, g");
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->rows.size(), b->rows.size()) << "seed " << seed;
+    for (size_t i = 0; i < a->rows.size(); ++i) {
+      for (size_t c = 0; c < 3; ++c) {
+        EXPECT_EQ(sql::CompareValues(a->rows[i][c], b->rows[i][c]), 0)
+            << "seed " << seed << " row " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rql

@@ -1,0 +1,126 @@
+#include "storage/page_store.h"
+
+#include <gtest/gtest.h>
+
+namespace rql::storage {
+namespace {
+
+class PageStoreTest : public ::testing::Test {
+ protected:
+  InMemoryEnv env_;
+};
+
+TEST_F(PageStoreTest, FreshStoreHasOnlyHeader) {
+  auto store = PageStore::Open(&env_, "t.db");
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->page_count(), 1u);
+  EXPECT_EQ((*store)->allocated_pages(), 0u);
+}
+
+TEST_F(PageStoreTest, AllocateWriteReadRoundTrip) {
+  auto store = PageStore::Open(&env_, "t.db");
+  ASSERT_TRUE(store.ok());
+  auto id = (*store)->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 1u);
+
+  Page page;
+  page.Zero();
+  page.WriteU64(0, 0xDEADBEEFCAFEull);
+  ASSERT_TRUE((*store)->WritePage(*id, page).ok());
+
+  Page read;
+  ASSERT_TRUE((*store)->ReadPage(*id, &read).ok());
+  EXPECT_EQ(read.ReadU64(0), 0xDEADBEEFCAFEull);
+}
+
+TEST_F(PageStoreTest, FreedPagesAreReused) {
+  auto store = PageStore::Open(&env_, "t.db");
+  ASSERT_TRUE(store.ok());
+  auto a = (*store)->AllocatePage();
+  auto b = (*store)->AllocatePage();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE((*store)->FreePage(*a).ok());
+  EXPECT_EQ((*store)->allocated_pages(), 1u);
+  auto c = (*store)->AllocatePage();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a);  // LIFO reuse
+  EXPECT_EQ((*store)->page_count(), 3u);
+}
+
+TEST_F(PageStoreTest, ReusedPageIsZeroed) {
+  auto store = PageStore::Open(&env_, "t.db");
+  ASSERT_TRUE(store.ok());
+  auto a = (*store)->AllocatePage();
+  Page page;
+  page.Zero();
+  page.WriteU32(100, 777);
+  ASSERT_TRUE((*store)->WritePage(*a, page).ok());
+  ASSERT_TRUE((*store)->FreePage(*a).ok());
+  auto b = (*store)->AllocatePage();
+  ASSERT_TRUE(b.ok());
+  Page read;
+  ASSERT_TRUE((*store)->ReadPage(*b, &read).ok());
+  EXPECT_EQ(read.ReadU32(100), 0u);
+  EXPECT_EQ(read.ReadU32(0), 0u);
+}
+
+TEST_F(PageStoreTest, RejectsBadPageIds) {
+  auto store = PageStore::Open(&env_, "t.db");
+  ASSERT_TRUE(store.ok());
+  Page page;
+  EXPECT_FALSE((*store)->ReadPage(0, &page).ok());      // header
+  EXPECT_FALSE((*store)->ReadPage(99, &page).ok());     // out of range
+  EXPECT_FALSE((*store)->WritePage(99, page).ok());
+  EXPECT_FALSE((*store)->FreePage(0).ok());
+}
+
+TEST_F(PageStoreTest, RootsPersistAcrossReopen) {
+  {
+    auto store = PageStore::Open(&env_, "t.db");
+    ASSERT_TRUE(store.ok());
+    auto id = (*store)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE((*store)->SetRoot(0, *id).ok());
+    ASSERT_TRUE((*store)->SetRoot(3, 42).ok());
+  }
+  auto store = PageStore::Open(&env_, "t.db");
+  ASSERT_TRUE(store.ok());
+  auto r0 = (*store)->GetRoot(0);
+  auto r3 = (*store)->GetRoot(3);
+  ASSERT_TRUE(r0.ok() && r3.ok());
+  EXPECT_EQ(*r0, 1u);
+  EXPECT_EQ(*r3, 42u);
+  EXPECT_FALSE((*store)->GetRoot(PageStore::kNumRoots).ok());
+}
+
+TEST_F(PageStoreTest, DataPersistsAcrossReopen) {
+  {
+    auto store = PageStore::Open(&env_, "t.db");
+    auto id = (*store)->AllocatePage();
+    Page page;
+    page.Zero();
+    page.WriteU32(8, 123456);
+    ASSERT_TRUE((*store)->WritePage(*id, page).ok());
+  }
+  auto store = PageStore::Open(&env_, "t.db");
+  ASSERT_TRUE(store.ok());
+  Page read;
+  ASSERT_TRUE((*store)->ReadPage(1, &read).ok());
+  EXPECT_EQ(read.ReadU32(8), 123456u);
+}
+
+TEST_F(PageStoreTest, ManyAllocations) {
+  auto store = PageStore::Open(&env_, "t.db");
+  ASSERT_TRUE(store.ok());
+  for (uint32_t i = 1; i <= 500; ++i) {
+    auto id = (*store)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, i);
+  }
+  EXPECT_EQ((*store)->page_count(), 501u);
+  EXPECT_EQ((*store)->allocated_pages(), 500u);
+}
+
+}  // namespace
+}  // namespace rql::storage

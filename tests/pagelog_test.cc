@@ -1,0 +1,252 @@
+// Tests for the Pagelog archive: full-page records, Thresher-style diff
+// records, chain reconstruction, chain caps, and corruption handling.
+
+#include "retro/pagelog.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "retro/snapshot_store.h"
+
+namespace rql::retro {
+namespace {
+
+using storage::kPageSize;
+using storage::Page;
+
+Page PatternPage(uint64_t seed) {
+  Page p;
+  Random rng(seed);
+  for (uint32_t i = 0; i < kPageSize; i += 8) {
+    p.WriteU64(i, rng.Next());
+  }
+  return p;
+}
+
+class PagelogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto log = Pagelog::Open(&env_, "p.pagelog");
+    ASSERT_TRUE(log.ok());
+    log_ = std::move(*log);
+  }
+  storage::InMemoryEnv env_;
+  std::unique_ptr<Pagelog> log_;
+};
+
+TEST_F(PagelogTest, FullRecordRoundTrip) {
+  Page page = PatternPage(1);
+  auto offset = log_->AppendFull(page);
+  ASSERT_TRUE(offset.ok());
+  Page read;
+  int64_t fetches = 0;
+  ASSERT_TRUE(log_->Read(*offset, &read, &fetches).ok());
+  EXPECT_EQ(std::memcmp(read.data, page.data, kPageSize), 0);
+  EXPECT_EQ(fetches, 1);
+  EXPECT_EQ(log_->full_record_count(), 1u);
+}
+
+TEST_F(PagelogTest, SmallDiffStoredCompactly) {
+  Page base = PatternPage(2);
+  auto base_offset = log_->AppendFull(base);
+  ASSERT_TRUE(base_offset.ok());
+  uint64_t size_after_full = log_->SizeBytes();
+
+  Page changed = base;
+  changed.WriteU64(100, 0xDEAD);
+  changed.WriteU64(3000, 0xBEEF);
+  auto diff_offset = log_->AppendDiff(changed, *base_offset, base);
+  ASSERT_TRUE(diff_offset.ok());
+  EXPECT_EQ(log_->diff_record_count(), 1u);
+  // The diff record is far smaller than a page.
+  EXPECT_LT(log_->SizeBytes() - size_after_full, 200u);
+
+  Page read;
+  int64_t fetches = 0;
+  ASSERT_TRUE(log_->Read(*diff_offset, &read, &fetches).ok());
+  EXPECT_EQ(std::memcmp(read.data, changed.data, kPageSize), 0);
+  EXPECT_EQ(fetches, 2);  // diff + its base
+  // The base is still intact.
+  ASSERT_TRUE(log_->Read(*base_offset, &read).ok());
+  EXPECT_EQ(std::memcmp(read.data, base.data, kPageSize), 0);
+}
+
+TEST_F(PagelogTest, LargeDiffFallsBackToFullPage) {
+  Page base = PatternPage(3);
+  auto base_offset = log_->AppendFull(base);
+  ASSERT_TRUE(base_offset.ok());
+  Page changed = PatternPage(4);  // completely different
+  auto offset = log_->AppendDiff(changed, *base_offset, base);
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ(log_->diff_record_count(), 0u);
+  EXPECT_EQ(log_->full_record_count(), 2u);
+  auto depth = log_->DepthAt(*offset);
+  ASSERT_TRUE(depth.ok());
+  EXPECT_EQ(*depth, 0);
+}
+
+TEST_F(PagelogTest, IdenticalPageFallsBackToFullPage) {
+  // A zero-byte diff would make the record unreadable as a delta; the
+  // implementation stores a full page instead.
+  Page base = PatternPage(5);
+  auto base_offset = log_->AppendFull(base);
+  ASSERT_TRUE(base_offset.ok());
+  auto offset = log_->AppendDiff(base, *base_offset, base);
+  ASSERT_TRUE(offset.ok());
+  Page read;
+  ASSERT_TRUE(log_->Read(*offset, &read).ok());
+  EXPECT_EQ(std::memcmp(read.data, base.data, kPageSize), 0);
+}
+
+TEST_F(PagelogTest, DiffChainReconstructsEveryVersion) {
+  Random rng(77);
+  Page current = PatternPage(6);
+  std::vector<uint64_t> offsets;
+  std::vector<Page> versions;
+  auto first = log_->AppendFull(current);
+  ASSERT_TRUE(first.ok());
+  offsets.push_back(*first);
+  versions.push_back(current);
+  for (int v = 1; v < 20; ++v) {
+    Page base = current;
+    // Mutate a few words.
+    for (int m = 0; m < 3; ++m) {
+      current.WriteU64(static_cast<uint32_t>(rng.Uniform(kPageSize / 8)) * 8,
+                       rng.Next());
+    }
+    auto offset = log_->AppendDiff(current, offsets.back(), base);
+    ASSERT_TRUE(offset.ok());
+    offsets.push_back(*offset);
+    versions.push_back(current);
+  }
+  for (size_t v = 0; v < offsets.size(); ++v) {
+    Page read;
+    ASSERT_TRUE(log_->Read(offsets[v], &read).ok()) << "version " << v;
+    EXPECT_EQ(std::memcmp(read.data, versions[v].data, kPageSize), 0)
+        << "version " << v;
+  }
+}
+
+TEST_F(PagelogTest, ChainDepthIsCapped) {
+  log_->set_max_diff_chain(3);
+  Page current = PatternPage(8);
+  auto offset = log_->AppendFull(current);
+  ASSERT_TRUE(offset.ok());
+  uint64_t prev = *offset;
+  for (int v = 0; v < 10; ++v) {
+    Page base = current;
+    current.WriteU64(8, static_cast<uint64_t>(v));
+    auto next = log_->AppendDiff(current, prev, base);
+    ASSERT_TRUE(next.ok());
+    auto depth = log_->DepthAt(*next);
+    ASSERT_TRUE(depth.ok());
+    EXPECT_LE(*depth, 3);
+    prev = *next;
+  }
+  // Some records must have been forced to full pages by the cap.
+  EXPECT_GT(log_->full_record_count(), 1u);
+  Page read;
+  int64_t fetches = 0;
+  ASSERT_TRUE(log_->Read(prev, &read, &fetches).ok());
+  EXPECT_LE(fetches, 4);  // depth cap + 1
+}
+
+TEST_F(PagelogTest, SurvivesReopen) {
+  Page base = PatternPage(9);
+  auto base_offset = log_->AppendFull(base);
+  Page changed = base;
+  changed.WriteU64(0, 0x1234);
+  auto diff_offset = log_->AppendDiff(changed, *base_offset, base);
+  ASSERT_TRUE(diff_offset.ok());
+  log_.reset();
+
+  auto reopened = Pagelog::Open(&env_, "p.pagelog");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->record_count(), 2u);
+  EXPECT_EQ((*reopened)->diff_record_count(), 1u);
+  Page read;
+  ASSERT_TRUE((*reopened)->Read(*diff_offset, &read).ok());
+  EXPECT_EQ(read.ReadU64(0), 0x1234u);
+}
+
+TEST_F(PagelogTest, BadOffsetRejected) {
+  Page page;
+  EXPECT_FALSE(log_->Read(9999, &page).ok());
+  ASSERT_TRUE(log_->AppendFull(PatternPage(10)).ok());
+  EXPECT_FALSE(log_->Read(5, &page).ok());  // mid-record garbage header
+}
+
+TEST(SnapshotStoreDiffModeTest, HistoryCorrectUnderDiffMode) {
+  // The full snapshot-store stack in kDiff mode: every snapshot state is
+  // still exact, while the archive shrinks relative to kFull mode.
+  storage::InMemoryEnv env;
+  auto run = [&env](PagelogMode mode, const std::string& name) {
+    SnapshotStoreOptions options;
+    options.pagelog_mode = mode;
+    auto opened = SnapshotStore::Open(&env, name, options);
+    EXPECT_TRUE(opened.ok());
+    std::unique_ptr<SnapshotStore> store = std::move(*opened);
+    auto id = store->AllocatePage();
+    EXPECT_TRUE(id.ok());
+    Page page = PatternPage(42);
+    EXPECT_TRUE(store->WritePage(*id, page).ok());
+    std::vector<Page> states;
+    for (int s = 0; s < 30; ++s) {
+      EXPECT_TRUE(store->DeclareSnapshot().ok());
+      states.push_back(page);
+      page.WriteU64(static_cast<uint32_t>((s * 16) % kPageSize & ~7u),
+                    static_cast<uint64_t>(s));
+      EXPECT_TRUE(store->WritePage(*id, page).ok());
+    }
+    for (int s = 0; s < 30; ++s) {
+      auto view = store->OpenSnapshot(static_cast<SnapshotId>(s + 1));
+      EXPECT_TRUE(view.ok());
+      Page read;
+      EXPECT_TRUE((*view)->ReadPage(*id, &read).ok());
+      EXPECT_EQ(std::memcmp(read.data, states[static_cast<size_t>(s)].data,
+                            kPageSize), 0)
+          << "snapshot " << s + 1;
+    }
+    return store->pagelog()->SizeBytes();
+  };
+  uint64_t full_bytes = run(PagelogMode::kFull, "full");
+  uint64_t diff_bytes = run(PagelogMode::kDiff, "diff");
+  EXPECT_LT(diff_bytes, full_bytes / 4);
+}
+
+TEST(SnapshotStoreDiffModeTest, DiffModeSurvivesReopen) {
+  storage::InMemoryEnv env;
+  SnapshotStoreOptions options;
+  options.pagelog_mode = PagelogMode::kDiff;
+  storage::PageId id;
+  {
+    auto store = SnapshotStore::Open(&env, "d", options);
+    ASSERT_TRUE(store.ok());
+    auto alloc = (*store)->AllocatePage();
+    ASSERT_TRUE(alloc.ok());
+    id = *alloc;
+    Page p = PatternPage(1);
+    ASSERT_TRUE((*store)->WritePage(id, p).ok());
+    ASSERT_TRUE((*store)->DeclareSnapshot().ok());
+    p.WriteU64(0, 111);
+    ASSERT_TRUE((*store)->WritePage(id, p).ok());
+    ASSERT_TRUE((*store)->DeclareSnapshot().ok());
+  }
+  auto store = SnapshotStore::Open(&env, "d", options);
+  ASSERT_TRUE(store.ok());
+  // The next capture should diff against the recovered last offset (the
+  // only pre-reopen capture, a full record).
+  Page p = PatternPage(1);
+  p.WriteU64(0, 222);
+  ASSERT_TRUE((*store)->WritePage(id, p).ok());
+  EXPECT_EQ((*store)->pagelog()->diff_record_count(), 1u);
+  EXPECT_EQ((*store)->pagelog()->full_record_count(), 1u);
+  auto view = (*store)->OpenSnapshot(1);
+  ASSERT_TRUE(view.ok());
+  Page read;
+  ASSERT_TRUE((*view)->ReadPage(id, &read).ok());
+  EXPECT_EQ(std::memcmp(read.data, PatternPage(1).data, kPageSize), 0);
+}
+
+}  // namespace
+}  // namespace rql::retro

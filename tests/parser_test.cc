@@ -1,0 +1,256 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace rql::sql {
+namespace {
+
+Result<SelectStmt> ParseSelectStmt(std::string_view sql) {
+  RQL_ASSIGN_OR_RETURN(Statement stmt, ParseSingle(sql));
+  auto* select = std::get_if<SelectStmt>(&stmt);
+  if (select == nullptr) return Status::InvalidArgument("not a SELECT");
+  return std::move(*select);
+}
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a, 42, 3.5, 'it''s' FROM t;");
+  ASSERT_TRUE(tokens.ok());
+  // SELECT a , 42 , 3.5 , 'it's' FROM t ; EOF
+  ASSERT_EQ(tokens->size(), 12u);
+  EXPECT_EQ((*tokens)[3].text, "42");
+  EXPECT_EQ((*tokens)[5].type, TokenType::kFloat);
+  EXPECT_EQ((*tokens)[7].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[7].text, "it's");
+}
+
+TEST(LexerTest, CommentsAndOperators) {
+  auto tokens = Tokenize("a <= b -- trailing comment\n <> c");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "<=");
+  EXPECT_EQ((*tokens)[3].text, "<>");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto s = ParseSelectStmt("SELECT a, b FROM t WHERE a = 1");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->items.size(), 2u);
+  ASSERT_EQ(s->from.size(), 1u);
+  EXPECT_EQ(s->from[0].name, "t");
+  ASSERT_NE(s->where, nullptr);
+  EXPECT_EQ(s->where->bin_op, BinOp::kEq);
+}
+
+TEST(ParserTest, SelectAsOf) {
+  auto s = ParseSelectStmt("SELECT AS OF 7 * FROM LoggedIn");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->as_of, 7u);
+  ASSERT_EQ(s->items.size(), 1u);
+  EXPECT_EQ(s->items[0].expr->kind, ExprKind::kStar);
+}
+
+TEST(ParserTest, SelectAsOfDistinct) {
+  auto s = ParseSelectStmt(
+      "SELECT AS OF 3 DISTINCT l_userid FROM LoggedIn WHERE x = 'UserB'");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->as_of, 3u);
+  EXPECT_TRUE(s->distinct);
+}
+
+TEST(ParserTest, PaperQqCpuQuery) {
+  auto s = ParseSelectStmt(
+      "SELECT SUM(l_extendedprice) AS revenue FROM lineitem, part "
+      "WHERE p_partkey = l_partkey and p_type = 'STANDARD POLISHED TIN'");
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->from.size(), 2u);
+  EXPECT_EQ(s->items[0].alias, "revenue");
+  ASSERT_NE(s->where, nullptr);
+  EXPECT_EQ(s->where->bin_op, BinOp::kAnd);
+}
+
+TEST(ParserTest, GroupByWithAggregatesAndAliases) {
+  auto s = ParseSelectStmt(
+      "SELECT o_custkey, COUNT(*) AS cn, AVG(o_totalprice) AS av "
+      "FROM orders GROUP BY o_custkey");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->group_by.size(), 1u);
+  EXPECT_EQ(s->items[1].alias, "cn");
+  EXPECT_EQ(s->items[1].expr->kind, ExprKind::kFunctionCall);
+  EXPECT_EQ(s->items[1].expr->args[0]->kind, ExprKind::kStar);
+}
+
+TEST(ParserTest, JoinOnFoldsIntoWhere) {
+  auto s = ParseSelectStmt(
+      "SELECT a.x FROM a JOIN b ON a.id = b.id WHERE b.y > 2");
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->from.size(), 2u);
+  ASSERT_NE(s->where, nullptr);
+  EXPECT_EQ(s->where->bin_op, BinOp::kAnd);
+}
+
+TEST(ParserTest, OrderLimitHavingDistinct) {
+  auto s = ParseSelectStmt(
+      "SELECT DISTINCT a FROM t GROUP BY a HAVING COUNT(*) > 1 "
+      "ORDER BY a DESC, 2 ASC LIMIT 10");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->distinct);
+  ASSERT_NE(s->having, nullptr);
+  ASSERT_EQ(s->order_by.size(), 2u);
+  EXPECT_TRUE(s->order_by[0].desc);
+  EXPECT_FALSE(s->order_by[1].desc);
+  EXPECT_EQ(s->limit, 10);
+}
+
+TEST(ParserTest, TableAliases) {
+  auto s = ParseSelectStmt("SELECT o.id FROM orders o, lineitem AS l");
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->from.size(), 2u);
+  EXPECT_EQ(s->from[0].alias, "o");
+  EXPECT_EQ(s->from[1].alias, "l");
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = ParseSingle(
+      "CREATE TABLE LoggedIn (l_userid TEXT, l_time TEXT, l_country TEXT)");
+  ASSERT_TRUE(stmt.ok());
+  auto* create = std::get_if<CreateTableStmt>(&*stmt);
+  ASSERT_NE(create, nullptr);
+  EXPECT_EQ(create->name, "LoggedIn");
+  ASSERT_EQ(create->schema.columns.size(), 3u);
+  EXPECT_EQ(create->schema.columns[0].type, ValueType::kText);
+}
+
+TEST(ParserTest, CreateTableWithConstraintNoise) {
+  auto stmt = ParseSingle(
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, v DECIMAL(12,2) NOT NULL, "
+      "name VARCHAR(55))");
+  ASSERT_TRUE(stmt.ok());
+  auto* create = std::get_if<CreateTableStmt>(&*stmt);
+  ASSERT_NE(create, nullptr);
+  EXPECT_EQ(create->schema.columns[1].type, ValueType::kReal);
+  EXPECT_EQ(create->schema.columns[2].type, ValueType::kText);
+}
+
+TEST(ParserTest, CreateTableAsSelect) {
+  auto stmt = ParseSingle("CREATE TABLE t AS SELECT a, b FROM u");
+  ASSERT_TRUE(stmt.ok());
+  auto* create = std::get_if<CreateTableStmt>(&*stmt);
+  ASSERT_NE(create, nullptr);
+  ASSERT_NE(create->as_select, nullptr);
+  EXPECT_EQ(create->as_select->items.size(), 2u);
+}
+
+TEST(ParserTest, CreateIndex) {
+  auto stmt = ParseSingle("CREATE INDEX idx ON orders (o_orderkey)");
+  ASSERT_TRUE(stmt.ok());
+  auto* create = std::get_if<CreateIndexStmt>(&*stmt);
+  ASSERT_NE(create, nullptr);
+  EXPECT_EQ(create->table, "orders");
+  ASSERT_EQ(create->columns.size(), 1u);
+}
+
+TEST(ParserTest, InsertValuesMultiRow) {
+  auto stmt = ParseSingle(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(stmt.ok());
+  auto* insert = std::get_if<InsertStmt>(&*stmt);
+  ASSERT_NE(insert, nullptr);
+  EXPECT_EQ(insert->columns.size(), 2u);
+  EXPECT_EQ(insert->rows.size(), 2u);
+}
+
+TEST(ParserTest, InsertSelect) {
+  auto stmt = ParseSingle("INSERT INTO t SELECT * FROM u WHERE a > 0");
+  ASSERT_TRUE(stmt.ok());
+  auto* insert = std::get_if<InsertStmt>(&*stmt);
+  ASSERT_NE(insert, nullptr);
+  ASSERT_NE(insert->select, nullptr);
+}
+
+TEST(ParserTest, UpdateDelete) {
+  auto upd = ParseSingle("UPDATE t SET a = a + 1, b = 'z' WHERE id = 3");
+  ASSERT_TRUE(upd.ok());
+  auto* update = std::get_if<UpdateStmt>(&*upd);
+  ASSERT_NE(update, nullptr);
+  EXPECT_EQ(update->assignments.size(), 2u);
+
+  auto del = ParseSingle("DELETE FROM LoggedIn WHERE l_userid = 'UserA'");
+  ASSERT_TRUE(del.ok());
+  auto* delete_stmt = std::get_if<DeleteStmt>(&*del);
+  ASSERT_NE(delete_stmt, nullptr);
+  EXPECT_NE(delete_stmt->where, nullptr);
+}
+
+TEST(ParserTest, TransactionStatements) {
+  auto script = ParseSql("BEGIN; COMMIT WITH SNAPSHOT; BEGIN; ROLLBACK;");
+  ASSERT_TRUE(script.ok());
+  ASSERT_EQ(script->size(), 4u);
+  auto* commit = std::get_if<CommitStmt>(&(*script)[1]);
+  ASSERT_NE(commit, nullptr);
+  EXPECT_TRUE(commit->with_snapshot);
+  EXPECT_NE(std::get_if<RollbackStmt>(&(*script)[3]), nullptr);
+}
+
+TEST(ParserTest, MultiStatementScript) {
+  auto script = ParseSql(
+      "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1); "
+      "SELECT * FROM t;");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->size(), 3u);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto s = ParseSelectStmt("SELECT 1 + 2 * 3 = 7 AND NOT 0");
+  ASSERT_TRUE(s.ok());
+  const Expr& top = *s->items[0].expr;
+  EXPECT_EQ(top.bin_op, BinOp::kAnd);
+  EXPECT_EQ(top.args[0]->bin_op, BinOp::kEq);
+  EXPECT_EQ(top.args[0]->args[0]->bin_op, BinOp::kAdd);
+}
+
+TEST(ParserTest, IsNullAndLike) {
+  auto s = ParseSelectStmt(
+      "SELECT * FROM t WHERE a IS NULL OR b IS NOT NULL OR c LIKE 'x%'");
+  ASSERT_TRUE(s.ok());
+  ASSERT_NE(s->where, nullptr);
+}
+
+TEST(ParserTest, FunctionCallWithDistinctArg) {
+  auto s = ParseSelectStmt("SELECT COUNT(DISTINCT a) FROM t");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->items[0].expr->distinct_arg);
+}
+
+TEST(ParserTest, NegativeNumbersAndUnaryMinus) {
+  auto s = ParseSelectStmt("SELECT -5, -x FROM t");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->items[0].expr->kind, ExprKind::kUnary);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("SELEC 1").ok());
+  EXPECT_FALSE(ParseSql("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSql("INSERT INTO").ok());
+  EXPECT_FALSE(ParseSql("CREATE TABLE t (a BOGUS)").ok());
+  EXPECT_FALSE(ParseSql("SELECT 1 SELECT 2").ok());
+  EXPECT_FALSE(ParseSql("DELETE t").ok());
+}
+
+TEST(ParserTest, RqlUdfInvocationShape) {
+  // The paper's UDF-embedded form must parse as a plain SELECT with a
+  // function call over SnapIds.
+  auto s = ParseSelectStmt(
+      "SELECT CollateData(snap_id, 'SELECT 1 FROM x', 'Result') "
+      "FROM SnapIds WHERE snap_id < 50");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->items[0].expr->kind, ExprKind::kFunctionCall);
+  EXPECT_EQ(s->items[0].expr->args.size(), 3u);
+}
+
+}  // namespace
+}  // namespace rql::sql

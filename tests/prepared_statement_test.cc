@@ -1,0 +1,145 @@
+// Tests for prepared statements: '?' placeholders, binding, re-execution,
+// and their use in DML hot paths.
+
+#include <gtest/gtest.h>
+
+#include "sql/database.h"
+
+namespace rql::sql {
+namespace {
+
+class PreparedStatementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(&env_, "t");
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ASSERT_TRUE(db_->Exec("CREATE TABLE t (a INTEGER, b TEXT)").ok());
+  }
+
+  storage::InMemoryEnv env_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(PreparedStatementTest, InsertRepeatedly) {
+  auto stmt = db_->Prepare("INSERT INTO t VALUES (?, ?)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->parameter_count(), 2);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*stmt)->BindInt(1, i).ok());
+    ASSERT_TRUE((*stmt)->BindText(2, "row-" + std::to_string(i)).ok());
+    ASSERT_TRUE((*stmt)->Execute().ok());
+  }
+  auto count = db_->QueryScalar("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->integer(), 10);
+  auto row7 = db_->QueryScalar("SELECT b FROM t WHERE a = 7");
+  ASSERT_TRUE(row7.ok());
+  EXPECT_EQ(row7->text(), "row-7");
+}
+
+TEST_F(PreparedStatementTest, SelectWithParameters) {
+  ASSERT_TRUE(db_->Exec(
+      "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')").ok());
+  auto stmt = db_->Prepare("SELECT b FROM t WHERE a >= ? AND a <= ?");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE((*stmt)->BindInt(1, 2).ok());
+  ASSERT_TRUE((*stmt)->BindInt(2, 3).ok());
+  std::vector<std::string> got;
+  ASSERT_TRUE((*stmt)
+                  ->Execute([&](const std::vector<std::string>&,
+                                const Row& row) {
+                    got.push_back(row[0].text());
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(got, (std::vector<std::string>{"y", "z"}));
+
+  // Rebinding narrows the range; previous bindings persist otherwise.
+  ASSERT_TRUE((*stmt)->BindInt(2, 2).ok());
+  got.clear();
+  ASSERT_TRUE((*stmt)
+                  ->Execute([&](const std::vector<std::string>&,
+                                const Row& row) {
+                    got.push_back(row[0].text());
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(got, (std::vector<std::string>{"y"}));
+}
+
+TEST_F(PreparedStatementTest, UnboundParameterRejected) {
+  auto stmt = db_->Prepare("SELECT ? + 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE((*stmt)->Execute().ok());
+  ASSERT_TRUE((*stmt)->BindInt(1, 41).ok());
+  int64_t got = 0;
+  ASSERT_TRUE((*stmt)
+                  ->Execute([&](const std::vector<std::string>&,
+                                const Row& row) {
+                    got = row[0].integer();
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(got, 42);
+}
+
+TEST_F(PreparedStatementTest, BadBindIndexRejected) {
+  auto stmt = db_->Prepare("SELECT ?");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE((*stmt)->BindInt(0, 1).ok());
+  EXPECT_FALSE((*stmt)->BindInt(2, 1).ok());
+  EXPECT_TRUE((*stmt)->BindInt(1, 1).ok());
+}
+
+TEST_F(PreparedStatementTest, NullAndTypedBindings) {
+  auto stmt = db_->Prepare("INSERT INTO t VALUES (?, ?)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE((*stmt)->BindValue(1, Value::Null()).ok());
+  ASSERT_TRUE((*stmt)->BindReal(2, 2.5).ok());  // dynamic typing: REAL in b
+  ASSERT_TRUE((*stmt)->Execute().ok());
+  auto r = db_->Query("SELECT a, b FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows[0][0].is_null());
+  EXPECT_DOUBLE_EQ(r->rows[0][1].real(), 2.5);
+}
+
+TEST_F(PreparedStatementTest, ParameterizedDelete) {
+  ASSERT_TRUE(db_->Exec(
+      "INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')").ok());
+  auto stmt = db_->Prepare("DELETE FROM t WHERE a = ?");
+  ASSERT_TRUE(stmt.ok());
+  for (int64_t key : {1, 3}) {
+    ASSERT_TRUE((*stmt)->BindInt(1, key).ok());
+    ASSERT_TRUE((*stmt)->Execute().ok());
+  }
+  auto rest = db_->QueryScalar("SELECT b FROM t");
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest->text(), "b");
+}
+
+TEST_F(PreparedStatementTest, ParametersInsideInList) {
+  ASSERT_TRUE(db_->Exec(
+      "INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')").ok());
+  auto stmt = db_->Prepare(
+      "SELECT COUNT(*) FROM t WHERE a IN (?, ?)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE((*stmt)->BindInt(1, 1).ok());
+  ASSERT_TRUE((*stmt)->BindInt(2, 3).ok());
+  int64_t count = -1;
+  ASSERT_TRUE((*stmt)
+                  ->Execute([&](const std::vector<std::string>&,
+                                const Row& row) {
+                    count = row[0].integer();
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(PreparedStatementTest, MultiStatementRejected) {
+  EXPECT_FALSE(db_->Prepare("SELECT 1; SELECT 2").ok());
+}
+
+}  // namespace
+}  // namespace rql::sql

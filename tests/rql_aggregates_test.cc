@@ -1,0 +1,125 @@
+#include "rql/aggregates.h"
+
+#include <gtest/gtest.h>
+
+namespace rql {
+namespace {
+
+using sql::Value;
+
+TEST(RqlAggFuncTest, ParseNames) {
+  EXPECT_EQ(*RqlAggFuncFromName("MIN"), RqlAggFunc::kMin);
+  EXPECT_EQ(*RqlAggFuncFromName("max"), RqlAggFunc::kMax);
+  EXPECT_EQ(*RqlAggFuncFromName("Sum"), RqlAggFunc::kSum);
+  EXPECT_EQ(*RqlAggFuncFromName("count"), RqlAggFunc::kCount);
+  EXPECT_EQ(*RqlAggFuncFromName("AVG"), RqlAggFunc::kAvg);
+  EXPECT_FALSE(RqlAggFuncFromName("median").ok());
+  EXPECT_EQ(RqlAggFuncFromName("count distinct").status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(RqlAggFuncTest, MonoidClassification) {
+  EXPECT_TRUE(IsMonoid(RqlAggFunc::kMin));
+  EXPECT_TRUE(IsMonoid(RqlAggFunc::kMax));
+  EXPECT_TRUE(IsMonoid(RqlAggFunc::kSum));
+  EXPECT_TRUE(IsMonoid(RqlAggFunc::kCount));
+  EXPECT_FALSE(IsMonoid(RqlAggFunc::kAvg));
+}
+
+TEST(RqlCombineTest, NullIsIdentity) {
+  Value v = Value::Integer(5);
+  EXPECT_EQ(RqlCombine(RqlAggFunc::kMin, Value::Null(), v)->integer(), 5);
+  EXPECT_EQ(RqlCombine(RqlAggFunc::kSum, v, Value::Null())->integer(), 5);
+  EXPECT_TRUE(
+      RqlCombine(RqlAggFunc::kMax, Value::Null(), Value::Null())->is_null());
+}
+
+TEST(RqlCombineTest, MinMaxSum) {
+  Value a = Value::Integer(3), b = Value::Integer(8);
+  EXPECT_EQ(RqlCombine(RqlAggFunc::kMin, a, b)->integer(), 3);
+  EXPECT_EQ(RqlCombine(RqlAggFunc::kMax, a, b)->integer(), 8);
+  EXPECT_EQ(RqlCombine(RqlAggFunc::kSum, a, b)->integer(), 11);
+  // Mixed int/real sum promotes to real.
+  EXPECT_DOUBLE_EQ(
+      RqlCombine(RqlAggFunc::kSum, a, Value::Real(0.5))->real(), 3.5);
+  // Text min/max works (timestamps).
+  EXPECT_EQ(RqlCombine(RqlAggFunc::kMin, Value::Text("2008-11-11"),
+                       Value::Text("2008-11-09"))
+                ->text(),
+            "2008-11-09");
+}
+
+TEST(RqlCombineTest, CountCountsNonNull) {
+  Value acc = Value::Null();
+  for (int i = 0; i < 5; ++i) {
+    acc = *RqlCombine(RqlAggFunc::kCount, acc, Value::Integer(100 + i));
+  }
+  acc = *RqlCombine(RqlAggFunc::kCount, acc, Value::Null());
+  EXPECT_EQ(acc.integer(), 5);
+}
+
+TEST(RqlCombineTest, SumRejectsText) {
+  EXPECT_FALSE(
+      RqlCombine(RqlAggFunc::kSum, Value::Integer(1), Value::Text("x")).ok());
+}
+
+TEST(RqlCombineTest, AvgMustUseAvgState) {
+  EXPECT_FALSE(
+      RqlCombine(RqlAggFunc::kAvg, Value::Integer(1), Value::Integer(2)).ok());
+}
+
+// Property: the combine really is associative and commutative for the
+// monoid functions over a sample of values.
+class MonoidPropertyTest
+    : public ::testing::TestWithParam<RqlAggFunc> {};
+
+TEST_P(MonoidPropertyTest, AssociativeAndCommutative) {
+  RqlAggFunc func = GetParam();
+  std::vector<Value> samples = {Value::Null(), Value::Integer(-3),
+                                Value::Integer(0), Value::Integer(7),
+                                Value::Integer(100)};
+  if (func != RqlAggFunc::kCount && func != RqlAggFunc::kSum) {
+    samples.push_back(Value::Text("aaa"));
+    samples.push_back(Value::Text("zzz"));
+  }
+  for (const Value& a : samples) {
+    for (const Value& b : samples) {
+      if (func != RqlAggFunc::kCount) {
+        // Commutativity (count is a fold counter, not symmetric).
+        auto ab = RqlCombine(func, a, b);
+        auto ba = RqlCombine(func, b, a);
+        ASSERT_TRUE(ab.ok() && ba.ok());
+        EXPECT_EQ(sql::CompareValues(*ab, *ba), 0);
+      }
+      for (const Value& c : samples) {
+        if (func == RqlAggFunc::kCount) continue;
+        auto left = RqlCombine(func, *RqlCombine(func, a, b), c);
+        auto right = RqlCombine(func, a, *RqlCombine(func, b, c));
+        ASSERT_TRUE(left.ok() && right.ok());
+        EXPECT_EQ(sql::CompareValues(*left, *right), 0)
+            << RqlAggFuncName(func);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Monoids, MonoidPropertyTest,
+                         ::testing::Values(RqlAggFunc::kMin, RqlAggFunc::kMax,
+                                           RqlAggFunc::kSum,
+                                           RqlAggFunc::kCount),
+                         [](const auto& info) {
+                           return std::string(RqlAggFuncName(info.param));
+                         });
+
+TEST(AvgStateTest, RunningAverage) {
+  AvgState avg;
+  EXPECT_TRUE(avg.Final().is_null());
+  avg.Add(Value::Integer(2));
+  avg.Add(Value::Integer(4));
+  avg.Add(Value::Null());  // ignored
+  avg.Add(Value::Real(6.0));
+  EXPECT_DOUBLE_EQ(avg.Final().real(), 4.0);
+}
+
+}  // namespace
+}  // namespace rql

@@ -1,0 +1,509 @@
+#include "rql/rql.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace rql {
+namespace {
+
+using sql::Row;
+using sql::Value;
+
+/// Builds the paper's LoggedIn example (Figures 1-3): three snapshots of a
+/// login table.
+class RqlLoggedInTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = sql::Database::Open(&env_, "data");
+    auto meta = sql::Database::Open(&env_, "meta");
+    ASSERT_TRUE(data.ok() && meta.ok());
+    data_ = std::move(*data);
+    meta_ = std::move(*meta);
+    engine_ = std::make_unique<RqlEngine>(data_.get(), meta_.get());
+    ASSERT_TRUE(engine_->EnsureSnapIds().ok());
+
+    Ok(data_.get(),
+       "CREATE TABLE LoggedIn (l_userid TEXT, l_time TEXT, l_country TEXT)");
+    Ok(data_.get(),
+       "INSERT INTO LoggedIn VALUES "
+       "('UserA', '2008-11-09 13:23:44', 'USA'), "
+       "('UserB', '2008-11-09 15:45:21', 'UK'), "
+       "('UserC', '2008-11-09 15:45:21', 'USA')");
+    // Snapshot 1.
+    auto s1 = engine_->CommitWithSnapshot("2008-11-09 23:59:59");
+    ASSERT_TRUE(s1.ok());
+    EXPECT_EQ(*s1, 1u);
+    // Snapshot 2: UserA logs out (deleted by the declaring transaction).
+    Ok(data_.get(), "BEGIN; DELETE FROM LoggedIn WHERE l_userid = 'UserA';");
+    auto s2 = engine_->CommitWithSnapshot("2008-11-10 23:59:59");
+    ASSERT_TRUE(s2.ok());
+    // Snapshot 3: UserD logs in.
+    Ok(data_.get(),
+       "BEGIN; INSERT INTO LoggedIn (l_userid, l_time, l_country) VALUES "
+       "('UserD', '2008-11-11 10:08:04', 'UK');");
+    auto s3 = engine_->CommitWithSnapshot("2008-11-11 23:59:59");
+    ASSERT_TRUE(s3.ok());
+  }
+
+  void Ok(sql::Database* db, const std::string& sql) {
+    Status s = db->Exec(sql);
+    ASSERT_TRUE(s.ok()) << sql << " -> " << s.ToString();
+  }
+
+  sql::QueryResult Q(sql::Database* db, const std::string& sql) {
+    auto r = db->Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r) : sql::QueryResult{};
+  }
+
+  storage::InMemoryEnv env_;
+  std::unique_ptr<sql::Database> data_;
+  std::unique_ptr<sql::Database> meta_;
+  std::unique_ptr<RqlEngine> engine_;
+};
+
+TEST_F(RqlLoggedInTest, SnapIdsIsPopulated) {
+  sql::QueryResult r =
+      Q(meta_.get(), "SELECT snap_id, snap_ts FROM SnapIds ORDER BY snap_id");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].integer(), 1);
+  EXPECT_EQ(r.rows[2][1].text(), "2008-11-11 23:59:59");
+}
+
+TEST_F(RqlLoggedInTest, CollateDataCollectsUsersPerSnapshot) {
+  // The paper's first example: all user ids with the snapshot they appear
+  // in.
+  Status s = engine_->CollateData(
+      "SELECT snap_id FROM SnapIds",
+      "SELECT DISTINCT l_userid, current_snapshot() AS sid FROM LoggedIn",
+      "Result");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  sql::QueryResult r =
+      Q(meta_.get(), "SELECT l_userid, sid FROM Result ORDER BY sid, l_userid");
+  // S1: A,B,C  S2: B,C  S3: B,C,D  -> 8 rows.
+  ASSERT_EQ(r.rows.size(), 8u);
+  std::multimap<int64_t, std::string> expected = {
+      {1, "UserA"}, {1, "UserB"}, {1, "UserC"}, {2, "UserB"},
+      {2, "UserC"}, {3, "UserB"}, {3, "UserC"}, {3, "UserD"}};
+  auto it = expected.begin();
+  for (const Row& row : r.rows) {
+    EXPECT_EQ(row[1].integer(), it->first);
+    EXPECT_EQ(row[0].text(), it->second);
+    ++it;
+  }
+  // Three iterations ran.
+  EXPECT_EQ(engine_->last_run_stats().iterations.size(), 3u);
+}
+
+TEST_F(RqlLoggedInTest, AggregateDataInVariableCountsSnapshots) {
+  // Count the number of snapshots in which UserB is logged in (paper §2.2).
+  Status s = engine_->AggregateDataInVariable(
+      "SELECT snap_id FROM SnapIds",
+      "SELECT DISTINCT 1 FROM LoggedIn WHERE l_userid = 'UserB'",
+      "Result", "sum");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  sql::QueryResult r = Q(meta_.get(), "SELECT * FROM Result");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].integer(), 3);
+}
+
+TEST_F(RqlLoggedInTest, AggregateDataInVariableFirstOccurrence) {
+  // First snapshot in which UserD appears (paper §2.2, "min").
+  Status s = engine_->AggregateDataInVariable(
+      "SELECT snap_id FROM SnapIds",
+      "SELECT DISTINCT current_snapshot() FROM LoggedIn "
+      "WHERE l_userid = 'UserD'",
+      "Result", "min");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  sql::QueryResult r = Q(meta_.get(), "SELECT * FROM Result");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].integer(), 3);
+}
+
+TEST_F(RqlLoggedInTest, AggregateDataInVariableAvg) {
+  // Average number of logged-in users per snapshot: (3 + 2 + 3) / 3.
+  Status s = engine_->AggregateDataInVariable(
+      "SELECT snap_id FROM SnapIds",
+      "SELECT COUNT(*) AS c FROM LoggedIn", "Result", "avg");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  sql::QueryResult r = Q(meta_.get(), "SELECT * FROM Result");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].real(), 8.0 / 3.0);
+}
+
+TEST_F(RqlLoggedInTest, AggregateDataInTableFirstLoginPerUser) {
+  // Paper §2.3: first time each user logged in.
+  Status s = engine_->AggregateDataInTable(
+      "SELECT snap_id FROM SnapIds",
+      "SELECT DISTINCT l_userid, l_time FROM LoggedIn", "Result",
+      "(l_time,min)");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  sql::QueryResult r = Q(
+      meta_.get(), "SELECT l_userid, l_time FROM Result ORDER BY l_userid");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][0].text(), "UserA");
+  EXPECT_EQ(r.rows[3][0].text(), "UserD");
+  EXPECT_EQ(r.rows[3][1].text(), "2008-11-11 10:08:04");
+}
+
+TEST_F(RqlLoggedInTest, AggregateDataInTableMaxSimultaneousPerCountry) {
+  // Paper §2.3: per country, the maximum number of simultaneously
+  // logged-in users.
+  Status s = engine_->AggregateDataInTable(
+      "SELECT snap_id FROM SnapIds",
+      "SELECT l_country, COUNT(*) AS c FROM LoggedIn GROUP BY l_country",
+      "Result", "(c,max)");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  sql::QueryResult r =
+      Q(meta_.get(), "SELECT l_country, c FROM Result ORDER BY l_country");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].text(), "UK");   // max 2 (B, D in S3)
+  EXPECT_EQ(r.rows[0][1].integer(), 2);
+  EXPECT_EQ(r.rows[1][0].text(), "USA");  // max 2 (A, C in S1)
+  EXPECT_EQ(r.rows[1][1].integer(), 2);
+}
+
+TEST_F(RqlLoggedInTest, CollateDataIntoIntervalsLifetimes) {
+  // Paper §2.4: the interval during which each user was logged in.
+  Status s = engine_->CollateDataIntoIntervals(
+      "SELECT snap_id FROM SnapIds",
+      "SELECT l_userid FROM LoggedIn", "Result");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  sql::QueryResult r = Q(
+      meta_.get(),
+      "SELECT l_userid, start_snapshot, end_snapshot FROM Result "
+      "ORDER BY l_userid");
+  ASSERT_EQ(r.rows.size(), 4u);
+  // UserA: [1,1]; UserB: [1,3]; UserC: [1,3]; UserD: [3,3].
+  EXPECT_EQ(r.rows[0][0].text(), "UserA");
+  EXPECT_EQ(r.rows[0][1].integer(), 1);
+  EXPECT_EQ(r.rows[0][2].integer(), 1);
+  EXPECT_EQ(r.rows[1][0].text(), "UserB");
+  EXPECT_EQ(r.rows[1][1].integer(), 1);
+  EXPECT_EQ(r.rows[1][2].integer(), 3);
+  EXPECT_EQ(r.rows[3][0].text(), "UserD");
+  EXPECT_EQ(r.rows[3][1].integer(), 3);
+  EXPECT_EQ(r.rows[3][2].integer(), 3);
+}
+
+TEST_F(RqlLoggedInTest, IntervalsReopenAfterGap) {
+  // A record that disappears and reappears gets two lifetime intervals.
+  Ok(data_.get(), "BEGIN; DELETE FROM LoggedIn WHERE l_userid = 'UserB';");
+  ASSERT_TRUE(engine_->CommitWithSnapshot("ts4").ok());  // S4: no UserB
+  Ok(data_.get(),
+     "BEGIN; INSERT INTO LoggedIn VALUES ('UserB', 't', 'UK');");
+  ASSERT_TRUE(engine_->CommitWithSnapshot("ts5").ok());  // S5: UserB back
+
+  Status s = engine_->CollateDataIntoIntervals(
+      "SELECT snap_id FROM SnapIds",
+      "SELECT l_userid FROM LoggedIn", "Result");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  sql::QueryResult r = Q(
+      meta_.get(),
+      "SELECT start_snapshot, end_snapshot FROM Result "
+      "WHERE l_userid = 'UserB' ORDER BY start_snapshot");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].integer(), 1);
+  EXPECT_EQ(r.rows[0][1].integer(), 3);
+  EXPECT_EQ(r.rows[1][0].integer(), 5);
+  EXPECT_EQ(r.rows[1][1].integer(), 5);
+}
+
+TEST_F(RqlLoggedInTest, QsCanSelectSubsetsAndSkips) {
+  // Qs is ordinary SQL: restrict to snapshots 2..3.
+  Status s = engine_->CollateData(
+      "SELECT snap_id FROM SnapIds WHERE snap_id >= 2",
+      "SELECT DISTINCT l_userid, current_snapshot() AS sid FROM LoggedIn",
+      "Result");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(engine_->last_run_stats().iterations.size(), 2u);
+  sql::QueryResult r = Q(meta_.get(), "SELECT COUNT(*) FROM Result");
+  EXPECT_EQ(r.rows[0][0].integer(), 5);  // 2 + 3 users
+}
+
+TEST_F(RqlLoggedInTest, UdfFormMatchesPaperSyntax) {
+  // The SQL-embedded form of Section 3.
+  ASSERT_TRUE(engine_->RegisterUdfs().ok());
+  Status s = meta_->Exec(
+      "SELECT CollateData(snap_id, "
+      "'SELECT DISTINCT l_userid, current_snapshot() AS sid FROM LoggedIn', "
+      "'Result') FROM SnapIds");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_TRUE(engine_->FinishUdfRuns().ok());
+  sql::QueryResult r = Q(meta_.get(), "SELECT COUNT(*) FROM Result");
+  EXPECT_EQ(r.rows[0][0].integer(), 8);
+}
+
+TEST_F(RqlLoggedInTest, UdfFormAggregateVariable) {
+  ASSERT_TRUE(engine_->RegisterUdfs().ok());
+  sql::QueryResult running = Q(
+      meta_.get(),
+      "SELECT AggregateDataInVariable(snap_id, "
+      "'SELECT DISTINCT current_snapshot() AS sid FROM LoggedIn "
+      "WHERE l_userid = ''UserB'' ', 'Result', 'min') FROM SnapIds");
+  ASSERT_TRUE(engine_->FinishUdfRuns().ok());
+  ASSERT_EQ(running.rows.size(), 3u);
+  EXPECT_EQ(running.rows.back()[0].integer(), 1);
+  sql::QueryResult r = Q(meta_.get(), "SELECT * FROM Result");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].integer(), 1);
+}
+
+TEST_F(RqlLoggedInTest, UdfFormAggregateTable) {
+  ASSERT_TRUE(engine_->RegisterUdfs().ok());
+  Status s = meta_->Exec(
+      "SELECT AggregateDataInTable(snap_id, "
+      "'SELECT l_country, COUNT(*) AS c FROM LoggedIn GROUP BY l_country', "
+      "'Result', '(c,max)') FROM SnapIds");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_TRUE(engine_->FinishUdfRuns().ok());
+  sql::QueryResult r =
+      Q(meta_.get(), "SELECT l_country, c FROM Result ORDER BY l_country");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].integer(), 2);
+  EXPECT_EQ(r.rows[1][1].integer(), 2);
+}
+
+TEST_F(RqlLoggedInTest, UdfFormIntervals) {
+  ASSERT_TRUE(engine_->RegisterUdfs().ok());
+  Status s = meta_->Exec(
+      "SELECT CollateDataIntoIntervals(snap_id, "
+      "'SELECT l_userid FROM LoggedIn', 'Result') FROM SnapIds");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_TRUE(engine_->FinishUdfRuns().ok());
+  sql::QueryResult r = Q(
+      meta_.get(),
+      "SELECT start_snapshot, end_snapshot FROM Result "
+      "WHERE l_userid = 'UserB'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].integer(), 1);
+  EXPECT_EQ(r.rows[0][1].integer(), 3);
+}
+
+TEST_F(RqlLoggedInTest, UdfFormTwoMechanismsInOneStatement) {
+  // Each UDF call keyed by its result table: two mechanisms can share one
+  // driving SELECT over SnapIds.
+  ASSERT_TRUE(engine_->RegisterUdfs().ok());
+  Status s = meta_->Exec(
+      "SELECT CollateData(snap_id, 'SELECT l_userid FROM LoggedIn', 'A'), "
+      "AggregateDataInVariable(snap_id, "
+      "'SELECT COUNT(*) AS c FROM LoggedIn', 'B', 'max') FROM SnapIds");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_TRUE(engine_->FinishUdfRuns().ok());
+  EXPECT_EQ(Q(meta_.get(), "SELECT COUNT(*) FROM A").rows[0][0].integer(),
+            8);
+  EXPECT_EQ(Q(meta_.get(), "SELECT * FROM B").rows[0][0].integer(), 3);
+}
+
+TEST_F(RqlLoggedInTest, AllColdOptionMatchesResults) {
+  // The all-cold measurement mode must not change any result.
+  Status s = engine_->AggregateDataInTable(
+      "SELECT snap_id FROM SnapIds",
+      "SELECT l_country, COUNT(*) AS c FROM LoggedIn GROUP BY l_country",
+      "Warm", "(c,max)");
+  ASSERT_TRUE(s.ok());
+  engine_->mutable_options()->cold_cache_per_iteration = true;
+  s = engine_->AggregateDataInTable(
+      "SELECT snap_id FROM SnapIds",
+      "SELECT l_country, COUNT(*) AS c FROM LoggedIn GROUP BY l_country",
+      "Cold", "(c,max)");
+  engine_->mutable_options()->cold_cache_per_iteration = false;
+  ASSERT_TRUE(s.ok());
+  sql::QueryResult warm =
+      Q(meta_.get(), "SELECT l_country, c FROM Warm ORDER BY l_country");
+  sql::QueryResult cold =
+      Q(meta_.get(), "SELECT l_country, c FROM Cold ORDER BY l_country");
+  ASSERT_EQ(warm.rows.size(), cold.rows.size());
+  for (size_t i = 0; i < warm.rows.size(); ++i) {
+    EXPECT_EQ(warm.rows[i][1].integer(), cold.rows[i][1].integer());
+  }
+}
+
+TEST_F(RqlLoggedInTest, SortMergeStrategyMatchesIndexProbe) {
+  // The alternative the paper reports trying (and finding costlier) must
+  // produce identical results.
+  const char* qq =
+      "SELECT l_country, COUNT(*) AS c FROM LoggedIn GROUP BY l_country";
+  ASSERT_TRUE(engine_
+                  ->AggregateDataInTable("SELECT snap_id FROM SnapIds", qq,
+                                         "ViaProbe", "(c,max)")
+                  .ok());
+  engine_->mutable_options()->agg_table_strategy =
+      AggTableStrategy::kSortMerge;
+  Status s = engine_->AggregateDataInTable("SELECT snap_id FROM SnapIds",
+                                           qq, "ViaMerge", "(c,max)");
+  engine_->mutable_options()->agg_table_strategy =
+      AggTableStrategy::kIndexProbe;
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  sql::QueryResult probe =
+      Q(meta_.get(), "SELECT l_country, c FROM ViaProbe ORDER BY l_country");
+  sql::QueryResult merge =
+      Q(meta_.get(), "SELECT l_country, c FROM ViaMerge ORDER BY l_country");
+  ASSERT_EQ(probe.rows.size(), merge.rows.size());
+  for (size_t i = 0; i < probe.rows.size(); ++i) {
+    EXPECT_EQ(probe.rows[i][0].text(), merge.rows[i][0].text());
+    EXPECT_EQ(probe.rows[i][1].integer(), merge.rows[i][1].integer());
+  }
+}
+
+TEST_F(RqlLoggedInTest, SortMergeWithAvgAggregate) {
+  engine_->mutable_options()->agg_table_strategy =
+      AggTableStrategy::kSortMerge;
+  Status s = engine_->AggregateDataInTable(
+      "SELECT snap_id FROM SnapIds",
+      "SELECT l_country, COUNT(*) AS c FROM LoggedIn GROUP BY l_country",
+      "AvgMerge", "(c,avg)");
+  engine_->mutable_options()->agg_table_strategy =
+      AggTableStrategy::kIndexProbe;
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  sql::QueryResult r =
+      Q(meta_.get(), "SELECT l_country, c FROM AvgMerge ORDER BY l_country");
+  ASSERT_EQ(r.rows.size(), 2u);
+  // UK: 1,1,2 logged in -> avg 4/3; USA: 2,1,1 -> avg 4/3.
+  EXPECT_NEAR(r.rows[0][1].AsDouble(), 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(r.rows[1][1].AsDouble(), 4.0 / 3.0, 1e-9);
+}
+
+TEST_F(RqlLoggedInTest, KeepResultTableOptionFailsOnRerun) {
+  engine_->mutable_options()->replace_result_table = false;
+  ASSERT_TRUE(engine_
+                  ->CollateData("SELECT snap_id FROM SnapIds",
+                                "SELECT l_userid FROM LoggedIn", "Keep")
+                  .ok());
+  // Without replacement, the second run collides with the existing table.
+  Status s = engine_->CollateData("SELECT snap_id FROM SnapIds",
+                                  "SELECT l_userid FROM LoggedIn", "Keep");
+  EXPECT_FALSE(s.ok());
+  engine_->mutable_options()->replace_result_table = true;
+}
+
+TEST_F(RqlLoggedInTest, InjectAsOfRewrite) {
+  EXPECT_EQ(RqlEngine::InjectAsOf("SELECT * FROM t", 7),
+            "SELECT AS OF 7 * FROM t");
+  EXPECT_EQ(RqlEngine::InjectAsOf("select distinct x from t", 12),
+            "select AS OF 12 distinct x from t");
+  // String literals containing "select" are not touched.
+  EXPECT_EQ(RqlEngine::InjectAsOf("SELECT 'select' FROM t", 1),
+            "SELECT AS OF 1 'select' FROM t");
+  // Word boundaries: "selection" is not SELECT.
+  EXPECT_EQ(RqlEngine::InjectAsOf("selection SELECT x", 2),
+            "selection SELECT AS OF 2 x");
+}
+
+TEST_F(RqlLoggedInTest, TruncateHistoryCleansSnapIds) {
+  ASSERT_TRUE(engine_->TruncateHistory(2).ok());
+  sql::QueryResult snaps =
+      Q(meta_.get(), "SELECT snap_id FROM SnapIds ORDER BY snap_id");
+  ASSERT_EQ(snaps.rows.size(), 2u);
+  EXPECT_EQ(snaps.rows[0][0].integer(), 2);
+  // Mechanisms over "all snapshots" now cover only the retained ones.
+  ASSERT_TRUE(engine_
+                  ->CollateData("SELECT snap_id FROM SnapIds",
+                                "SELECT DISTINCT l_userid, "
+                                "current_snapshot() AS sid FROM LoggedIn",
+                                "Result")
+                  .ok());
+  EXPECT_EQ(engine_->last_run_stats().iterations.size(), 2u);
+  sql::QueryResult r = Q(meta_.get(), "SELECT COUNT(*) FROM Result");
+  EXPECT_EQ(r.rows[0][0].integer(), 5);  // S2: B,C  S3: B,C,D
+  // The dropped snapshot is unreachable even by explicit Qs.
+  Status s = engine_->CollateData(
+      "SELECT 1", "SELECT l_userid FROM LoggedIn", "Result2");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(RqlLoggedInTest, ParseColFuncPairsBothOrders) {
+  auto pairs = RqlEngine::ParseColFuncPairs("(l_time,min)");
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ((*pairs)[0].column, "l_time");
+  EXPECT_EQ((*pairs)[0].func, RqlAggFunc::kMin);
+
+  pairs = RqlEngine::ParseColFuncPairs("(MAX,cn):(MAX,av)");
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 2u);
+  EXPECT_EQ((*pairs)[0].column, "cn");
+  EXPECT_EQ((*pairs)[0].func, RqlAggFunc::kMax);
+  EXPECT_EQ((*pairs)[1].column, "av");
+
+  EXPECT_FALSE(RqlEngine::ParseColFuncPairs("").ok());
+  EXPECT_FALSE(RqlEngine::ParseColFuncPairs("(a,b)").ok());
+}
+
+TEST_F(RqlLoggedInTest, DistinctAggregatesRejected) {
+  Status s = engine_->AggregateDataInVariable(
+      "SELECT snap_id FROM SnapIds", "SELECT 1 FROM LoggedIn", "Result",
+      "count distinct");
+  EXPECT_EQ(s.code(), StatusCode::kNotSupported);
+}
+
+TEST_F(RqlLoggedInTest, AggVariableRejectsMultiRowQq) {
+  Status s = engine_->AggregateDataInVariable(
+      "SELECT snap_id FROM SnapIds",
+      "SELECT l_userid FROM LoggedIn", "Result", "min");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(RqlLoggedInTest, IterationStatsArePopulated) {
+  ASSERT_TRUE(engine_
+                  ->AggregateDataInVariable(
+                      "SELECT snap_id FROM SnapIds",
+                      "SELECT COUNT(*) AS c FROM LoggedIn", "Result", "max")
+                  .ok());
+  const RqlRunStats& stats = engine_->last_run_stats();
+  ASSERT_EQ(stats.iterations.size(), 3u);
+  for (const RqlIterationStats& it : stats.iterations) {
+    EXPECT_GE(it.query_eval_us, 0);
+    EXPECT_GE(it.spt_build_us, 0);
+    EXPECT_EQ(it.qq_rows, 1);
+  }
+  // Old snapshots were overwritten, so iterating must touch the Pagelog.
+  EXPECT_GT(stats.PagelogPages(), 0);
+}
+
+TEST_F(RqlLoggedInTest, RerunReplacesResultTable) {
+  for (int round = 0; round < 2; ++round) {
+    Status s = engine_->CollateData(
+        "SELECT snap_id FROM SnapIds",
+        "SELECT DISTINCT l_userid, current_snapshot() AS sid FROM LoggedIn",
+        "Result");
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+  sql::QueryResult r = Q(meta_.get(), "SELECT COUNT(*) FROM Result");
+  EXPECT_EQ(r.rows[0][0].integer(), 8);  // not doubled
+}
+
+TEST_F(RqlLoggedInTest, CollateThenSqlEqualsAggregateTable) {
+  // The paper's §5.3 equivalence: CollateData + SQL == AggregateDataInTable.
+  ASSERT_TRUE(engine_
+                  ->AggregateDataInTable(
+                      "SELECT snap_id FROM SnapIds",
+                      "SELECT l_country, COUNT(*) AS c FROM LoggedIn "
+                      "GROUP BY l_country",
+                      "AggResult", "(c,max)")
+                  .ok());
+  ASSERT_TRUE(engine_
+                  ->CollateData(
+                      "SELECT snap_id FROM SnapIds",
+                      "SELECT l_country, COUNT(*) AS c FROM LoggedIn "
+                      "GROUP BY l_country",
+                      "CollateResult")
+                  .ok());
+  sql::QueryResult via_agg = Q(
+      meta_.get(), "SELECT l_country, c FROM AggResult ORDER BY l_country");
+  sql::QueryResult via_collate = Q(
+      meta_.get(),
+      "SELECT l_country, MAX(c) AS c FROM CollateResult "
+      "GROUP BY l_country ORDER BY l_country");
+  ASSERT_EQ(via_agg.rows.size(), via_collate.rows.size());
+  for (size_t i = 0; i < via_agg.rows.size(); ++i) {
+    EXPECT_EQ(via_agg.rows[i][0].text(), via_collate.rows[i][0].text());
+    EXPECT_EQ(via_agg.rows[i][1].integer(), via_collate.rows[i][1].integer());
+  }
+}
+
+}  // namespace
+}  // namespace rql

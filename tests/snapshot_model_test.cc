@@ -1,0 +1,152 @@
+// Model-checking test for the Retro snapshot store: a long random sequence
+// of page writes, allocations, frees, transactions (with rollbacks) and
+// snapshot declarations is mirrored into an in-memory reference model;
+// every declared snapshot's as-of state must match the model exactly, at
+// every point of the run and after reopen.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "retro/snapshot_store.h"
+
+namespace rql::retro {
+namespace {
+
+using storage::Page;
+using storage::PageId;
+
+Page TaggedPage(uint64_t tag) {
+  Page p;
+  p.Zero();
+  p.WriteU64(0, tag);
+  p.WriteU64(100, tag ^ 0xABCDEF);
+  return p;
+}
+
+class SnapshotModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SnapshotModelTest, RandomHistoryMatchesModel) {
+  storage::InMemoryEnv env;
+  auto opened = SnapshotStore::Open(&env, "model");
+  ASSERT_TRUE(opened.ok());
+  std::unique_ptr<SnapshotStore> store = std::move(*opened);
+
+  Random rng(GetParam() * 7919 + 3);
+  uint64_t next_tag = 1;
+
+  std::map<PageId, uint64_t> live;                   // current page tags
+  std::map<SnapshotId, std::map<PageId, uint64_t>> snapshots;
+  std::vector<PageId> pages;
+
+  auto verify_all = [&]() {
+    for (const auto& [snap, state] : snapshots) {
+      auto view = store->OpenSnapshot(snap);
+      ASSERT_TRUE(view.ok()) << view.status().ToString();
+      for (const auto& [id, tag] : state) {
+        Page page;
+        Status s = (*view)->ReadPage(id, &page);
+        ASSERT_TRUE(s.ok()) << "snap " << snap << " page " << id << ": "
+                            << s.ToString();
+        EXPECT_EQ(page.ReadU64(0), tag)
+            << "snap " << snap << " page " << id;
+        EXPECT_EQ(page.ReadU64(100), tag ^ 0xABCDEF);
+      }
+    }
+  };
+
+  const int kRounds = 250;
+  for (int round = 0; round < kRounds; ++round) {
+    double action = rng.NextDouble();
+    if (action < 0.25 || pages.empty()) {
+      // Allocate and write a fresh page.
+      auto id = store->AllocatePage();
+      ASSERT_TRUE(id.ok());
+      uint64_t tag = next_tag++;
+      ASSERT_TRUE(store->WritePage(*id, TaggedPage(tag)).ok());
+      pages.push_back(*id);
+      live[*id] = tag;
+    } else if (action < 0.55) {
+      // Overwrite a random live page.
+      PageId id = pages[rng.Uniform(pages.size())];
+      if (!live.count(id)) continue;
+      uint64_t tag = next_tag++;
+      ASSERT_TRUE(store->WritePage(id, TaggedPage(tag)).ok());
+      live[id] = tag;
+    } else if (action < 0.65) {
+      // Free a live page.
+      PageId id = pages[rng.Uniform(pages.size())];
+      if (!live.count(id)) continue;
+      ASSERT_TRUE(store->FreePage(id).ok());
+      live.erase(id);
+    } else if (action < 0.80) {
+      // A transaction that may roll back.
+      ASSERT_TRUE(store->Begin().ok());
+      std::map<PageId, uint64_t> txn_live = live;
+      int writes = 1 + static_cast<int>(rng.Uniform(4));
+      for (int w = 0; w < writes; ++w) {
+        PageId id = pages[rng.Uniform(pages.size())];
+        if (!txn_live.count(id)) continue;
+        uint64_t tag = next_tag++;
+        ASSERT_TRUE(store->WritePage(id, TaggedPage(tag)).ok());
+        txn_live[id] = tag;
+      }
+      if (rng.Bernoulli(0.4)) {
+        ASSERT_TRUE(store->Rollback().ok());
+      } else {
+        bool with_snapshot = rng.Bernoulli(0.3);
+        SnapshotId declared = kNoSnapshot;
+        ASSERT_TRUE(store->Commit(with_snapshot, &declared).ok());
+        live = txn_live;
+        if (with_snapshot) snapshots[declared] = live;
+      }
+    } else if (action < 0.9) {
+      // Declare a snapshot of the current state.
+      auto snap = store->DeclareSnapshot();
+      ASSERT_TRUE(snap.ok());
+      snapshots[*snap] = live;
+    } else {
+      // Periodically verify a random declared snapshot mid-run.
+      if (!snapshots.empty()) {
+        auto it = snapshots.begin();
+        std::advance(it, rng.Uniform(snapshots.size()));
+        auto view = store->OpenSnapshot(it->first);
+        ASSERT_TRUE(view.ok());
+        for (const auto& [id, tag] : it->second) {
+          Page page;
+          ASSERT_TRUE((*view)->ReadPage(id, &page).ok());
+          ASSERT_EQ(page.ReadU64(0), tag)
+              << "mid-run snap " << it->first << " page " << id;
+        }
+      }
+    }
+  }
+
+  verify_all();
+
+  // Reopen and verify recovery of the whole history.
+  store.reset();
+  auto reopened = SnapshotStore::Open(&env, "model");
+  ASSERT_TRUE(reopened.ok());
+  store = std::move(*reopened);
+  verify_all();
+
+  // Post-recovery mutations must not corrupt old snapshots.
+  for (int round = 0; round < 20; ++round) {
+    PageId id = pages[rng.Uniform(pages.size())];
+    if (!live.count(id)) continue;
+    uint64_t tag = next_tag++;
+    ASSERT_TRUE(store->WritePage(id, TaggedPage(tag)).ok());
+    live[id] = tag;
+  }
+  auto snap = store->DeclareSnapshot();
+  ASSERT_TRUE(snap.ok());
+  snapshots[*snap] = live;
+  verify_all();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotModelTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace rql::retro

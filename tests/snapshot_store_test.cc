@@ -1,0 +1,286 @@
+#include "retro/snapshot_store.h"
+
+#include <gtest/gtest.h>
+
+namespace rql::retro {
+namespace {
+
+storage::Page TaggedPage(uint64_t tag) {
+  storage::Page p;
+  p.Zero();
+  p.WriteU64(0, tag);
+  return p;
+}
+
+class SnapshotStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto store = SnapshotStore::Open(&env_, "t");
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+  }
+
+  uint64_t ReadTag(storage::PageReader* reader, storage::PageId id) {
+    storage::Page p;
+    Status s = reader->ReadPage(id, &p);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return p.ReadU64(0);
+  }
+
+  storage::InMemoryEnv env_;
+  std::unique_ptr<SnapshotStore> store_;
+};
+
+TEST_F(SnapshotStoreTest, SnapshotSeesPreStateAfterOverwrite) {
+  auto id = store_->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(1)).ok());
+
+  auto snap = store_->DeclareSnapshot();
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(2)).ok());
+
+  EXPECT_EQ(ReadTag(store_.get(), *id), 2u);
+  auto view = store_->OpenSnapshot(*snap);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(ReadTag(view->get(), *id), 1u);
+}
+
+TEST_F(SnapshotStoreTest, UnmodifiedPagesAreSharedWithCurrentState) {
+  auto id = store_->AllocatePage();
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(7)).ok());
+  auto snap = store_->DeclareSnapshot();
+  ASSERT_TRUE(snap.ok());
+
+  store_->ResetStats();
+  auto view = store_->OpenSnapshot(*snap);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->spt_size(), 0u);
+  EXPECT_EQ(ReadTag(view->get(), *id), 7u);
+  EXPECT_EQ(store_->stats()->db_page_reads, 1);
+  EXPECT_EQ(store_->stats()->pagelog_page_reads, 0);
+}
+
+TEST_F(SnapshotStoreTest, MultipleSnapshotsSeeTheirOwnStates) {
+  auto id = store_->AllocatePage();
+  for (uint64_t v = 1; v <= 5; ++v) {
+    ASSERT_TRUE(store_->WritePage(*id, TaggedPage(v)).ok());
+    ASSERT_TRUE(store_->DeclareSnapshot().ok());
+  }
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(99)).ok());
+
+  for (SnapshotId s = 1; s <= 5; ++s) {
+    auto view = store_->OpenSnapshot(s);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(ReadTag(view->get(), *id), s) << "snapshot " << s;
+  }
+  EXPECT_EQ(ReadTag(store_.get(), *id), 99u);
+}
+
+TEST_F(SnapshotStoreTest, ConsecutiveSnapshotsSharePreStates) {
+  // One page modified once, then three snapshots declared, then modified:
+  // all three snapshots must share a single archived pre-state.
+  auto id = store_->AllocatePage();
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(1)).ok());
+  ASSERT_TRUE(store_->DeclareSnapshot().ok());   // snap 1
+  ASSERT_TRUE(store_->DeclareSnapshot().ok());   // snap 2
+  ASSERT_TRUE(store_->DeclareSnapshot().ok());   // snap 3
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(2)).ok());
+
+  EXPECT_EQ(store_->pagelog()->record_count(), 1u);
+
+  // Reading the page as of snapshot 1 warms the cache; snapshots 2 and 3
+  // then hit the cache because they share the same Pagelog location.
+  store_->ClearSnapshotCache();
+  store_->ResetStats();
+  for (SnapshotId s = 1; s <= 3; ++s) {
+    auto view = store_->OpenSnapshot(s);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(ReadTag(view->get(), *id), 1u);
+  }
+  EXPECT_EQ(store_->stats()->pagelog_page_reads, 1);
+  EXPECT_EQ(store_->stats()->snapshot_cache_hits, 2);
+}
+
+TEST_F(SnapshotStoreTest, WritesWithinOneEpochCaptureOnce) {
+  auto id = store_->AllocatePage();
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(1)).ok());
+  ASSERT_TRUE(store_->DeclareSnapshot().ok());
+  for (uint64_t v = 2; v <= 10; ++v) {
+    ASSERT_TRUE(store_->WritePage(*id, TaggedPage(v)).ok());
+  }
+  EXPECT_EQ(store_->pagelog()->record_count(), 1u);
+  auto view = store_->OpenSnapshot(1);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(ReadTag(view->get(), *id), 1u);
+}
+
+TEST_F(SnapshotStoreTest, OpenViewStaysConsistentAcrossLaterUpdates) {
+  auto id = store_->AllocatePage();
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(1)).ok());
+  auto snap = store_->DeclareSnapshot();
+  ASSERT_TRUE(snap.ok());
+
+  // Open the view while the page is still shared with the database.
+  auto view = store_->OpenSnapshot(*snap);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->spt_size(), 0u);
+
+  // Now overwrite the page; the open view must still see the pre-state
+  // (the MVCC non-interference property from the paper's Section 4).
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(2)).ok());
+  EXPECT_EQ(ReadTag(view->get(), *id), 1u);
+  EXPECT_EQ(ReadTag(store_.get(), *id), 2u);
+}
+
+TEST_F(SnapshotStoreTest, CommitWithSnapshotDeclares) {
+  auto id = store_->AllocatePage();
+  ASSERT_TRUE(store_->Begin().ok());
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(5)).ok());
+  SnapshotId snap = kNoSnapshot;
+  ASSERT_TRUE(store_->Commit(/*declare_snapshot=*/true, &snap).ok());
+  EXPECT_EQ(snap, 1u);
+  EXPECT_EQ(store_->latest_snapshot(), 1u);
+
+  // The snapshot reflects the declaring transaction's own updates.
+  auto view = store_->OpenSnapshot(snap);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(ReadTag(view->get(), *id), 5u);
+}
+
+TEST_F(SnapshotStoreTest, RollbackRestoresPagesAndAllocations) {
+  auto id = store_->AllocatePage();
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(1)).ok());
+
+  ASSERT_TRUE(store_->Begin().ok());
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(2)).ok());
+  auto extra = store_->AllocatePage();
+  ASSERT_TRUE(extra.ok());
+  ASSERT_TRUE(store_->Rollback().ok());
+
+  EXPECT_EQ(ReadTag(store_.get(), *id), 1u);
+  EXPECT_EQ(store_->page_store()->allocated_pages(), 1u);
+  EXPECT_FALSE(store_->in_transaction());
+}
+
+TEST_F(SnapshotStoreTest, RollbackAfterSnapshotKeepsAsOfStateCorrect) {
+  auto id = store_->AllocatePage();
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(1)).ok());
+  auto snap = store_->DeclareSnapshot();
+  ASSERT_TRUE(snap.ok());
+
+  // The write captures the pre-state, then rolls back.
+  ASSERT_TRUE(store_->Begin().ok());
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(2)).ok());
+  ASSERT_TRUE(store_->Rollback().ok());
+
+  auto view = store_->OpenSnapshot(*snap);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(ReadTag(view->get(), *id), 1u);
+  EXPECT_EQ(ReadTag(store_.get(), *id), 1u);
+
+  // A later write after another snapshot still yields correct history.
+  auto snap2 = store_->DeclareSnapshot();
+  ASSERT_TRUE(snap2.ok());
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(3)).ok());
+  auto view2 = store_->OpenSnapshot(*snap2);
+  ASSERT_TRUE(view2.ok());
+  EXPECT_EQ(ReadTag(view2->get(), *id), 1u);
+}
+
+TEST_F(SnapshotStoreTest, FreedPageStillReadableInSnapshot) {
+  auto id = store_->AllocatePage();
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(42)).ok());
+  auto snap = store_->DeclareSnapshot();
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(store_->FreePage(*id).ok());
+
+  auto view = store_->OpenSnapshot(*snap);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(ReadTag(view->get(), *id), 42u);
+}
+
+TEST_F(SnapshotStoreTest, DeferredFreeInsideTransaction) {
+  auto id = store_->AllocatePage();
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(9)).ok());
+
+  ASSERT_TRUE(store_->Begin().ok());
+  ASSERT_TRUE(store_->FreePage(*id).ok());
+  ASSERT_TRUE(store_->Rollback().ok());
+  EXPECT_EQ(ReadTag(store_.get(), *id), 9u);  // free undone
+
+  ASSERT_TRUE(store_->Begin().ok());
+  ASSERT_TRUE(store_->FreePage(*id).ok());
+  ASSERT_TRUE(store_->Commit().ok());
+  EXPECT_EQ(store_->page_store()->allocated_pages(), 0u);
+}
+
+TEST_F(SnapshotStoreTest, StateRecoversAcrossReopen) {
+  auto id = store_->AllocatePage();
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(1)).ok());
+  auto snap = store_->DeclareSnapshot();
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(2)).ok());
+  store_.reset();
+
+  auto reopened = SnapshotStore::Open(&env_, "t");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->latest_snapshot(), 1u);
+  auto view = (*reopened)->OpenSnapshot(1);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(ReadTag(view->get(), *id), 1u);
+
+  // Critically, a page last modified *after* the snapshot must not be
+  // re-captured with a range covering the snapshot after reopen.
+  ASSERT_TRUE((*reopened)->WritePage(*id, TaggedPage(3)).ok());
+  auto view2 = (*reopened)->OpenSnapshot(1);
+  ASSERT_TRUE(view2.ok());
+  EXPECT_EQ(ReadTag(view2->get(), *id), 1u);
+}
+
+TEST_F(SnapshotStoreTest, UnknownSnapshotIdFails) {
+  EXPECT_FALSE(store_->OpenSnapshot(1).ok());
+  ASSERT_TRUE(store_->DeclareSnapshot().ok());
+  EXPECT_TRUE(store_->OpenSnapshot(1).ok());
+  EXPECT_FALSE(store_->OpenSnapshot(2).ok());
+  EXPECT_FALSE(store_->OpenSnapshot(kNoSnapshot).ok());
+}
+
+TEST_F(SnapshotStoreTest, NestedBeginFails) {
+  ASSERT_TRUE(store_->Begin().ok());
+  EXPECT_FALSE(store_->Begin().ok());
+  ASSERT_TRUE(store_->Commit().ok());
+  EXPECT_FALSE(store_->Commit().ok());
+  EXPECT_FALSE(store_->Rollback().ok());
+}
+
+TEST_F(SnapshotStoreTest, OverwriteCycleFetchCounts) {
+  // Build a small database of 8 pages, snapshot, then overwrite all of
+  // them: a query touching every page as of the snapshot fetches all 8
+  // from the Pagelog (a complete overwrite cycle).
+  std::vector<storage::PageId> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto id = store_->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(store_->WritePage(*id, TaggedPage(100 + i)).ok());
+    ids.push_back(*id);
+  }
+  auto snap = store_->DeclareSnapshot();
+  ASSERT_TRUE(snap.ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(store_->WritePage(ids[i], TaggedPage(200 + i)).ok());
+  }
+
+  store_->ClearSnapshotCache();
+  store_->ResetStats();
+  auto view = store_->OpenSnapshot(*snap);
+  ASSERT_TRUE(view.ok());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(ReadTag(view->get(), ids[i]), 100u + i);
+  }
+  EXPECT_EQ(store_->stats()->pagelog_page_reads, 8);
+  EXPECT_EQ(store_->stats()->db_page_reads, 0);
+}
+
+}  // namespace
+}  // namespace rql::retro

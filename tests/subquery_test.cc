@@ -1,0 +1,138 @@
+// Tests for uncorrelated subqueries: scalar position and IN (SELECT ...),
+// including NULL propagation, caching, AS OF interaction and error cases.
+
+#include <gtest/gtest.h>
+
+#include "sql/database.h"
+
+namespace rql::sql {
+namespace {
+
+class SubqueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(&env_, "t");
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ASSERT_TRUE(db_->Exec("CREATE TABLE nums (n INTEGER)").ok());
+    ASSERT_TRUE(db_->Exec(
+        "INSERT INTO nums VALUES (1), (2), (3), (4), (5)").ok());
+    ASSERT_TRUE(db_->Exec("CREATE TABLE picks (p INTEGER)").ok());
+    ASSERT_TRUE(db_->Exec("INSERT INTO picks VALUES (2), (4)").ok());
+  }
+
+  Value Scalar(const std::string& sql) {
+    auto v = db_->QueryScalar(sql);
+    EXPECT_TRUE(v.ok()) << sql << " -> " << v.status().ToString();
+    return v.ok() ? *v : Value::Text("<error>");
+  }
+
+  storage::InMemoryEnv env_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(SubqueryTest, ScalarSubquery) {
+  EXPECT_EQ(Scalar("SELECT (SELECT MAX(n) FROM nums)").integer(), 5);
+  EXPECT_EQ(Scalar("SELECT (SELECT COUNT(*) FROM picks) * 10").integer(),
+            20);
+  // Empty result -> NULL.
+  EXPECT_TRUE(
+      Scalar("SELECT (SELECT n FROM nums WHERE n > 100)").is_null());
+}
+
+TEST_F(SubqueryTest, ScalarSubqueryInWhere) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM nums "
+                   "WHERE n > (SELECT AVG(p) FROM picks)").integer(), 2);
+}
+
+TEST_F(SubqueryTest, InSubquery) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM nums "
+                   "WHERE n IN (SELECT p FROM picks)").integer(), 2);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM nums "
+                   "WHERE n NOT IN (SELECT p FROM picks)").integer(), 3);
+}
+
+TEST_F(SubqueryTest, InSubqueryWithNulls) {
+  ASSERT_TRUE(db_->Exec("INSERT INTO picks VALUES (NULL)").ok());
+  // Matches still succeed; non-matches become UNKNOWN -> filtered.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM nums "
+                   "WHERE n IN (SELECT p FROM picks)").integer(), 2);
+  // NOT IN against a set containing NULL selects nothing.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM nums "
+                   "WHERE n NOT IN (SELECT p FROM picks)").integer(), 0);
+}
+
+TEST_F(SubqueryTest, MultiRowScalarSubqueryFails) {
+  EXPECT_FALSE(db_->Query("SELECT (SELECT n FROM nums)").ok());
+}
+
+TEST_F(SubqueryTest, MultiColumnInSubqueryFails) {
+  EXPECT_FALSE(db_->Query("SELECT COUNT(*) FROM nums "
+                          "WHERE n IN (SELECT p, p FROM picks)").ok());
+}
+
+TEST_F(SubqueryTest, CorrelationIsRejected) {
+  // Columns of the outer query are not visible inside the subquery.
+  EXPECT_FALSE(db_->Query("SELECT n FROM nums "
+                          "WHERE n = (SELECT MAX(p) FROM picks "
+                          "WHERE p = n)").ok());
+}
+
+TEST_F(SubqueryTest, SubqueryInsideAsOfQuery) {
+  ASSERT_TRUE(db_->Exec("BEGIN; COMMIT WITH SNAPSHOT;").ok());
+  ASSERT_TRUE(db_->Exec("DELETE FROM nums WHERE n >= 3").ok());
+  ASSERT_TRUE(db_->Exec("DELETE FROM picks WHERE p = 4").ok());
+  // Outer AS OF applies to the subquery's tables too (same reader).
+  EXPECT_EQ(Scalar("SELECT AS OF 1 COUNT(*) FROM nums "
+                   "WHERE n IN (SELECT p FROM picks)").integer(), 2);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM nums "
+                   "WHERE n IN (SELECT p FROM picks)").integer(), 1);
+  // AS OF inside a subquery is rejected (apply it to the statement).
+  EXPECT_FALSE(db_->Query("SELECT COUNT(*) FROM nums WHERE n IN "
+                          "(SELECT AS OF 1 p FROM picks)").ok());
+}
+
+TEST_F(SubqueryTest, NestedSubqueries) {
+  EXPECT_EQ(Scalar("SELECT (SELECT MAX(n) FROM nums WHERE n < "
+                   "(SELECT MAX(p) FROM picks))").integer(), 3);
+}
+
+TEST_F(SubqueryTest, SubqueryInSelectListWithGroupBy) {
+  auto r = db_->Query(
+      "SELECT n % 2 AS parity, COUNT(*) AS c, "
+      "(SELECT COUNT(*) FROM picks) AS pc "
+      "FROM nums GROUP BY n % 2 ORDER BY parity");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][2].integer(), 2);
+  EXPECT_EQ(r->rows[1][2].integer(), 2);
+}
+
+TEST_F(SubqueryTest, DeleteWithInSubquery) {
+  ASSERT_TRUE(
+      db_->Exec("DELETE FROM nums WHERE n IN (SELECT p FROM picks)").ok());
+  QueryResult r = *db_->Query("SELECT n FROM nums ORDER BY n");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].integer(), 1);
+  EXPECT_EQ(r.rows[1][0].integer(), 3);
+  EXPECT_EQ(r.rows[2][0].integer(), 5);
+}
+
+TEST_F(SubqueryTest, UpdateWithScalarSubquery) {
+  // Set every number below the max pick to that max.
+  ASSERT_TRUE(db_->Exec("UPDATE nums SET n = (SELECT MAX(p) FROM picks) "
+                        "WHERE n < (SELECT MAX(p) FROM picks)").ok());
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM nums WHERE n = 4").integer(), 4);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM nums WHERE n = 5").integer(), 1);
+}
+
+TEST_F(SubqueryTest, DeleteSelfReferencingSubquery) {
+  // The subquery snapshot-reads the same table being deleted from; the
+  // collect-then-mutate execution makes this well-defined.
+  ASSERT_TRUE(db_->Exec("DELETE FROM nums WHERE n = "
+                        "(SELECT MAX(n) FROM nums)").ok());
+  EXPECT_EQ(Scalar("SELECT MAX(n) FROM nums").integer(), 4);
+}
+
+}  // namespace
+}  // namespace rql::sql

@@ -1,0 +1,178 @@
+#include "tpch/tpch.h"
+
+#include <gtest/gtest.h>
+
+#include "tpch/workload.h"
+
+namespace rql::tpch {
+namespace {
+
+class TpchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = sql::Database::Open(&env_, "tpch");
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    TpchConfig config;
+    config.scale_factor = 0.001;  // 1500 orders, tiny but structured
+    gen_ = std::make_unique<TpchGenerator>(db_.get(), config);
+    ASSERT_TRUE(gen_->CreateSchema().ok());
+    ASSERT_TRUE(gen_->Populate().ok());
+  }
+
+  int64_t Count(const std::string& table) {
+    auto v = db_->QueryScalar("SELECT COUNT(*) FROM " + table);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return v.ok() ? v->AsInt() : -1;
+  }
+
+  storage::InMemoryEnv env_;
+  std::unique_ptr<sql::Database> db_;
+  std::unique_ptr<TpchGenerator> gen_;
+};
+
+TEST_F(TpchTest, PopulateCounts) {
+  EXPECT_EQ(Count("part"), 200);
+  EXPECT_EQ(Count("customer"), 150);
+  EXPECT_EQ(Count("orders"), 1500);
+  // Lineitems average ~4 per order.
+  int64_t lineitems = Count("lineitem");
+  EXPECT_GT(lineitems, 1500 * 2);
+  EXPECT_LT(lineitems, 1500 * 8);
+}
+
+TEST_F(TpchTest, DataShapesMatchQueries) {
+  // The paper's Qq_io predicate: open orders exist but are a strict subset.
+  int64_t open = db_->QueryScalar(
+      "SELECT COUNT(*) FROM orders WHERE o_orderstatus = 'O'")->AsInt();
+  EXPECT_GT(open, 0);
+  EXPECT_LT(open, 1500);
+  // Order dates span the TPC-H range and compare lexicographically.
+  int64_t early = db_->QueryScalar(
+      "SELECT COUNT(*) FROM orders WHERE o_orderdate < '1995-01-01'")
+      ->AsInt();
+  EXPECT_GT(early, 0);
+  EXPECT_LT(early, 1500);
+  // Part types come from the TPC-H grammar.
+  int64_t typed = db_->QueryScalar(
+      "SELECT COUNT(*) FROM part WHERE p_type LIKE '% %'")->AsInt();
+  EXPECT_EQ(typed, 200);
+}
+
+TEST_F(TpchTest, QqCpuJoinRuns) {
+  auto revenue = db_->QueryScalar(
+      "SELECT SUM(l_extendedprice) AS revenue FROM lineitem, part "
+      "WHERE p_partkey = l_partkey AND p_type LIKE 'STANDARD%'");
+  ASSERT_TRUE(revenue.ok()) << revenue.status().ToString();
+  EXPECT_FALSE(revenue->is_null());
+  EXPECT_GT(revenue->AsDouble(), 0);
+}
+
+TEST_F(TpchTest, RefreshFunctionsRotateKeySpace) {
+  int64_t before = Count("orders");
+  ASSERT_TRUE(gen_->RefreshDelete(100).ok());
+  EXPECT_EQ(Count("orders"), before - 100);
+  ASSERT_TRUE(gen_->RefreshInsert(100).ok());
+  EXPECT_EQ(Count("orders"), before);
+  // Orphaned lineitems must not exist: every lineitem joins to an order.
+  int64_t lineitems = Count("lineitem");
+  int64_t joined = db_->QueryScalar(
+      "SELECT COUNT(*) FROM lineitem, orders WHERE o_orderkey = l_orderkey")
+      ->AsInt();
+  EXPECT_EQ(lineitems, joined);
+  // Oldest keys are gone, new keys are present.
+  EXPECT_EQ(db_->QueryScalar("SELECT MIN(o_orderkey) FROM orders")->AsInt(),
+            101);
+  EXPECT_EQ(db_->QueryScalar("SELECT MAX(o_orderkey) FROM orders")->AsInt(),
+            1600);
+}
+
+TEST_F(TpchTest, RotationKeepsDatabaseSizeStable) {
+  uint32_t base = db_->store()->page_store()->allocated_pages();
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(gen_->RefreshDelete(150).ok());
+    ASSERT_TRUE(gen_->RefreshInsert(150).ok());
+  }
+  uint32_t after = db_->store()->page_store()->allocated_pages();
+  // A full overwrite of 1500 orders must not grow the database by more
+  // than a small slack (B-tree lazy deletion plus partially-empty pages).
+  EXPECT_LT(after, base + base / 3);
+}
+
+TEST(WorkloadTest, BuildHistoryDeclaresSnapshots) {
+  storage::InMemoryEnv env;
+  HistoryConfig config;
+  config.tpch.scale_factor = 0.001;
+  config.workload = WorkloadSpec::UW30();
+  config.snapshots = 8;
+  auto history = BuildHistory(&env, "h", config);
+  ASSERT_TRUE(history.ok()) << history.status().ToString();
+  EXPECT_EQ((*history)->last_snapshot(), 8u);
+
+  auto snap_count =
+      (*history)->meta()->QueryScalar("SELECT COUNT(*) FROM SnapIds");
+  ASSERT_TRUE(snap_count.ok());
+  EXPECT_EQ(snap_count->AsInt(), 8);
+
+  // Every snapshot holds a consistent TPC-H state with the same order
+  // count (constant-rate refresh).
+  for (int s = 1; s <= 8; ++s) {
+    auto count = (*history)->data()->QueryScalar(
+        "SELECT AS OF " + std::to_string(s) + " COUNT(*) FROM orders");
+    ASSERT_TRUE(count.ok()) << count.status().ToString();
+    EXPECT_EQ(count->AsInt(), 1500) << "snapshot " << s;
+  }
+}
+
+TEST(WorkloadTest, ReopenExistingHistory) {
+  storage::InMemoryEnv env;
+  HistoryConfig config;
+  config.tpch.scale_factor = 0.001;
+  config.snapshots = 4;
+  {
+    auto history = BuildHistory(&env, "h", config);
+    ASSERT_TRUE(history.ok()) << history.status().ToString();
+  }
+  auto reopened = BuildHistory(&env, "h", config);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->last_snapshot(), 4u);
+  // Refreshes continue from the recovered key range.
+  ASSERT_TRUE((*reopened)->generator()->RefreshDelete(10).ok());
+  ASSERT_TRUE((*reopened)->generator()->RefreshInsert(10).ok());
+  auto count =
+      (*reopened)->data()->QueryScalar("SELECT COUNT(*) FROM orders");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->AsInt(), 1500);
+}
+
+TEST(WorkloadTest, QsIntervalGeneratesCorrectSets) {
+  storage::InMemoryEnv env;
+  HistoryConfig config;
+  config.tpch.scale_factor = 0.001;
+  config.snapshots = 12;
+  auto history = BuildHistory(&env, "h", config);
+  ASSERT_TRUE(history.ok()) << history.status().ToString();
+
+  auto r = (*history)->meta()->Query((*history)->QsInterval(3, 4));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 4u);
+  EXPECT_EQ(r->rows[0][0].integer(), 3);
+  EXPECT_EQ(r->rows[3][0].integer(), 6);
+
+  r = (*history)->meta()->Query((*history)->QsInterval(2, 3, /*step=*/4));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(r->rows[0][0].integer(), 2);
+  EXPECT_EQ(r->rows[1][0].integer(), 6);
+  EXPECT_EQ(r->rows[2][0].integer(), 10);
+}
+
+TEST(WorkloadTest, SpecOrdersPerSnapshot) {
+  EXPECT_EQ(WorkloadSpec::UW30().OrdersPerSnapshot(1500000), 30000);
+  EXPECT_EQ(WorkloadSpec::UW15().OrdersPerSnapshot(1500000), 15000);
+  EXPECT_EQ(WorkloadSpec::UW7_5().OrdersPerSnapshot(1500000), 7500);
+  EXPECT_EQ(WorkloadSpec::UW60().OrdersPerSnapshot(1500000), 60000);
+}
+
+}  // namespace
+}  // namespace rql::tpch

@@ -1,0 +1,232 @@
+// Tests for snapshot retention (TruncateHistory): dropped snapshots become
+// unreachable, kept snapshots stay byte-exact, archive space is reclaimed,
+// new history continues cleanly, the swap survives crashes, and the whole
+// flow works through the SQL layer.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "retro/snapshot_store.h"
+#include "sql/database.h"
+
+namespace rql::retro {
+namespace {
+
+using storage::Page;
+using storage::PageId;
+
+Page TaggedPage(uint64_t tag) {
+  Page p;
+  p.Zero();
+  p.WriteU64(0, tag);
+  return p;
+}
+
+class TruncateHistoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto store = SnapshotStore::Open(&env_, "t");
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+    // Build 10 snapshots over 4 pages, each snapshot overwriting all.
+    for (int i = 0; i < 4; ++i) {
+      auto id = store_->AllocatePage();
+      ASSERT_TRUE(id.ok());
+      pages_.push_back(*id);
+    }
+    for (uint64_t snap = 1; snap <= 10; ++snap) {
+      for (size_t p = 0; p < pages_.size(); ++p) {
+        ASSERT_TRUE(
+            store_->WritePage(pages_[p], TaggedPage(snap * 100 + p)).ok());
+      }
+      ASSERT_TRUE(store_->DeclareSnapshot().ok());
+    }
+    // One more epoch of writes so every snapshot's state is archived.
+    for (size_t p = 0; p < pages_.size(); ++p) {
+      ASSERT_TRUE(store_->WritePage(pages_[p], TaggedPage(9900 + p)).ok());
+    }
+  }
+
+  void VerifySnapshot(SnapshotId snap) {
+    auto view = store_->OpenSnapshot(snap);
+    ASSERT_TRUE(view.ok()) << "snapshot " << snap << ": "
+                           << view.status().ToString();
+    for (size_t p = 0; p < pages_.size(); ++p) {
+      Page page;
+      ASSERT_TRUE((*view)->ReadPage(pages_[p], &page).ok());
+      EXPECT_EQ(page.ReadU64(0), snap * 100 + p) << "snapshot " << snap;
+    }
+  }
+
+  storage::InMemoryEnv env_;
+  std::unique_ptr<SnapshotStore> store_;
+  std::vector<PageId> pages_;
+};
+
+TEST_F(TruncateHistoryTest, DropsOldKeepsRecent) {
+  uint64_t before = store_->pagelog()->SizeBytes();
+  ASSERT_TRUE(store_->TruncateHistory(6).ok());
+  EXPECT_EQ(store_->earliest_snapshot(), 6u);
+  EXPECT_EQ(store_->latest_snapshot(), 10u);
+  // Dropped snapshots are gone.
+  for (SnapshotId snap = 1; snap <= 5; ++snap) {
+    EXPECT_FALSE(store_->OpenSnapshot(snap).ok()) << snap;
+  }
+  // Kept snapshots are byte-exact.
+  for (SnapshotId snap = 6; snap <= 10; ++snap) VerifySnapshot(snap);
+  // Space was reclaimed (5 of 10 epochs dropped).
+  EXPECT_LT(store_->pagelog()->SizeBytes(), before * 2 / 3);
+}
+
+TEST_F(TruncateHistoryTest, HistoryContinuesAfterTruncation) {
+  ASSERT_TRUE(store_->TruncateHistory(8).ok());
+  // Declare more snapshots and verify COW still works.
+  for (uint64_t snap = 11; snap <= 13; ++snap) {
+    for (size_t p = 0; p < pages_.size(); ++p) {
+      ASSERT_TRUE(
+          store_->WritePage(pages_[p], TaggedPage(snap * 100 + p)).ok());
+    }
+    ASSERT_TRUE(store_->DeclareSnapshot().ok());
+  }
+  for (size_t p = 0; p < pages_.size(); ++p) {
+    ASSERT_TRUE(store_->WritePage(pages_[p], TaggedPage(7700 + p)).ok());
+  }
+  for (SnapshotId snap = 8; snap <= 13; ++snap) VerifySnapshot(snap);
+}
+
+TEST_F(TruncateHistoryTest, SurvivesReopen) {
+  ASSERT_TRUE(store_->TruncateHistory(7).ok());
+  store_.reset();
+  auto reopened = SnapshotStore::Open(&env_, "t");
+  ASSERT_TRUE(reopened.ok());
+  store_ = std::move(*reopened);
+  EXPECT_EQ(store_->earliest_snapshot(), 7u);
+  EXPECT_FALSE(store_->OpenSnapshot(6).ok());
+  for (SnapshotId snap = 7; snap <= 10; ++snap) VerifySnapshot(snap);
+}
+
+TEST_F(TruncateHistoryTest, IdempotentAndBounded) {
+  ASSERT_TRUE(store_->TruncateHistory(5).ok());
+  ASSERT_TRUE(store_->TruncateHistory(5).ok());  // no-op
+  ASSERT_TRUE(store_->TruncateHistory(3).ok());  // older than earliest: no-op
+  EXPECT_EQ(store_->earliest_snapshot(), 5u);
+  EXPECT_FALSE(store_->TruncateHistory(99).ok());  // beyond history
+  ASSERT_TRUE(store_->Begin().ok());
+  EXPECT_FALSE(store_->TruncateHistory(7).ok());  // inside a transaction
+  ASSERT_TRUE(store_->Rollback().ok());
+}
+
+TEST_F(TruncateHistoryTest, TruncateEverything) {
+  // keep_from == latest + 1 drops all snapshots.
+  ASSERT_TRUE(store_->TruncateHistory(11).ok());
+  for (SnapshotId snap = 1; snap <= 10; ++snap) {
+    EXPECT_FALSE(store_->OpenSnapshot(snap).ok());
+  }
+  // A fresh snapshot works.
+  auto snap = store_->DeclareSnapshot();
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(store_->WritePage(pages_[0], TaggedPage(1)).ok());
+  auto view = store_->OpenSnapshot(*snap);
+  ASSERT_TRUE(view.ok());
+  Page page;
+  ASSERT_TRUE((*view)->ReadPage(pages_[0], &page).ok());
+  EXPECT_EQ(page.ReadU64(0), 9900u);  // the pre-truncation content
+}
+
+TEST_F(TruncateHistoryTest, DiffModeRebasedChainsStayCorrect) {
+  // Rebuild the fixture in diff mode.
+  SnapshotStoreOptions options;
+  options.pagelog_mode = PagelogMode::kDiff;
+  auto opened = SnapshotStore::Open(&env_, "diff", options);
+  ASSERT_TRUE(opened.ok());
+  std::unique_ptr<SnapshotStore> store = std::move(*opened);
+  auto id = store->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  Page page = TaggedPage(0);
+  ASSERT_TRUE(store->WritePage(*id, page).ok());
+  for (uint64_t snap = 1; snap <= 20; ++snap) {
+    ASSERT_TRUE(store->DeclareSnapshot().ok());
+    page.WriteU64(8 * (snap % 16), snap);
+    ASSERT_TRUE(store->WritePage(*id, page).ok());
+  }
+  ASSERT_TRUE(store->TruncateHistory(12).ok());
+  EXPECT_GT(store->pagelog()->diff_record_count(), 0u);
+  // Kept snapshots reconstruct exactly: replay the mutation sequence.
+  Page expected = TaggedPage(0);
+  for (uint64_t snap = 1; snap <= 20; ++snap) {
+    if (snap >= 12) {
+      auto view = store->OpenSnapshot(static_cast<SnapshotId>(snap));
+      ASSERT_TRUE(view.ok());
+      Page read;
+      ASSERT_TRUE((*view)->ReadPage(*id, &read).ok());
+      EXPECT_EQ(std::memcmp(read.data, expected.data, storage::kPageSize), 0)
+          << "snapshot " << snap;
+    }
+    expected.WriteU64(8 * (snap % 16), snap);
+  }
+}
+
+TEST_F(TruncateHistoryTest, CrashBeforeMarkerDiscardsCompaction) {
+  // Simulate a crash after partial compaction: leftover .compact files
+  // without the commit marker must be discarded and the full history kept.
+  {
+    auto file = env_.OpenFile("t.pagelog.compact");
+    ASSERT_TRUE(file.ok());
+    uint64_t off;
+    ASSERT_TRUE((*file)->Append(7, "garbage", &off).ok());
+  }
+  store_.reset();
+  auto reopened = SnapshotStore::Open(&env_, "t");
+  ASSERT_TRUE(reopened.ok());
+  store_ = std::move(*reopened);
+  EXPECT_FALSE(env_.FileExists("t.pagelog.compact"));
+  for (SnapshotId snap = 1; snap <= 10; ++snap) VerifySnapshot(snap);
+}
+
+TEST_F(TruncateHistoryTest, CrashAfterMarkerCompletesSwap) {
+  // Run a real truncation but "crash" right after the commit marker: clone
+  // the env at that point by re-creating the situation manually.
+  ASSERT_TRUE(store_->TruncateHistory(6).ok());
+  // Now fabricate the post-marker crash state: move the logs back to
+  // .compact and recreate the marker, as if the renames never happened.
+  ASSERT_TRUE(env_.RenameFile("t.pagelog", "t.pagelog.compact").ok());
+  ASSERT_TRUE(env_.RenameFile("t.maplog", "t.maplog.compact").ok());
+  {
+    auto marker = env_.OpenFile("t.compact.commit");
+    ASSERT_TRUE(marker.ok());
+    uint64_t off;
+    ASSERT_TRUE((*marker)->Append(2, "ok", &off).ok());
+  }
+  store_.reset();
+  auto reopened = SnapshotStore::Open(&env_, "t");
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  store_ = std::move(*reopened);
+  EXPECT_FALSE(env_.FileExists("t.compact.commit"));
+  EXPECT_EQ(store_->earliest_snapshot(), 6u);
+  for (SnapshotId snap = 6; snap <= 10; ++snap) VerifySnapshot(snap);
+}
+
+TEST(TruncateHistorySqlTest, WorksThroughTheDatabaseLayer) {
+  storage::InMemoryEnv env;
+  auto db = sql::Database::Open(&env, "d");
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Exec("CREATE TABLE t (v INTEGER)").ok());
+  for (int snap = 1; snap <= 6; ++snap) {
+    ASSERT_TRUE((*db)
+                    ->Exec("BEGIN; INSERT INTO t VALUES (" +
+                           std::to_string(snap) + "); COMMIT WITH SNAPSHOT;")
+                    .ok());
+  }
+  ASSERT_TRUE((*db)->store()->TruncateHistory(4).ok());
+  EXPECT_FALSE((*db)->Query("SELECT AS OF 2 * FROM t").ok());
+  auto kept = (*db)->QueryScalar("SELECT AS OF 4 COUNT(*) FROM t");
+  ASSERT_TRUE(kept.ok()) << kept.status().ToString();
+  EXPECT_EQ(kept->integer(), 4);
+  auto current = (*db)->QueryScalar("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->integer(), 6);
+}
+
+}  // namespace
+}  // namespace rql::retro

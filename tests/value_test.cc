@@ -1,0 +1,116 @@
+#include "sql/value.h"
+
+#include <gtest/gtest.h>
+
+namespace rql::sql {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Integer(42).integer(), 42);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).real(), 2.5);
+  EXPECT_EQ(Value::Text("hi").text(), "hi");
+  EXPECT_TRUE(Value::Integer(1).is_numeric());
+  EXPECT_TRUE(Value::Real(1.0).is_numeric());
+  EXPECT_FALSE(Value::Text("1").is_numeric());
+}
+
+TEST(ValueTest, AsDoubleAndAsInt) {
+  EXPECT_DOUBLE_EQ(Value::Integer(3).AsDouble(), 3.0);
+  EXPECT_EQ(Value::Real(3.9).AsInt(), 3);
+  EXPECT_EQ(Value::Null().AsInt(), 0);
+}
+
+TEST(CompareValuesTest, TypeOrdering) {
+  // NULL < numeric < text.
+  EXPECT_LT(CompareValues(Value::Null(), Value::Integer(-100)), 0);
+  EXPECT_LT(CompareValues(Value::Integer(1000000), Value::Text("")), 0);
+  EXPECT_EQ(CompareValues(Value::Null(), Value::Null()), 0);
+}
+
+TEST(CompareValuesTest, CrossNumericComparison) {
+  EXPECT_EQ(CompareValues(Value::Integer(2), Value::Real(2.0)), 0);
+  EXPECT_LT(CompareValues(Value::Integer(2), Value::Real(2.5)), 0);
+  EXPECT_GT(CompareValues(Value::Real(3.1), Value::Integer(3)), 0);
+}
+
+TEST(CompareValuesTest, TextComparison) {
+  EXPECT_LT(CompareValues(Value::Text("abc"), Value::Text("abd")), 0);
+  EXPECT_EQ(CompareValues(Value::Text("x"), Value::Text("x")), 0);
+  // ISO dates compare correctly as text.
+  EXPECT_LT(CompareValues(Value::Text("1995-03-01"),
+                          Value::Text("1995-03-15")), 0);
+}
+
+TEST(CompareRowsTest, LexicographicWithPrefix) {
+  Row a = {Value::Integer(1), Value::Integer(2)};
+  Row b = {Value::Integer(1), Value::Integer(3)};
+  Row prefix = {Value::Integer(1)};
+  EXPECT_LT(CompareRows(a, b), 0);
+  EXPECT_LT(CompareRows(prefix, a), 0);  // shorter prefix sorts first
+  EXPECT_EQ(CompareRows(a, a), 0);
+}
+
+TEST(RowCodecTest, RoundTripAllTypes) {
+  Row row = {Value::Null(), Value::Integer(-7), Value::Real(3.25),
+             Value::Text("hello world")};
+  auto decoded = DecodeRow(EncodeRow(row));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 4u);
+  EXPECT_TRUE((*decoded)[0].is_null());
+  EXPECT_EQ((*decoded)[1].integer(), -7);
+  EXPECT_DOUBLE_EQ((*decoded)[2].real(), 3.25);
+  EXPECT_EQ((*decoded)[3].text(), "hello world");
+}
+
+TEST(RowCodecTest, EmptyRowAndEmptyText) {
+  auto empty = DecodeRow(EncodeRow(Row{}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  auto text = DecodeRow(EncodeRow({Value::Text("")}));
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ((*text)[0].text(), "");
+}
+
+TEST(RowCodecTest, CorruptInputsRejected) {
+  EXPECT_FALSE(DecodeRow("").ok());
+  EXPECT_FALSE(DecodeRow("abc").ok());
+  std::string good = EncodeRow({Value::Integer(1)});
+  EXPECT_FALSE(DecodeRow(good.substr(0, good.size() - 1)).ok());
+  EXPECT_FALSE(DecodeRow(good + "x").ok());
+}
+
+class RowCodecPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RowCodecPropertyTest, RandomRowsRoundTrip) {
+  // Deterministic pseudo-random rows keyed by the parameter.
+  uint64_t seed = static_cast<uint64_t>(GetParam()) * 2654435761u + 1;
+  auto next = [&seed]() {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    return seed >> 33;
+  };
+  Row row;
+  size_t n = next() % 8;
+  for (size_t i = 0; i < n; ++i) {
+    switch (next() % 4) {
+      case 0: row.push_back(Value::Null()); break;
+      case 1: row.push_back(Value::Integer(static_cast<int64_t>(next()) -
+                                           (1 << 30))); break;
+      case 2: row.push_back(Value::Real(static_cast<double>(next()) / 7.0));
+        break;
+      default: row.push_back(Value::Text(std::string(next() % 50, 'x')));
+        break;
+    }
+  }
+  auto decoded = DecodeRow(EncodeRow(row));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    EXPECT_EQ(CompareValues((*decoded)[i], row[i]), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RowCodecPropertyTest, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace rql::sql

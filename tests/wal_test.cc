@@ -1,0 +1,299 @@
+// Crash-recovery tests for the WAL-backed page store and the stack above
+// it. A fault-injecting Env cuts write service after a budget of write
+// operations (optionally tearing the final write in half); cloning the
+// in-memory state at that instant models the disk image a crash leaves
+// behind. For every crash point, reopening must yield exactly the state
+// of the last successful commit.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "sql/database.h"
+#include "storage/page_store.h"
+
+namespace rql::storage {
+namespace {
+
+/// Env wrapper that fails all writes after `budget` write operations,
+/// tearing the unlucky write in half. Reads keep working (a crashed
+/// machine's disk is still readable after reboot).
+class FaultyEnv : public Env {
+ public:
+  explicit FaultyEnv(InMemoryEnv* base, int64_t budget)
+      : base_(base), budget_(budget) {}
+
+  Result<std::unique_ptr<File>> OpenFile(const std::string& name) override {
+    RQL_ASSIGN_OR_RETURN(std::unique_ptr<File> file, base_->OpenFile(name));
+    return std::unique_ptr<File>(new FaultyFile(this, std::move(file)));
+  }
+  Status DeleteFile(const std::string& name) override {
+    return base_->DeleteFile(name);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return base_->RenameFile(from, to);
+  }
+  bool FileExists(const std::string& name) const override {
+    return base_->FileExists(name);
+  }
+
+  bool crashed() const { return budget_ < 0; }
+
+ private:
+  class FaultyFile : public File {
+   public:
+    FaultyFile(FaultyEnv* env, std::unique_ptr<File> base)
+        : env_(env), base_(std::move(base)) {}
+
+    Status Read(uint64_t offset, uint64_t n, char* buf) const override {
+      return base_->Read(offset, n, buf);
+    }
+    Status Write(uint64_t offset, uint64_t n, const char* buf) override {
+      return env_->Charge([&](bool tear) {
+        return base_->Write(offset, tear ? n / 2 : n, buf);
+      });
+    }
+    Status Append(uint64_t n, const char* buf, uint64_t* out) override {
+      return env_->Charge([&](bool tear) {
+        uint64_t ignored;
+        return base_->Append(tear ? n / 2 : n, buf, tear ? &ignored : out);
+      });
+    }
+    uint64_t Size() const override { return base_->Size(); }
+    Status Truncate(uint64_t size) override {
+      return env_->Charge([&](bool tear) {
+        return tear ? Status::OK() : base_->Truncate(size);
+      });
+    }
+    Status Sync() override { return base_->Sync(); }
+
+   private:
+    FaultyEnv* env_;
+    std::unique_ptr<File> base_;
+  };
+
+  template <typename Fn>
+  Status Charge(Fn&& op) {
+    if (budget_ < 0) return Status::IoError("crashed");
+    if (budget_ == 0) {
+      budget_ = -1;
+      (void)op(/*tear=*/true);  // the torn, final write
+      return Status::IoError("crashed");
+    }
+    --budget_;
+    return op(/*tear=*/false);
+  }
+
+  InMemoryEnv* base_;
+  int64_t budget_;
+};
+
+TEST(WalTest, CommittedBatchSurvivesReopen) {
+  InMemoryEnv env;
+  auto store = PageStore::Open(&env, "t.db");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->BeginBatch().ok());
+  auto a = (*store)->AllocatePage();
+  auto b = (*store)->AllocatePage();
+  ASSERT_TRUE(a.ok() && b.ok());
+  Page page;
+  page.Zero();
+  page.WriteU64(0, 0xA11CE);
+  ASSERT_TRUE((*store)->WritePage(*a, page).ok());
+  ASSERT_TRUE((*store)->CommitBatch().ok());
+  store->reset();
+
+  auto reopened = PageStore::Open(&env, "t.db");
+  ASSERT_TRUE(reopened.ok());
+  Page read;
+  ASSERT_TRUE((*reopened)->ReadPage(*a, &read).ok());
+  EXPECT_EQ(read.ReadU64(0), 0xA11CEull);
+  EXPECT_EQ((*reopened)->allocated_pages(), 2u);
+}
+
+TEST(WalTest, RolledBackBatchLeavesNoTrace) {
+  InMemoryEnv env;
+  auto store = PageStore::Open(&env, "t.db");
+  ASSERT_TRUE(store.ok());
+  auto keep = (*store)->AllocatePage();
+  ASSERT_TRUE(keep.ok());
+
+  ASSERT_TRUE((*store)->BeginBatch().ok());
+  auto gone = (*store)->AllocatePage();
+  ASSERT_TRUE(gone.ok());
+  Page page;
+  page.Zero();
+  page.WriteU64(0, 7);
+  ASSERT_TRUE((*store)->WritePage(*keep, page).ok());
+  ASSERT_TRUE((*store)->RollbackBatch().ok());
+
+  EXPECT_EQ((*store)->allocated_pages(), 1u);
+  Page read;
+  ASSERT_TRUE((*store)->ReadPage(*keep, &read).ok());
+  EXPECT_EQ(read.ReadU64(0), 0u);
+  // Dropped state stays dropped across reopen.
+  store->reset();
+  auto reopened = PageStore::Open(&env, "t.db");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->allocated_pages(), 1u);
+}
+
+TEST(WalTest, ReadsInsideBatchSeeBufferedWrites) {
+  InMemoryEnv env;
+  auto store = PageStore::Open(&env, "t.db");
+  ASSERT_TRUE(store.ok());
+  auto id = (*store)->AllocatePage();
+  ASSERT_TRUE((*store)->BeginBatch().ok());
+  Page page;
+  page.Zero();
+  page.WriteU64(0, 99);
+  ASSERT_TRUE((*store)->WritePage(*id, page).ok());
+  Page read;
+  ASSERT_TRUE((*store)->ReadPage(*id, &read).ok());
+  EXPECT_EQ(read.ReadU64(0), 99u);
+  ASSERT_TRUE((*store)->CommitBatch().ok());
+}
+
+// The core crash-atomicity property: run a deterministic page workload of
+// N batches; for every write-op crash point, the reopened store holds
+// exactly the state after some prefix of committed batches.
+TEST(WalTest, EveryCrashPointRecoversToACommittedPrefix) {
+  // Reference run (no faults) to learn the total write-op count and the
+  // state after each commit.
+  auto run_workload = [](Env* env,
+                         std::vector<std::map<PageId, uint64_t>>* states) {
+    auto opened = PageStore::Open(env, "t.db");
+    if (!opened.ok()) return opened.status();
+    std::unique_ptr<PageStore> store = std::move(*opened);
+    Random rng(42);
+    std::map<PageId, uint64_t> model;
+    std::vector<PageId> pages;
+    uint64_t tag = 1;
+    if (states != nullptr) states->push_back(model);  // empty prefix
+    for (int batch = 0; batch < 12; ++batch) {
+      RQL_RETURN_IF_ERROR(store->BeginBatch());
+      for (int op = 0; op < 4; ++op) {
+        if (pages.empty() || rng.Bernoulli(0.4)) {
+          RQL_ASSIGN_OR_RETURN(PageId id, store->AllocatePage());
+          pages.push_back(id);
+          model[id] = 0;
+        }
+        PageId id = pages[rng.Uniform(pages.size())];
+        Page page;
+        page.Zero();
+        page.WriteU64(0, tag);
+        RQL_RETURN_IF_ERROR(store->WritePage(id, page));
+        model[id] = tag++;
+      }
+      RQL_RETURN_IF_ERROR(store->CommitBatch());
+      if (states != nullptr) states->push_back(model);
+    }
+    return Status::OK();
+  };
+
+  InMemoryEnv clean;
+  std::vector<std::map<PageId, uint64_t>> states;
+  ASSERT_TRUE(run_workload(&clean, &states).ok());
+
+  // Count total write ops by running against a counting env with a huge
+  // budget... simpler: just probe increasing budgets until a run survives.
+  for (int64_t budget = 0; budget < 2000; budget += 7) {
+    InMemoryEnv base;
+    FaultyEnv faulty(&base, budget);
+    Status s = run_workload(&faulty, nullptr);
+    if (s.ok()) break;  // this and larger budgets complete fully
+
+    // Crash happened: reopen from the surviving bytes.
+    auto image = base.CloneState();
+    auto reopened = PageStore::Open(image.get(), "t.db");
+    ASSERT_TRUE(reopened.ok())
+        << "budget " << budget << ": " << reopened.status().ToString();
+
+    // The recovered state must equal one of the committed prefixes.
+    std::map<PageId, uint64_t> recovered;
+    for (PageId id = 1; id < (*reopened)->page_count(); ++id) {
+      Page page;
+      Status rs = (*reopened)->ReadPage(id, &page);
+      ASSERT_TRUE(rs.ok()) << rs.ToString();
+      recovered[id] = page.ReadU64(0);
+    }
+    bool matched = false;
+    for (const auto& state : states) {
+      if (state.size() > recovered.size()) continue;
+      bool equal = true;
+      for (const auto& [id, tag] : state) {
+        auto it = recovered.find(id);
+        // Free-list pages hold link words; only compare modelled pages.
+        if (it == recovered.end() || it->second != tag) {
+          equal = false;
+          break;
+        }
+      }
+      // Pages beyond the prefix must be absent from the model but may
+      // exist as free pages; require the allocated count to match.
+      if (equal && (*reopened)->allocated_pages() == state.size()) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "budget " << budget
+                         << " recovered to a non-prefix state";
+  }
+}
+
+// Crash-atomicity through the whole stack: SQL transactions with
+// snapshots, crashed at various points, must recover to a state where
+// every previously-declared snapshot still reads correctly.
+TEST(WalTest, SqlStackSurvivesCrashes) {
+  auto run = [](Env* env, int* committed_rounds) -> Status {
+    RQL_ASSIGN_OR_RETURN(std::unique_ptr<sql::Database> db,
+                         sql::Database::Open(env, "crash"));
+    RQL_RETURN_IF_ERROR(
+        db->Exec("CREATE TABLE IF NOT EXISTS t (round INTEGER, v TEXT)"));
+    for (int round = 1; round <= 10; ++round) {
+      RQL_RETURN_IF_ERROR(db->Exec(
+          "BEGIN; INSERT INTO t VALUES (" + std::to_string(round) +
+          ", 'payload-" + std::to_string(round) + "'); "
+          "COMMIT WITH SNAPSHOT;"));
+      if (committed_rounds != nullptr) *committed_rounds = round;
+    }
+    return Status::OK();
+  };
+
+  for (int64_t budget = 50; budget < 1200; budget += 73) {
+    InMemoryEnv base;
+    FaultyEnv faulty(&base, budget);
+    int committed = 0;
+    Status s = run(&faulty, &committed);
+    if (s.ok()) break;
+
+    auto image = base.CloneState();
+    auto db = sql::Database::Open(image.get(), "crash");
+    ASSERT_TRUE(db.ok()) << "budget " << budget << ": "
+                         << db.status().ToString();
+    // The table exists iff the CREATE committed; each declared snapshot
+    // must hold exactly the rows of its round prefix.
+    retro::SnapshotId snaps = (*db)->store()->latest_snapshot();
+    for (retro::SnapshotId snap = 1; snap <= snaps; ++snap) {
+      auto count = (*db)->QueryScalar("SELECT AS OF " +
+                                      std::to_string(snap) +
+                                      " COUNT(*) FROM t");
+      ASSERT_TRUE(count.ok()) << count.status().ToString();
+      EXPECT_EQ(count->integer(), static_cast<int64_t>(snap))
+          << "budget " << budget << " snapshot " << snap;
+    }
+    // The current state equals some committed prefix (>= declared snaps).
+    if ((*db)->catalog()->data().FindTable("t") != nullptr) {
+      auto count = (*db)->QueryScalar("SELECT COUNT(*) FROM t");
+      ASSERT_TRUE(count.ok());
+      EXPECT_GE(count->integer(), static_cast<int64_t>(snaps));
+      // committed+1 is legal: the crash can land after the WAL commit
+      // point (data durable) but before the round's Exec returned.
+      EXPECT_LE(count->integer(), static_cast<int64_t>(committed) + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rql::storage

@@ -1,0 +1,230 @@
+// Interactive shell for the RQL database: a sqlite3-style REPL with the
+// Retro snapshot extensions and the RQL mechanisms available both as C++
+// driven dot-commands and as the paper's UDF-embedded SQL form.
+//
+// Usage:
+//   rql_shell [path-prefix]     # persistent databases <prefix>_data.* /
+//                               # <prefix>_meta.* ; in-memory when omitted
+//
+// Dot commands:
+//   .help                   this text
+//   .tables                 list tables (data database)
+//   .indexes                list indexes (data database)
+//   .snapshot [label]       COMMIT WITH SNAPSHOT + SnapIds entry
+//   .snapshots              show the SnapIds table
+//   .meta <sql>             run SQL on the metadata database (SnapIds,
+//                           RQL result tables; RQL UDFs are registered)
+//   .stats                  cost breakdown of the last RQL run
+//   .truncate <keep_from>   drop snapshots older than <keep_from> and
+//                           compact the archive (retention)
+//   .quit
+//
+// Everything else is SQL executed on the data database, including
+// SELECT AS OF <sid> ... and BEGIN; ... COMMIT WITH SNAPSHOT;
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "rql/rql.h"
+#include "sql/database.h"
+#include "storage/env.h"
+
+namespace {
+
+using rql::RqlEngine;
+using rql::Status;
+using rql::sql::Database;
+using rql::sql::Row;
+
+void PrintTable(const std::vector<std::string>& columns,
+                const std::vector<Row>& rows) {
+  std::vector<size_t> widths(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  std::vector<std::vector<std::string>> cells;
+  for (const Row& row : rows) {
+    std::vector<std::string> line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line.push_back(row[c].ToString());
+      if (c < widths.size()) widths[c] = std::max(widths[c], line[c].size());
+    }
+    cells.push_back(std::move(line));
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    std::printf("%-*s  ", static_cast<int>(widths[c]), columns[c].c_str());
+  }
+  std::printf("\n");
+  for (size_t c = 0; c < columns.size(); ++c) {
+    std::printf("%s  ", std::string(widths[c], '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), line[c].c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(%zu row%s)\n", cells.size(), cells.size() == 1 ? "" : "s");
+}
+
+void RunSql(Database* db, const std::string& sql) {
+  auto result = db->Query(sql);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  if (!result->columns.empty() || !result->rows.empty()) {
+    PrintTable(result->columns, result->rows);
+  } else {
+    std::printf("ok\n");
+  }
+}
+
+void ShowStats(RqlEngine* engine) {
+  const rql::RqlRunStats& stats = engine->last_run_stats();
+  if (stats.iterations.empty()) {
+    std::printf("no RQL run recorded yet\n");
+    return;
+  }
+  std::printf("%-10s %10s %10s %10s %10s %8s %8s\n", "snapshot", "io_us",
+              "spt_us", "query_us", "udf_us", "plog_pg", "rows");
+  for (const rql::RqlIterationStats& it : stats.iterations) {
+    std::printf("%-10u %10lld %10lld %10lld %10lld %8lld %8lld\n",
+                it.snapshot, static_cast<long long>(it.io_us),
+                static_cast<long long>(it.spt_build_us),
+                static_cast<long long>(it.query_eval_us),
+                static_cast<long long>(it.udf_us),
+                static_cast<long long>(it.pagelog_pages),
+                static_cast<long long>(it.qq_rows));
+  }
+  std::printf("total: %.2f ms over %zu iterations\n",
+              stats.TotalUs() / 1000.0, stats.iterations.size());
+}
+
+constexpr char kHelp[] = R"(commands:
+  .help                 this text
+  .tables / .indexes    list schema objects in the data database
+  .snapshot [label]     declare a snapshot (COMMIT WITH SNAPSHOT)
+  .snapshots            show SnapIds
+  .meta <sql>           SQL on the metadata database (RQL UDFs live here,
+                        e.g. SELECT CollateData(snap_id, 'SELECT ...', 'T')
+                        FROM SnapIds;)
+  .stats                cost breakdown of the last RQL run
+  .truncate <keep>      drop snapshots with id < keep; compact the archive
+  .quit                 exit
+anything else: SQL on the data database (AS OF, COMMIT WITH SNAPSHOT, ...)
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rql::storage::InMemoryEnv mem_env;
+  rql::storage::PosixEnv posix_env;
+  rql::storage::Env* env = &mem_env;
+  std::string prefix = "shell";
+  if (argc > 1) {
+    env = &posix_env;
+    prefix = argv[1];
+  }
+
+  auto data = Database::Open(env, prefix + "_data");
+  auto meta = Database::Open(env, prefix + "_meta");
+  if (!data.ok() || !meta.ok()) {
+    std::fprintf(stderr, "cannot open databases: %s\n",
+                 (!data.ok() ? data.status() : meta.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  RqlEngine engine(data->get(), meta->get());
+  if (!engine.EnsureSnapIds().ok() || !engine.RegisterUdfs().ok()) {
+    std::fprintf(stderr, "cannot initialize RQL\n");
+    return 1;
+  }
+
+  std::printf("rql shell — %s databases '%s_*'; .help for commands\n",
+              argc > 1 ? "persistent" : "in-memory", prefix.c_str());
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf("%s", buffer.empty() ? "rql> " : "...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+
+    if (buffer.empty() && !line.empty() && line[0] == '.') {
+      std::istringstream iss(line);
+      std::string cmd;
+      iss >> cmd;
+      if (cmd == ".quit" || cmd == ".exit") break;
+      if (cmd == ".help") {
+        std::printf("%s", kHelp);
+      } else if (cmd == ".tables") {
+        for (const auto& [key, table] :
+             (*data)->catalog()->data().tables) {
+          std::printf("%s (%s)\n", table.name.c_str(),
+                      table.schema.Serialize().c_str());
+        }
+      } else if (cmd == ".indexes") {
+        for (const auto& [key, index] :
+             (*data)->catalog()->data().indexes) {
+          std::printf("%s ON %s\n", index.name.c_str(),
+                      index.table.c_str());
+        }
+      } else if (cmd == ".snapshot") {
+        std::string label;
+        std::getline(iss, label);
+        auto snap = engine.CommitWithSnapshot("", label);
+        if (snap.ok()) {
+          std::printf("declared snapshot %u\n", *snap);
+        } else {
+          std::printf("error: %s\n", snap.status().ToString().c_str());
+        }
+      } else if (cmd == ".snapshots") {
+        RunSql(meta->get(), "SELECT * FROM SnapIds");
+      } else if (cmd == ".meta") {
+        std::string sql;
+        std::getline(iss, sql);
+        RunSql(meta->get(), sql);
+        (void)engine.FinishUdfRuns();
+      } else if (cmd == ".stats") {
+        ShowStats(&engine);
+      } else if (cmd == ".truncate") {
+        unsigned keep = 0;
+        iss >> keep;
+        if (keep == 0) {
+          std::printf("usage: .truncate <keep_from_snapshot_id>\n");
+        } else {
+          auto s = (*data)->store()->TruncateHistory(keep);
+          if (s.ok()) {
+            std::printf("history truncated; earliest snapshot is now %u\n",
+                        (*data)->store()->earliest_snapshot());
+          } else {
+            std::printf("error: %s\n", s.ToString().c_str());
+          }
+        }
+      } else {
+        std::printf("unknown command %s (.help)\n", cmd.c_str());
+      }
+      continue;
+    }
+
+    buffer += line;
+    buffer += '\n';
+    // Execute once the statement list is terminated.
+    std::string trimmed = buffer;
+    while (!trimmed.empty() &&
+           (trimmed.back() == '\n' || trimmed.back() == ' ')) {
+      trimmed.pop_back();
+    }
+    if (trimmed.empty()) {
+      buffer.clear();
+      continue;
+    }
+    if (trimmed.back() != ';') continue;
+    RunSql(data->get(), buffer);
+    buffer.clear();
+  }
+  std::printf("\nbye\n");
+  return 0;
+}
