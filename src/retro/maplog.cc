@@ -240,6 +240,114 @@ Status Maplog::RefreshSpt(SnapshotId snap, SnapshotPageTable* spt,
   return Status::OK();
 }
 
+Status SptCursor::Seek(const Maplog& log, SnapshotId snap,
+                       SptBuildStats* stats, int64_t* delta_entries) {
+  if (snap == kNoSnapshot || snap > log.snap_mark_index_.size()) {
+    return Status::NotFound("unknown snapshot id " + std::to_string(snap));
+  }
+  if (snap < log.earliest_) {
+    return Status::NotFound("snapshot " + std::to_string(snap) +
+                            " has been truncated (earliest is " +
+                            std::to_string(log.earliest_) + ")");
+  }
+  if (snap_ == kNoSnapshot || snap < snap_) return Rebase(log, snap, stats);
+  int64_t start_us = NowMicros();
+  Advance(log, snap, stats, delta_entries);
+  if (stats != nullptr) stats->cpu_us += NowMicros() - start_us;
+  return Status::OK();
+}
+
+Status SptCursor::Rebase(const Maplog& log, SnapshotId snap,
+                         SptBuildStats* stats) {
+  int64_t start_us = NowMicros();
+  chains_.clear();
+  wake_.clear();
+  table_.clear();
+  snap_ = snap;
+  // Every capture at or after snap's mark has end_snap >= snap (it was
+  // appended in some epoch e >= snap), so the whole suffix belongs in the
+  // chains and no future rewind below snap is possible.
+  uint64_t begin = log.snap_mark_index_[snap - 1];
+  for (uint64_t i = begin; i < log.entry_count_; ++i) {
+    const MaplogEntry& e = log.entries_[i];
+    if (e.type != MaplogEntry::kCapture) continue;
+    chains_[e.page].caps.push_back(
+        {e.start_snap, e.end_snap, e.pagelog_offset});
+  }
+  ingested_ = log.entry_count_;
+  for (const auto& [page, chain] : chains_) Reposition(page);
+  if (stats != nullptr) {
+    int64_t scanned = static_cast<int64_t>(log.entry_count_ - begin);
+    stats->entries_scanned += scanned;
+    stats->maplog_pages_read +=
+        (scanned + Maplog::kEntriesPerPage - 1) / Maplog::kEntriesPerPage;
+    stats->cpu_us += NowMicros() - start_us;
+  }
+  return Status::OK();
+}
+
+void SptCursor::Ingest(const Maplog& log,
+                       std::vector<storage::PageId>* reawakened) {
+  for (uint64_t i = ingested_; i < log.entry_count_; ++i) {
+    const MaplogEntry& e = log.entries_[i];
+    if (e.type != MaplogEntry::kCapture) continue;
+    Chain& chain = chains_[e.page];
+    // An exhausted chain has no pending wake entry, so schedule the page
+    // for repositioning now that it has captures again. (Covers brand-new
+    // pages too: next == caps.size() == 0 before the push.)
+    if (chain.next == chain.caps.size()) reawakened->push_back(e.page);
+    chain.caps.push_back({e.start_snap, e.end_snap, e.pagelog_offset});
+  }
+  ingested_ = log.entry_count_;
+}
+
+void SptCursor::Reposition(storage::PageId page) {
+  Chain& chain = chains_[page];
+  while (chain.next < chain.caps.size() &&
+         chain.caps[chain.next].end < snap_) {
+    ++chain.next;
+  }
+  if (chain.next == chain.caps.size()) {
+    table_.erase(page);  // shared with the current database from here on
+    return;
+  }
+  const Capture& cap = chain.caps[chain.next];
+  if (cap.start <= snap_) {
+    table_[page] = cap.offset;
+    wake_[cap.end + 1].push_back(page);
+  } else {
+    // Allocation gap: the page is absent from SPTs until cap.start.
+    table_.erase(page);
+    wake_[cap.start].push_back(page);
+  }
+}
+
+void SptCursor::Advance(const Maplog& log, SnapshotId snap,
+                        SptBuildStats* stats, int64_t* delta_entries) {
+  std::vector<storage::PageId> reawakened;
+  if (log.entry_count_ > ingested_) Ingest(log, &reawakened);
+  if (snap > snap_) {
+    // Charge the physical analog of the incremental build: the log delta
+    // between the two declaration marks.
+    int64_t delta = static_cast<int64_t>(log.snap_mark_index_[snap - 1] -
+                                         log.snap_mark_index_[snap_ - 1]);
+    if (delta_entries != nullptr) *delta_entries += delta;
+    if (stats != nullptr) {
+      stats->entries_scanned += delta;
+      stats->maplog_pages_read +=
+          (delta + Maplog::kEntriesPerPage - 1) / Maplog::kEntriesPerPage;
+    }
+  }
+  snap_ = snap;
+  std::unordered_set<storage::PageId> pending;
+  while (!wake_.empty() && wake_.begin()->first <= snap) {
+    for (storage::PageId page : wake_.begin()->second) pending.insert(page);
+    wake_.erase(wake_.begin());
+  }
+  for (storage::PageId page : reawakened) pending.insert(page);
+  for (storage::PageId page : pending) Reposition(page);
+}
+
 Status Maplog::RecoverModEpochs(
     std::unordered_map<storage::PageId, SnapshotId>* mod_epochs,
     SnapshotId* latest_snapshot,

@@ -2,6 +2,7 @@
 #define RQL_RETRO_MAPLOG_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -138,6 +139,8 @@ class Maplog {
       storage::kPageSize / sizeof(MaplogEntry);
 
  private:
+  friend class SptCursor;
+
   explicit Maplog(std::unique_ptr<storage::File> file)
       : file_(std::move(file)) {}
 
@@ -181,6 +184,69 @@ class Maplog {
   bool use_skippy_ = true;
   // Memoized skip-level runs, keyed by (level << 32) | start.
   mutable std::unordered_map<uint64_t, std::vector<MaplogEntry>> runs_;
+};
+
+/// Incremental SPT construction over an ascending snapshot set (the RQL
+/// iteration-setup amortization path). The first Seek performs one cold
+/// suffix scan and organizes the captures into per-page chains; every
+/// later Seek to a larger snapshot advances per-page chain cursors instead
+/// of re-scanning the suffix, and is charged only the Maplog delta between
+/// the two declaration marks — the entries a physical delta scan would
+/// read. A chain whose captures are exhausted means the page is shared
+/// with the current database and is evicted from the table.
+///
+/// Key invariant (why only chain-cursor advances are needed): for a given
+/// page, capture ranges are appended in increasing [start, end] order and
+/// are disjoint, so SPT(s+1) differs from SPT(s) only by (a) entries whose
+/// range ended at s (evicted or moved to the page's next capture) and
+/// (b) pages whose next capture's range begins at s+1 after an allocation
+/// gap. Both are found via expiry/wake buckets keyed by snapshot id — no
+/// log entries are touched except newly appended ones (Ingest).
+class SptCursor {
+ public:
+  /// Positions the cursor at `snap`, leaving SPT(snap) in table(). An
+  /// ascending seek advances incrementally; the first seek — or a seek to
+  /// a smaller id — rebuilds cold with a linear suffix scan. Entries
+  /// appended to the log since the last seek are ingested, so interleaved
+  /// updates are safe. `delta_entries`, when non-null, accumulates the
+  /// number of log entries covered by incremental advances.
+  Status Seek(const Maplog& log, SnapshotId snap, SptBuildStats* stats,
+              int64_t* delta_entries);
+
+  const SnapshotPageTable& table() const { return table_; }
+  SnapshotId position() const { return snap_; }
+
+ private:
+  struct Capture {
+    SnapshotId start = 0;
+    SnapshotId end = 0;
+    uint64_t offset = 0;
+  };
+  struct Chain {
+    size_t next = 0;  // active (or next future) capture; caps.size() = done
+    std::vector<Capture> caps;
+  };
+
+  Status Rebase(const Maplog& log, SnapshotId snap, SptBuildStats* stats);
+  void Advance(const Maplog& log, SnapshotId snap, SptBuildStats* stats,
+               int64_t* delta_entries);
+  /// Folds log entries appended since the last seek into the chains;
+  /// returns the pages whose chain was exhausted before the new captures
+  /// (they have no pending wake entry and must be repositioned).
+  void Ingest(const Maplog& log, std::vector<storage::PageId>* reawakened);
+  /// Advances `page`'s chain cursor past captures that ended before the
+  /// current position and places the page in (or evicts it from) the
+  /// table, scheduling the next wake-up.
+  void Reposition(storage::PageId page);
+
+  SnapshotId snap_ = kNoSnapshot;
+  uint64_t ingested_ = 0;  // log entries already folded into chains_
+  std::unordered_map<storage::PageId, Chain> chains_;
+  // Pages whose active capture expires (key = end + 1) or whose next
+  // capture begins (key = start) at the keyed snapshot; drained in id
+  // order as the cursor advances.
+  std::map<SnapshotId, std::vector<storage::PageId>> wake_;
+  SnapshotPageTable table_;
 };
 
 }  // namespace rql::retro

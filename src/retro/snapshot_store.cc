@@ -1,5 +1,9 @@
 #include "retro/snapshot_store.h"
 
+#include <algorithm>
+
+#include "common/clock.h"
+
 namespace rql::retro {
 
 namespace {
@@ -250,7 +254,23 @@ Status SnapshotStore::TruncateHistory(SnapshotId keep_from) {
   RQL_RETURN_IF_ERROR(maplog_->RecoverModEpochs(&mod_epoch_, &latest_snap_,
                                                 &last_capture_offset_));
   snapshot_cache_.Clear();
+  // Compaction rewrote the log; any open snapshot-set cursor holds stale
+  // chain state and must re-anchor on its next seek.
+  set_cursor_.reset();
   return Status::OK();
+}
+
+void SnapshotStore::BeginSnapshotSet() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (snapshot_set_active_) return;
+  snapshot_set_active_ = true;
+  set_cursor_.reset();
+}
+
+void SnapshotStore::EndSnapshotSet() {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_set_active_ = false;
+  set_cursor_.reset();
 }
 
 Result<std::unique_ptr<SnapshotView>> SnapshotStore::OpenSnapshot(
@@ -260,9 +280,43 @@ Result<std::unique_ptr<SnapshotView>> SnapshotStore::OpenSnapshot(
     return Status::NotFound("unknown snapshot id " + std::to_string(snap));
   }
   auto view = std::unique_ptr<SnapshotView>(new SnapshotView(this, snap));
-  RQL_RETURN_IF_ERROR(maplog_->BuildSpt(snap, &view->spt_,
-                                        &view->resume_index_, &stats_.spt));
+  if (snapshot_set_active_) {
+    if (set_cursor_ == nullptr) set_cursor_ = std::make_unique<SptCursor>();
+    RQL_RETURN_IF_ERROR(set_cursor_->Seek(*maplog_, snap, &stats_.spt,
+                                          &stats_.spt_delta_entries));
+    int64_t copy_start_us = NowMicros();
+    view->spt_ = set_cursor_->table();
+    stats_.spt.cpu_us += NowMicros() - copy_start_us;
+    view->resume_index_ = maplog_->entry_count();
+  } else {
+    RQL_RETURN_IF_ERROR(maplog_->BuildSpt(
+        snap, &view->spt_, &view->resume_index_, &stats_.spt));
+  }
+  if (batch_archive_reads_) {
+    RQL_RETURN_IF_ERROR(PrefetchArchivedLocked(*view));
+  }
   return view;
+}
+
+Status SnapshotStore::PrefetchArchivedLocked(const SnapshotView& view) {
+  std::vector<uint64_t> missing;
+  missing.reserve(view.spt_.size());
+  for (const auto& [page, offset] : view.spt_) {
+    if (snapshot_cache_.Lookup(offset) == nullptr) missing.push_back(offset);
+  }
+  std::sort(missing.begin(), missing.end());
+  for (uint64_t offset : missing) {
+    int64_t fetches = 0;
+    RQL_ASSIGN_OR_RETURN(
+        const storage::Page* page,
+        snapshot_cache_.Get(offset,
+                            [this, &fetches](uint64_t off, storage::Page* p) {
+                              return pagelog_->Read(off, p, &fetches);
+                            }));
+    (void)page;
+    stats_.batched_pagelog_reads += fetches;
+  }
+  return Status::OK();
 }
 
 Status SnapshotStore::ReadArchived(uint64_t pagelog_offset,

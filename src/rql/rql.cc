@@ -126,6 +126,13 @@ class RqlEngine::MechanismState {
   const std::string& qq() const { return qq_; }
   const std::string& table() const { return table_; }
 
+  /// Prepared-plan slot for the reuse_qq_plan path: RunIteration prepares
+  /// Qq once per run and rebinds AS OF per snapshot. After a failed
+  /// Prepare/BindAsOf the run permanently falls back to the paper's
+  /// textual rewrite (plan_failed_).
+  std::unique_ptr<sql::PreparedStatement> plan_;
+  bool plan_failed_ = false;
+
  protected:
   sql::Database* meta() { return engine_->meta_db_; }
 
@@ -583,10 +590,33 @@ Status RqlEngine::TruncateHistory(retro::SnapshotId keep_from) {
                         " WHERE snap_id < " + std::to_string(keep_from));
 }
 
+namespace {
+
+/// If `sql[i]` starts a SQL comment ("--" to end of line, or a "/* */"
+/// block), returns the index just past it; otherwise returns `i`. The
+/// textual Qq rewrites use this so commented-out SELECT keywords and
+/// current_snapshot() calls are never rewritten.
+size_t SkipSqlComment(const std::string& sql, size_t i) {
+  if (i + 1 >= sql.size()) return i;
+  if (sql[i] == '-' && sql[i + 1] == '-') {
+    i += 2;
+    while (i < sql.size() && sql[i] != '\n') ++i;
+    return i;
+  }
+  if (sql[i] == '/' && sql[i + 1] == '*') {
+    i += 2;
+    while (i + 1 < sql.size() && !(sql[i] == '*' && sql[i + 1] == '/')) ++i;
+    return i + 1 < sql.size() ? i + 2 : sql.size();
+  }
+  return i;
+}
+
+}  // namespace
+
 std::string RqlEngine::InjectAsOf(const std::string& qq,
                                   retro::SnapshotId snap) {
   // Find the first top-level SELECT keyword outside string literals and
-  // splice in the Retro extension.
+  // comments and splice in the Retro extension.
   bool in_string = false;
   for (size_t i = 0; i + 6 <= qq.size(); ++i) {
     char c = qq[i];
@@ -595,6 +625,11 @@ std::string RqlEngine::InjectAsOf(const std::string& qq,
       continue;
     }
     if (in_string) continue;
+    size_t skipped = SkipSqlComment(qq, i);
+    if (skipped != i) {
+      i = skipped - 1;  // the loop's ++i lands just past the comment
+      continue;
+    }
     auto is_word = [](char ch) {
       return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_';
     };
@@ -630,6 +665,14 @@ std::string RqlEngine::ReplaceCurrentSnapshot(const std::string& qq,
   };
   for (size_t i = 0; i < qq.size();) {
     char c = qq[i];
+    if (!in_string) {
+      size_t skipped = SkipSqlComment(qq, i);
+      if (skipped != i) {
+        out.append(qq, i, skipped - i);  // comments pass through verbatim
+        i = skipped;
+        continue;
+      }
+    }
     if (c == '\'') in_string = !in_string;
     auto name_matches = [&]() {
       if (i + kNameLen > qq.size()) return false;
@@ -688,13 +731,30 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
     }
     snap_ids.push_back(static_cast<retro::SnapshotId>(row[0].AsInt()));
   }
-  if (options_.parallel_workers > 1 && state->SupportsParallel() &&
-      snap_ids.size() > 1) {
+  bool parallel = options_.parallel_workers > 1 && state->SupportsParallel() &&
+                  snap_ids.size() > 1;
+  if (parallel && options_.cold_cache_per_iteration) {
+    // Workers share the snapshot cache; a per-iteration clear would race
+    // with concurrent readers and silently measure a partially warm cache.
+    return Status::InvalidArgument(
+        "cold_cache_per_iteration is incompatible with parallel Qq "
+        "evaluation (parallel_workers > 1)");
+  }
+  if (parallel) {
     RQL_RETURN_IF_ERROR(RunMechanismParallel(snap_ids, state));
   } else {
+    retro::SnapshotStore* store = data_db_->store();
+    if (options_.incremental_spt) store->BeginSnapshotSet();
+    bool saved_batch = store->batch_archive_reads();
+    if (options_.batch_pagelog_reads) store->set_batch_archive_reads(true);
+    Status s = Status::OK();
     for (retro::SnapshotId snap : snap_ids) {
-      RQL_RETURN_IF_ERROR(RunIteration(snap, state));
+      s = RunIteration(snap, state);
+      if (!s.ok()) break;
     }
+    store->set_batch_archive_reads(saved_batch);
+    if (options_.incremental_spt) store->EndSnapshotSet();
+    RQL_RETURN_IF_ERROR(s);
   }
   return state->Finish();
 }
@@ -770,6 +830,8 @@ Status RqlEngine::RunMechanismParallel(
   for (int w = 0; w < workers; ++w) threads.emplace_back(worker_body);
   for (std::thread& t : threads) t.join();
   stats_.parallel_wall_us = NowMicros() - phase_start;
+  // Every worker parses and plans its textually rewritten Qq from scratch.
+  stats_.qq_parse_count += static_cast<int64_t>(snaps.size());
 
   const retro::CostModel& cm = store->cost_model();
   stats_.parallel_io_us = store->stats()->IoUs(cm);
@@ -816,16 +878,47 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
   int64_t qq_rows = 0;
 
   data_db_->set_current_snapshot(snap);
-  std::string rewritten = InjectAsOf(state->qq(), snap);
   RQL_RETURN_IF_ERROR(meta_db_->Exec("BEGIN"));
   int64_t start = NowMicros();
-  Status s = data_db_->Exec(
-      rewritten, [&](const std::vector<std::string>& cols,
-                     const Row& row) -> Status {
-        ScopedTimer timer(&udf_us);
-        ++qq_rows;
-        return state->OnRow(snap, cols, row);
-      });
+  auto row_cb = [&](const std::vector<std::string>& cols,
+                    const Row& row) -> Status {
+    ScopedTimer timer(&udf_us);
+    ++qq_rows;
+    return state->OnRow(snap, cols, row);
+  };
+  Status s = Status::OK();
+  bool ran_prepared = false;
+  if (options_.reuse_qq_plan && !state->plan_failed_) {
+    bool had_plan = state->plan_ != nullptr;
+    if (!had_plan) {
+      ++stats_.qq_parse_count;
+      auto prepared = data_db_->Prepare(state->qq());
+      if (prepared.ok()) {
+        state->plan_ = std::move(prepared).value();
+      } else {
+        // Unpreparable Qq (e.g. a multi-statement script): fall back to
+        // the paper's textual rewrite for the rest of the run.
+        state->plan_failed_ = true;
+      }
+    }
+    if (state->plan_ != nullptr) {
+      Status bind = state->plan_->BindAsOf(snap);
+      if (bind.ok()) {
+        if (had_plan) iter.plan_cache_hits = 1;
+        s = state->plan_->Execute(row_cb);
+        ran_prepared = true;
+      } else {
+        state->plan_.reset();
+        state->plan_failed_ = true;
+      }
+    }
+  }
+  if (!ran_prepared) {
+    // Paper-faithful path: lex/parse/plan the rewritten Qq every iteration.
+    ++stats_.qq_parse_count;
+    std::string rewritten = InjectAsOf(state->qq(), snap);
+    s = data_db_->Exec(rewritten, row_cb);
+  }
   int64_t index_create_us = data_db_->last_stats().exec.index_build_us;
   int64_t spt_cpu_us = store->stats()->spt.cpu_us;
   if (s.ok()) {
@@ -852,6 +945,9 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
   iter.pagelog_pages = rs.pagelog_page_reads;
   iter.db_pages = rs.db_page_reads;
   iter.cache_hits = rs.snapshot_cache_hits;
+  iter.maplog_pages = rs.spt.maplog_pages_read;
+  iter.spt_delta_entries = rs.spt_delta_entries;
+  iter.batched_pagelog_reads = rs.batched_pagelog_reads;
   iter.qq_rows = qq_rows;
   state->CollectCounters(&iter);
   stats_.iterations.push_back(iter);
@@ -955,6 +1051,12 @@ Status RqlEngine::RegisterUdfs() {
       if (options_.cold_cache_per_run) {
         data_db_->store()->ClearSnapshotCache();
       }
+      // UDF-driven runs iterate sequentially inside one Qs scan, so the
+      // same amortization session applies; FinishUdfRuns closes it.
+      if (options_.incremental_spt) data_db_->store()->BeginSnapshotSet();
+      if (options_.batch_pagelog_reads) {
+        data_db_->store()->set_batch_archive_reads(true);
+      }
       udf_run_started_ = true;
     }
     auto it = udf_states_.find(table);
@@ -1048,6 +1150,10 @@ Status RqlEngine::RegisterUdfs() {
 }
 
 Status RqlEngine::FinishUdfRuns() {
+  if (udf_run_started_) {
+    if (options_.incremental_spt) data_db_->store()->EndSnapshotSet();
+    data_db_->store()->set_batch_archive_reads(false);
+  }
   for (auto& [table, state] : udf_states_) {
     RQL_RETURN_IF_ERROR(state->Finish());
   }

@@ -75,6 +75,9 @@ namespace {
 void VisitExprTree(Expr* expr, const std::function<void(Expr*)>& fn);
 
 void VisitSelect(SelectStmt* select, const std::function<void(Expr*)>& fn) {
+  if (select->as_of_param != nullptr) {
+    VisitExprTree(select->as_of_param.get(), fn);
+  }
   for (SelectItem& item : select->items) VisitExprTree(item.expr.get(), fn);
   if (select->where != nullptr) VisitExprTree(select->where.get(), fn);
   for (ExprPtr& g : select->group_by) VisitExprTree(g.get(), fn);

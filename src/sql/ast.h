@@ -91,6 +91,11 @@ struct OrderItem {
 struct SelectStmt {
   /// Snapshot id for "SELECT AS OF <sid> ...", 0 = current state.
   uint32_t as_of = 0;
+  /// Bindable form: "SELECT AS OF ? ..." — a kParameter expression whose
+  /// bound integer value supplies the snapshot id at execution time
+  /// (PreparedStatement::BindAsOf / BindInt). Null when AS OF is absent or
+  /// literal. Takes precedence over `as_of` when set.
+  ExprPtr as_of_param;
   bool distinct = false;
   std::vector<SelectItem> items;
   std::vector<TableRef> from;  // joins are left-deep in FROM order

@@ -22,6 +22,21 @@ Row IndexKey(const IndexInfo& index, const Row& row, Rid rid) {
   return key;
 }
 
+/// Resolves a SELECT's AS OF clause: a bound "AS OF ?" parameter takes
+/// precedence over the literal form. kNoSnapshot = current state.
+Result<retro::SnapshotId> ResolveAsOf(const SelectStmt& stmt) {
+  if (stmt.as_of_param == nullptr) return stmt.as_of;
+  if (!stmt.as_of_param->param_bound) {
+    return Status::InvalidArgument("AS OF parameter is unbound");
+  }
+  const Value& v = stmt.as_of_param->literal;
+  if (v.type() != ValueType::kInteger || v.integer() < 0) {
+    return Status::InvalidArgument(
+        "AS OF parameter must be bound to a snapshot id");
+  }
+  return static_cast<retro::SnapshotId>(v.integer());
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Database>> Database::Open(storage::Env* env,
@@ -125,9 +140,25 @@ Status PreparedStatement::Execute(const QueryCallback& cb) {
   }
   db_->last_stats_ = DbExecStats{};
   int64_t start = NowMicros();
+  db_->active_plan_cache_ = &plan_cache_;
   Status s = db_->ExecStatement(stmt_.get(), cb);
+  db_->active_plan_cache_ = nullptr;
   db_->last_stats_.exec_us = NowMicros() - start;
   return s;
+}
+
+Status PreparedStatement::BindAsOf(retro::SnapshotId snap) {
+  auto* select = std::get_if<SelectStmt>(stmt_.get());
+  if (select == nullptr) {
+    return Status::InvalidArgument("BindAsOf requires a SELECT statement");
+  }
+  if (select->as_of_param != nullptr) {
+    select->as_of_param->literal = Value::Integer(snap);
+    select->as_of_param->param_bound = true;
+  } else {
+    select->as_of = snap;
+  }
+  return Status::OK();
 }
 
 Result<std::unique_ptr<PreparedStatement>> Database::Prepare(
@@ -185,11 +216,12 @@ Status Database::ExecStatement(Statement* stmt, const QueryCallback& cb) {
     ctx.stats = &last_stats_.exec;
     std::unique_ptr<retro::SnapshotView> view;
     CatalogData as_of_catalog;
-    if (s->select->as_of == retro::kNoSnapshot) {
+    RQL_ASSIGN_OR_RETURN(ctx.as_of, ResolveAsOf(*s->select));
+    if (ctx.as_of == retro::kNoSnapshot) {
       ctx.reader = store_.get();
       ctx.catalog = &catalog_->data();
     } else {
-      RQL_ASSIGN_OR_RETURN(view, store_->OpenSnapshot(s->select->as_of));
+      RQL_ASSIGN_OR_RETURN(view, store_->OpenSnapshot(ctx.as_of));
       ctx.reader = view.get();
       RQL_ASSIGN_OR_RETURN(as_of_catalog,
                            CatalogData::Load(view.get(), catalog_->root()));
@@ -211,14 +243,16 @@ Status Database::ExecSelect(const SelectStmt& stmt, const QueryCallback& cb) {
   ExecContext ctx;
   ctx.functions = &functions_;
   ctx.stats = &last_stats_.exec;
+  ctx.plan_cache = active_plan_cache_;
 
   std::unique_ptr<retro::SnapshotView> view;
   CatalogData as_of_catalog;
-  if (stmt.as_of == retro::kNoSnapshot) {
+  RQL_ASSIGN_OR_RETURN(ctx.as_of, ResolveAsOf(stmt));
+  if (ctx.as_of == retro::kNoSnapshot) {
     ctx.reader = store_.get();
     ctx.catalog = &catalog_->data();
   } else {
-    RQL_ASSIGN_OR_RETURN(view, store_->OpenSnapshot(stmt.as_of));
+    RQL_ASSIGN_OR_RETURN(view, store_->OpenSnapshot(ctx.as_of));
     ctx.reader = view.get();
     RQL_ASSIGN_OR_RETURN(as_of_catalog,
                          CatalogData::Load(view.get(), catalog_->root()));
@@ -251,11 +285,12 @@ Status Database::ExecCreateTable(CreateTableStmt* stmt) {
   ctx.stats = &last_stats_.exec;
   std::unique_ptr<retro::SnapshotView> view;
   CatalogData as_of_catalog;
-  if (stmt->as_select->as_of == retro::kNoSnapshot) {
+  RQL_ASSIGN_OR_RETURN(ctx.as_of, ResolveAsOf(*stmt->as_select));
+  if (ctx.as_of == retro::kNoSnapshot) {
     ctx.reader = store_.get();
     ctx.catalog = &catalog_->data();
   } else {
-    RQL_ASSIGN_OR_RETURN(view, store_->OpenSnapshot(stmt->as_select->as_of));
+    RQL_ASSIGN_OR_RETURN(view, store_->OpenSnapshot(ctx.as_of));
     ctx.reader = view.get();
     RQL_ASSIGN_OR_RETURN(as_of_catalog,
                          CatalogData::Load(view.get(), catalog_->root()));
@@ -380,8 +415,9 @@ Status Database::ExecInsert(InsertStmt* stmt) {
     ctx.stats = &last_stats_.exec;
     std::unique_ptr<retro::SnapshotView> view;
     CatalogData as_of_catalog;
-    if (stmt->select->as_of != retro::kNoSnapshot) {
-      RQL_ASSIGN_OR_RETURN(view, store_->OpenSnapshot(stmt->select->as_of));
+    RQL_ASSIGN_OR_RETURN(ctx.as_of, ResolveAsOf(*stmt->select));
+    if (ctx.as_of != retro::kNoSnapshot) {
+      RQL_ASSIGN_OR_RETURN(view, store_->OpenSnapshot(ctx.as_of));
       ctx.reader = view.get();
       RQL_ASSIGN_OR_RETURN(as_of_catalog,
                            CatalogData::Load(view.get(), catalog_->root()));
@@ -421,7 +457,8 @@ class DmlSubqueryRunner : public SubqueryRunner {
     if (expr.subquery == nullptr) {
       return Status::Internal("missing subquery statement");
     }
-    if (expr.subquery->as_of != retro::kNoSnapshot) {
+    if (expr.subquery->as_of != retro::kNoSnapshot ||
+        expr.subquery->as_of_param != nullptr) {
       return Status::NotSupported(
           "AS OF subqueries are not supported in DML WHERE clauses");
     }

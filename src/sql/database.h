@@ -55,15 +55,27 @@ class PreparedStatement {
     return BindValue(index, Value(std::move(v)));
   }
 
+  /// Binds the snapshot the statement reads as of (the RQL Qq plan-reuse
+  /// path): rebinds an "AS OF ?" placeholder when the statement has one,
+  /// otherwise sets the SELECT's AS OF clause directly, so a plain Qq can
+  /// be prepared once and pointed at each snapshot in turn. Fails unless
+  /// the statement is a single SELECT.
+  Status BindAsOf(retro::SnapshotId snap);
+
   /// Executes with the current bindings; rows go to `cb` for SELECTs.
   /// All parameters must be bound. May be executed repeatedly; bindings
-  /// persist across executions until rebound.
+  /// persist across executions until rebound. Planning decisions (join
+  /// order, transient covering-index specs) carry across executions via a
+  /// per-statement PlanCache; only per-execution work repeats.
   Status Execute(const QueryCallback& cb = nullptr);
 
   /// Number of '?' placeholders in the statement.
   int parameter_count() const {
     return static_cast<int>(parameters_.size());
   }
+
+  /// Executions that reused a cached planning decision (diagnostics).
+  int64_t plan_cache_hits() const { return plan_cache_.hits; }
 
  private:
   friend class Database;
@@ -72,6 +84,7 @@ class PreparedStatement {
   Database* db_;
   std::unique_ptr<Statement> stmt_;   // stable address for parameter nodes
   std::vector<Expr*> parameters_;     // position i-1 holds placeholder ?i
+  PlanCache plan_cache_;              // survives across Execute calls
 };
 
 /// A SQL database over the Retro snapshot store: the reproduction of the
@@ -169,6 +182,9 @@ class Database {
   FunctionRegistry functions_;
   retro::SnapshotId current_snapshot_ = retro::kNoSnapshot;
   retro::SnapshotId last_declared_ = retro::kNoSnapshot;
+  // Plan cache of the PreparedStatement currently executing (if any);
+  // consumed by ExecSelect for the top-level statement.
+  PlanCache* active_plan_cache_ = nullptr;
   DbExecStats last_stats_;
 };
 

@@ -210,12 +210,24 @@ Status SelectExecutor::BindAll() {
     if (item.expr->kind == ExprKind::kStar) has_star = true;
   }
 
+  // Claim the shared plan cache for this statement only: subqueries run
+  // with the same context but a different statement and must not reuse
+  // another statement's decisions.
+  if (ctx_.plan_cache != nullptr) {
+    if (ctx_.plan_cache->owner == nullptr) ctx_.plan_cache->owner = stmt_;
+    if (ctx_.plan_cache->owner == stmt_) plan_cache_ = ctx_.plan_cache;
+  }
+
   // Join-order heuristic mirroring SQLite: for a two-table join, make the
   // table with a single-table restriction the outer one, so the other side
   // is probed (and may need an automatic index) — the paper's Fig. 9 setup.
   std::vector<size_t> order(tables.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  if (tables.size() == 2 && !has_star && stmt_->where != nullptr) {
+  if (plan_cache_ != nullptr && plan_cache_->has_join_order &&
+      plan_cache_->join_order.size() == order.size()) {
+    order = plan_cache_->join_order;
+    ++plan_cache_->hits;
+  } else if (tables.size() == 2 && !has_star && stmt_->where != nullptr) {
     std::vector<ExprPtr> raw;
     ExprPtr where_copy = CloneExpr(*stmt_->where);
     SplitConjuncts(std::move(where_copy), &raw);
@@ -233,6 +245,10 @@ Status SelectExecutor::BindAll() {
       return false;
     };
     if (!restricted(0) && restricted(1)) std::swap(order[0], order[1]);
+  }
+  if (plan_cache_ != nullptr && !plan_cache_->has_join_order) {
+    plan_cache_->join_order = order;
+    plan_cache_->has_join_order = true;
   }
 
   for (size_t i : order) {
@@ -357,6 +373,22 @@ Status SelectExecutor::BindAll() {
   }
   where_ = CombineConjuncts(std::move(conjuncts));
   PlanIndexOnlyAccess();
+  // A cached plan already knows which join levels need a transient index;
+  // build them up front instead of re-discovering the need at first probe.
+  if (plan_cache_ != nullptr) {
+    for (const PlanCache::TransientSpec& spec :
+         plan_cache_->transient_specs) {
+      if (spec.level >= sources_.size()) continue;
+      TableSource& src = sources_[spec.level];
+      if (src.transient_store != nullptr || src.native_index != nullptr ||
+          src.key_expr == nullptr ||
+          src.inner_key_column != spec.inner_key_column ||
+          src.table->name != spec.table) {
+        continue;
+      }
+      RQL_RETURN_IF_ERROR(BuildTransientIndex(&src));
+    }
+  }
   return Status::OK();
 }
 
@@ -555,6 +587,18 @@ Status SelectExecutor::BuildTransientIndex(TableSource* source) {
   if (ctx_.stats != nullptr) {
     ctx_.stats->index_build_us += NowMicros() - start;
     ctx_.stats->used_transient_index = true;
+  }
+  if (plan_cache_ != nullptr) {
+    size_t level = static_cast<size_t>(source - sources_.data());
+    bool known = false;
+    for (const PlanCache::TransientSpec& spec :
+         plan_cache_->transient_specs) {
+      if (spec.level == level) known = true;
+    }
+    if (!known) {
+      plan_cache_->transient_specs.push_back(
+          {level, source->table->name, source->inner_key_column});
+    }
   }
   return Status::OK();
 }
@@ -955,7 +999,7 @@ Result<const std::vector<Row>*> SelectExecutor::RunSubquery(
   if (subquery_depth_ >= 8) {
     return Status::InvalidArgument("subqueries nested too deeply");
   }
-  if (expr.subquery->as_of != 0) {
+  if (expr.subquery->as_of != 0 || expr.subquery->as_of_param != nullptr) {
     return Status::NotSupported(
         "AS OF inside a subquery is not supported; apply it to the outer "
         "statement");

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "retro/maplog.h"
 #include "sql/ast.h"
 #include "sql/catalog.h"
 #include "sql/expr.h"
@@ -29,6 +30,30 @@ struct ExecStats {
   void Reset() { *this = ExecStats{}; }
 };
 
+/// Planning decisions carried across executions of the same prepared
+/// statement (the RQL iteration-setup amortization path): the join order
+/// chosen by the reorder heuristic and the transient covering-index specs
+/// discovered during execution. Re-running the statement then skips the
+/// re-derivation; only the per-execution index *build* repeats, since the
+/// data under an AS OF binding changes every iteration.
+struct PlanCache {
+  /// The statement the cached decisions belong to; claimed on first use so
+  /// subqueries (different statement, same context) never reuse them.
+  const void* owner = nullptr;
+  bool has_join_order = false;
+  std::vector<size_t> join_order;  // FROM positions in execution order
+  /// Join levels known to need a transient index (table name + join column
+  /// recorded for sanity), so later executions build it up front instead of
+  /// re-discovering the need at first probe.
+  struct TransientSpec {
+    size_t level = 0;
+    std::string table;
+    int inner_key_column = -1;
+  };
+  std::vector<TransientSpec> transient_specs;
+  int64_t hits = 0;  // executions that reused a cached decision
+};
+
 /// Everything a SELECT needs to run: a page reader (current state or a
 /// snapshot view), the catalog as of the same state, functions, stats.
 struct ExecContext {
@@ -36,6 +61,10 @@ struct ExecContext {
   const CatalogData* catalog = nullptr;
   const FunctionRegistry* functions = nullptr;
   ExecStats* stats = nullptr;  // optional
+  /// Snapshot the reader exposes (kNoSnapshot = current state); purely
+  /// informational for operators that care which AS OF binding is active.
+  retro::SnapshotId as_of = retro::kNoSnapshot;
+  PlanCache* plan_cache = nullptr;  // optional
 };
 
 using RowSink = std::function<Status(const Row&)>;
@@ -107,6 +136,7 @@ class SelectExecutor : public SubqueryRunner {
 
   const SelectStmt* stmt_;
   ExecContext ctx_;
+  PlanCache* plan_cache_ = nullptr;  // ctx_.plan_cache once claimed for stmt_
   BindScope scope_;
   std::vector<TableSource> sources_;
   std::vector<SelectItem> items_;          // star-expanded, bound

@@ -32,6 +32,18 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
       while (i < n && sql[i] != '\n') ++i;
       continue;
     }
+    // /* block comments */ (no nesting, as in standard SQL)
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(sql[i] == '*' && sql[i + 1] == '/')) ++i;
+      if (i + 1 >= n) {
+        return Status::InvalidArgument("unterminated block comment at offset " +
+                                       std::to_string(start));
+      }
+      i += 2;
+      continue;
+    }
     Token token;
     token.offset = i;
     if (is_ident_start(c)) {

@@ -112,13 +112,20 @@ class Parser {
   Result<SelectStmt> ParseSelect() {
     RQL_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
     SelectStmt stmt;
-    // Retro extension: SELECT AS OF <sid> ...
+    // Retro extension: SELECT AS OF <sid> ... — or AS OF ? for a snapshot
+    // id bound at execution time (PreparedStatement::BindAsOf).
     if (Peek().IsKeyword("AS") && Peek(1).IsKeyword("OF")) {
       pos_ += 2;
-      if (Peek().type != TokenType::kInteger) {
-        return Error("expected snapshot id after AS OF");
+      if (ConsumeOp("?")) {
+        auto param = std::make_unique<Expr>();
+        param->kind = ExprKind::kParameter;
+        param->param_index = ++parameter_count_;
+        stmt.as_of_param = std::move(param);
+      } else if (Peek().type == TokenType::kInteger) {
+        stmt.as_of = static_cast<uint32_t>(std::stoull(Advance().text));
+      } else {
+        return Error("expected snapshot id or ? after AS OF");
       }
-      stmt.as_of = static_cast<uint32_t>(std::stoull(Advance().text));
     }
     if (ConsumeKeyword("DISTINCT")) stmt.distinct = true;
     else ConsumeKeyword("ALL");

@@ -36,6 +36,34 @@ TEST(LexerTest, UnterminatedStringFails) {
   EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
 }
 
+TEST(LexerTest, BlockComments) {
+  auto tokens = Tokenize("a /* comment, even * and / inside */ + b");
+  ASSERT_TRUE(tokens.ok());
+  // a + b EOF
+  ASSERT_EQ(tokens->size(), 4u);
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[1].text, "+");
+  EXPECT_EQ((*tokens)[2].text, "b");
+}
+
+TEST(LexerTest, BlockCommentSpansLines) {
+  auto tokens = Tokenize("SELECT /* line one\nline two */ 1");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);  // SELECT 1 EOF
+}
+
+TEST(LexerTest, UnterminatedBlockCommentFails) {
+  EXPECT_FALSE(Tokenize("SELECT 1 /* oops").ok());
+}
+
+TEST(LexerTest, BlockCommentDelimitersInsideStringAreLiteral) {
+  auto tokens = Tokenize("SELECT '/* not a comment */'");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[1].text, "/* not a comment */");
+}
+
 TEST(ParserTest, SimpleSelect) {
   auto s = ParseSelectStmt("SELECT a, b FROM t WHERE a = 1");
   ASSERT_TRUE(s.ok());
@@ -52,6 +80,29 @@ TEST(ParserTest, SelectAsOf) {
   EXPECT_EQ(s->as_of, 7u);
   ASSERT_EQ(s->items.size(), 1u);
   EXPECT_EQ(s->items[0].expr->kind, ExprKind::kStar);
+}
+
+TEST(ParserTest, SelectAsOfParameter) {
+  auto s = ParseSelectStmt("SELECT AS OF ? * FROM LoggedIn");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->as_of, 0u);
+  ASSERT_NE(s->as_of_param, nullptr);
+  EXPECT_EQ(s->as_of_param->kind, ExprKind::kParameter);
+  EXPECT_EQ(s->as_of_param->param_index, 1);
+}
+
+TEST(ParserTest, SelectAsOfParameterCountsBeforeLaterPlaceholders) {
+  auto s = ParseSelectStmt("SELECT AS OF ? a FROM t WHERE a = ?");
+  ASSERT_TRUE(s.ok());
+  ASSERT_NE(s->as_of_param, nullptr);
+  EXPECT_EQ(s->as_of_param->param_index, 1);
+  ASSERT_NE(s->where, nullptr);
+  ASSERT_EQ(s->where->args.size(), 2u);
+  EXPECT_EQ(s->where->args[1]->param_index, 2);
+}
+
+TEST(ParserTest, SelectAsOfRejectsGarbage) {
+  EXPECT_FALSE(ParseSelectStmt("SELECT AS OF banana * FROM t").ok());
 }
 
 TEST(ParserTest, SelectAsOfDistinct) {

@@ -141,5 +141,93 @@ TEST_F(PreparedStatementTest, MultiStatementRejected) {
   EXPECT_FALSE(db_->Prepare("SELECT 1; SELECT 2").ok());
 }
 
+// Declares a snapshot after inserting (a, b) and returns its id.
+retro::SnapshotId InsertAndSnapshot(Database* db, int64_t a,
+                                    const std::string& b) {
+  EXPECT_TRUE(db->Exec("INSERT INTO t VALUES (" + std::to_string(a) + ", '" +
+                       b + "')")
+                  .ok());
+  EXPECT_TRUE(db->Exec("BEGIN; COMMIT WITH SNAPSHOT;").ok());
+  return db->last_declared_snapshot();
+}
+
+TEST_F(PreparedStatementTest, BindAsOfWithPlaceholder) {
+  retro::SnapshotId s1 = InsertAndSnapshot(db_.get(), 1, "one");
+  retro::SnapshotId s2 = InsertAndSnapshot(db_.get(), 2, "two");
+
+  auto stmt = db_->Prepare("SELECT AS OF ? COUNT(*) FROM t");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  // The placeholder is unbound until BindAsOf (or BindInt) supplies it.
+  EXPECT_FALSE((*stmt)->Execute().ok());
+
+  auto count_as_of = [&](retro::SnapshotId snap) {
+    EXPECT_TRUE((*stmt)->BindAsOf(snap).ok());
+    int64_t count = -1;
+    EXPECT_TRUE((*stmt)
+                    ->Execute([&](const std::vector<std::string>&,
+                                  const Row& row) {
+                      count = row[0].integer();
+                      return Status::OK();
+                    })
+                    .ok());
+    return count;
+  };
+  EXPECT_EQ(count_as_of(s1), 1);
+  EXPECT_EQ(count_as_of(s2), 2);
+  EXPECT_EQ(count_as_of(s1), 1);  // rebinding backwards works too
+}
+
+TEST_F(PreparedStatementTest, BindAsOfWithoutClause) {
+  // A plain SELECT (no AS OF in the text) can still be pointed at each
+  // snapshot in turn: the RQL plan-reuse path for unannotated Qq.
+  retro::SnapshotId s1 = InsertAndSnapshot(db_.get(), 1, "one");
+  InsertAndSnapshot(db_.get(), 2, "two");
+
+  auto stmt = db_->Prepare("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE((*stmt)->BindAsOf(s1).ok());
+  int64_t count = -1;
+  ASSERT_TRUE((*stmt)
+                  ->Execute([&](const std::vector<std::string>&,
+                                const Row& row) {
+                    count = row[0].integer();
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(PreparedStatementTest, BindAsOfRequiresSelect) {
+  auto stmt = db_->Prepare("INSERT INTO t VALUES (1, 'x')");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE((*stmt)->BindAsOf(1).ok());
+}
+
+TEST_F(PreparedStatementTest, PlanCacheReusedAcrossExecutions) {
+  // A join forces both a reorder decision and a transient index; repeated
+  // executions of the prepared statement must hit the plan cache.
+  ASSERT_TRUE(db_->Exec("CREATE TABLE u (a INTEGER, c TEXT)").ok());
+  ASSERT_TRUE(db_->Exec(
+      "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')").ok());
+  ASSERT_TRUE(db_->Exec(
+      "INSERT INTO u VALUES (1, 'p'), (2, 'q'), (3, 'r')").ok());
+
+  auto stmt = db_->Prepare(
+      "SELECT t.b, u.c FROM t, u WHERE t.a = u.a ORDER BY t.a");
+  ASSERT_TRUE(stmt.ok());
+  std::vector<std::string> first, second;
+  auto collect = [](std::vector<std::string>* out) {
+    return [out](const std::vector<std::string>&, const Row& row) {
+      out->push_back(row[0].text() + "/" + row[1].text());
+      return Status::OK();
+    };
+  };
+  ASSERT_TRUE((*stmt)->Execute(collect(&first)).ok());
+  EXPECT_EQ((*stmt)->plan_cache_hits(), 0);
+  ASSERT_TRUE((*stmt)->Execute(collect(&second)).ok());
+  EXPECT_GT((*stmt)->plan_cache_hits(), 0);
+  EXPECT_EQ(first, second);
+}
+
 }  // namespace
 }  // namespace rql::sql

@@ -131,6 +131,50 @@ TEST_P(RqlParallelTest, OrderDependentMechanismsStaySequential) {
 INSTANTIATE_TEST_SUITE_P(Workers, RqlParallelTest,
                          ::testing::Values(2, 3, 8));
 
+TEST(RqlParallelStatsTest, TotalUsDerivesFromWallTimeNotPerIterationSums) {
+  Env e = MakeEnv(10);
+  e.engine->mutable_options()->parallel_workers = 4;
+  ASSERT_TRUE(e.engine
+                  ->CollateData("SELECT snap_id FROM SnapIds",
+                                "SELECT k, v FROM t", "R")
+                  .ok());
+  const RqlRunStats& stats = e.engine->last_run_stats();
+  ASSERT_TRUE(stats.parallel);
+  // Regression: TotalUs once summed per-iteration query_eval_us (each of
+  // which embeds the same concurrent wall interval) on top of
+  // parallel_wall_us, double counting overlapped work. The total must be
+  // the wall-clock decomposition: setup + parallel phase + serial replay.
+  int64_t expected = stats.extra_agg_us + stats.parallel_wall_us;
+  for (const RqlIterationStats& it : stats.iterations) {
+    expected += it.udf_us;
+  }
+  EXPECT_EQ(stats.TotalUs(), expected);
+  // And in particular never exceeds the sum of phases by an extra copy of
+  // the per-iteration evaluation time.
+  int64_t eval_sum = 0;
+  for (const RqlIterationStats& it : stats.iterations) {
+    eval_sum += it.query_eval_us;
+  }
+  EXPECT_LE(stats.TotalUs(), expected + eval_sum);
+}
+
+TEST(RqlParallelStatsTest, ColdCachePerIterationRejectedInParallel) {
+  Env e = MakeEnv(6);
+  e.engine->mutable_options()->parallel_workers = 4;
+  e.engine->mutable_options()->cold_cache_per_iteration = true;
+  Status s = e.engine->CollateData("SELECT snap_id FROM SnapIds",
+                                   "SELECT k, v FROM t", "R");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+
+  // The combination is fine when the run stays sequential (one worker).
+  e.engine->mutable_options()->parallel_workers = 1;
+  EXPECT_TRUE(e.engine
+                  ->CollateData("SELECT snap_id FROM SnapIds",
+                                "SELECT k, v FROM t", "R2")
+                  .ok());
+}
+
 TEST(ReplaceCurrentSnapshotTest, TextualRewrite) {
   EXPECT_EQ(RqlEngine::ReplaceCurrentSnapshot(
                 "SELECT current_snapshot() FROM t", 7),
@@ -146,6 +190,42 @@ TEST(ReplaceCurrentSnapshotTest, TextualRewrite) {
   EXPECT_EQ(RqlEngine::ReplaceCurrentSnapshot(
                 "SELECT my_current_snapshot() FROM t", 3),
             "SELECT my_current_snapshot() FROM t");  // word boundary
+}
+
+TEST(ReplaceCurrentSnapshotTest, CommentsAreNotRewritten) {
+  EXPECT_EQ(RqlEngine::ReplaceCurrentSnapshot(
+                "SELECT current_snapshot() -- not current_snapshot()\n"
+                "FROM t",
+                7),
+            "SELECT 7 -- not current_snapshot()\nFROM t");
+  EXPECT_EQ(RqlEngine::ReplaceCurrentSnapshot(
+                "SELECT /* current_snapshot() */ current_snapshot() FROM t",
+                7),
+            "SELECT /* current_snapshot() */ 7 FROM t");
+  // A quote inside a comment must not open a string.
+  EXPECT_EQ(RqlEngine::ReplaceCurrentSnapshot(
+                "SELECT /* it's */ current_snapshot() FROM t", 4),
+            "SELECT /* it's */ 4 FROM t");
+  // An unterminated block comment swallows the rest of the text.
+  EXPECT_EQ(RqlEngine::ReplaceCurrentSnapshot(
+                "SELECT 1 /* current_snapshot()", 4),
+            "SELECT 1 /* current_snapshot()");
+}
+
+TEST(InjectAsOfTest, SkipsStringsAndComments) {
+  EXPECT_EQ(RqlEngine::InjectAsOf("SELECT k FROM t", 5),
+            "SELECT AS OF 5 k FROM t");
+  // The first SELECT inside a leading comment must not be annotated.
+  EXPECT_EQ(RqlEngine::InjectAsOf("-- SELECT not this\nSELECT k FROM t", 5),
+            "-- SELECT not this\nSELECT AS OF 5 k FROM t");
+  EXPECT_EQ(RqlEngine::InjectAsOf("/* SELECT not this */ SELECT k FROM t", 5),
+            "/* SELECT not this */ SELECT AS OF 5 k FROM t");
+  // Nor one inside a string literal.
+  EXPECT_EQ(RqlEngine::InjectAsOf("SELECT 'SELECT' FROM t", 5),
+            "SELECT AS OF 5 'SELECT' FROM t");
+  // A quote inside a comment must not flip string state.
+  EXPECT_EQ(RqlEngine::InjectAsOf("/* don't */ SELECT k FROM t", 5),
+            "/* don't */ SELECT AS OF 5 k FROM t");
 }
 
 }  // namespace

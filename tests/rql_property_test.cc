@@ -259,6 +259,64 @@ TEST_P(RqlPropertyTest, SubsetAndSkipQsMatchModel) {
   EXPECT_EQ(i, rows->rows.size());
 }
 
+TEST_P(RqlPropertyTest, AmortizationFlagsPreserveCollateOutput) {
+  // The iteration-setup amortization flags (incremental SPT, Qq plan
+  // reuse, batched Pagelog reads) are pure optimizations: CollateData must
+  // produce byte-identical result tables with any of them enabled, across
+  // randomized update/snapshot interleavings.
+  Fixture f = MakeFixture(GetParam() * 1000 + 137, 18, 10);
+  const std::string qs = "SELECT snap_id FROM SnapIds";
+  const std::string qq =
+      "SELECT item, score, current_snapshot() AS sid FROM live";
+
+  auto dump = [&](const std::string& table) {
+    auto rows = f.meta->Query("SELECT * FROM " + table);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    std::vector<std::string> out;
+    for (const Row& row : rows->rows) out.push_back(sql::EncodeRow(row));
+    return out;
+  };
+
+  f.data->store()->ClearSnapshotCache();
+  ASSERT_TRUE(f.engine->CollateData(qs, qq, "Baseline").ok());
+  int64_t baseline_parses = f.engine->last_run_stats().qq_parse_count;
+  EXPECT_EQ(baseline_parses, static_cast<int64_t>(f.snaps.size()));
+  std::vector<std::string> baseline = dump("Baseline");
+
+  struct Config {
+    const char* name;
+    bool incremental, reuse, batch;
+  };
+  const Config kConfigs[] = {
+      {"IncrementalSpt", true, false, false},
+      {"ReusePlan", false, true, false},
+      {"BatchReads", false, false, true},
+      {"AllOn", true, true, true},
+  };
+  for (const Config& c : kConfigs) {
+    RqlOptions* opts = f.engine->mutable_options();
+    opts->incremental_spt = c.incremental;
+    opts->reuse_qq_plan = c.reuse;
+    opts->batch_pagelog_reads = c.batch;
+    f.data->store()->ClearSnapshotCache();
+    ASSERT_TRUE(f.engine->CollateData(qs, qq, c.name).ok()) << c.name;
+    EXPECT_EQ(dump(c.name), baseline) << c.name;
+    const RqlRunStats& stats = f.engine->last_run_stats();
+    if (c.reuse) {
+      EXPECT_EQ(stats.qq_parse_count, 1) << c.name;
+    } else {
+      EXPECT_EQ(stats.qq_parse_count, baseline_parses) << c.name;
+    }
+    if (c.incremental) {
+      int64_t delta = 0;
+      for (const RqlIterationStats& it : stats.iterations) {
+        delta += it.spt_delta_entries;
+      }
+      EXPECT_GT(delta, 0) << c.name;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RqlPropertyTest, ::testing::Range(0, 8));
 
 }  // namespace

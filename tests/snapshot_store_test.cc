@@ -282,5 +282,138 @@ TEST_F(SnapshotStoreTest, OverwriteCycleFetchCounts) {
   EXPECT_EQ(store_->stats()->db_page_reads, 0);
 }
 
+TEST_F(SnapshotStoreTest, SnapshotSetSessionMatchesColdOpens) {
+  // Two pages modified in different epochs; views opened inside a
+  // snapshot-set session must read exactly what cold opens read, in any
+  // visit order (ascending uses the cursor, descending falls back).
+  auto a = store_->AllocatePage();
+  auto b = store_->AllocatePage();
+  for (uint64_t v = 1; v <= 6; ++v) {
+    ASSERT_TRUE(store_->WritePage(*a, TaggedPage(10 * v)).ok());
+    if (v % 2 == 0) {
+      ASSERT_TRUE(store_->WritePage(*b, TaggedPage(100 * v)).ok());
+    }
+    ASSERT_TRUE(store_->DeclareSnapshot().ok());
+  }
+  ASSERT_TRUE(store_->WritePage(*a, TaggedPage(999)).ok());
+  ASSERT_TRUE(store_->WritePage(*b, TaggedPage(999)).ok());
+
+  std::vector<std::pair<uint64_t, uint64_t>> cold;
+  for (SnapshotId s = 1; s <= 6; ++s) {
+    auto view = store_->OpenSnapshot(s);
+    ASSERT_TRUE(view.ok());
+    cold.push_back({ReadTag(view->get(), *a), ReadTag(view->get(), *b)});
+  }
+
+  store_->BeginSnapshotSet();
+  EXPECT_TRUE(store_->snapshot_set_active());
+  for (SnapshotId s = 1; s <= 6; ++s) {
+    auto view = store_->OpenSnapshot(s);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(ReadTag(view->get(), *a), cold[s - 1].first) << "snap " << s;
+    EXPECT_EQ(ReadTag(view->get(), *b), cold[s - 1].second) << "snap " << s;
+  }
+  // Descending re-visit inside the same session: rebase fallback.
+  for (SnapshotId s = 6; s >= 1; --s) {
+    auto view = store_->OpenSnapshot(s);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(ReadTag(view->get(), *a), cold[s - 1].first) << "snap " << s;
+  }
+  store_->EndSnapshotSet();
+  EXPECT_FALSE(store_->snapshot_set_active());
+}
+
+TEST_F(SnapshotStoreTest, SnapshotSetSeesUpdatesCommittedMidSession) {
+  auto id = store_->AllocatePage();
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(1)).ok());
+  auto s1 = store_->DeclareSnapshot();
+  ASSERT_TRUE(s1.ok());
+
+  store_->BeginSnapshotSet();
+  {
+    auto view = store_->OpenSnapshot(*s1);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(ReadTag(view->get(), *id), 1u);
+  }
+  // History grows while the session is open (the cursor must ingest the
+  // appended capture).
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(2)).ok());
+  auto s2 = store_->DeclareSnapshot();
+  ASSERT_TRUE(s2.ok());
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(3)).ok());
+  {
+    auto view = store_->OpenSnapshot(*s2);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(ReadTag(view->get(), *id), 2u);
+  }
+  {
+    auto view = store_->OpenSnapshot(*s1);  // backwards: rebase
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(ReadTag(view->get(), *id), 1u);
+  }
+  store_->EndSnapshotSet();
+}
+
+TEST_F(SnapshotStoreTest, IncrementalSessionScansFewerMaplogEntries) {
+  auto id = store_->AllocatePage();
+  const SnapshotId kSnaps = 64;
+  for (uint64_t v = 1; v <= kSnaps; ++v) {
+    ASSERT_TRUE(store_->WritePage(*id, TaggedPage(v)).ok());
+    ASSERT_TRUE(store_->DeclareSnapshot().ok());
+  }
+  ASSERT_TRUE(store_->WritePage(*id, TaggedPage(999)).ok());
+
+  store_->ResetStats();
+  for (SnapshotId s = 1; s <= kSnaps; ++s) {
+    ASSERT_TRUE(store_->OpenSnapshot(s).ok());
+  }
+  int64_t cold_entries = store_->stats()->spt.entries_scanned;
+
+  store_->ResetStats();
+  store_->BeginSnapshotSet();
+  for (SnapshotId s = 1; s <= kSnaps; ++s) {
+    ASSERT_TRUE(store_->OpenSnapshot(s).ok());
+  }
+  store_->EndSnapshotSet();
+  EXPECT_GT(store_->stats()->spt_delta_entries, 0);
+  EXPECT_LT(store_->stats()->spt.entries_scanned, cold_entries);
+}
+
+TEST_F(SnapshotStoreTest, BatchedPrefetchWarmsCacheWithSameResults) {
+  std::vector<storage::PageId> ids;
+  for (int i = 0; i < 6; ++i) {
+    auto id = store_->AllocatePage();
+    ASSERT_TRUE(store_->WritePage(*id, TaggedPage(100 + i)).ok());
+    ids.push_back(*id);
+  }
+  auto snap = store_->DeclareSnapshot();
+  ASSERT_TRUE(snap.ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(store_->WritePage(ids[i], TaggedPage(200 + i)).ok());
+  }
+
+  store_->ClearSnapshotCache();
+  store_->ResetStats();
+  store_->set_batch_archive_reads(true);
+  auto view = store_->OpenSnapshot(*snap);
+  ASSERT_TRUE(view.ok());
+  // The prefetch fetched every archived page in one ordered pass...
+  EXPECT_EQ(store_->stats()->batched_pagelog_reads, 6);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(ReadTag(view->get(), ids[i]), 100u + i);
+  }
+  // ...so the demand path never touched the Pagelog.
+  EXPECT_EQ(store_->stats()->pagelog_page_reads, 0);
+  EXPECT_EQ(store_->stats()->snapshot_cache_hits, 6);
+  store_->set_batch_archive_reads(false);
+
+  // Second open with a warm cache: nothing left to prefetch.
+  store_->ResetStats();
+  store_->set_batch_archive_reads(true);
+  ASSERT_TRUE(store_->OpenSnapshot(*snap).ok());
+  EXPECT_EQ(store_->stats()->batched_pagelog_reads, 0);
+  store_->set_batch_archive_reads(false);
+}
+
 }  // namespace
 }  // namespace rql::retro
