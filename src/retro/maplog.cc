@@ -11,8 +11,13 @@ Result<std::unique_ptr<Maplog>> Maplog::Open(storage::Env* env,
                                              const std::string& name) {
   RQL_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> file,
                        env->OpenFile(name));
-  if (file->Size() % sizeof(MaplogEntry) != 0) {
-    return Status::Corruption("maplog size is not entry-aligned");
+  uint64_t size = file->Size();
+  uint64_t aligned = size - size % sizeof(MaplogEntry);
+  if (aligned != size) {
+    // A partial trailing entry is an interrupted append: entries are
+    // synced before any dependent commit, so nothing references the tail —
+    // recovery drops it.
+    RQL_RETURN_IF_ERROR(file->Truncate(aligned));
   }
   auto log = std::unique_ptr<Maplog>(new Maplog(std::move(file)));
   log->entry_count_ = log->file_->Size() / sizeof(MaplogEntry);
@@ -41,10 +46,16 @@ Status Maplog::LoadMirror() {
 }
 
 Status Maplog::AppendEntry(const MaplogEntry& entry) {
+  uint64_t pre_size = file_->Size();
   uint64_t offset = 0;
-  RQL_RETURN_IF_ERROR(file_->Append(sizeof(MaplogEntry),
-                                    reinterpret_cast<const char*>(&entry),
-                                    &offset));
+  Status s = file_->Append(sizeof(MaplogEntry),
+                           reinterpret_cast<const char*>(&entry), &offset);
+  if (!s.ok()) {
+    // A torn append may have left a partial entry; drop it (best effort)
+    // so the log stays entry-aligned for later appends.
+    (void)file_->Truncate(pre_size);
+    return s;
+  }
   entries_.push_back(entry);
   ++entry_count_;
   return Status::OK();
@@ -68,8 +79,10 @@ Status Maplog::AppendSnapshotMark(SnapshotId snap) {
   MaplogEntry entry;
   entry.type = MaplogEntry::kSnapshotMark;
   entry.end_snap = snap;
-  snap_mark_index_.push_back(entry_count_);
-  return AppendEntry(entry);
+  uint64_t mark_index = entry_count_;
+  RQL_RETURN_IF_ERROR(AppendEntry(entry));
+  snap_mark_index_.push_back(mark_index);
+  return Status::OK();
 }
 
 Status Maplog::AppendTruncate(SnapshotId keep_from) {

@@ -124,6 +124,11 @@ class Maplog {
   uint64_t entry_count() const { return entry_count_; }
   uint64_t SizeBytes() const { return file_->Size(); }
 
+  /// Flushes appended entries to stable storage. Called (after
+  /// Pagelog::Sync) before every page-store commit becomes durable, and
+  /// after each snapshot declaration mark.
+  Status Sync() { return file_->Sync(); }
+
   /// Selects the SPT scan strategy (default: Skippy skip levels).
   void set_use_skippy(bool use) { use_skippy_ = use; }
   bool use_skippy() const { return use_skippy_; }

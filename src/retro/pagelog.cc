@@ -72,19 +72,30 @@ Status Pagelog::ScanExisting() {
   uint64_t size = file_->Size();
   RecordHeader header;
   while (offset < size) {
+    // A partial trailing record is an interrupted append: nothing can
+    // reference it (appends are synced before any dependent commit), so
+    // recovery truncates it. Mid-log damage still reports Corruption.
+    if (offset + sizeof(header) > size) {
+      RQL_RETURN_IF_ERROR(file_->Truncate(offset));
+      break;
+    }
     RQL_RETURN_IF_ERROR(file_->Read(offset, sizeof(header),
                                     reinterpret_cast<char*>(&header)));
+    if (header.type != kTypeFull && header.type != kTypeDiff) {
+      return Status::Corruption("bad pagelog record type");
+    }
+    if (offset + sizeof(header) + header.payload_len > size) {
+      RQL_RETURN_IF_ERROR(file_->Truncate(offset));
+      break;
+    }
     if (header.type == kTypeFull) {
       ++full_records_;
-    } else if (header.type == kTypeDiff) {
-      ++diff_records_;
     } else {
-      return Status::Corruption("bad pagelog record type");
+      ++diff_records_;
     }
     ++record_count_;
     offset += sizeof(header) + header.payload_len;
   }
-  if (offset != size) return Status::Corruption("truncated pagelog record");
   return Status::OK();
 }
 
@@ -94,11 +105,22 @@ Result<uint64_t> Pagelog::AppendFull(const Page& page) {
   header.payload_len = kPageSize;
   std::string record(reinterpret_cast<const char*>(&header), sizeof(header));
   record.append(page.data, kPageSize);
-  uint64_t offset = 0;
-  RQL_RETURN_IF_ERROR(
-      file_->Append(record.size(), record.data(), &offset));
+  RQL_ASSIGN_OR_RETURN(uint64_t offset, AppendRecord(record));
   ++record_count_;
   ++full_records_;
+  return offset;
+}
+
+Result<uint64_t> Pagelog::AppendRecord(const std::string& record) {
+  uint64_t pre_size = file_->Size();
+  uint64_t offset = 0;
+  Status s = file_->Append(record.size(), record.data(), &offset);
+  if (!s.ok()) {
+    // A torn append may have left a partial record; drop it (best effort)
+    // so later appends land on a clean tail.
+    (void)file_->Truncate(pre_size);
+    return s;
+  }
   return offset;
 }
 
@@ -130,8 +152,7 @@ Result<uint64_t> Pagelog::AppendDiff(const Page& page, uint64_t base_offset,
   for (const DiffRange& r : ranges) {
     record.append(page.data + r.offset, r.len);
   }
-  uint64_t offset = 0;
-  RQL_RETURN_IF_ERROR(file_->Append(record.size(), record.data(), &offset));
+  RQL_ASSIGN_OR_RETURN(uint64_t offset, AppendRecord(record));
   ++record_count_;
   ++diff_records_;
   return offset;

@@ -62,6 +62,11 @@ class Pagelog {
   /// Diff-chain depth of the record at `offset` (0 for full pages).
   Result<int> DepthAt(uint64_t offset) const;
 
+  /// Flushes appended records to stable storage. The snapshot store calls
+  /// this before every page-store commit becomes durable (archive-ahead
+  /// ordering), so a crash can only lose records nothing references yet.
+  Status Sync() { return file_->Sync(); }
+
   /// Total archive size in bytes. Grows with history length, limited only
   /// by storage — the paper's motivation for the cold-cache assumption.
   uint64_t SizeBytes() const { return file_->Size(); }
@@ -87,6 +92,9 @@ class Pagelog {
       : file_(std::move(file)) {}
 
   Status ScanExisting();
+
+  /// Appends `record`, truncating back any torn tail on failure.
+  Result<uint64_t> AppendRecord(const std::string& record);
 
   std::unique_ptr<storage::File> file_;
   uint64_t record_count_ = 0;

@@ -54,6 +54,17 @@ Result<std::unique_ptr<SnapshotStore>> SnapshotStore::Open(
       &store->mod_epoch_, &store->latest_snap_,
       &store->last_capture_offset_));
   store->snapshot_cache_.set_capacity(options.snapshot_cache_pages);
+  // Archive-ahead ordering: before any page-store commit becomes durable,
+  // flush the pre-states it is about to overwrite and their Maplog
+  // mappings. Without this, a crash could persist post-states whose
+  // archived pre-states were still buffered — silently breaking every
+  // snapshot declared before the commit.
+  SnapshotStore* raw = store.get();
+  store->store_->set_pre_commit_hook([raw]() -> Status {
+    if (raw->pagelog_ != nullptr) RQL_RETURN_IF_ERROR(raw->pagelog_->Sync());
+    if (raw->maplog_ != nullptr) RQL_RETURN_IF_ERROR(raw->maplog_->Sync());
+    return Status::OK();
+  });
   return store;
 }
 
@@ -133,8 +144,10 @@ Status SnapshotStore::Begin() {
 Status SnapshotStore::Commit(bool declare_snapshot, SnapshotId* declared) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!in_txn_) return Status::InvalidArgument("no active transaction");
-  RQL_RETURN_IF_ERROR(store_->CommitBatch());
+  // The batch is consumed either way (CommitBatch drops it on failure), so
+  // the transaction ends even when the commit does not stick.
   in_txn_ = false;
+  RQL_RETURN_IF_ERROR(store_->CommitBatch());
   if (declare_snapshot) {
     RQL_ASSIGN_OR_RETURN(SnapshotId snap, DeclareSnapshotLocked());
     if (declared != nullptr) *declared = snap;
@@ -148,9 +161,8 @@ Status SnapshotStore::Rollback() {
   // The WAL batch never reached the file; dropping it undoes everything.
   // Captures made during the transaction stay in the archive, and remain
   // correct: they recorded exactly the content the rollback restores.
-  RQL_RETURN_IF_ERROR(store_->RollbackBatch());
   in_txn_ = false;
-  return Status::OK();
+  return store_->RollbackBatch();
 }
 
 Result<SnapshotId> SnapshotStore::DeclareSnapshot() {
@@ -165,6 +177,10 @@ Result<SnapshotId> SnapshotStore::DeclareSnapshotLocked() {
   }
   SnapshotId snap = latest_snap_ + 1;
   RQL_RETURN_IF_ERROR(maplog_->AppendSnapshotMark(snap));
+  // A snapshot counts as declared only once its mark is durable — the
+  // caller's COMMIT WITH SNAPSHOT must not ack a declaration a crash
+  // could lose.
+  RQL_RETURN_IF_ERROR(maplog_->Sync());
   latest_snap_ = snap;
   return snap;
 }
@@ -307,13 +323,19 @@ Status SnapshotStore::PrefetchArchivedLocked(const SnapshotView& view) {
   std::sort(missing.begin(), missing.end());
   for (uint64_t offset : missing) {
     int64_t fetches = 0;
-    RQL_ASSIGN_OR_RETURN(
-        const storage::Page* page,
-        snapshot_cache_.Get(offset,
-                            [this, &fetches](uint64_t off, storage::Page* p) {
-                              return pagelog_->Read(off, p, &fetches);
-                            }));
-    (void)page;
+    auto fetch = [&]() {
+      fetches = 0;
+      return snapshot_cache_.Get(
+          offset, [this, &fetches](uint64_t off, storage::Page* p) {
+            return pagelog_->Read(off, p, &fetches);
+          });
+    };
+    Result<const storage::Page*> page = fetch();
+    for (int r = 0; !page.ok() && r < archive_read_retries_; ++r) {
+      ++stats_.archive_read_retries;
+      page = fetch();
+    }
+    RQL_RETURN_IF_ERROR(page.status());
     stats_.batched_pagelog_reads += fetches;
   }
   return Status::OK();
@@ -323,16 +345,27 @@ Status SnapshotStore::ReadArchived(uint64_t pagelog_offset,
                                    storage::Page* page) {
   bool missed = false;
   int64_t fetches = 0;
-  RQL_ASSIGN_OR_RETURN(
-      const storage::Page* cached,
-      snapshot_cache_.Get(
-          pagelog_offset,
-          [this, &missed, &fetches](uint64_t off, storage::Page* p) {
-            missed = true;
-            // Diff-chain reconstruction may touch several records; each
-            // counts as an archive fetch (the Thresher trade-off).
-            return pagelog_->Read(off, p, &fetches);
-          }));
+  auto fetch = [&]() {
+    missed = false;
+    fetches = 0;
+    return snapshot_cache_.Get(
+        pagelog_offset,
+        [this, &missed, &fetches](uint64_t off, storage::Page* p) {
+          missed = true;
+          // Diff-chain reconstruction may touch several records; each
+          // counts as an archive fetch (the Thresher trade-off).
+          return pagelog_->Read(off, p, &fetches);
+        });
+  };
+  // Transient media errors are retried within the configured budget; a
+  // persistent failure still propagates to the iteration.
+  Result<const storage::Page*> result = fetch();
+  for (int r = 0; !result.ok() && r < archive_read_retries_; ++r) {
+    ++stats_.archive_read_retries;
+    result = fetch();
+  }
+  RQL_RETURN_IF_ERROR(result.status());
+  const storage::Page* cached = *result;
   if (missed) {
     stats_.pagelog_page_reads += fetches;
   } else {

@@ -45,6 +45,9 @@ struct IterationStats {
   /// Maplog entries covered by incremental SPT advances inside a snapshot
   /// set (subset of spt.entries_scanned).
   int64_t spt_delta_entries = 0;
+  /// Transient Pagelog read failures absorbed by the bounded-retry policy
+  /// (set_archive_read_retries).
+  int64_t archive_read_retries = 0;
   SptBuildStats spt;
 
   void Reset() { *this = IterationStats{}; }
@@ -55,6 +58,7 @@ struct IterationStats {
     db_page_reads += o.db_page_reads;
     batched_pagelog_reads += o.batched_pagelog_reads;
     spt_delta_entries += o.spt_delta_entries;
+    archive_read_retries += o.archive_read_retries;
     spt.entries_scanned += o.spt.entries_scanned;
     spt.maplog_pages_read += o.spt.maplog_pages_read;
     spt.cpu_us += o.spt.cpu_us;
@@ -201,6 +205,13 @@ class SnapshotStore : public storage::PageWriter {
   void set_batch_archive_reads(bool on) { batch_archive_reads_ = on; }
   bool batch_archive_reads() const { return batch_archive_reads_; }
 
+  /// Bounded retry budget for transient Pagelog read failures (flaky
+  /// media): a failed archive read is re-issued up to `n` times before the
+  /// error propagates. Each retry is counted in
+  /// IterationStats::archive_read_retries. Default 0: fail fast.
+  void set_archive_read_retries(int n) { archive_read_retries_ = n; }
+  int archive_read_retries() const { return archive_read_retries_; }
+
   // --- instrumentation ----------------------------------------------------
   IterationStats* stats() { return &stats_; }
   void ResetStats() { stats_.Reset(); }
@@ -280,6 +291,7 @@ class SnapshotStore : public storage::PageWriter {
   bool snapshot_set_active_ = false;
   std::unique_ptr<SptCursor> set_cursor_;
   bool batch_archive_reads_ = false;
+  int archive_read_retries_ = 0;
 
   IterationStats stats_;
 };

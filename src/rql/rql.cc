@@ -115,6 +115,16 @@ class RqlEngine::MechanismState {
   /// that also mutate shared structures between iterations).
   virtual bool SupportsParallel() const { return false; }
 
+  /// Best-effort cleanup after a failed run: drops the result table when
+  /// this run created it. Dropping the table also drops the transient
+  /// `<table>_rql_idx` covering index, so a failed mechanism leaves the
+  /// metadata database as it found it.
+  void DiscardOnFailure() {
+    if (!table_created_) return;
+    (void)meta()->Exec("DROP TABLE IF EXISTS " + table_);
+    table_created_ = false;
+  }
+
   /// Moves per-iteration result-table counters into `iter`.
   void CollectCounters(RqlIterationStats* iter) {
     iter->result_probes = probes_;
@@ -717,9 +727,13 @@ Status RqlEngine::PrepareResultTable(const std::string& table) {
 
 Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
   stats_ = RqlRunStats{};
-  RQL_RETURN_IF_ERROR(PrepareResultTable(state->table()));
-  if (options_.cold_cache_per_run) {
-    data_db_->store()->ClearSnapshotCache();
+  // Validate Qq and Qs before touching the result table: a malformed query
+  // must surface before the first iteration and leave the metadata
+  // database untouched (no dropped table, no partial output).
+  {
+    auto parsed = sql::ParseSql(state->qq());
+    if (!parsed.ok()) return parsed.status();
+    if (parsed->empty()) return Status::InvalidArgument("Qq is empty");
   }
   RQL_ASSIGN_OR_RETURN(sql::QueryResult snaps, meta_db_->Query(qs));
   std::vector<retro::SnapshotId> snap_ids;
@@ -740,23 +754,35 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
         "cold_cache_per_iteration is incompatible with parallel Qq "
         "evaluation (parallel_workers > 1)");
   }
+  RQL_RETURN_IF_ERROR(PrepareResultTable(state->table()));
+  if (options_.cold_cache_per_run) {
+    data_db_->store()->ClearSnapshotCache();
+  }
+  retro::SnapshotStore* store = data_db_->store();
+  store->set_archive_read_retries(options_.archive_read_retries);
+  Status s = Status::OK();
   if (parallel) {
-    RQL_RETURN_IF_ERROR(RunMechanismParallel(snap_ids, state));
+    s = RunMechanismParallel(snap_ids, state);
   } else {
-    retro::SnapshotStore* store = data_db_->store();
     if (options_.incremental_spt) store->BeginSnapshotSet();
     bool saved_batch = store->batch_archive_reads();
     if (options_.batch_pagelog_reads) store->set_batch_archive_reads(true);
-    Status s = Status::OK();
     for (retro::SnapshotId snap : snap_ids) {
       s = RunIteration(snap, state);
       if (!s.ok()) break;
     }
     store->set_batch_archive_reads(saved_batch);
     if (options_.incremental_spt) store->EndSnapshotSet();
-    RQL_RETURN_IF_ERROR(s);
   }
-  return state->Finish();
+  store->set_archive_read_retries(0);
+  if (s.ok()) s = state->Finish();
+  if (!s.ok()) {
+    // A failed iteration (or Finish) aborts the run with a clean error:
+    // drop the partial result table and its transient index.
+    state->DiscardOnFailure();
+    return s;
+  }
+  return Status::OK();
 }
 
 namespace {
@@ -836,6 +862,7 @@ Status RqlEngine::RunMechanismParallel(
   const retro::CostModel& cm = store->cost_model();
   stats_.parallel_io_us = store->stats()->IoUs(cm);
   stats_.parallel_spt_us = store->stats()->SptUs(cm);
+  stats_.archive_read_retries += store->stats()->archive_read_retries;
 
   // Sequential replay in Qs order: semantics identical to the serial run.
   for (size_t i = 0; i < snaps.size(); ++i) {
@@ -935,6 +962,7 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
 
   const retro::CostModel& cm = store->cost_model();
   const retro::IterationStats& rs = *store->stats();
+  stats_.archive_read_retries += rs.archive_read_retries;
   iter.io_us = rs.IoUs(cm);
   iter.spt_build_us = rs.SptUs(cm);
   iter.index_create_us = index_create_us;
@@ -1057,6 +1085,8 @@ Status RqlEngine::RegisterUdfs() {
       if (options_.batch_pagelog_reads) {
         data_db_->store()->set_batch_archive_reads(true);
       }
+      data_db_->store()->set_archive_read_retries(
+          options_.archive_read_retries);
       udf_run_started_ = true;
     }
     auto it = udf_states_.find(table);
@@ -1153,6 +1183,7 @@ Status RqlEngine::FinishUdfRuns() {
   if (udf_run_started_) {
     if (options_.incremental_spt) data_db_->store()->EndSnapshotSet();
     data_db_->store()->set_batch_archive_reads(false);
+    data_db_->store()->set_archive_read_retries(0);
   }
   for (auto& [table, state] : udf_states_) {
     RQL_RETURN_IF_ERROR(state->Finish());

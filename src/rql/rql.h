@@ -61,6 +61,9 @@ struct RqlRunStats {
   int64_t parallel_io_us = 0;
   int64_t parallel_spt_us = 0;
   int64_t parallel_wall_us = 0;
+  /// Transient Pagelog read failures absorbed by the bounded-retry policy
+  /// (RqlOptions::archive_read_retries) during this run.
+  int64_t archive_read_retries = 0;
 
   int64_t TotalUs() const {
     if (parallel) {
@@ -153,6 +156,13 @@ struct RqlOptions {
   /// rate (CostModel::pagelog_seq_read_us). Counted in
   /// RqlIterationStats::batched_pagelog_reads.
   bool batch_pagelog_reads = false;
+
+  /// Bounded retry budget for transient Pagelog archive read failures
+  /// during a run: each failed read is re-issued up to this many times
+  /// before the iteration aborts. Counted in
+  /// RqlRunStats::archive_read_retries. Default 0: fail fast, the
+  /// paper-faithful assumption of reliable media.
+  int archive_read_retries = 0;
 };
 
 /// The Retrospective Query Language engine (the paper's contribution).

@@ -172,9 +172,12 @@ Status Database::WithImplicitTxn(const std::function<Status()>& body) {
   if (store_->in_transaction()) return body();
   RQL_RETURN_IF_ERROR(store_->Begin());
   Status s = body();
-  if (s.ok()) return store_->Commit();
-  // Roll back and restore the in-memory catalog to the on-disk state.
-  Status rb = store_->Rollback();
+  if (s.ok()) s = store_->Commit();
+  if (s.ok()) return s;
+  // Roll back (a failed Commit has already dropped its batch) and restore
+  // the in-memory catalog to the on-disk state.
+  Status rb =
+      store_->in_transaction() ? store_->Rollback() : Status::OK();
   if (rb.ok()) rb = catalog_->Reload();
   return s;  // the original failure wins
 }
@@ -202,7 +205,12 @@ Status Database::ExecStatement(Statement* stmt, const QueryCallback& cb) {
   if (std::get_if<BeginStmt>(stmt)) return store_->Begin();
   if (auto* s = std::get_if<CommitStmt>(stmt)) {
     retro::SnapshotId declared = retro::kNoSnapshot;
-    RQL_RETURN_IF_ERROR(store_->Commit(s->with_snapshot, &declared));
+    Status c = store_->Commit(s->with_snapshot, &declared);
+    if (!c.ok()) {
+      // The batch is gone; drop in-memory catalog state it may have built.
+      (void)catalog_->Reload();
+      return c;
+    }
     if (s->with_snapshot) last_declared_ = declared;
     return Status::OK();
   }

@@ -210,6 +210,26 @@ bool PosixEnv::FileExists(const std::string& name) const {
   return ::access(name.c_str(), F_OK) == 0;
 }
 
+FileEnv::FileEnv(std::string root) : root_(std::move(root)) {
+  ::mkdir(root_.c_str(), 0755);  // EEXIST is fine; OpenFile surfaces errors
+}
+
+Result<std::unique_ptr<File>> FileEnv::OpenFile(const std::string& name) {
+  return posix_.OpenFile(Path(name));
+}
+
+Status FileEnv::DeleteFile(const std::string& name) {
+  return posix_.DeleteFile(Path(name));
+}
+
+Status FileEnv::RenameFile(const std::string& from, const std::string& to) {
+  return posix_.RenameFile(Path(from), Path(to));
+}
+
+bool FileEnv::FileExists(const std::string& name) const {
+  return posix_.FileExists(Path(name));
+}
+
 Env* DefaultEnv() {
   static InMemoryEnv* env = new InMemoryEnv();
   return env;

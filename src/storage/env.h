@@ -89,6 +89,29 @@ class PosixEnv : public Env {
   bool FileExists(const std::string& name) const override;
 };
 
+/// PosixEnv rooted at a directory: every name resolves inside `root`,
+/// which is created (one level) if missing. Tests use it to sandbox
+/// on-disk database files under a tmpdir.
+class FileEnv : public Env {
+ public:
+  explicit FileEnv(std::string root);
+
+  Result<std::unique_ptr<File>> OpenFile(const std::string& name) override;
+  Status DeleteFile(const std::string& name) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  bool FileExists(const std::string& name) const override;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string Path(const std::string& name) const {
+    return root_ + "/" + name;
+  }
+
+  PosixEnv posix_;
+  std::string root_;
+};
+
 /// Returns a process-wide default Env (in-memory).
 Env* DefaultEnv();
 

@@ -1,0 +1,273 @@
+#include "storage/fault_env.h"
+
+#include <utility>
+
+namespace rql::storage {
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kRead:
+      return "read";
+    case FaultOp::kWrite:
+      return "write";
+    case FaultOp::kAppend:
+      return "append";
+    case FaultOp::kSync:
+      return "sync";
+    case FaultOp::kTruncate:
+      return "truncate";
+  }
+  return "unknown";
+}
+
+void FailpointRegistry::Arm(const FaultSpec& spec) {
+  armed_.push_back(Armed{spec, 0, false});
+}
+
+void FailpointRegistry::DisarmAll() { armed_.clear(); }
+
+bool FailpointRegistry::GlobMatch(const std::string& pattern,
+                                  const std::string& name) {
+  // Iterative '*'/'?' matcher with single-star backtracking.
+  size_t p = 0, n = 0;
+  size_t star = std::string::npos, star_n = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_n = n;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      n = ++star_n;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+FailpointRegistry::Decision FailpointRegistry::Observe(
+    FaultOp op, const std::string& file) {
+  switch (op) {
+    case FaultOp::kRead:
+      ++stats_.reads;
+      break;
+    case FaultOp::kWrite:
+      ++stats_.writes;
+      break;
+    case FaultOp::kAppend:
+      ++stats_.appends;
+      break;
+    case FaultOp::kSync:
+      ++stats_.syncs;
+      break;
+    case FaultOp::kTruncate:
+      ++stats_.truncates;
+      break;
+  }
+  Decision decision;
+  for (Armed& armed : armed_) {
+    if (armed.spec.op != op) continue;
+    if (!GlobMatch(armed.spec.glob, file)) continue;
+    ++armed.seen;
+    bool fire_now = armed.fired ? armed.spec.sticky
+                                : armed.seen > armed.spec.after;
+    if (fire_now && !decision.fire) {
+      armed.fired = true;
+      decision.fire = true;
+      decision.kind = armed.spec.kind;
+      ++stats_.faults_fired;
+    }
+  }
+  return decision;
+}
+
+uint64_t FailpointRegistry::PartialLength(uint64_t n) {
+  if (n == 0) return 0;
+  return rng_.Uniform(n);
+}
+
+namespace {
+
+std::string InjectedError(FaultOp op, const std::string& name) {
+  return std::string("injected ") + FaultOpName(op) + " fault on " + name;
+}
+
+}  // namespace
+
+/// File wrapper routing every operation through the env's registry.
+class FaultFile : public File {
+ public:
+  FaultFile(FaultInjectionEnv* env, std::string name,
+            std::unique_ptr<File> base)
+      : env_(env), name_(std::move(name)), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, uint64_t n, char* buf) const override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    RQL_RETURN_IF_ERROR(CheckAlive());
+    auto d = env_->registry_.Observe(FaultOp::kRead, name_);
+    if (d.fire) {
+      if (d.kind == FaultKind::kCrash) env_->crashed_ = true;
+      if (d.kind == FaultKind::kShortRead) {
+        uint64_t partial = env_->registry_.PartialLength(n);
+        if (offset + partial <= base_->Size() && partial > 0) {
+          (void)base_->Read(offset, partial, buf);
+        }
+        return Status::IoError("injected short read on " + name_);
+      }
+      return Status::IoError(InjectedError(FaultOp::kRead, name_));
+    }
+    return base_->Read(offset, n, buf);
+  }
+
+  Status Write(uint64_t offset, uint64_t n, const char* buf) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    RQL_RETURN_IF_ERROR(CheckAlive());
+    auto d = env_->registry_.Observe(FaultOp::kWrite, name_);
+    if (d.fire) return ApplyWriteFault(d.kind, FaultOp::kWrite, offset, n, buf);
+    return base_->Write(offset, n, buf);
+  }
+
+  Status Append(uint64_t n, const char* buf, uint64_t* offset) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    RQL_RETURN_IF_ERROR(CheckAlive());
+    auto d = env_->registry_.Observe(FaultOp::kAppend, name_);
+    if (d.fire) {
+      *offset = base_->Size();
+      return ApplyWriteFault(d.kind, FaultOp::kAppend, *offset, n, buf);
+    }
+    return base_->Append(n, buf, offset);
+  }
+
+  uint64_t Size() const override { return base_->Size(); }
+
+  Status Truncate(uint64_t size) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    RQL_RETURN_IF_ERROR(CheckAlive());
+    auto d = env_->registry_.Observe(FaultOp::kTruncate, name_);
+    if (d.fire) {
+      if (d.kind == FaultKind::kCrash) env_->crashed_ = true;
+      return Status::IoError(InjectedError(FaultOp::kTruncate, name_));
+    }
+    return base_->Truncate(size);
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    RQL_RETURN_IF_ERROR(CheckAlive());
+    auto d = env_->registry_.Observe(FaultOp::kSync, name_);
+    if (d.fire) {
+      if (d.kind == FaultKind::kCrash) env_->crashed_ = true;
+      return Status::IoError(InjectedError(FaultOp::kSync, name_));
+    }
+    RQL_RETURN_IF_ERROR(base_->Sync());
+    return env_->CaptureSyncedImageLocked(name_);
+  }
+
+ private:
+  Status CheckAlive() const {
+    if (env_->crashed_) {
+      return Status::IoError("env crashed; recover before using " + name_);
+    }
+    return Status::OK();
+  }
+
+  Status ApplyWriteFault(FaultKind kind, FaultOp op, uint64_t offset,
+                         uint64_t n, const char* buf) {
+    if (kind == FaultKind::kCrash) env_->crashed_ = true;
+    if (kind == FaultKind::kTornWrite) {
+      uint64_t partial = env_->registry_.PartialLength(n);
+      if (partial > 0) (void)base_->Write(offset, partial, buf);
+      return Status::IoError("injected torn " + std::string(FaultOpName(op)) +
+                             " on " + name_);
+    }
+    return Status::IoError(InjectedError(op, name_));
+  }
+
+  FaultInjectionEnv* env_;
+  std::string name_;
+  std::unique_ptr<File> base_;
+};
+
+Status FaultInjectionEnv::CaptureSyncedImageLocked(const std::string& name) {
+  RQL_ASSIGN_OR_RETURN(std::unique_ptr<File> file, base_->OpenFile(name));
+  uint64_t size = file->Size();
+  std::string image(size, '\0');
+  if (size > 0) RQL_RETURN_IF_ERROR(file->Read(0, size, image.data()));
+  synced_[name] = std::move(image);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<File>> FaultInjectionEnv::OpenFile(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return Status::IoError("env crashed; recover before opening " + name);
+  }
+  RQL_ASSIGN_OR_RETURN(std::unique_ptr<File> base_file,
+                       base_->OpenFile(name));
+  // Content present before this env first saw the file counts as synced.
+  if (synced_.find(name) == synced_.end()) {
+    RQL_RETURN_IF_ERROR(CaptureSyncedImageLocked(name));
+  }
+  return std::unique_ptr<File>(
+      new FaultFile(this, name, std::move(base_file)));
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError("env crashed");
+  synced_.erase(name);  // deletion is treated as immediately durable
+  return base_->DeleteFile(name);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError("env crashed");
+  RQL_RETURN_IF_ERROR(base_->RenameFile(from, to));
+  // Rename is treated as durable (the engine's swap protocols sync a
+  // marker first), so the renamed content becomes `to`'s synced image.
+  synced_.erase(from);
+  return CaptureSyncedImageLocked(to);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_->FileExists(name);
+}
+
+void FaultInjectionEnv::Arm(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_.Arm(spec);
+}
+
+void FaultInjectionEnv::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_.DisarmAll();
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+Status FaultInjectionEnv::RecoverToSyncedState() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, image] : synced_) {
+    RQL_ASSIGN_OR_RETURN(std::unique_ptr<File> file, base_->OpenFile(name));
+    RQL_RETURN_IF_ERROR(file->Truncate(0));
+    if (!image.empty()) {
+      RQL_RETURN_IF_ERROR(file->Write(0, image.size(), image.data()));
+    }
+  }
+  crashed_ = false;
+  registry_.DisarmAll();
+  return Status::OK();
+}
+
+}  // namespace rql::storage

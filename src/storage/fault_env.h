@@ -1,0 +1,161 @@
+#ifndef RQL_STORAGE_FAULT_ENV_H_
+#define RQL_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "storage/env.h"
+
+namespace rql::storage {
+
+/// The file operation a failpoint intercepts.
+enum class FaultOp {
+  kRead,
+  kWrite,
+  kAppend,
+  kSync,
+  kTruncate,
+};
+
+const char* FaultOpName(FaultOp op);
+
+/// What happens when a failpoint fires.
+enum class FaultKind {
+  /// The operation fails with IoError; nothing reaches the base file.
+  kIoError,
+  /// Write/Append only: a seeded prefix of the payload reaches the base
+  /// file, then the operation fails — the partial image a power cut
+  /// mid-write leaves behind.
+  kTornWrite,
+  /// Read only: a seeded prefix of the buffer is filled, then the
+  /// operation fails (our File::Read contract forbids short success).
+  kShortRead,
+  /// The env "dies": this operation fails and every subsequent operation
+  /// on every file fails until RecoverToSyncedState() simulates the
+  /// reboot. Arm on kSync to model kill-at-a-sync-point.
+  kCrash,
+};
+
+/// One armed failpoint. The spec fires on the (after+1)-th operation of
+/// `op` whose file name matches `glob` ('*' and '?' wildcards); non-sticky
+/// specs disarm after firing, sticky specs keep failing every match.
+struct FaultSpec {
+  FaultOp op = FaultOp::kWrite;
+  FaultKind kind = FaultKind::kIoError;
+  std::string glob = "*";
+  uint64_t after = 0;
+  bool sticky = false;
+};
+
+/// Operation and fault counters, shared by the registry and the env.
+struct FaultStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t appends = 0;
+  uint64_t syncs = 0;
+  uint64_t truncates = 0;
+  uint64_t faults_fired = 0;
+};
+
+/// Seeded, deterministic failpoint set. Thread-safe via the owning
+/// FaultInjectionEnv's mutex; standalone use is single-threaded.
+class FailpointRegistry {
+ public:
+  explicit FailpointRegistry(uint64_t seed = 42) : rng_(seed) {}
+
+  void Arm(const FaultSpec& spec);
+  void DisarmAll();
+
+  /// Records one operation on `file` and returns the fault to apply
+  /// (kIoError/kTornWrite/kShortRead/kCrash) or no value for a clean pass.
+  /// At most one failpoint fires per operation (first armed match wins).
+  struct Decision {
+    bool fire = false;
+    FaultKind kind = FaultKind::kIoError;
+  };
+  Decision Observe(FaultOp op, const std::string& file);
+
+  /// Deterministic partial length in [0, n) for torn writes / short reads.
+  uint64_t PartialLength(uint64_t n);
+
+  const FaultStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = FaultStats{}; }
+
+  /// Shell-style matcher supporting '*' and '?'.
+  static bool GlobMatch(const std::string& pattern, const std::string& name);
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    uint64_t seen = 0;
+    bool fired = false;
+  };
+
+  std::vector<Armed> armed_;
+  FaultStats stats_;
+  Random rng_;
+};
+
+/// Env wrapper that forwards to a base Env while consulting a
+/// FailpointRegistry on every file operation, and that tracks each file's
+/// last-synced content so a crash can be simulated as "all un-synced data
+/// is lost".
+///
+/// Crash model: content present when a file is first opened through this
+/// env counts as synced; each successful Sync() re-captures the file's
+/// base image. A kCrash failpoint marks the env dead — every subsequent
+/// operation fails — until RecoverToSyncedState() rolls every tracked
+/// file back to its synced image and revives the env, which is the disk
+/// state a process kill at the crash point would leave for the reopening
+/// process. DeleteFile/RenameFile are treated as immediately durable (a
+/// deliberate simplification; the engine syncs through File handles only).
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base, uint64_t seed = 42)
+      : base_(base), registry_(seed) {}
+
+  Result<std::unique_ptr<File>> OpenFile(const std::string& name) override;
+  Status DeleteFile(const std::string& name) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  bool FileExists(const std::string& name) const override;
+
+  /// Arms/inspects failpoints. Counters in stats() cover every operation
+  /// issued through this env since construction (or ResetStats).
+  void Arm(const FaultSpec& spec);
+  void DisarmAll();
+  const FaultStats& stats() const { return registry_.stats(); }
+  void ResetStats() { registry_.ResetStats(); }
+
+  /// True once a kCrash failpoint fired; every operation fails until
+  /// RecoverToSyncedState().
+  bool crashed() const;
+
+  /// Rolls every tracked file in the base env back to its last-synced
+  /// content, clears the crashed flag and disarms all failpoints. Safe to
+  /// call without a prior crash (then it just drops un-synced data).
+  Status RecoverToSyncedState();
+
+  Env* base() { return base_; }
+
+ private:
+  friend class FaultFile;
+
+  Status CaptureSyncedImageLocked(const std::string& name);
+
+  mutable std::mutex mu_;
+  Env* base_;
+  FailpointRegistry registry_;
+  bool crashed_ = false;
+  // name -> content at last successful Sync (or at first open).
+  std::map<std::string, std::string> synced_;
+};
+
+}  // namespace rql::storage
+
+#endif  // RQL_STORAGE_FAULT_ENV_H_

@@ -135,6 +135,7 @@ Status PageStore::MaybeAutoCommit() {
 
 Status PageStore::CommitDirty() {
   if (dirty_.empty()) return Status::OK();
+  if (pre_commit_hook_) RQL_RETURN_IF_ERROR(pre_commit_hook_());
   // 1. Serialize the batch.
   struct WalHeader {
     uint32_t magic;
@@ -154,11 +155,18 @@ Status PageStore::CommitDirty() {
   record += payload;
   record.append(reinterpret_cast<const char*>(&kWalCommit), 4);
 
-  // 2. WAL write + sync: the batch becomes durable and atomic here.
+  // 2. WAL write + sync: the batch becomes durable and atomic here. On
+  // failure the batch never became durable; drop any partial WAL record
+  // (best effort — the WAL is empty between commits) so a later commit or
+  // reopen cannot trip over a torn batch, and keep the dirty set so the
+  // caller can rollback or retry.
   uint64_t wal_offset = 0;
-  RQL_RETURN_IF_ERROR(wal_->Append(record.size(), record.data(),
-                                   &wal_offset));
-  RQL_RETURN_IF_ERROR(wal_->Sync());
+  Status wal_status = wal_->Append(record.size(), record.data(), &wal_offset);
+  if (wal_status.ok()) wal_status = wal_->Sync();
+  if (!wal_status.ok()) {
+    (void)wal_->Truncate(0);
+    return wal_status;
+  }
 
   // 3. Apply to the page file, then retire the WAL.
   for (const auto& [id, page] : dirty_) {
@@ -184,7 +192,17 @@ Status PageStore::BeginBatch() {
 Status PageStore::CommitBatch() {
   if (!in_batch_) return Status::InvalidArgument("no active batch");
   in_batch_ = false;
-  return CommitDirty();
+  Status s = CommitDirty();
+  if (!s.ok()) {
+    // The store must stay usable after a failed commit: drop the batch and
+    // restore the in-memory header from the file (best effort). If the
+    // failure hit after the WAL became durable (during apply), reopening
+    // replays the WAL, so the batch is not lost — merely not visible to
+    // this process.
+    dirty_.clear();
+    (void)LoadHeader();
+  }
+  return s;
 }
 
 Status PageStore::RollbackBatch() {

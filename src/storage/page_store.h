@@ -2,6 +2,7 @@
 #define RQL_STORAGE_PAGE_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -75,6 +76,15 @@ class PageStore : public PageWriter {
   /// Pages currently allocated (excludes header and free-list pages).
   uint32_t allocated_pages() const { return page_count_ - 1 - free_count_; }
 
+  /// Hook invoked before each non-empty commit becomes durable (before
+  /// the WAL append). The Retro layer uses it to sync the Pagelog and
+  /// Maplog first, so no committed post-state can outlive its archived
+  /// pre-state. A failing hook aborts the commit.
+  using PreCommitHook = std::function<Status()>;
+  void set_pre_commit_hook(PreCommitHook hook) {
+    pre_commit_hook_ = std::move(hook);
+  }
+
  private:
   PageStore() = default;
 
@@ -99,6 +109,7 @@ class PageStore : public PageWriter {
   // page_count_ as of the last commit: the file's real page extent.
   uint32_t committed_page_count_ = 0;
   bool in_batch_ = false;
+  PreCommitHook pre_commit_hook_;
 };
 
 }  // namespace rql::storage

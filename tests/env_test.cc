@@ -3,23 +3,61 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
+#include <string>
+
+#include "storage/fault_env.h"
 
 namespace rql::storage {
 namespace {
 
-class EnvTest : public ::testing::TestWithParam<bool> {
+enum class EnvKind { kInMemory, kPosix, kFileDir, kFaultNoFaults };
+
+const char* KindName(EnvKind kind) {
+  switch (kind) {
+    case EnvKind::kInMemory:
+      return "InMemory";
+    case EnvKind::kPosix:
+      return "Posix";
+    case EnvKind::kFileDir:
+      return "FileDir";
+    case EnvKind::kFaultNoFaults:
+      return "FaultNoFaults";
+  }
+  return "?";
+}
+
+// Every Env implementation must satisfy the same file contract; a
+// FaultInjectionEnv with nothing armed must be indistinguishable from its
+// base env.
+class EnvTest : public ::testing::TestWithParam<EnvKind> {
  protected:
-  Env* env() {
-    if (GetParam()) {
-      static PosixEnv posix;
-      return &posix;
+  EnvTest() {
+    switch (GetParam()) {
+      case EnvKind::kInMemory:
+        owned_ = std::make_unique<InMemoryEnv>();
+        break;
+      case EnvKind::kPosix:
+        owned_ = std::make_unique<PosixEnv>();
+        break;
+      case EnvKind::kFileDir:
+        owned_ = std::make_unique<FileEnv>("/tmp/rql_env_test_dir");
+        break;
+      case EnvKind::kFaultNoFaults:
+        base_ = std::make_unique<InMemoryEnv>();
+        owned_ = std::make_unique<FaultInjectionEnv>(base_.get());
+        break;
     }
-    return &mem_;
   }
+
+  Env* env() { return owned_.get(); }
+
   std::string Name(const std::string& base) {
-    return GetParam() ? "/tmp/rql_env_test_" + base : base;
+    return GetParam() == EnvKind::kPosix ? "/tmp/rql_env_test_" + base : base;
   }
-  InMemoryEnv mem_;
+
+  std::unique_ptr<Env> base_;
+  std::unique_ptr<Env> owned_;
 };
 
 TEST_P(EnvTest, AppendReadRoundTrip) {
@@ -69,6 +107,14 @@ TEST_P(EnvTest, TruncateShrinks) {
   EXPECT_EQ(std::memcmp(buf, "1234", 4), 0);
 }
 
+TEST_P(EnvTest, SyncSucceeds) {
+  auto file = env()->OpenFile(Name("s"));
+  ASSERT_TRUE(file.ok());
+  uint64_t off;
+  ASSERT_TRUE((*file)->Append(3, "abc", &off).ok());
+  EXPECT_TRUE((*file)->Sync().ok());
+}
+
 TEST_P(EnvTest, ExistsAndDelete) {
   ASSERT_TRUE(env()->OpenFile(Name("e")).ok());
   EXPECT_TRUE(env()->FileExists(Name("e")));
@@ -77,10 +123,30 @@ TEST_P(EnvTest, ExistsAndDelete) {
   EXPECT_FALSE(env()->DeleteFile(Name("e")).ok());
 }
 
-INSTANTIATE_TEST_SUITE_P(AllEnvs, EnvTest, ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "Posix" : "InMemory";
-                         });
+TEST_P(EnvTest, RenameMovesContent) {
+  auto file = env()->OpenFile(Name("r1"));
+  ASSERT_TRUE(file.ok());
+  uint64_t off;
+  ASSERT_TRUE((*file)->Append(3, "abc", &off).ok());
+  file->reset();
+  ASSERT_TRUE(env()->RenameFile(Name("r1"), Name("r2")).ok());
+  EXPECT_FALSE(env()->FileExists(Name("r1")));
+  auto moved = env()->OpenFile(Name("r2"));
+  ASSERT_TRUE(moved.ok());
+  ASSERT_EQ((*moved)->Size(), 3u);
+  char buf[3];
+  ASSERT_TRUE((*moved)->Read(0, 3, buf).ok());
+  EXPECT_EQ(std::string(buf, 3), "abc");
+  EXPECT_TRUE(env()->DeleteFile(Name("r2")).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEnvs, EnvTest,
+    ::testing::Values(EnvKind::kInMemory, EnvKind::kPosix, EnvKind::kFileDir,
+                      EnvKind::kFaultNoFaults),
+    [](const ::testing::TestParamInfo<EnvKind>& info) {
+      return KindName(info.param);
+    });
 
 TEST(InMemoryEnvTest, PersistsAcrossReopen) {
   InMemoryEnv env;

@@ -1,0 +1,237 @@
+#include "storage/fault_env.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "storage/env.h"
+
+namespace rql::storage {
+namespace {
+
+std::string ReadAll(Env* env, const std::string& name) {
+  auto file = env->OpenFile(name);
+  EXPECT_TRUE(file.ok()) << file.status().ToString();
+  if (!file.ok()) return {};
+  std::string out((*file)->Size(), '\0');
+  if (!out.empty()) {
+    EXPECT_TRUE((*file)->Read(0, out.size(), out.data()).ok());
+  }
+  return out;
+}
+
+TEST(GlobMatchTest, Basics) {
+  EXPECT_TRUE(FailpointRegistry::GlobMatch("*", "anything"));
+  EXPECT_TRUE(FailpointRegistry::GlobMatch("*", ""));
+  EXPECT_TRUE(FailpointRegistry::GlobMatch("a.db", "a.db"));
+  EXPECT_FALSE(FailpointRegistry::GlobMatch("a.db", "a.pagelog"));
+  EXPECT_TRUE(FailpointRegistry::GlobMatch("*.pagelog", "tort.pagelog"));
+  EXPECT_FALSE(FailpointRegistry::GlobMatch("*.pagelog", "tort.maplog"));
+  EXPECT_TRUE(FailpointRegistry::GlobMatch("t?rt.db", "tort.db"));
+  EXPECT_FALSE(FailpointRegistry::GlobMatch("t?rt.db", "toort.db"));
+  EXPECT_TRUE(FailpointRegistry::GlobMatch("a*b*c", "a-x-b-y-c"));
+  EXPECT_FALSE(FailpointRegistry::GlobMatch("a*b*c", "a-x-c"));
+}
+
+TEST(FaultInjectionEnvTest, NoFaultsIsTransparent) {
+  InMemoryEnv plain;
+  InMemoryEnv base;
+  FaultInjectionEnv env(&base);
+
+  for (Env* e : {static_cast<Env*>(&plain), static_cast<Env*>(&env)}) {
+    auto f = e->OpenFile("t.bin");
+    ASSERT_TRUE(f.ok());
+    uint64_t off = 0;
+    ASSERT_TRUE((*f)->Append(5, "hello", &off).ok());
+    EXPECT_EQ(off, 0u);
+    ASSERT_TRUE((*f)->Write(5, 6, " world").ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+    ASSERT_TRUE((*f)->Truncate(8).ok());
+  }
+  EXPECT_EQ(ReadAll(&plain, "t.bin"), ReadAll(&env, "t.bin"));
+  EXPECT_EQ(ReadAll(&env, "t.bin"), "hello wo");
+  EXPECT_TRUE(env.FileExists("t.bin"));
+  EXPECT_FALSE(env.crashed());
+  EXPECT_EQ(env.stats().faults_fired, 0u);
+  EXPECT_EQ(env.stats().appends, 1u);
+  EXPECT_EQ(env.stats().writes, 1u);
+  EXPECT_EQ(env.stats().syncs, 1u);
+  EXPECT_EQ(env.stats().truncates, 1u);
+  EXPECT_GE(env.stats().reads, 1u);
+}
+
+TEST(FaultInjectionEnvTest, FiresOnNthOperationThenDisarms) {
+  InMemoryEnv base;
+  FaultInjectionEnv env(&base);
+  FaultSpec spec;
+  spec.op = FaultOp::kWrite;
+  spec.kind = FaultKind::kIoError;
+  spec.after = 2;  // fire on the third write
+  env.Arm(spec);
+
+  auto f = env.OpenFile("t.bin");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE((*f)->Write(0, 1, "a").ok());
+  EXPECT_TRUE((*f)->Write(1, 1, "b").ok());
+  Status third = (*f)->Write(2, 1, "c");
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kIoError) << third.ToString();
+  // Non-sticky: the failpoint disarmed after firing.
+  EXPECT_TRUE((*f)->Write(2, 1, "c").ok());
+  EXPECT_EQ(env.stats().faults_fired, 1u);
+  EXPECT_EQ(ReadAll(&env, "t.bin"), "abc");
+}
+
+TEST(FaultInjectionEnvTest, StickyKeepsFailing) {
+  InMemoryEnv base;
+  FaultInjectionEnv env(&base);
+  FaultSpec spec;
+  spec.op = FaultOp::kSync;
+  spec.sticky = true;
+  env.Arm(spec);
+
+  auto f = env.OpenFile("t.bin");
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE((*f)->Sync().ok());
+  EXPECT_FALSE((*f)->Sync().ok());
+  EXPECT_FALSE((*f)->Sync().ok());
+  EXPECT_EQ(env.stats().faults_fired, 3u);
+  env.DisarmAll();
+  EXPECT_TRUE((*f)->Sync().ok());
+}
+
+TEST(FaultInjectionEnvTest, GlobScopesFaultsToMatchingFiles) {
+  InMemoryEnv base;
+  FaultInjectionEnv env(&base);
+  FaultSpec spec;
+  spec.op = FaultOp::kAppend;
+  spec.glob = "*.pagelog";
+  spec.sticky = true;
+  env.Arm(spec);
+
+  auto log = env.OpenFile("t.pagelog");
+  auto db = env.OpenFile("t.db");
+  ASSERT_TRUE(log.ok() && db.ok());
+  uint64_t off = 0;
+  EXPECT_FALSE((*log)->Append(3, "xyz", &off).ok());
+  EXPECT_TRUE((*db)->Append(3, "xyz", &off).ok());
+}
+
+TEST(FaultInjectionEnvTest, TornWriteLeavesPartialPrefix) {
+  InMemoryEnv base;
+  FaultInjectionEnv env(&base, /*seed=*/7);
+  FaultSpec spec;
+  spec.op = FaultOp::kAppend;
+  spec.kind = FaultKind::kTornWrite;
+  env.Arm(spec);
+
+  auto f = env.OpenFile("t.log");
+  ASSERT_TRUE(f.ok());
+  uint64_t off = 0;
+  Status s = (*f)->Append(26, "abcdefghijklmnopqrstuvwxyz", &off);
+  EXPECT_FALSE(s.ok());
+  // A strict prefix of the payload reached the base file.
+  std::string content = ReadAll(&base, "t.log");
+  EXPECT_LT(content.size(), 26u);
+  EXPECT_EQ(content, std::string("abcdefghijklmnopqrstuvwxyz")
+                         .substr(0, content.size()));
+}
+
+TEST(FaultInjectionEnvTest, ShortReadFails) {
+  InMemoryEnv base;
+  FaultInjectionEnv env(&base);
+  auto f = env.OpenFile("t.bin");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Write(0, 5, "hello").ok());
+
+  FaultSpec spec;
+  spec.op = FaultOp::kRead;
+  spec.kind = FaultKind::kShortRead;
+  env.Arm(spec);
+  char buf[5];
+  Status s = (*f)->Read(0, 5, buf);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  // Disarmed after firing; the data itself is intact.
+  EXPECT_TRUE((*f)->Read(0, 5, buf).ok());
+  EXPECT_EQ(std::string(buf, 5), "hello");
+}
+
+TEST(FaultInjectionEnvTest, CrashLosesUnsyncedDataUntilRecovery) {
+  InMemoryEnv base;
+  FaultInjectionEnv env(&base);
+  auto f = env.OpenFile("t.bin");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Write(0, 6, "stable").ok());
+  ASSERT_TRUE((*f)->Sync().ok());
+  ASSERT_TRUE((*f)->Write(6, 9, " volatile").ok());
+
+  FaultSpec spec;
+  spec.op = FaultOp::kSync;
+  spec.kind = FaultKind::kCrash;
+  env.Arm(spec);
+  EXPECT_FALSE((*f)->Sync().ok());
+  EXPECT_TRUE(env.crashed());
+
+  // Every operation fails while the env is "dead".
+  char c;
+  EXPECT_FALSE((*f)->Read(0, 1, &c).ok());
+  EXPECT_FALSE((*f)->Write(0, 1, "x").ok());
+  EXPECT_FALSE(env.OpenFile("other.bin").ok());
+
+  ASSERT_TRUE(env.RecoverToSyncedState().ok());
+  EXPECT_FALSE(env.crashed());
+  // Only the synced prefix survived the crash.
+  EXPECT_EQ(ReadAll(&env, "t.bin"), "stable");
+}
+
+TEST(FaultInjectionEnvTest, RecoveryWithoutCrashDropsUnsynced) {
+  InMemoryEnv base;
+  FaultInjectionEnv env(&base);
+  auto f = env.OpenFile("t.bin");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Write(0, 3, "abc").ok());
+  ASSERT_TRUE((*f)->Sync().ok());
+  ASSERT_TRUE((*f)->Write(3, 3, "def").ok());
+  ASSERT_TRUE(env.RecoverToSyncedState().ok());
+  EXPECT_EQ(ReadAll(&env, "t.bin"), "abc");
+}
+
+TEST(FaultInjectionEnvTest, InitialContentCountsAsSynced) {
+  InMemoryEnv base;
+  {
+    auto f = base.OpenFile("pre.bin");
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Write(0, 8, "preexist").ok());
+  }
+  FaultInjectionEnv env(&base);
+  auto f = env.OpenFile("pre.bin");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Write(8, 4, "more").ok());
+  FaultSpec spec;
+  spec.op = FaultOp::kSync;
+  spec.kind = FaultKind::kCrash;
+  env.Arm(spec);
+  EXPECT_FALSE((*f)->Sync().ok());
+  ASSERT_TRUE(env.RecoverToSyncedState().ok());
+  EXPECT_EQ(ReadAll(&env, "pre.bin"), "preexist");
+}
+
+TEST(FaultInjectionEnvTest, DeleteIsDurable) {
+  InMemoryEnv base;
+  FaultInjectionEnv env(&base);
+  {
+    auto f = env.OpenFile("gone.bin");
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Write(0, 1, "x").ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+  }
+  ASSERT_TRUE(env.DeleteFile("gone.bin").ok());
+  EXPECT_FALSE(env.FileExists("gone.bin"));
+  ASSERT_TRUE(env.RecoverToSyncedState().ok());
+  EXPECT_FALSE(env.FileExists("gone.bin"));
+}
+
+}  // namespace
+}  // namespace rql::storage

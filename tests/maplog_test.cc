@@ -315,5 +315,34 @@ TEST_F(MaplogTest, BoundariesSurviveReopen) {
   EXPECT_TRUE(spt.empty());
 }
 
+TEST_F(MaplogTest, ReopenTruncatesPartialTailEntry) {
+  ASSERT_TRUE(log_->AppendSnapshotMark(1).ok());
+  ASSERT_TRUE(log_->AppendCapture(10, 1, 1, 4096).ok());
+  uint64_t entries = log_->entry_count();
+  uint64_t clean = log_->SizeBytes();
+  log_.reset();
+
+  // A crash mid-append leaves a partial trailing entry; reopen must
+  // truncate back to the last complete entry.
+  auto f = env_.OpenFile("m.maplog");
+  ASSERT_TRUE(f.ok());
+  uint64_t off;
+  ASSERT_TRUE((*f)->Append(5, "torn!", &off).ok());
+  f->reset();
+
+  auto reopened = Maplog::Open(&env_, "m.maplog");
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->entry_count(), entries);
+  EXPECT_EQ((*reopened)->SizeBytes(), clean);
+  SnapshotPageTable spt;
+  uint64_t resume = 0;
+  ASSERT_TRUE((*reopened)->BuildSpt(1, &spt, &resume, nullptr).ok());
+  EXPECT_EQ(spt.size(), 1u);
+  EXPECT_EQ(spt[10], 4096u);
+  // The recovered log still enforces sequential marks from the right spot.
+  EXPECT_FALSE((*reopened)->AppendSnapshotMark(3).ok());
+  ASSERT_TRUE((*reopened)->AppendSnapshotMark(2).ok());
+}
+
 }  // namespace
 }  // namespace rql::retro

@@ -248,5 +248,39 @@ TEST(SnapshotStoreDiffModeTest, DiffModeSurvivesReopen) {
   EXPECT_EQ(std::memcmp(read.data, PatternPage(1).data, kPageSize), 0);
 }
 
+TEST_F(PagelogTest, ReopenTruncatesPartialTailRecord) {
+  Page a = PatternPage(10);
+  Page b = PatternPage(11);
+  auto oa = log_->AppendFull(a);
+  auto ob = log_->AppendFull(b);
+  ASSERT_TRUE(oa.ok() && ob.ok());
+  uint64_t clean = log_->SizeBytes();
+  log_.reset();
+
+  // A crash mid-append leaves a partial trailing record; reopen must drop
+  // it and keep every complete record readable.
+  auto f = env_.OpenFile("p.pagelog");
+  ASSERT_TRUE(f.ok());
+  uint64_t off;
+  ASSERT_TRUE((*f)->Append(7, "garbage", &off).ok());
+  f->reset();
+
+  auto reopened = Pagelog::Open(&env_, "p.pagelog");
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->SizeBytes(), clean);
+  Page read;
+  ASSERT_TRUE((*reopened)->Read(*oa, &read).ok());
+  EXPECT_EQ(std::memcmp(read.data, a.data, kPageSize), 0);
+  ASSERT_TRUE((*reopened)->Read(*ob, &read).ok());
+  EXPECT_EQ(std::memcmp(read.data, b.data, kPageSize), 0);
+
+  // The tail is clean again: new appends land on a valid record boundary.
+  Page c = PatternPage(12);
+  auto oc = (*reopened)->AppendFull(c);
+  ASSERT_TRUE(oc.ok());
+  ASSERT_TRUE((*reopened)->Read(*oc, &read).ok());
+  EXPECT_EQ(std::memcmp(read.data, c.data, kPageSize), 0);
+}
+
 }  // namespace
 }  // namespace rql::retro

@@ -11,6 +11,7 @@
 
 #include "common/random.h"
 #include "rql/rql.h"
+#include "storage/fault_env.h"
 
 namespace rql {
 namespace {
@@ -18,8 +19,13 @@ namespace {
 using sql::Row;
 using sql::Value;
 
+// The whole suite runs through a FaultInjectionEnv with nothing armed:
+// every property doubles as a transparency check for the fault layer.
 struct Fixture {
-  storage::InMemoryEnv env;
+  std::unique_ptr<storage::InMemoryEnv> base_env =
+      std::make_unique<storage::InMemoryEnv>();
+  std::unique_ptr<storage::FaultInjectionEnv> env =
+      std::make_unique<storage::FaultInjectionEnv>(base_env.get());
   std::unique_ptr<sql::Database> data;
   std::unique_ptr<sql::Database> meta;
   std::unique_ptr<RqlEngine> engine;
@@ -33,8 +39,8 @@ struct Fixture {
 /// mirrored into an in-memory model, declaring a snapshot per round.
 Fixture MakeFixture(uint64_t seed, int snapshots, int items) {
   Fixture f;
-  auto data = sql::Database::Open(&f.env, "data");
-  auto meta = sql::Database::Open(&f.env, "meta");
+  auto data = sql::Database::Open(f.env.get(), "data");
+  auto meta = sql::Database::Open(f.env.get(), "meta");
   EXPECT_TRUE(data.ok() && meta.ok());
   f.data = std::move(*data);
   f.meta = std::move(*meta);
@@ -315,6 +321,61 @@ TEST_P(RqlPropertyTest, AmortizationFlagsPreserveCollateOutput) {
       EXPECT_GT(delta, 0) << c.name;
     }
   }
+}
+
+TEST_P(RqlPropertyTest, TransientPagelogFaultsWithRetriesAreTransparent) {
+  // Injected transient read failures on the page archive must be invisible
+  // to CollateData when archive reads are retried: the result table is
+  // byte-identical to the fault-free run. Without retries the run must
+  // fail cleanly, leaving no partial result table behind.
+  Fixture f = MakeFixture(GetParam() * 1000 + 151, 16, 10);
+  const std::string qs = "SELECT snap_id FROM SnapIds";
+  const std::string qq =
+      "SELECT item, score, current_snapshot() AS sid FROM live";
+
+  auto dump = [&](const std::string& table) {
+    auto rows = f.meta->Query("SELECT * FROM " + table);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    std::vector<std::string> out;
+    for (const Row& row : rows->rows) out.push_back(sql::EncodeRow(row));
+    return out;
+  };
+
+  f.data->store()->ClearSnapshotCache();
+  ASSERT_TRUE(f.engine->CollateData(qs, qq, "Baseline").ok());
+  std::vector<std::string> baseline = dump("Baseline");
+
+  // One-shot read faults spread across the run; each first retry succeeds.
+  for (uint64_t after : {2u, 5u, 9u, 14u}) {
+    storage::FaultSpec spec;
+    spec.op = storage::FaultOp::kRead;
+    spec.kind = storage::FaultKind::kIoError;
+    spec.glob = "*.pagelog";
+    spec.after = after;
+    f.env->Arm(spec);
+  }
+  f.engine->mutable_options()->archive_read_retries = 2;
+  f.data->store()->ClearSnapshotCache();
+  Status faulted = f.engine->CollateData(qs, qq, "Faulted");
+  ASSERT_TRUE(faulted.ok()) << faulted.ToString();
+  EXPECT_EQ(dump("Faulted"), baseline);
+  EXPECT_GT(f.env->stats().faults_fired, 0u);
+  EXPECT_GE(f.engine->last_run_stats().archive_read_retries, 1);
+
+  // Fail-fast phase: a sticky fault with no retry budget must abort the
+  // run without leaking a partial result table.
+  f.engine->mutable_options()->archive_read_retries = 0;
+  storage::FaultSpec sticky;
+  sticky.op = storage::FaultOp::kRead;
+  sticky.kind = storage::FaultKind::kIoError;
+  sticky.glob = "*.pagelog";
+  sticky.sticky = true;
+  f.env->Arm(sticky);
+  f.data->store()->ClearSnapshotCache();
+  Status failed = f.engine->CollateData(qs, qq, "NoRetry");
+  EXPECT_FALSE(failed.ok());
+  f.env->DisarmAll();
+  EXPECT_EQ(f.meta->catalog()->data().FindTable("NoRetry"), nullptr);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RqlPropertyTest, ::testing::Range(0, 8));
