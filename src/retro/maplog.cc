@@ -126,6 +126,12 @@ Status Maplog::BuildSptLinear(SnapshotId snap, SnapshotPageTable* spt,
 
 const std::vector<MaplogEntry>& Maplog::GetRun(uint32_t level,
                                                SnapshotId start) const {
+  std::lock_guard<std::mutex> lock(runs_mu_);
+  return GetRunLocked(level, start);
+}
+
+const std::vector<MaplogEntry>& Maplog::GetRunLocked(uint32_t level,
+                                                     SnapshotId start) const {
   uint64_t key = (static_cast<uint64_t>(level) << 32) | start;
   auto it = runs_.find(key);
   if (it != runs_.end()) return it->second;
@@ -141,9 +147,9 @@ const std::vector<MaplogEntry>& Maplog::GetRun(uint32_t level,
       }
     }
   } else {
-    const std::vector<MaplogEntry>& left = GetRun(level - 1, start);
+    const std::vector<MaplogEntry>& left = GetRunLocked(level - 1, start);
     const std::vector<MaplogEntry>& right =
-        GetRun(level - 1, start + (1u << (level - 1)));
+        GetRunLocked(level - 1, start + (1u << (level - 1)));
     run.reserve(left.size() + right.size());
     std::unordered_set<storage::PageId> seen;
     seen.reserve(left.size() + right.size());

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -171,10 +172,15 @@ class Maplog {
                         SptBuildStats* stats) const;
 
   /// The Skippy run covering epochs [start, start + 2^level), containing
-  /// the first capture per page in log order. Memoized; only called for
-  /// closed epochs (start + 2^level - 1 < latest()).
+  /// the first capture per page in log order. Memoized (thread-safe); only
+  /// called for closed epochs (start + 2^level - 1 < latest()), so the
+  /// returned reference stays valid and immutable after the memo lock is
+  /// released.
   const std::vector<MaplogEntry>& GetRun(uint32_t level,
                                          SnapshotId start) const;
+  /// Requires runs_mu_ (GetRun recurses through this form).
+  const std::vector<MaplogEntry>& GetRunLocked(uint32_t level,
+                                               SnapshotId start) const;
 
   void ScanEntries(const MaplogEntry* entries, size_t count, SnapshotId snap,
                    SnapshotPageTable* spt) const;
@@ -187,7 +193,11 @@ class Maplog {
   std::vector<MaplogEntry> entries_;
   SnapshotId earliest_ = 1;
   bool use_skippy_ = true;
-  // Memoized skip-level runs, keyed by (level << 32) | start.
+  // Memoized skip-level runs, keyed by (level << 32) | start. Guarded by
+  // runs_mu_: concurrent SPT builds (parallel snapshot readers) memoize
+  // into the same map. Runs are built for closed epochs only, so a cached
+  // run never goes stale while the lock is dropped.
+  mutable std::mutex runs_mu_;
   mutable std::unordered_map<uint64_t, std::vector<MaplogEntry>> runs_;
 };
 

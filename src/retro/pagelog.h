@@ -29,6 +29,12 @@ enum class PagelogMode {
 /// is modified after a snapshot declaration and appends it here. Records
 /// are immutable once written; snapshots reference them by byte offset.
 ///
+/// Record immutability is what lets concurrent snapshot readers call Read
+/// without any engine lock: Read touches only the file (whose
+/// implementations serialize against a racing Append's buffer growth),
+/// while Append's counter updates stay under the snapshot store's writer
+/// lock.
+///
 /// Record layout:
 ///   u8  type (1 = full, 2 = diff)
 ///   u8  depth (length of the diff chain below this record)

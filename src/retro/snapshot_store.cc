@@ -1,6 +1,8 @@
 #include "retro/snapshot_store.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/clock.h"
 
@@ -98,7 +100,7 @@ Status SnapshotStore::CaptureIfNeeded(storage::PageId id,
 }
 
 Result<storage::PageId> SnapshotStore::AllocatePage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   RQL_ASSIGN_OR_RETURN(storage::PageId id, store_->AllocatePage());
   if (latest_snap_ != kNoSnapshot && ModEpoch(id) != latest_snap_) {
     mod_epoch_[id] = latest_snap_;
@@ -108,7 +110,7 @@ Result<storage::PageId> SnapshotStore::AllocatePage() {
 }
 
 Status SnapshotStore::FreePage(storage::PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   // Freeing rewrites the page (free-list link), so the pre-state must be
   // archived like any other modification.
   storage::Page current;
@@ -118,13 +120,13 @@ Status SnapshotStore::FreePage(storage::PageId id) {
 }
 
 Status SnapshotStore::ReadPage(storage::PageId id, storage::Page* page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   return store_->ReadPage(id, page);
 }
 
 Status SnapshotStore::WritePage(storage::PageId id,
                                 const storage::Page& page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (latest_snap_ != kNoSnapshot && ModEpoch(id) < latest_snap_) {
     storage::Page current;
     RQL_RETURN_IF_ERROR(store_->ReadPage(id, &current));
@@ -134,7 +136,7 @@ Status SnapshotStore::WritePage(storage::PageId id,
 }
 
 Status SnapshotStore::Begin() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (in_txn_) return Status::InvalidArgument("transaction already active");
   RQL_RETURN_IF_ERROR(store_->BeginBatch());
   in_txn_ = true;
@@ -142,7 +144,7 @@ Status SnapshotStore::Begin() {
 }
 
 Status SnapshotStore::Commit(bool declare_snapshot, SnapshotId* declared) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (!in_txn_) return Status::InvalidArgument("no active transaction");
   // The batch is consumed either way (CommitBatch drops it on failure), so
   // the transaction ends even when the commit does not stick.
@@ -156,7 +158,7 @@ Status SnapshotStore::Commit(bool declare_snapshot, SnapshotId* declared) {
 }
 
 Status SnapshotStore::Rollback() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (!in_txn_) return Status::InvalidArgument("no active transaction");
   // The WAL batch never reached the file; dropping it undoes everything.
   // Captures made during the transaction stay in the archive, and remain
@@ -166,7 +168,7 @@ Status SnapshotStore::Rollback() {
 }
 
 Result<SnapshotId> SnapshotStore::DeclareSnapshot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   return DeclareSnapshotLocked();
 }
 
@@ -186,7 +188,7 @@ Result<SnapshotId> SnapshotStore::DeclareSnapshotLocked() {
 }
 
 Status SnapshotStore::TruncateHistory(SnapshotId keep_from) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (in_txn_) {
     return Status::InvalidArgument(
         "TruncateHistory inside a transaction is not allowed");
@@ -277,124 +279,222 @@ Status SnapshotStore::TruncateHistory(SnapshotId keep_from) {
 }
 
 void SnapshotStore::BeginSnapshotSet() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (snapshot_set_active_) return;
   snapshot_set_active_ = true;
   set_cursor_.reset();
 }
 
 void SnapshotStore::EndSnapshotSet() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   snapshot_set_active_ = false;
   set_cursor_.reset();
 }
 
 Result<std::unique_ptr<SnapshotView>> SnapshotStore::OpenSnapshot(
     SnapshotId snap) {
-  std::lock_guard<std::mutex> lock(mu_);
+  int64_t lock_start_us = NowMicros();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  int64_t waited_us = NowMicros() - lock_start_us;
+  if (snapshot_set_active_) {
+    // Snapshot-set sessions advance a shared cursor, which the reader lock
+    // cannot protect; upgrade to the writer half. Sequential RQL runs are
+    // the only users of snapshot sets, so this costs parallelism nothing.
+    lock.unlock();
+    std::lock_guard<std::shared_mutex> exclusive(mu_);
+    return OpenSnapshotExclusive(snap);
+  }
   if (snap == kNoSnapshot || snap > latest_snap_) {
     return Status::NotFound("unknown snapshot id " + std::to_string(snap));
   }
   auto view = std::unique_ptr<SnapshotView>(new SnapshotView(this, snap));
-  if (snapshot_set_active_) {
-    if (set_cursor_ == nullptr) set_cursor_ = std::make_unique<SptCursor>();
-    RQL_RETURN_IF_ERROR(set_cursor_->Seek(*maplog_, snap, &stats_.spt,
-                                          &stats_.spt_delta_entries));
-    int64_t copy_start_us = NowMicros();
-    view->spt_ = set_cursor_->table();
-    stats_.spt.cpu_us += NowMicros() - copy_start_us;
-    view->resume_index_ = maplog_->entry_count();
-  } else {
-    RQL_RETURN_IF_ERROR(maplog_->BuildSpt(
-        snap, &view->spt_, &view->resume_index_, &stats_.spt));
-  }
+  SptBuildStats build;
+  Status s =
+      maplog_->BuildSpt(snap, &view->spt_, &view->resume_index_, &build);
+  AddSptBuildStats(build);
+  AddLockWaitUs(waited_us);
+  RQL_RETURN_IF_ERROR(s);
   if (batch_archive_reads_) {
-    RQL_RETURN_IF_ERROR(PrefetchArchivedLocked(*view));
+    RQL_RETURN_IF_ERROR(PrefetchArchived(*view));
   }
   return view;
 }
 
-Status SnapshotStore::PrefetchArchivedLocked(const SnapshotView& view) {
+Result<std::unique_ptr<SnapshotView>> SnapshotStore::OpenSnapshotExclusive(
+    SnapshotId snap) {
+  if (snap == kNoSnapshot || snap > latest_snap_) {
+    return Status::NotFound("unknown snapshot id " + std::to_string(snap));
+  }
+  auto view = std::unique_ptr<SnapshotView>(new SnapshotView(this, snap));
+  SptBuildStats build;
+  if (snapshot_set_active_) {
+    if (set_cursor_ == nullptr) set_cursor_ = std::make_unique<SptCursor>();
+    int64_t delta_entries = 0;
+    RQL_RETURN_IF_ERROR(
+        set_cursor_->Seek(*maplog_, snap, &build, &delta_entries));
+    int64_t copy_start_us = NowMicros();
+    view->spt_ = set_cursor_->table();
+    build.cpu_us += NowMicros() - copy_start_us;
+    view->resume_index_ = maplog_->entry_count();
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      stats_.spt_delta_entries += delta_entries;
+    }
+  } else {
+    RQL_RETURN_IF_ERROR(
+        maplog_->BuildSpt(snap, &view->spt_, &view->resume_index_, &build));
+  }
+  AddSptBuildStats(build);
+  if (batch_archive_reads_) {
+    RQL_RETURN_IF_ERROR(PrefetchArchived(*view));
+  }
+  return view;
+}
+
+storage::BufferPool::Loader SnapshotStore::MakeArchiveLoader(
+    int64_t* fetches) {
+  return [this, fetches](uint64_t off, storage::Page* p) {
+    // Diff-chain reconstruction may touch several records; each counts as
+    // an archive fetch (the Thresher trade-off).
+    Status s = pagelog_->Read(off, p, fetches);
+    int64_t latency_us =
+        simulated_archive_latency_us_.load(std::memory_order_relaxed);
+    if (s.ok() && latency_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+    }
+    return s;
+  };
+}
+
+Status SnapshotStore::PrefetchArchived(const SnapshotView& view) {
   std::vector<uint64_t> missing;
   missing.reserve(view.spt_.size());
   for (const auto& [page, offset] : view.spt_) {
-    if (snapshot_cache_.Lookup(offset) == nullptr) missing.push_back(offset);
+    if (!snapshot_cache_.Lookup(offset)) missing.push_back(offset);
   }
   std::sort(missing.begin(), missing.end());
+  int64_t batched = 0;
+  int64_t retries = 0;
+  Status s = Status::OK();
   for (uint64_t offset : missing) {
     int64_t fetches = 0;
+    storage::BufferPool::GetOutcome outcome;
     auto fetch = [&]() {
       fetches = 0;
-      return snapshot_cache_.Get(
-          offset, [this, &fetches](uint64_t off, storage::Page* p) {
-            return pagelog_->Read(off, p, &fetches);
-          });
+      outcome = {};
+      return snapshot_cache_.Get(offset, MakeArchiveLoader(&fetches),
+                                 &outcome);
     };
-    Result<const storage::Page*> page = fetch();
+    Result<storage::PinnedPage> page = fetch();
     for (int r = 0; !page.ok() && r < archive_read_retries_; ++r) {
-      ++stats_.archive_read_retries;
+      ++retries;
       page = fetch();
     }
-    RQL_RETURN_IF_ERROR(page.status());
-    stats_.batched_pagelog_reads += fetches;
+    if (!page.ok()) {
+      s = page.status();
+      break;
+    }
+    if (outcome.loaded) batched += fetches;
   }
-  return Status::OK();
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.batched_pagelog_reads += batched;
+    stats_.archive_read_retries += retries;
+  }
+  return s;
 }
 
 Status SnapshotStore::ReadArchived(uint64_t pagelog_offset,
                                    storage::Page* page) {
-  bool missed = false;
   int64_t fetches = 0;
+  storage::BufferPool::GetOutcome outcome;
   auto fetch = [&]() {
-    missed = false;
     fetches = 0;
-    return snapshot_cache_.Get(
-        pagelog_offset,
-        [this, &missed, &fetches](uint64_t off, storage::Page* p) {
-          missed = true;
-          // Diff-chain reconstruction may touch several records; each
-          // counts as an archive fetch (the Thresher trade-off).
-          return pagelog_->Read(off, p, &fetches);
-        });
+    outcome = {};
+    return snapshot_cache_.Get(pagelog_offset, MakeArchiveLoader(&fetches),
+                               &outcome);
   };
   // Transient media errors are retried within the configured budget; a
-  // persistent failure still propagates to the iteration.
-  Result<const storage::Page*> result = fetch();
+  // persistent failure still propagates to the iteration. Coalesced
+  // waiters receive the owner's error and retry with their own fresh load.
+  Result<storage::PinnedPage> result = fetch();
+  int64_t retries = 0;
   for (int r = 0; !result.ok() && r < archive_read_retries_; ++r) {
-    ++stats_.archive_read_retries;
+    ++retries;
     result = fetch();
   }
-  RQL_RETURN_IF_ERROR(result.status());
-  const storage::Page* cached = *result;
-  if (missed) {
-    stats_.pagelog_page_reads += fetches;
-  } else {
-    ++stats_.snapshot_cache_hits;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.archive_read_retries += retries;
+    if (result.ok()) {
+      if (outcome.loaded) {
+        stats_.pagelog_page_reads += fetches;
+      } else if (outcome.coalesced) {
+        ++stats_.coalesced_loads;
+        stats_.lock_wait_us += outcome.wait_us;
+      } else {
+        ++stats_.snapshot_cache_hits;
+      }
+    }
   }
-  *page = *cached;
+  RQL_RETURN_IF_ERROR(result.status());
+  *page = **result;
   return Status::OK();
 }
 
+void SnapshotStore::AddSptBuildStats(const SptBuildStats& s) {
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  stats_.spt.entries_scanned += s.entries_scanned;
+  stats_.spt.maplog_pages_read += s.maplog_pages_read;
+  stats_.spt.cpu_us += s.cpu_us;
+}
+
+void SnapshotStore::AddLockWaitUs(int64_t us) {
+  if (us <= 0) return;
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  stats_.lock_wait_us += us;
+}
+
 Status SnapshotView::ReadPage(storage::PageId id, storage::Page* page) {
-  std::lock_guard<std::mutex> lock(store_->mu_);
+  // Fast path: the page is archived and already mapped by this view's SPT.
+  // The SPT is view-local, archive records are immutable and the snapshot
+  // cache synchronizes internally, so no store lock is needed; concurrent
+  // workers only meet inside the cache, where racing misses on a shared
+  // pre-state page coalesce into one archive read.
   auto it = spt_.find(id);
-  if (it == spt_.end() && store_->ModEpoch(id) >= snap_) {
+  if (it != spt_.end()) {
+    return store_->ReadArchived(it->second, page);
+  }
+
+  // SPT miss: the page is either shared with the current state or was
+  // captured after this view was built. Both checks consult metadata that
+  // update transactions mutate, so they hold the reader half of the store
+  // lock (excluding writers, not other snapshot readers).
+  int64_t lock_start_us = NowMicros();
+  std::shared_lock<std::shared_mutex> lock(store_->mu_);
+  store_->AddLockWaitUs(NowMicros() - lock_start_us);
+  if (store_->ModEpoch(id) >= snap_) {
     // The page was modified after this view was built; its pre-state is in
     // a Maplog suffix we have not scanned yet.
-    RQL_RETURN_IF_ERROR(store_->maplog_->RefreshSpt(
-        snap_, &spt_, &resume_index_, &store_->stats_.spt));
+    SptBuildStats refresh;
+    Status s = store_->maplog_->RefreshSpt(snap_, &spt_, &resume_index_,
+                                           &refresh);
+    store_->AddSptBuildStats(refresh);
+    RQL_RETURN_IF_ERROR(s);
     it = spt_.find(id);
     if (it == spt_.end()) {
       return Status::Corruption("page " + std::to_string(id) +
                                 " does not exist in snapshot " +
                                 std::to_string(snap_));
     }
-  }
-  if (it != spt_.end()) {
+    lock.unlock();
     return store_->ReadArchived(it->second, page);
   }
   // Shared with the current database state.
-  ++store_->stats_.db_page_reads;
+  {
+    std::lock_guard<std::mutex> stats_lock(store_->stats_mu_);
+    ++store_->stats_.db_page_reads;
+  }
   return store_->store_->ReadPage(id, page);
 }
 

@@ -1,9 +1,11 @@
 #ifndef RQL_RETRO_SNAPSHOT_STORE_H_
 #define RQL_RETRO_SNAPSHOT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -48,6 +50,17 @@ struct IterationStats {
   /// Transient Pagelog read failures absorbed by the bounded-retry policy
   /// (set_archive_read_retries).
   int64_t archive_read_retries = 0;
+  /// Snapshot-cache misses that found another reader already fetching the
+  /// same archive page and waited for that load instead of issuing a
+  /// duplicate one. Always 0 in sequential runs; in parallel runs a
+  /// nonzero count proves the paper's page-sharing effect (Section 5.1)
+  /// survives concurrency: a shared pre-state page is read once, not once
+  /// per racing worker.
+  int64_t coalesced_loads = 0;
+  /// Wall time snapshot readers spent blocked: acquiring the store's
+  /// reader lock (writers hold it exclusively) plus waiting on coalesced
+  /// archive loads. Always ~0 in sequential runs.
+  int64_t lock_wait_us = 0;
   SptBuildStats spt;
 
   void Reset() { *this = IterationStats{}; }
@@ -59,6 +72,8 @@ struct IterationStats {
     batched_pagelog_reads += o.batched_pagelog_reads;
     spt_delta_entries += o.spt_delta_entries;
     archive_read_retries += o.archive_read_retries;
+    coalesced_loads += o.coalesced_loads;
+    lock_wait_us += o.lock_wait_us;
     spt.entries_scanned += o.spt.entries_scanned;
     spt.maplog_pages_read += o.spt.maplog_pages_read;
     spt.cpu_us += o.spt.cpu_us;
@@ -89,6 +104,14 @@ class SnapshotStore;
 /// when a read misses the SPT but the page has since been modified, the
 /// view refreshes its table from the Maplog suffix appended after the view
 /// was built (standing in for the MVCC guarantee BDB gives Retro).
+///
+/// A view is owned by a single reader thread (each parallel RQL worker
+/// opens its own); different views on the same store may read concurrently
+/// with each other and with update transactions. Reads whose page is
+/// already mapped by the view's SPT take no store lock at all — archive
+/// records are immutable and the snapshot page cache synchronizes
+/// internally — while SPT misses take the store's reader lock to consult
+/// mutable metadata.
 class SnapshotView : public storage::PageReader {
  public:
   Status ReadPage(storage::PageId id, storage::Page* page) override;
@@ -117,12 +140,16 @@ class SnapshotView : public storage::PageReader {
 /// the first modification of a page after a snapshot declaration copies the
 /// page's pre-state into the Pagelog and records the mapping in the Maplog.
 ///
-/// Thread model: page-level operations (including snapshot-view reads) are
-/// internally serialized by a store mutex, so snapshot queries may run on
-/// other threads concurrently with updates and stay transactionally
-/// consistent — the correctness half of the paper's MVCC non-interference
-/// property (BDB additionally avoids the serialization itself). Higher
-/// layers (sql::Database) are single-threaded per connection.
+/// Thread model: mutations (update transactions, snapshot declaration,
+/// history truncation) serialize on the exclusive half of a store-wide
+/// reader/writer lock; snapshot-view reads take at most the shared half,
+/// so any number of snapshot queries proceed concurrently with each other
+/// and stay transactionally consistent against interleaved updates — the
+/// paper's MVCC non-interference property, with reader-side scalability
+/// instead of BDB's version store. Reads of SPT-mapped archive pages take
+/// no store lock at all, and concurrent misses on the same archive page
+/// coalesce into a single Pagelog read (IterationStats::coalesced_loads).
+/// Higher layers (sql::Database) remain single-threaded per connection.
 struct SnapshotStoreOptions {
   /// Snapshot page cache capacity in pages; 0 = unbounded. The paper
   /// assumes the cache holds one RQL query's working set.
@@ -212,16 +239,30 @@ class SnapshotStore : public storage::PageWriter {
   void set_archive_read_retries(int n) { archive_read_retries_ = n; }
   int archive_read_retries() const { return archive_read_retries_; }
 
+  /// Real (slept) per-load archive latency, in addition to the CostModel's
+  /// simulated charges. Parallel-scaling benchmarks use it to make the
+  /// I/O-bound speedup measurable in wall time regardless of core count:
+  /// the sleep happens inside the snapshot-cache loader, so coalesced
+  /// readers of a shared page share one sleep, exactly as they would share
+  /// one device read. Default 0: off.
+  void set_simulated_archive_latency_us(int64_t us) {
+    simulated_archive_latency_us_.store(us, std::memory_order_relaxed);
+  }
+  int64_t simulated_archive_latency_us() const {
+    return simulated_archive_latency_us_.load(std::memory_order_relaxed);
+  }
+
   // --- instrumentation ----------------------------------------------------
+  /// Counters are internally synchronized, but reading them mid-run yields
+  /// a torn snapshot; read after workers join (as the RQL runner does).
   IterationStats* stats() { return &stats_; }
   void ResetStats() { stats_.Reset(); }
   const CostModel& cost_model() const { return options_.cost_model; }
 
-  /// Drops all cached snapshot pages (cold-cache experiment setup).
-  void ClearSnapshotCache() {
-    std::lock_guard<std::mutex> lock(mu_);
-    snapshot_cache_.Clear();
-  }
+  /// Drops all cached snapshot pages (cold-cache experiment setup). The
+  /// cache synchronizes internally; call before readers start if an
+  /// all-cold measurement is intended.
+  void ClearSnapshotCache() { snapshot_cache_.Clear(); }
   storage::BufferPool* snapshot_cache() { return &snapshot_cache_; }
 
   storage::PageStore* page_store() { return store_.get(); }
@@ -250,23 +291,46 @@ class SnapshotStore : public storage::PageWriter {
   Status CaptureIfNeeded(storage::PageId id, const storage::Page* current);
 
   /// Reads a pre-state page through the snapshot cache, updating stats.
-  /// Requires mu_.
+  /// Takes no store lock: archive records are immutable, file reads are
+  /// thread-safe, and the cache single-flights concurrent misses.
   Status ReadArchived(uint64_t pagelog_offset, storage::Page* page);
 
-  /// Fetches `view`'s SPT entries missing from the snapshot cache in one
-  /// offset-ordered pass (set_batch_archive_reads). Requires mu_.
-  Status PrefetchArchivedLocked(const SnapshotView& view);
+  /// The snapshot-cache loader for archive offset keys: a Pagelog read
+  /// (counting records into `*fetches`) plus the optional simulated
+  /// latency sleep.
+  storage::BufferPool::Loader MakeArchiveLoader(int64_t* fetches);
 
-  /// Requires mu_.
+  /// Fetches `view`'s SPT entries missing from the snapshot cache in one
+  /// offset-ordered pass (set_batch_archive_reads). Requires at least a
+  /// shared hold on mu_ (the view's SPT must be stable).
+  Status PrefetchArchived(const SnapshotView& view);
+
+  /// Requires mu_ held exclusively.
   Result<SnapshotId> DeclareSnapshotLocked();
+
+  /// OpenSnapshot's exclusive path: snapshot-set sessions advance a shared
+  /// cursor, so they cannot run under the reader lock. Requires mu_ held
+  /// exclusively; re-checks snapshot_set_active_ and falls back to a cold
+  /// build if the session ended while the lock was upgraded.
+  Result<std::unique_ptr<SnapshotView>> OpenSnapshotExclusive(
+      SnapshotId snap);
+
+  /// Fold per-call counters into stats_ under stats_mu_.
+  void AddSptBuildStats(const SptBuildStats& s);
+  void AddLockWaitUs(int64_t us);
 
   SnapshotId ModEpoch(storage::PageId id) const {
     auto it = mod_epoch_.find(id);
     return it == mod_epoch_.end() ? kNoSnapshot : it->second;
   }
 
-  /// Serializes page-level operations; see the thread model above.
-  mutable std::mutex mu_;
+  /// Writers (mutations) take this exclusively; snapshot readers take the
+  /// shared half only when they must consult mutable store metadata. See
+  /// the thread model above.
+  mutable std::shared_mutex mu_;
+  /// Guards stats_ for readers running under the shared half of mu_ (or no
+  /// lock at all). Leaf lock: never acquire anything while holding it.
+  mutable std::mutex stats_mu_;
 
   Options options_;
   storage::Env* env_ = nullptr;
@@ -292,6 +356,7 @@ class SnapshotStore : public storage::PageWriter {
   std::unique_ptr<SptCursor> set_cursor_;
   bool batch_archive_reads_ = false;
   int archive_read_retries_ = 0;
+  std::atomic<int64_t> simulated_archive_latency_us_{0};
 
   IterationStats stats_;
 };

@@ -756,6 +756,9 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
   }
   RQL_RETURN_IF_ERROR(PrepareResultTable(state->table()));
   if (options_.cold_cache_per_run) {
+    // Cleared before any worker thread is spawned: thread creation gives
+    // the happens-before fence that makes the cold start visible to (and
+    // not raced by) the parallel phase.
     data_db_->store()->ClearSnapshotCache();
   }
   retro::SnapshotStore* store = data_db_->store();
@@ -862,6 +865,8 @@ Status RqlEngine::RunMechanismParallel(
   const retro::CostModel& cm = store->cost_model();
   stats_.parallel_io_us = store->stats()->IoUs(cm);
   stats_.parallel_spt_us = store->stats()->SptUs(cm);
+  stats_.parallel_lock_wait_us = store->stats()->lock_wait_us;
+  stats_.coalesced_loads = store->stats()->coalesced_loads;
   stats_.archive_read_retries += store->stats()->archive_read_retries;
 
   // Sequential replay in Qs order: semantics identical to the serial run.
@@ -976,6 +981,7 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
   iter.maplog_pages = rs.spt.maplog_pages_read;
   iter.spt_delta_entries = rs.spt_delta_entries;
   iter.batched_pagelog_reads = rs.batched_pagelog_reads;
+  iter.coalesced_loads = rs.coalesced_loads;
   iter.qq_rows = qq_rows;
   state->CollectCounters(&iter);
   stats_.iterations.push_back(iter);

@@ -38,6 +38,9 @@ struct RqlIterationStats {
   int64_t spt_delta_entries = 0;   // log entries covered by an SPT advance
   int64_t plan_cache_hits = 0;     // 1 when Qq ran from the cached plan
   int64_t batched_pagelog_reads = 0;  // archive pages fetched by prefetch
+  /// Archive reads this iteration coalesced onto another worker's
+  /// in-flight fetch of the same page (always 0 in sequential runs).
+  int64_t coalesced_loads = 0;
 
   int64_t TotalUs() const {
     return io_us + spt_build_us + query_eval_us + index_create_us + udf_us;
@@ -61,6 +64,18 @@ struct RqlRunStats {
   int64_t parallel_io_us = 0;
   int64_t parallel_spt_us = 0;
   int64_t parallel_wall_us = 0;
+  /// Wall time workers spent blocked inside the snapshot store during the
+  /// concurrent phase: reader-lock acquisition plus waiting on coalesced
+  /// archive loads. Summed across workers, so it can exceed
+  /// parallel_wall_us; a value approaching workers x parallel_wall_us
+  /// means the run serialized on the store. 0 in sequential runs.
+  int64_t parallel_lock_wait_us = 0;
+  /// Archive reads that coalesced onto a concurrent worker's in-flight
+  /// fetch of the same shared pre-state page (single-flight). Nonzero
+  /// values prove the paper's page-sharing effect (Section 5.1) survives
+  /// parallel evaluation: each shared page is fetched once per run, not
+  /// once per racing worker.
+  int64_t coalesced_loads = 0;
   /// Transient Pagelog read failures absorbed by the bounded-retry policy
   /// (RqlOptions::archive_read_retries) during this run.
   int64_t archive_read_retries = 0;
@@ -128,12 +143,16 @@ struct RqlOptions {
   bool replace_result_table = true;
   /// Workers for parallel Qq evaluation (the paper's Section 7 future
   /// work). With N > 1, CollateData and AggregateDataInVariable evaluate
-  /// Qq on N snapshots concurrently (each worker on its own snapshot view)
-  /// and process results sequentially in Qs order, so semantics are
-  /// unchanged. Mechanisms whose result processing is order-dependent
+  /// Qq on N snapshots concurrently (each worker on its own snapshot view;
+  /// views read the store under at most a shared lock, and concurrent
+  /// misses on a shared archive page coalesce into one fetch) and process
+  /// results sequentially in Qs order, so semantics are unchanged.
+  /// Mechanisms whose result processing is order-dependent
   /// (AggregateDataInTable, CollateDataIntoIntervals) always run
   /// sequentially. In parallel runs current_snapshot() is substituted
-  /// textually, exactly as the paper's Section 3 rewrite describes.
+  /// textually, exactly as the paper's Section 3 rewrite describes. Worker
+  /// stall time and coalesced fetches are reported in
+  /// RqlRunStats::parallel_lock_wait_us / coalesced_loads.
   int parallel_workers = 1;
   AggTableStrategy agg_table_strategy = AggTableStrategy::kIndexProbe;
 

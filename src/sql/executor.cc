@@ -1,6 +1,7 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_map>
 
 #include "common/clock.h"
@@ -855,8 +856,71 @@ Status SelectExecutor::RunAggregation(const RowSink& sink) {
     Row repr;
     std::vector<AggAccum> accums;
   };
-  std::unordered_map<std::string, Group> groups;
-  std::vector<std::string> group_order;
+  // Groups are keyed by the evaluated key row itself, hashed directly —
+  // the same identity the former EncodeRow string keys had (type tag plus
+  // exact bit content, so 1 and 1.0 group apart and doubles compare
+  // bitwise) without building a key string per input row.
+  struct GroupKeyHash {
+    size_t operator()(const Row& row) const {
+      uint64_t h = 0xcbf29ce484222325ull;
+      auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+      };
+      for (const Value& v : row) {
+        mix(static_cast<uint64_t>(v.type()));
+        switch (v.type()) {
+          case ValueType::kNull:
+            break;
+          case ValueType::kInteger:
+            mix(static_cast<uint64_t>(v.integer()));
+            break;
+          case ValueType::kReal: {
+            uint64_t bits;
+            double d = v.real();
+            std::memcpy(&bits, &d, sizeof(bits));
+            mix(bits);
+            break;
+          }
+          case ValueType::kText:
+            mix(std::hash<std::string>{}(v.text()));
+            break;
+        }
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  struct GroupKeyEq {
+    bool operator()(const Row& a, const Row& b) const {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].type() != b[i].type()) return false;
+        switch (a[i].type()) {
+          case ValueType::kNull:
+            break;
+          case ValueType::kInteger:
+            if (a[i].integer() != b[i].integer()) return false;
+            break;
+          case ValueType::kReal: {
+            uint64_t abits, bbits;
+            double ad = a[i].real(), bd = b[i].real();
+            std::memcpy(&abits, &ad, sizeof(abits));
+            std::memcpy(&bbits, &bd, sizeof(bbits));
+            if (abits != bbits) return false;
+            break;
+          }
+          case ValueType::kText:
+            if (a[i].text() != b[i].text()) return false;
+            break;
+        }
+      }
+      return true;
+    }
+  };
+  std::unordered_map<Row, Group, GroupKeyHash, GroupKeyEq> groups;
+  // Nodes are stable in an unordered_map, so first-appearance order is kept
+  // as pointers into the map.
+  std::vector<Group*> group_order;
 
   std::vector<AggKind> kinds;
   kinds.reserve(agg_nodes_.size());
@@ -867,21 +931,19 @@ Status SelectExecutor::RunAggregation(const RowSink& sink) {
 
   RQL_RETURN_IF_ERROR(ScanSource([&](const Row& input) -> Status {
     EvalContext ectx{&input, ctx_.functions, nullptr, nullptr, this};
-    std::string key;
+    Row key;
     if (!group_by_.empty()) {
-      Row key_values;
-      key_values.reserve(group_by_.size());
+      key.reserve(group_by_.size());
       for (const ExprPtr& g : group_by_) {
         RQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, ectx));
-        key_values.push_back(std::move(v));
+        key.push_back(std::move(v));
       }
-      key = EncodeRow(key_values);
     }
-    auto [it, inserted] = groups.try_emplace(key);
+    auto [it, inserted] = groups.try_emplace(std::move(key));
     if (inserted) {
       it->second.repr = input;
       it->second.accums.resize(agg_nodes_.size());
-      group_order.push_back(key);
+      group_order.push_back(&it->second);
     }
     for (size_t i = 0; i < agg_nodes_.size(); ++i) {
       RQL_RETURN_IF_ERROR(
@@ -893,16 +955,16 @@ Status SelectExecutor::RunAggregation(const RowSink& sink) {
   // SQL semantics: an aggregate query with no GROUP BY yields exactly one
   // row even over empty input.
   if (group_by_.empty() && groups.empty()) {
-    Group& g = groups[""];
+    Group& g = groups[Row()];
     g.repr = Row(static_cast<size_t>(scope_.total_columns));
     g.accums.resize(agg_nodes_.size());
-    group_order.push_back("");
+    group_order.push_back(&g);
   }
 
   std::vector<const Expr*> agg_nodes_const(agg_nodes_.begin(),
                                            agg_nodes_.end());
-  for (const std::string& key : group_order) {
-    Group& group = groups[key];
+  for (Group* group_entry : group_order) {
+    Group& group = *group_entry;
     std::vector<Value> agg_values;
     agg_values.reserve(agg_nodes_.size());
     for (size_t i = 0; i < agg_nodes_.size(); ++i) {

@@ -8,45 +8,59 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
 
 namespace rql::storage {
+
+struct InMemoryFileData {
+  mutable std::shared_mutex mu;
+  std::vector<char> bytes;
+};
 
 namespace {
 
 class InMemoryFile : public File {
  public:
-  explicit InMemoryFile(std::shared_ptr<std::vector<char>> data)
+  explicit InMemoryFile(std::shared_ptr<InMemoryFileData> data)
       : data_(std::move(data)) {}
 
   Status Read(uint64_t offset, uint64_t n, char* buf) const override {
-    if (offset + n > data_->size()) {
+    std::shared_lock<std::shared_mutex> lock(data_->mu);
+    if (offset + n > data_->bytes.size()) {
       return Status::IoError("read past end of in-memory file");
     }
-    std::memcpy(buf, data_->data() + offset, n);
+    std::memcpy(buf, data_->bytes.data() + offset, n);
     return Status::OK();
   }
 
   Status Write(uint64_t offset, uint64_t n, const char* buf) override {
-    if (offset + n > data_->size()) data_->resize(offset + n);
-    std::memcpy(data_->data() + offset, buf, n);
+    std::lock_guard<std::shared_mutex> lock(data_->mu);
+    if (offset + n > data_->bytes.size()) data_->bytes.resize(offset + n);
+    std::memcpy(data_->bytes.data() + offset, buf, n);
     return Status::OK();
   }
 
   Status Append(uint64_t n, const char* buf, uint64_t* offset) override {
-    *offset = data_->size();
-    data_->insert(data_->end(), buf, buf + n);
+    std::lock_guard<std::shared_mutex> lock(data_->mu);
+    *offset = data_->bytes.size();
+    data_->bytes.insert(data_->bytes.end(), buf, buf + n);
     return Status::OK();
   }
 
-  uint64_t Size() const override { return data_->size(); }
+  uint64_t Size() const override {
+    std::shared_lock<std::shared_mutex> lock(data_->mu);
+    return data_->bytes.size();
+  }
 
   Status Truncate(uint64_t size) override {
-    data_->resize(size);
+    std::lock_guard<std::shared_mutex> lock(data_->mu);
+    data_->bytes.resize(size);
     return Status::OK();
   }
 
  private:
-  std::shared_ptr<std::vector<char>> data_;
+  std::shared_ptr<InMemoryFileData> data_;
 };
 
 class PosixFile : public File {
@@ -123,7 +137,7 @@ Result<std::unique_ptr<File>> InMemoryEnv::OpenFile(const std::string& name) {
   for (auto& [n, data] : files_) {
     if (n == name) return std::unique_ptr<File>(new InMemoryFile(data));
   }
-  auto data = std::make_shared<std::vector<char>>();
+  auto data = std::make_shared<InMemoryFileData>();
   files_.emplace_back(name, data);
   return std::unique_ptr<File>(new InMemoryFile(std::move(data)));
 }
@@ -140,7 +154,7 @@ Status InMemoryEnv::DeleteFile(const std::string& name) {
 
 Status InMemoryEnv::RenameFile(const std::string& from,
                                const std::string& to) {
-  std::shared_ptr<std::vector<char>> data;
+  std::shared_ptr<InMemoryFileData> data;
   for (auto it = files_.begin(); it != files_.end(); ++it) {
     if (it->first == from) {
       data = it->second;
@@ -170,15 +184,20 @@ bool InMemoryEnv::FileExists(const std::string& name) const {
 
 uint64_t InMemoryEnv::TotalBytes() const {
   uint64_t total = 0;
-  for (const auto& [n, data] : files_) total += data->size();
+  for (const auto& [n, data] : files_) {
+    std::shared_lock<std::shared_mutex> lock(data->mu);
+    total += data->bytes.size();
+  }
   return total;
 }
 
 std::unique_ptr<InMemoryEnv> InMemoryEnv::CloneState() const {
   auto clone = std::make_unique<InMemoryEnv>();
   for (const auto& [name, data] : files_) {
-    clone->files_.emplace_back(name,
-                               std::make_shared<std::vector<char>>(*data));
+    auto copy = std::make_shared<InMemoryFileData>();
+    std::shared_lock<std::shared_mutex> lock(data->mu);
+    copy->bytes = data->bytes;
+    clone->files_.emplace_back(name, std::move(copy));
   }
   return clone;
 }

@@ -55,6 +55,13 @@ class Env {
   virtual bool FileExists(const std::string& name) const = 0;
 };
 
+/// Backing store of one in-memory file, shared by every open handle on the
+/// same name. The lock makes reads safe against a concurrent append's
+/// buffer reallocation — POSIX pread/pwrite give PosixFile the same
+/// property for free — so snapshot readers can fetch immutable archive
+/// records without holding any engine-level lock.
+struct InMemoryFileData;
+
 /// Env keeping all files in process memory. Files persist for the lifetime
 /// of the Env, so closing and reopening a database against the same
 /// InMemoryEnv behaves like a filesystem.
@@ -76,7 +83,7 @@ class InMemoryEnv : public Env {
  private:
   friend class InMemoryFile;
   // Shared so open File handles survive DeleteFile of the name.
-  std::vector<std::pair<std::string, std::shared_ptr<std::vector<char>>>>
+  std::vector<std::pair<std::string, std::shared_ptr<InMemoryFileData>>>
       files_;
 };
 

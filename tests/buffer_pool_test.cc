@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
 namespace rql::storage {
 namespace {
 
@@ -39,7 +44,8 @@ TEST(BufferPoolTest, MissThenHit) {
 }
 
 TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
-  BufferPool pool(2);
+  // Exact LRU order is only defined within a shard.
+  BufferPool pool(2, /*shards=*/1);
   int loads = 0;
   auto loader = TagLoader(&loads);
 
@@ -48,9 +54,9 @@ TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
   ASSERT_TRUE(pool.Get(1, loader).ok());  // touch 1 -> 2 is LRU
   ASSERT_TRUE(pool.Get(3, loader).ok());  // evicts 2
   EXPECT_EQ(pool.stats().evictions, 1);
-  EXPECT_EQ(pool.Lookup(2), nullptr);
-  EXPECT_NE(pool.Lookup(1), nullptr);
-  EXPECT_NE(pool.Lookup(3), nullptr);
+  EXPECT_FALSE(pool.Lookup(2));
+  EXPECT_TRUE(pool.Lookup(1));
+  EXPECT_TRUE(pool.Lookup(3));
 }
 
 TEST(BufferPoolTest, UnboundedNeverEvicts) {
@@ -77,11 +83,11 @@ TEST(BufferPoolTest, EraseAndClear) {
   pool.Put(1, MakePage(1));
   pool.Put(2, MakePage(2));
   pool.Erase(1);
-  EXPECT_EQ(pool.Lookup(1), nullptr);
-  EXPECT_NE(pool.Lookup(2), nullptr);
+  EXPECT_FALSE(pool.Lookup(1));
+  EXPECT_TRUE(pool.Lookup(2));
   pool.Clear();
   EXPECT_EQ(pool.size(), 0u);
-  EXPECT_EQ(pool.Lookup(2), nullptr);
+  EXPECT_FALSE(pool.Lookup(2));
 }
 
 TEST(BufferPoolTest, LoaderErrorPropagates) {
@@ -92,16 +98,144 @@ TEST(BufferPoolTest, LoaderErrorPropagates) {
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
   // A failed load must not leave a cache entry behind.
-  EXPECT_EQ(pool.Lookup(9), nullptr);
+  EXPECT_FALSE(pool.Lookup(9));
 }
 
 TEST(BufferPoolTest, CapacityShrinkTakesEffectOnNextInsert) {
-  BufferPool pool(8);
+  // Shrinks apply per shard as each admits its next page; a single shard
+  // makes the pool-wide bound observable after one insert.
+  BufferPool pool(8, /*shards=*/1);
   auto loader = TagLoader(nullptr);
   for (uint64_t k = 0; k < 8; ++k) ASSERT_TRUE(pool.Get(k, loader).ok());
   pool.set_capacity(2);
   ASSERT_TRUE(pool.Get(100, loader).ok());
   EXPECT_LE(pool.size(), 2u);
+}
+
+TEST(BufferPoolTest, ShardedCapacityNeverExceedsTotal) {
+  BufferPool pool(8, /*shards=*/4);
+  auto loader = TagLoader(nullptr);
+  for (uint64_t k = 0; k < 256; ++k) ASSERT_TRUE(pool.Get(k, loader).ok());
+  EXPECT_LE(pool.size(), 8u);
+}
+
+TEST(BufferPoolTest, PinSurvivesEvictionAndClear) {
+  BufferPool pool(1, /*shards=*/1);
+  int loads = 0;
+  auto loader = TagLoader(&loads);
+
+  auto pinned = pool.Get(1, loader);
+  ASSERT_TRUE(pinned.ok());
+  PinnedPage pin = *pinned;
+
+  // Evict key 1, overwrite the frame's key-space, and clear the pool: the
+  // pinned frame must not be recycled under the reader.
+  ASSERT_TRUE(pool.Get(2, loader).ok());
+  EXPECT_EQ(pool.stats().evictions, 1);
+  EXPECT_FALSE(pool.Lookup(1));
+  pool.Put(1, MakePage(999));
+  pool.Clear();
+
+  EXPECT_EQ(pin->ReadU32(0), 10u);
+  EXPECT_EQ((*pin).ReadU32(0), 10u);
+}
+
+TEST(BufferPoolTest, PinSurvivesOverwrite) {
+  BufferPool pool(4);
+  pool.Put(7, MakePage(1));
+  PinnedPage pin = pool.Lookup(7);
+  ASSERT_TRUE(pin);
+  pool.Put(7, MakePage(2));
+  EXPECT_EQ(pin->ReadU32(0), 1u);          // old value, still pinned
+  EXPECT_EQ(pool.Lookup(7)->ReadU32(0), 2u);  // new value in the frame
+}
+
+TEST(BufferPoolTest, SingleFlightCoalescesConcurrentMisses) {
+  BufferPool pool(0);
+  std::atomic<int> loads{0};
+  auto slow_loader = [&](uint64_t key, Page* page) {
+    ++loads;
+    // Hold the load open until a waiter has actually coalesced, so the
+    // assertions below are deterministic (bounded by a safety timeout).
+    for (int i = 0; i < 5000 && pool.stats().coalesced_loads == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    page->Zero();
+    page->WriteU32(0, static_cast<uint32_t>(key + 1));
+    return Status::OK();
+  };
+
+  constexpr int kThreads = 8;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      auto r = pool.Get(42, slow_loader);
+      if (r.ok() && (*r)->ReadU32(0) == 43u) ++ok;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(ok.load(), kThreads);
+  // All racing misses coalesced onto one loader invocation: one thread
+  // claimed the in-flight load, every other thread either waited on it or
+  // hit the published entry afterwards.
+  EXPECT_EQ(loads.load(), 1);
+  BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.misses + stats.hits + stats.coalesced_loads, kThreads);
+  EXPECT_GE(stats.coalesced_loads, 1);
+}
+
+TEST(BufferPoolTest, SingleFlightPropagatesLoadErrorToWaiters) {
+  BufferPool pool(0);
+  std::atomic<int> loads{0};
+  auto failing_loader = [&loads](uint64_t, Page*) {
+    ++loads;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return Status::IoError("bad sector");
+  };
+
+  constexpr int kThreads = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      auto r = pool.Get(7, failing_loader);
+      if (!r.ok() && r.status().code() == StatusCode::kIoError) ++failures;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), kThreads);
+  EXPECT_FALSE(pool.Lookup(7));
+  // Coalesced waiters fail with the owner's status without re-loading;
+  // only threads that arrived after the failure published may retry.
+  EXPECT_LE(loads.load(), kThreads);
+}
+
+TEST(BufferPoolTest, ConcurrentGetsReturnCorrectContent) {
+  BufferPool pool(64);
+  auto loader = TagLoader(nullptr);
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      uint64_t key = static_cast<uint64_t>(t);
+      for (int i = 0; i < 2000; ++i) {
+        key = (key * 1103515245 + 12345) % 200;  // thrash across shards
+        auto r = pool.Get(key, loader);
+        if (!r.ok() || (*r)->ReadU32(0) != static_cast<uint32_t>(key * 10)) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_LE(pool.size(), 64u);
 }
 
 }  // namespace

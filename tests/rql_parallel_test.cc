@@ -175,6 +175,37 @@ TEST(RqlParallelStatsTest, ColdCachePerIterationRejectedInParallel) {
                   .ok());
 }
 
+TEST(RqlParallelStatsTest, ConcurrencyCountersZeroInSequentialRuns) {
+  Env e = MakeEnv(8);
+  ASSERT_TRUE(e.engine
+                  ->CollateData("SELECT snap_id FROM SnapIds",
+                                "SELECT k, v FROM t", "Seq")
+                  .ok());
+  const RqlRunStats& serial = e.engine->last_run_stats();
+  ASSERT_FALSE(serial.parallel);
+  // A sequential run has nothing to race with: coalesced fetches and
+  // blocked time must be zero by construction, not merely small.
+  EXPECT_EQ(serial.coalesced_loads, 0);
+  EXPECT_EQ(serial.parallel_lock_wait_us, 0);
+  for (const RqlIterationStats& it : serial.iterations) {
+    EXPECT_EQ(it.coalesced_loads, 0);
+  }
+
+  // A parallel run reports the counters (possibly zero at this tiny
+  // scale, but wired and non-negative) alongside identical results.
+  e.engine->mutable_options()->parallel_workers = 4;
+  ASSERT_TRUE(e.engine
+                  ->CollateData("SELECT snap_id FROM SnapIds",
+                                "SELECT k, v FROM t", "Par")
+                  .ok());
+  const RqlRunStats& parallel = e.engine->last_run_stats();
+  ASSERT_TRUE(parallel.parallel);
+  EXPECT_GE(parallel.coalesced_loads, 0);
+  EXPECT_GE(parallel.parallel_lock_wait_us, 0);
+  EXPECT_EQ(TableContents(e.meta.get(), "Seq"),
+            TableContents(e.meta.get(), "Par"));
+}
+
 TEST(ReplaceCurrentSnapshotTest, TextualRewrite) {
   EXPECT_EQ(RqlEngine::ReplaceCurrentSnapshot(
                 "SELECT current_snapshot() FROM t", 7),
