@@ -96,14 +96,12 @@ int Run() {
   std::printf("Ablation: iteration-setup amortization, "
               "CollateData(Qs_n ascending, Qq_collate), UW30\n");
 
-  std::FILE* json = std::fopen("BENCH_iterset.json", "w");
-  if (json == nullptr) {
-    Fail(Status::Internal("cannot open BENCH_iterset.json"), "json");
-  }
-  std::fprintf(json, "{\n  \"sf\": %.4f,\n  \"sets\": [", Sf());
+  JsonWriter json("BENCH_iterset.json");
+  json.BeginObject();
+  json.Field("sf", Sf(), 4);
+  json.BeginArray("sets");
 
   bool checks_ok = true;
-  bool first_set = true;
   for (int count : counts) {
     std::string qs = history->QsInterval(1, count);
     std::printf("\n-- %d-snapshot set --\n", count);
@@ -112,9 +110,9 @@ int Run() {
                 "plan_hits", "batched");
 
     RunResult baseline;
-    std::fprintf(json, "%s\n    {\"count\": %d, \"configs\": [",
-                 first_set ? "" : ",", count);
-    first_set = false;
+    json.BeginObject();
+    json.Field("count", count);
+    json.BeginArray("configs");
     for (size_t c = 0; c < sizeof(kConfigs) / sizeof(kConfigs[0]); ++c) {
       const Config& config = kConfigs[c];
       RunResult r = RunConfig(history, config, qs, qq);
@@ -124,18 +122,17 @@ int Run() {
                   static_cast<long long>(r.qq_parses),
                   static_cast<long long>(r.plan_cache_hits),
                   static_cast<long long>(r.batched_reads));
-      std::fprintf(json,
-                   "%s\n      {\"name\": \"%s\", \"maplog_pages\": %lld, "
-                   "\"spt_ms\": %.3f, \"io_ms\": %.3f, \"total_ms\": %.3f, "
-                   "\"qq_parses\": %lld, \"plan_cache_hits\": %lld, "
-                   "\"batched_pagelog_reads\": %lld, "
-                   "\"spt_delta_entries\": %lld}",
-                   c == 0 ? "" : ",", config.name,
-                   static_cast<long long>(r.maplog_pages), r.spt_ms, r.io_ms,
-                   r.total_ms, static_cast<long long>(r.qq_parses),
-                   static_cast<long long>(r.plan_cache_hits),
-                   static_cast<long long>(r.batched_reads),
-                   static_cast<long long>(r.spt_delta_entries));
+      json.BeginObject();
+      json.Field("name", config.name);
+      json.Field("maplog_pages", r.maplog_pages);
+      json.Field("spt_ms", r.spt_ms);
+      json.Field("io_ms", r.io_ms);
+      json.Field("total_ms", r.total_ms);
+      json.Field("qq_parses", r.qq_parses);
+      json.Field("plan_cache_hits", r.plan_cache_hits);
+      json.Field("batched_pagelog_reads", r.batched_reads);
+      json.Field("spt_delta_entries", r.spt_delta_entries);
+      json.EndObject();
 
       if (c == 0) {
         baseline = r;
@@ -171,11 +168,13 @@ int Run() {
         checks_ok = false;
       }
     }
-    std::fprintf(json, "\n    ]}");
+    json.EndArray();
+    json.EndObject();
   }
-  std::fprintf(json, "\n  ],\n  \"checks_ok\": %s\n}\n",
-               checks_ok ? "true" : "false");
-  std::fclose(json);
+  json.EndArray();
+  json.Field("checks_ok", checks_ok);
+  json.EndObject();
+  json.Close();
 
   std::printf("\nExpected: identical result tables in every config; at 100 "
               "snapshots the\nincremental SPT cuts cumulative Maplog pages "

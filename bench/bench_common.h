@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 #include "common/clock.h"
 #include "rql/rql.h"
@@ -210,6 +212,91 @@ inline void Fail(const Status& status, const char* what) {
     ::rql::Status _st = (expr);                  \
     if (!_st.ok()) ::rql::bench::Fail(_st, #expr); \
   } while (false)
+
+// --- machine-readable output -----------------------------------------------
+
+/// Streaming writer for the BENCH_*.json artifacts the self-checking
+/// benches emit for CI. Handles the comma/indent bookkeeping the benches
+/// used to hand-roll; values interleave freely with stdout reporting.
+/// String values are written verbatim (callers pass plain identifiers).
+class JsonWriter {
+ public:
+  explicit JsonWriter(const char* path) : f_(std::fopen(path, "w")) {
+    if (f_ == nullptr) {
+      Fail(Status::Internal(std::string("cannot open ") + path), "json");
+    }
+  }
+  ~JsonWriter() { Close(); }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void Close() {
+    if (f_ == nullptr) return;
+    std::fputc('\n', f_);
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+
+  void BeginObject(const char* key = nullptr) { Open(key, '{'); }
+  void EndObject() { CloseScope('}'); }
+  void BeginArray(const char* key = nullptr) { Open(key, '['); }
+  void EndArray() { CloseScope(']'); }
+
+  void Field(const char* key, const char* v) {
+    Prefix(key);
+    std::fprintf(f_, "\"%s\"", v);
+  }
+  void Field(const char* key, const std::string& v) { Field(key, v.c_str()); }
+  void Field(const char* key, bool v) {
+    Prefix(key);
+    std::fputs(v ? "true" : "false", f_);
+  }
+  void Field(const char* key, double v, int precision = 3) {
+    Prefix(key);
+    std::fprintf(f_, "%.*f", precision, v);
+  }
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  void Field(const char* key, T v) {
+    Prefix(key);
+    std::fprintf(f_, "%lld", static_cast<long long>(v));
+  }
+
+ private:
+  // Comma-separates members, breaks the line, and indents to the current
+  // depth; `key` is null for array elements.
+  void Prefix(const char* key) {
+    if (!scope_is_empty_.empty()) {
+      if (!scope_is_empty_.back()) std::fputc(',', f_);
+      scope_is_empty_.back() = false;
+      std::fputc('\n', f_);
+      for (size_t i = 0; i < scope_is_empty_.size(); ++i) {
+        std::fputs("  ", f_);
+      }
+    }
+    if (key != nullptr) std::fprintf(f_, "\"%s\": ", key);
+  }
+  void Open(const char* key, char bracket) {
+    Prefix(key);
+    std::fputc(bracket, f_);
+    scope_is_empty_.push_back(true);
+  }
+  void CloseScope(char bracket) {
+    bool empty = scope_is_empty_.back();
+    scope_is_empty_.pop_back();
+    if (!empty) {
+      std::fputc('\n', f_);
+      for (size_t i = 0; i < scope_is_empty_.size(); ++i) {
+        std::fputs("  ", f_);
+      }
+    }
+    std::fputc(bracket, f_);
+  }
+
+  std::FILE* f_;
+  std::vector<bool> scope_is_empty_;  // per open scope: no members yet
+};
 
 }  // namespace rql::bench
 

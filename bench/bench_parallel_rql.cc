@@ -71,16 +71,13 @@ int Run() {
   std::printf("%-10s %12s %10s %12s %14s\n", "workers", "wall_ms", "speedup",
               "coalesced", "lock_wait_ms");
 
-  std::FILE* json = std::fopen("BENCH_parallel.json", "w");
-  if (json == nullptr) {
-    Fail(Status::Internal("cannot open BENCH_parallel.json"), "json");
-  }
-  std::fprintf(json,
-               "{\n  \"sf\": %.4f,\n  \"set_size\": %d,\n"
-               "  \"archive_latency_us\": %lld,\n"
-               "  \"hardware_threads\": %u,\n  \"sweep\": [",
-               Sf(), kSetSize, static_cast<long long>(kArchiveLatencyUs),
-               std::thread::hardware_concurrency());
+  JsonWriter json("BENCH_parallel.json");
+  json.BeginObject();
+  json.Field("sf", Sf(), 4);
+  json.Field("set_size", kSetSize);
+  json.Field("archive_latency_us", kArchiveLatencyUs);
+  json.Field("hardware_threads", std::thread::hardware_concurrency());
+  json.BeginArray("sweep");
 
   bool checks_ok = true;
   RunResult base;
@@ -101,13 +98,14 @@ int Run() {
     std::printf("%-10d %12.1f %9.2fx %12lld %14.1f\n", workers, r.wall_ms,
                 speedup, static_cast<long long>(r.coalesced_loads),
                 r.lock_wait_ms);
-    std::fprintf(json,
-                 "%s\n    {\"workers\": %d, \"wall_ms\": %.3f, "
-                 "\"speedup\": %.3f, \"coalesced_loads\": %lld, "
-                 "\"lock_wait_ms\": %.3f, \"rows_match\": %s}",
-                 i == 0 ? "" : ",", workers, r.wall_ms, speedup,
-                 static_cast<long long>(r.coalesced_loads), r.lock_wait_ms,
-                 rows_match ? "true" : "false");
+    json.BeginObject();
+    json.Field("workers", workers);
+    json.Field("wall_ms", r.wall_ms);
+    json.Field("speedup", speedup);
+    json.Field("coalesced_loads", r.coalesced_loads);
+    json.Field("lock_wait_ms", r.lock_wait_ms);
+    json.Field("rows_match", rows_match);
+    json.EndObject();
 
     // Correctness: every parallel run's result table equals sequential's.
     if (!rows_match) {
@@ -139,9 +137,10 @@ int Run() {
     checks_ok = false;
   }
 
-  std::fprintf(json, "\n  ],\n  \"checks_ok\": %s\n}\n",
-               checks_ok ? "true" : "false");
-  std::fclose(json);
+  json.EndArray();
+  json.Field("checks_ok", checks_ok);
+  json.EndObject();
+  json.Close();
 
   std::printf(
       "\nExpected: identical result tables at every worker count; with the "

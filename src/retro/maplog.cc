@@ -282,6 +282,8 @@ Status SptCursor::Rebase(const Maplog& log, SnapshotId snap,
   chains_.clear();
   wake_.clear();
   table_.clear();
+  last_delta_.clear();
+  last_delta_valid_ = false;
   snap_ = snap;
   // Every capture at or after snap's mark has end_snap >= snap (it was
   // appended in some epoch e >= snap), so the whole suffix belongs in the
@@ -364,6 +366,8 @@ void SptCursor::Advance(const Maplog& log, SnapshotId snap,
     wake_.erase(wake_.begin());
   }
   for (storage::PageId page : reawakened) pending.insert(page);
+  last_delta_.assign(pending.begin(), pending.end());
+  last_delta_valid_ = true;
   for (storage::PageId page : pending) Reposition(page);
 }
 

@@ -231,6 +231,18 @@ class SptCursor {
   const SnapshotPageTable& table() const { return table_; }
   SnapshotId position() const { return snap_; }
 
+  /// After an incremental advance, the pages whose table() mapping may
+  /// differ from the previous position (a conservative superset: every page
+  /// whose mapping — including absence — changed is listed; a listed page
+  /// may turn out unchanged). A page modified between the two snapshots
+  /// always has a capture expiring in that window, so content changes are
+  /// covered too. Invalid after a rebase (first seek, backward seek, or a
+  /// truncated prefix): there is no predecessor position to diff against.
+  const std::vector<storage::PageId>& last_delta() const {
+    return last_delta_;
+  }
+  bool last_delta_valid() const { return last_delta_valid_; }
+
  private:
   struct Capture {
     SnapshotId start = 0;
@@ -262,6 +274,8 @@ class SptCursor {
   // order as the cursor advances.
   std::map<SnapshotId, std::vector<storage::PageId>> wake_;
   SnapshotPageTable table_;
+  std::vector<storage::PageId> last_delta_;
+  bool last_delta_valid_ = false;
 };
 
 }  // namespace rql::retro

@@ -291,6 +291,29 @@ void SnapshotStore::EndSnapshotSet() {
   set_cursor_.reset();
 }
 
+Result<bool> SnapshotStore::AdvanceSnapshotSet(
+    SnapshotId snap, std::vector<storage::PageId>* delta) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  delta->clear();
+  if (!snapshot_set_active_) {
+    return Status::InvalidArgument(
+        "AdvanceSnapshotSet requires an active snapshot-set session");
+  }
+  if (set_cursor_ == nullptr) set_cursor_ = std::make_unique<SptCursor>();
+  SptBuildStats build;
+  int64_t delta_entries = 0;
+  RQL_RETURN_IF_ERROR(
+      set_cursor_->Seek(*maplog_, snap, &build, &delta_entries));
+  AddSptBuildStats(build);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.spt_delta_entries += delta_entries;
+  }
+  if (!set_cursor_->last_delta_valid()) return false;
+  *delta = set_cursor_->last_delta();
+  return true;
+}
+
 Result<std::unique_ptr<SnapshotView>> SnapshotStore::OpenSnapshot(
     SnapshotId snap) {
   int64_t lock_start_us = NowMicros();
@@ -406,6 +429,14 @@ Status SnapshotStore::PrefetchArchived(const SnapshotView& view) {
 
 Status SnapshotStore::ReadArchived(uint64_t pagelog_offset,
                                    storage::Page* page) {
+  RQL_ASSIGN_OR_RETURN(storage::PinnedPage pin,
+                       ReadArchivedPinned(pagelog_offset));
+  *page = *pin;
+  return Status::OK();
+}
+
+Result<storage::PinnedPage> SnapshotStore::ReadArchivedPinned(
+    uint64_t pagelog_offset) {
   int64_t fetches = 0;
   storage::BufferPool::GetOutcome outcome;
   auto fetch = [&]() {
@@ -437,9 +468,7 @@ Status SnapshotStore::ReadArchived(uint64_t pagelog_offset,
       }
     }
   }
-  RQL_RETURN_IF_ERROR(result.status());
-  *page = **result;
-  return Status::OK();
+  return result;
 }
 
 void SnapshotStore::AddSptBuildStats(const SptBuildStats& s) {
@@ -455,7 +484,32 @@ void SnapshotStore::AddLockWaitUs(int64_t us) {
   stats_.lock_wait_us += us;
 }
 
+bool SnapshotView::PageVersion(storage::PageId id, uint64_t* version) {
+  // A scan-cache hit answers the read from this version lookup alone,
+  // never reaching ReadPage/ReadPagePinned — so the read must be recorded
+  // here for the iteration-skip read set to stay a superset of the pages
+  // the query depends on.
+  store_->RecordPageRead(id);
+  // Only SPT-mapped pages have a stable identity: their content lives in
+  // an immutable archive record at a fixed offset. A page shared with the
+  // current database may change under a concurrently committing update, so
+  // it is deliberately unversioned (and thus uncacheable across reads).
+  auto it = spt_.find(id);
+  if (it == spt_.end()) return false;
+  *version = it->second;
+  return true;
+}
+
+Result<storage::PinnedPage> SnapshotView::ReadPagePinned(
+    storage::PageId id) {
+  store_->RecordPageRead(id);
+  auto it = spt_.find(id);
+  if (it == spt_.end()) return storage::PinnedPage();
+  return store_->ReadArchivedPinned(it->second);
+}
+
 Status SnapshotView::ReadPage(storage::PageId id, storage::Page* page) {
+  store_->RecordPageRead(id);
   // Fast path: the page is archived and already mapped by this view's SPT.
   // The SPT is view-local, archive records are immutable and the snapshot
   // cache synchronizes internally, so no store lock is needed; concurrent

@@ -8,6 +8,7 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -115,6 +116,18 @@ class SnapshotStore;
 class SnapshotView : public storage::PageReader {
  public:
   Status ReadPage(storage::PageId id, storage::Page* page) override;
+
+  /// Pagelog offset of `id`'s archived version, for SPT-mapped pages. Two
+  /// snapshots mapping a page to the same offset share one immutable
+  /// archive record, so the offset is a stable cross-snapshot identity for
+  /// the page's content (the scan-reuse key). Pages shared with the
+  /// current database have no stable version and return false.
+  bool PageVersion(storage::PageId id, uint64_t* version) override;
+
+  /// Pins `id`'s archived version straight from the snapshot cache
+  /// (SPT-mapped pages only; empty pin otherwise). Stats accounting is
+  /// identical to ReadPage.
+  Result<storage::PinnedPage> ReadPagePinned(storage::PageId id) override;
 
   SnapshotId id() const { return snap_; }
 
@@ -224,6 +237,27 @@ class SnapshotStore : public storage::PageWriter {
   void EndSnapshotSet();
   bool snapshot_set_active() const { return snapshot_set_active_; }
 
+  /// Moves the active snapshot-set cursor to `snap` ahead of the query
+  /// that will open it (the skip-decision probe). Returns true and fills
+  /// `delta` with the pages whose mapping may differ from the cursor's
+  /// previous position (a conservative superset — see
+  /// SptCursor::last_delta) when the move was an incremental advance;
+  /// returns false after a cold rebase (first snapshot of the set, a
+  /// backward seek), when no predecessor exists to diff against. The
+  /// later OpenSnapshot for the same id re-seeks at zero incremental
+  /// cost. Requires an active session.
+  Result<bool> AdvanceSnapshotSet(SnapshotId snap,
+                                  std::vector<storage::PageId>* delta);
+
+  /// Arms (or with nullptr disarms) a recorder that collects the PageId of
+  /// every page read through any SnapshotView — the read-set the iteration
+  /// skipper intersects with Maplog deltas. The caller owns the set and
+  /// must keep it alive while armed; recording is only meaningful for
+  /// single-threaded runs (the sequential RQL loop).
+  void set_read_recorder(std::unordered_set<storage::PageId>* recorder) {
+    read_recorder_.store(recorder, std::memory_order_relaxed);
+  }
+
   /// When enabled, OpenSnapshot prefetches the view's SPT-resident pages
   /// that miss the snapshot cache in one Pagelog-offset-ordered pass,
   /// charged at CostModel::pagelog_seq_read_us per fetched page
@@ -295,6 +329,18 @@ class SnapshotStore : public storage::PageWriter {
   /// thread-safe, and the cache single-flights concurrent misses.
   Status ReadArchived(uint64_t pagelog_offset, storage::Page* page);
 
+  /// Pin-returning form of ReadArchived (same retry policy and stats);
+  /// ReadArchived is this plus a copy-out.
+  Result<storage::PinnedPage> ReadArchivedPinned(uint64_t pagelog_offset);
+
+  /// Feeds `id` to the armed read recorder, if any (see
+  /// set_read_recorder). Relaxed: the recorder is only armed in
+  /// single-threaded runs.
+  void RecordPageRead(storage::PageId id) {
+    auto* recorder = read_recorder_.load(std::memory_order_relaxed);
+    if (recorder != nullptr) recorder->insert(id);
+  }
+
   /// The snapshot-cache loader for archive offset keys: a Pagelog read
   /// (counting records into `*fetches`) plus the optional simulated
   /// latency sleep.
@@ -357,6 +403,7 @@ class SnapshotStore : public storage::PageWriter {
   bool batch_archive_reads_ = false;
   int archive_read_retries_ = 0;
   std::atomic<int64_t> simulated_archive_latency_us_{0};
+  std::atomic<std::unordered_set<storage::PageId>*> read_recorder_{nullptr};
 
   IterationStats stats_;
 };

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cctype>
 #include <thread>
+#include <unordered_set>
 
 #include "common/clock.h"
 #include "sql/btree.h"
@@ -142,6 +143,26 @@ class RqlEngine::MechanismState {
   /// textual rewrite (plan_failed_).
   std::unique_ptr<sql::PreparedStatement> plan_;
   bool plan_failed_ = false;
+
+  /// Skip context for the skip_unchanged_iterations path. `read_set_` is
+  /// the set of pages the last *executed* iteration's Qq consulted (every
+  /// SnapshotView read records here while the recorder is armed) and
+  /// `replay_cols_`/`replay_rows_` its buffered result. An iteration whose
+  /// Maplog delta misses the read set replays the buffer instead of
+  /// executing Qq; chained skips keep checking consecutive deltas against
+  /// the same read set (induction: the pages Qq depends on are untouched
+  /// at every step, and execution is deterministic). `skip_eligible_` is
+  /// false until an iteration executes successfully with the recorder
+  /// armed, and is invalidated whenever the set cursor rebases (no
+  /// predecessor delta).
+  bool skip_eligible_ = false;
+  std::unordered_set<storage::PageId> read_set_;
+  std::vector<std::string> replay_cols_;
+  std::vector<Row> replay_rows_;
+  /// Whether Qq textually uses current_snapshot() — its result then varies
+  /// per snapshot even on identical data, so skipping is never sound.
+  /// Probed lazily on first skip opportunity: -1 unknown, 0 no, 1 yes.
+  int qq_uses_current_snapshot_ = -1;
 
  protected:
   sql::Database* meta() { return engine_->meta_db_; }
@@ -754,6 +775,15 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
         "cold_cache_per_iteration is incompatible with parallel Qq "
         "evaluation (parallel_workers > 1)");
   }
+  if (options_.skip_unchanged_iterations &&
+      options_.cold_cache_per_iteration) {
+    // A replayed iteration performs no reads at all, so the all-cold
+    // baseline the flag defines would silently not be measured.
+    return Status::InvalidArgument(
+        "cold_cache_per_iteration is incompatible with "
+        "skip_unchanged_iterations (a skipped iteration reads nothing, so "
+        "the all-cold baseline would not be measured)");
+  }
   RQL_RETURN_IF_ERROR(PrepareResultTable(state->table()));
   if (options_.cold_cache_per_run) {
     // Cleared before any worker thread is spawned: thread creation gives
@@ -763,11 +793,21 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
   }
   retro::SnapshotStore* store = data_db_->store();
   store->set_archive_read_retries(options_.archive_read_retries);
+  if (options_.reuse_decoded_pages) {
+    scan_cache_.Clear();
+    scan_cache_.TakeHits();
+    data_db_->set_scan_cache(&scan_cache_);
+  }
   Status s = Status::OK();
   if (parallel) {
     s = RunMechanismParallel(snap_ids, state);
   } else {
-    if (options_.incremental_spt) store->BeginSnapshotSet();
+    // Iteration skipping rides the same snapshot-set session as the
+    // incremental SPT: the session cursor is what surfaces the per-step
+    // Maplog delta.
+    bool session =
+        options_.incremental_spt || options_.skip_unchanged_iterations;
+    if (session) store->BeginSnapshotSet();
     bool saved_batch = store->batch_archive_reads();
     if (options_.batch_pagelog_reads) store->set_batch_archive_reads(true);
     for (retro::SnapshotId snap : snap_ids) {
@@ -775,9 +815,13 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
       if (!s.ok()) break;
     }
     store->set_batch_archive_reads(saved_batch);
-    if (options_.incremental_spt) store->EndSnapshotSet();
+    if (session) store->EndSnapshotSet();
   }
   store->set_archive_read_retries(0);
+  if (options_.reuse_decoded_pages) {
+    data_db_->set_scan_cache(nullptr);
+    scan_cache_.Clear();  // releases the pinned frames the entries hold
+  }
   if (s.ok()) s = state->Finish();
   if (!s.ok()) {
     // A failed iteration (or Finish) aborts the run with a clean error:
@@ -841,6 +885,10 @@ Status RqlEngine::RunMechanismParallel(
         ctx.catalog = &catalog;
         ctx.functions = functions;
         ctx.stats = &exec_stats;
+        // Workers share the engine's thread-safe decoded-page cache, so a
+        // page version shared across their snapshots decodes once per run.
+        ctx.scan_cache =
+            options_.reuse_decoded_pages ? &scan_cache_ : nullptr;
         RQL_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectExecutor> exec,
                              sql::SelectExecutor::Prepare(select, ctx));
         out.columns = exec->columns();
@@ -868,6 +916,9 @@ Status RqlEngine::RunMechanismParallel(
   stats_.parallel_lock_wait_us = store->stats()->lock_wait_us;
   stats_.coalesced_loads = store->stats()->coalesced_loads;
   stats_.archive_read_retries += store->stats()->archive_read_retries;
+  // Workers interleave on the shared cache, so hits are only meaningful
+  // as a run total.
+  stats_.shared_page_hits = scan_cache_.TakeHits();
 
   // Sequential replay in Qs order: semantics identical to the serial run.
   for (size_t i = 0; i < snaps.size(); ++i) {
@@ -902,18 +953,70 @@ Status RqlEngine::RunMechanismParallel(
 Status RqlEngine::RunIteration(retro::SnapshotId snap,
                                MechanismState* state) {
   retro::SnapshotStore* store = data_db_->store();
-  if (options_.cold_cache_per_iteration) store->ClearSnapshotCache();
+  if (options_.cold_cache_per_iteration) {
+    // Decoded pages pin buffer frames; release them before dropping the
+    // snapshot page cache so the iteration truly starts cold.
+    scan_cache_.Clear();
+    store->ClearSnapshotCache();
+  }
   store->ResetStats();
+
+  // Skip probe: advance the snapshot-set cursor — which also primes the
+  // incremental SPT for the OpenSnapshot below; re-seeking the same
+  // snapshot drains no further delta — and test the Maplog delta against
+  // the last executed iteration's read set. Probe costs land after
+  // ResetStats, so they are attributed to this iteration.
+  const bool record = options_.skip_unchanged_iterations;
+  int64_t delta_pages = 0;
+  if (record) {
+    std::vector<storage::PageId> delta;
+    RQL_ASSIGN_OR_RETURN(bool have_delta,
+                         store->AdvanceSnapshotSet(snap, &delta));
+    if (!have_delta) {
+      // Cursor rebased (first snapshot of the set, a backward seek, or a
+      // truncated history prefix): no predecessor to skip against.
+      state->skip_eligible_ = false;
+    } else {
+      delta_pages = static_cast<int64_t>(delta.size());
+      if (state->skip_eligible_) {
+        if (state->qq_uses_current_snapshot_ < 0) {
+          state->qq_uses_current_snapshot_ =
+              ReplaceCurrentSnapshot(state->qq(), 1) != state->qq() ? 1 : 0;
+        }
+        bool unchanged = state->qq_uses_current_snapshot_ == 0;
+        for (size_t i = 0; unchanged && i < delta.size(); ++i) {
+          unchanged = state->read_set_.count(delta[i]) == 0;
+        }
+        if (unchanged) return ReplayIteration(snap, state, delta_pages);
+      }
+    }
+    // This iteration executes; its read set replaces the previous one
+    // only if it completes successfully.
+    state->skip_eligible_ = false;
+  }
   RqlIterationStats iter;
   iter.snapshot = snap;
+  iter.delta_pages_scanned = delta_pages;
   int64_t udf_us = 0;
   int64_t qq_rows = 0;
 
   data_db_->set_current_snapshot(snap);
   RQL_RETURN_IF_ERROR(meta_db_->Exec("BEGIN"));
+  // While armed, every page the snapshot view serves lands in `reads`;
+  // the Qq result is buffered alongside so an unchanged successor can
+  // replay it. Disarmed right after Qq finishes (no early returns in
+  // between — both execution paths capture their status in `s`).
+  std::unordered_set<storage::PageId> reads;
+  std::vector<std::string> buf_cols;
+  std::vector<Row> buf_rows;
+  if (record) store->set_read_recorder(&reads);
   int64_t start = NowMicros();
   auto row_cb = [&](const std::vector<std::string>& cols,
                     const Row& row) -> Status {
+    if (record) {
+      if (buf_cols.empty()) buf_cols = cols;
+      buf_rows.push_back(row);
+    }
     ScopedTimer timer(&udf_us);
     ++qq_rows;
     return state->OnRow(snap, cols, row);
@@ -951,6 +1054,7 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
     std::string rewritten = InjectAsOf(state->qq(), snap);
     s = data_db_->Exec(rewritten, row_cb);
   }
+  if (record) store->set_read_recorder(nullptr);
   int64_t index_create_us = data_db_->last_stats().exec.index_build_us;
   int64_t spt_cpu_us = store->stats()->spt.cpu_us;
   if (s.ok()) {
@@ -983,7 +1087,57 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
   iter.batched_pagelog_reads = rs.batched_pagelog_reads;
   iter.coalesced_loads = rs.coalesced_loads;
   iter.qq_rows = qq_rows;
+  if (options_.reuse_decoded_pages) {
+    iter.shared_page_hits = scan_cache_.TakeHits();
+    stats_.shared_page_hits += iter.shared_page_hits;
+  }
+  if (record) {
+    state->read_set_ = std::move(reads);
+    state->replay_cols_ = std::move(buf_cols);
+    state->replay_rows_ = std::move(buf_rows);
+    state->skip_eligible_ = true;
+  }
   state->CollectCounters(&iter);
+  stats_.iterations.push_back(iter);
+  return Status::OK();
+}
+
+Status RqlEngine::ReplayIteration(retro::SnapshotId snap,
+                                  MechanismState* state,
+                                  int64_t delta_pages) {
+  retro::SnapshotStore* store = data_db_->store();
+  RqlIterationStats iter;
+  iter.snapshot = snap;
+  iter.skipped = true;
+  iter.delta_pages_scanned = delta_pages;
+  iter.qq_rows = static_cast<int64_t>(state->replay_rows_.size());
+  int64_t udf_us = 0;
+  RQL_RETURN_IF_ERROR(meta_db_->Exec("BEGIN"));
+  Status s = Status::OK();
+  {
+    ScopedTimer timer(&udf_us);
+    for (const Row& row : state->replay_rows_) {
+      s = state->OnRow(snap, state->replay_cols_, row);
+      if (!s.ok()) break;
+    }
+    if (s.ok()) s = state->OnIterationEnd(snap);
+  }
+  if (!s.ok()) {
+    (void)meta_db_->Exec("ROLLBACK");
+    return s;
+  }
+  RQL_RETURN_IF_ERROR(meta_db_->Exec("COMMIT"));
+  // The only store work this iteration did was the skip probe's Maplog
+  // advance (charged after ResetStats in RunIteration).
+  const retro::CostModel& cm = store->cost_model();
+  const retro::IterationStats& rs = *store->stats();
+  iter.io_us = rs.IoUs(cm);
+  iter.spt_build_us = rs.SptUs(cm);
+  iter.udf_us = udf_us;
+  iter.maplog_pages = rs.spt.maplog_pages_read;
+  iter.spt_delta_entries = rs.spt_delta_entries;
+  state->CollectCounters(&iter);
+  ++stats_.iterations_skipped;
   stats_.iterations.push_back(iter);
   return Status::OK();
 }
@@ -1081,15 +1235,31 @@ Status RqlEngine::RegisterUdfs() {
   auto begin_run = [this](const std::string& table,
                           auto make_state) -> Result<MechanismState*> {
     if (!udf_run_started_) {
+      if (options_.skip_unchanged_iterations &&
+          options_.cold_cache_per_iteration) {
+        // Same incompatibility RunMechanism rejects: a replayed iteration
+        // reads nothing, falsifying the all-cold baseline.
+        return Status::InvalidArgument(
+            "cold_cache_per_iteration is incompatible with "
+            "skip_unchanged_iterations (a skipped iteration reads "
+            "nothing, so the all-cold baseline would not be measured)");
+      }
       stats_ = RqlRunStats{};
       if (options_.cold_cache_per_run) {
         data_db_->store()->ClearSnapshotCache();
       }
       // UDF-driven runs iterate sequentially inside one Qs scan, so the
       // same amortization session applies; FinishUdfRuns closes it.
-      if (options_.incremental_spt) data_db_->store()->BeginSnapshotSet();
+      if (options_.incremental_spt || options_.skip_unchanged_iterations) {
+        data_db_->store()->BeginSnapshotSet();
+      }
       if (options_.batch_pagelog_reads) {
         data_db_->store()->set_batch_archive_reads(true);
+      }
+      if (options_.reuse_decoded_pages) {
+        scan_cache_.Clear();
+        scan_cache_.TakeHits();
+        data_db_->set_scan_cache(&scan_cache_);
       }
       data_db_->store()->set_archive_read_retries(
           options_.archive_read_retries);
@@ -1187,9 +1357,15 @@ Status RqlEngine::RegisterUdfs() {
 
 Status RqlEngine::FinishUdfRuns() {
   if (udf_run_started_) {
-    if (options_.incremental_spt) data_db_->store()->EndSnapshotSet();
+    if (options_.incremental_spt || options_.skip_unchanged_iterations) {
+      data_db_->store()->EndSnapshotSet();
+    }
     data_db_->store()->set_batch_archive_reads(false);
     data_db_->store()->set_archive_read_retries(0);
+    if (options_.reuse_decoded_pages) {
+      data_db_->set_scan_cache(nullptr);
+      scan_cache_.Clear();
+    }
   }
   for (auto& [table, state] : udf_states_) {
     RQL_RETURN_IF_ERROR(state->Finish());

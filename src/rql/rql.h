@@ -10,6 +10,7 @@
 #include "retro/snapshot_store.h"
 #include "rql/aggregates.h"
 #include "sql/database.h"
+#include "sql/scan_cache.h"
 
 namespace rql {
 
@@ -41,6 +42,19 @@ struct RqlIterationStats {
   /// Archive reads this iteration coalesced onto another worker's
   /// in-flight fetch of the same page (always 0 in sequential runs).
   int64_t coalesced_loads = 0;
+  // COW page-sharing exploitation counters (zero at paper-faithful
+  // defaults; see RqlOptions::reuse_decoded_pages /
+  /// skip_unchanged_iterations).
+  /// Scan-path pages served from the run's decoded-page cache: the page
+  /// version (Pagelog offset) was already fetched and tuple-decoded for an
+  /// earlier snapshot of this run.
+  int64_t shared_page_hits = 0;
+  /// Size of the Maplog delta (pages whose mapping may differ from the
+  /// previous snapshot in the set) examined by the skip decision.
+  int64_t delta_pages_scanned = 0;
+  /// True when Qq was not executed: the delta missed the previous
+  /// iteration's read set, so its result was replayed instead.
+  bool skipped = false;
 
   int64_t TotalUs() const {
     return io_us + spt_build_us + query_eval_us + index_create_us + udf_us;
@@ -79,6 +93,14 @@ struct RqlRunStats {
   /// Transient Pagelog read failures absorbed by the bounded-retry policy
   /// (RqlOptions::archive_read_retries) during this run.
   int64_t archive_read_retries = 0;
+  /// Iterations answered by replaying the previous result instead of
+  /// executing Qq (RqlOptions::skip_unchanged_iterations).
+  int64_t iterations_skipped = 0;
+  /// Run total of decoded-page cache hits
+  /// (RqlOptions::reuse_decoded_pages). Parallel runs report only this
+  /// total: workers share one cache, so per-iteration attribution is
+  /// meaningless there.
+  int64_t shared_page_hits = 0;
 
   int64_t TotalUs() const {
     if (parallel) {
@@ -175,6 +197,30 @@ struct RqlOptions {
   /// rate (CostModel::pagelog_seq_read_us). Counted in
   /// RqlIterationStats::batched_pagelog_reads.
   bool batch_pagelog_reads = false;
+
+  // --- COW page-sharing exploitation (default off: the paper-faithful
+  // --- baseline re-fetches and re-decodes every snapshot from scratch) ----
+  /// Key table pages by their physical version (the Pagelog offset the SPT
+  /// resolves them to) and serve scans from a run-scoped decoded-page
+  /// cache: a page version shared by N snapshots of the set is fetched and
+  /// tuple-decoded once per run instead of N times. Counted in
+  /// RqlIterationStats::shared_page_hits. Composes with parallel runs (the
+  /// cache is thread-safe and shared by the workers) and with
+  /// cold_cache_per_iteration (the decoded cache is dropped each iteration
+  /// along with the snapshot page cache).
+  bool reuse_decoded_pages = false;
+  /// Skip whole iterations whose snapshot provably reads the same data as
+  /// the previous one: the Maplog delta between consecutive snapshots in
+  /// the set (SptCursor::last_delta) is intersected with the page read-set
+  /// of the last executed iteration, and on an empty intersection the
+  /// previous Qq result is replayed through the mechanism without
+  /// executing Qq. Counted in RqlIterationStats::skipped /
+  /// RqlRunStats::iterations_skipped. Sequential runs only (parallel
+  /// workers visit snapshots out of order and ignore the flag); requires
+  /// Qq not to use current_snapshot() (detected, skip disabled); rejected
+  /// with InvalidArgument in combination with cold_cache_per_iteration,
+  /// whose all-cold baseline a skipped iteration would falsify.
+  bool skip_unchanged_iterations = false;
 
   /// Bounded retry budget for transient Pagelog archive read failures
   /// during a run: each failed read is re-issued up to this many times
@@ -299,8 +345,17 @@ class RqlEngine {
                               MechanismState* state);
 
   /// One "loop body" invocation: rewrite Qq, run it on the snapshot, feed
-  /// rows to the state, and record the iteration cost breakdown.
+  /// rows to the state, and record the iteration cost breakdown. With
+  /// skip_unchanged_iterations, first probes the Maplog delta against the
+  /// previous executed iteration's read set and replays instead of
+  /// executing when it proves the result unchanged.
   Status RunIteration(retro::SnapshotId snap, MechanismState* state);
+
+  /// Re-feeds the previous executed iteration's buffered Qq result rows
+  /// through the state for snapshot `snap` (the skip path). `delta_pages`
+  /// is the size of the Maplog delta the skip decision examined.
+  Status ReplayIteration(retro::SnapshotId snap, MechanismState* state,
+                         int64_t delta_pages);
 
   Status PrepareResultTable(const std::string& table);
 
@@ -308,6 +363,10 @@ class RqlEngine {
   sql::Database* meta_db_;
   RqlOptions options_;
   RqlRunStats stats_;
+  /// Run-scoped decoded-page cache (reuse_decoded_pages); attached to the
+  /// data database (and to parallel worker contexts) for the duration of a
+  /// run and cleared when the run ends.
+  sql::ScanCache scan_cache_;
   // UDF-form state, keyed by result table name.
   std::unordered_map<std::string, std::unique_ptr<MechanismState>>
       udf_states_;

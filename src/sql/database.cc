@@ -252,6 +252,9 @@ Status Database::ExecSelect(const SelectStmt& stmt, const QueryCallback& cb) {
   ctx.functions = &functions_;
   ctx.stats = &last_stats_.exec;
   ctx.plan_cache = active_plan_cache_;
+  // Harmless for current-state reads: only versioned (archived snapshot)
+  // pages are ever looked up in or added to the cache.
+  ctx.scan_cache = scan_cache_;
 
   std::unique_ptr<retro::SnapshotView> view;
   CatalogData as_of_catalog;

@@ -129,6 +129,14 @@ class Database {
   /// The snapshot declared by the most recent COMMIT WITH SNAPSHOT.
   retro::SnapshotId last_declared_snapshot() const { return last_declared_; }
 
+  /// Attaches (or with nullptr detaches) a run-scoped decoded-page cache:
+  /// AS OF SELECTs pass it to the executor, which reuses decoded page
+  /// versions across the snapshots of an RQL run. Current-state queries
+  /// are unaffected (their pages carry no stable version). The caller owns
+  /// the cache and its lifetime.
+  void set_scan_cache(ScanCache* cache) { scan_cache_ = cache; }
+  ScanCache* scan_cache() const { return scan_cache_; }
+
   retro::SnapshotStore* store() { return store_.get(); }
   Catalog* catalog() { return catalog_.get(); }
   FunctionRegistry* functions() { return &functions_; }
@@ -185,6 +193,7 @@ class Database {
   // Plan cache of the PreparedStatement currently executing (if any);
   // consumed by ExecSelect for the top-level statement.
   PlanCache* active_plan_cache_ = nullptr;
+  ScanCache* scan_cache_ = nullptr;
   DbExecStats last_stats_;
 };
 

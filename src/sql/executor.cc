@@ -570,10 +570,16 @@ Status SelectExecutor::BuildTransientIndex(TableSource* source) {
     HeapTable heap(store, source->transient_heap_root);
     BTree tree(store, source->transient_index_root);
     int64_t seq = 0;
-    for (auto it = HeapTable::Scan(ctx_.reader, source->table->root);
+    for (auto it = HeapTable::Scan(ctx_.reader, source->table->root,
+                                   ctx_.scan_cache);
          it.Valid(); it.Next()) {
-      RQL_ASSIGN_OR_RETURN(Row row, DecodeRow(it.record()));
-      const Value& key = row[source->inner_key_column];
+      const Row* cached = it.cached_row();
+      Row row;
+      if (cached == nullptr) {
+        RQL_ASSIGN_OR_RETURN(row, DecodeRow(it.record()));
+      }
+      const Value& key =
+          (cached != nullptr ? *cached : row)[source->inner_key_column];
       if (key.is_null()) continue;  // NULL never matches equality
       RQL_ASSIGN_OR_RETURN(Rid rid, heap.Insert(it.record()));
       RQL_RETURN_IF_ERROR(tree.Insert({key, Value::Integer(seq++)}, rid));
@@ -749,10 +755,18 @@ Status SelectExecutor::JoinLevel(size_t level, Row* current,
     return it->status();
   }
 
-  // Sequential scan.
-  auto it = HeapTable::Scan(ctx_.reader, source.table->root);
+  // Sequential scan. Pages the reader versions (archived snapshot pages)
+  // come pre-decoded from the scan cache; copying the cached row replaces
+  // the per-row DecodeRow parse.
+  auto it = HeapTable::Scan(ctx_.reader, source.table->root,
+                            ctx_.scan_cache);
   for (; it.Valid(); it.Next()) {
-    RQL_ASSIGN_OR_RETURN(Row row, DecodeRow(it.record()));
+    Row row;
+    if (const Row* cached = it.cached_row()) {
+      row = *cached;
+    } else {
+      RQL_ASSIGN_OR_RETURN(row, DecodeRow(it.record()));
+    }
     RQL_RETURN_IF_ERROR(emit_candidate(std::move(row)));
     if (done_) return Status::OK();
   }

@@ -17,6 +17,8 @@
 
 namespace rql::sql {
 
+class ScanCache;
+
 /// Per-statement execution counters. `index_build_us` isolates the cost of
 /// transient join indexes (SQLite's "automatic covering index"), which the
 /// paper's Figure 9 reports as a separate bar.
@@ -65,6 +67,11 @@ struct ExecContext {
   /// informational for operators that care which AS OF binding is active.
   retro::SnapshotId as_of = retro::kNoSnapshot;
   PlanCache* plan_cache = nullptr;  // optional
+  /// Optional run-scoped decoded-page cache. Sequential scans and
+  /// transient-index builds consult it for pages the reader versions
+  /// (archived snapshot pages); readers without stable page versions —
+  /// the current state — leave it untouched.
+  ScanCache* scan_cache = nullptr;
 };
 
 using RowSink = std::function<Status(const Row&)>;

@@ -258,19 +258,65 @@ Status HeapTable::Drop() {
   return Status::OK();
 }
 
-HeapTable::Iterator::Iterator(storage::PageReader* reader, PageId root)
-    : reader_(reader) {
+HeapTable::Iterator::Iterator(storage::PageReader* reader, PageId root,
+                              ScanCache* cache)
+    : reader_(reader), cache_(cache) {
   LoadPage(root);
   if (status_.ok()) AdvanceToLiveSlot();
+}
+
+std::shared_ptr<const ScanCache::DecodedPage>
+HeapTable::Iterator::DecodePage(const Page& page, storage::PinnedPage pin) {
+  auto decoded = std::make_shared<ScanCache::DecodedPage>();
+  decoded->next = page.ReadU32(kNextOff);
+  uint16_t slot_count = page.ReadU16(kSlotCountOff);
+  for (int s = 0; s < slot_count; ++s) {
+    uint16_t off, len;
+    ReadSlot(page, s, &off, &len);
+    if (len == kDeadLen) continue;
+    std::string_view record(page.data + off, len);
+    Result<Row> row = DecodeRow(record);
+    if (!row.ok()) return nullptr;  // undecodable: leave it to plain reads
+    decoded->slots.push_back(static_cast<uint16_t>(s));
+    decoded->records.push_back(record);
+    decoded->rows.push_back(std::move(*row));
+  }
+  decoded->pin = std::move(pin);
+  return decoded;
 }
 
 void HeapTable::Iterator::LoadPage(PageId id) {
   page_id_ = id;
   slot_ = -1;
+  cached_.reset();
   if (id == kInvalidPageId) {
     valid_ = false;
     slot_count_ = 0;
     return;
+  }
+  uint64_t version = 0;
+  if (cache_ != nullptr && reader_->PageVersion(id, &version)) {
+    cached_ = cache_->Lookup(version);
+    if (cached_ != nullptr) {
+      cache_->AddHit();
+      return;
+    }
+    Result<storage::PinnedPage> pinned = reader_->ReadPagePinned(id);
+    if (!pinned.ok()) {
+      status_ = pinned.status();
+      valid_ = false;
+      return;
+    }
+    if (*pinned) {
+      const Page& frame = **pinned;  // outlives the move: the entry pins it
+      auto decoded = DecodePage(frame, std::move(*pinned));
+      if (decoded != nullptr) {
+        cached_ = cache_->Insert(version, std::move(decoded));
+        return;
+      }
+    }
+    // No pin or undecodable records: fall through to the plain path, which
+    // reports decode errors through the caller's own DecodeRow.
   }
   status_ = reader_->ReadPage(id, &page_);
   if (!status_.ok()) {
@@ -282,17 +328,25 @@ void HeapTable::Iterator::LoadPage(PageId id) {
 
 void HeapTable::Iterator::AdvanceToLiveSlot() {
   while (page_id_ != kInvalidPageId) {
-    while (++slot_ < slot_count_) {
-      uint16_t off, len;
-      ReadSlot(page_, slot_, &off, &len);
-      if (len != kDeadLen) {
-        record_ = std::string_view(page_.data + off, len);
+    if (cached_ != nullptr) {
+      if (++slot_ < static_cast<int>(cached_->records.size())) {
+        record_ = cached_->records[slot_];
         valid_ = true;
         return;
       }
+      LoadPage(cached_->next);
+    } else {
+      while (++slot_ < slot_count_) {
+        uint16_t off, len;
+        ReadSlot(page_, slot_, &off, &len);
+        if (len != kDeadLen) {
+          record_ = std::string_view(page_.data + off, len);
+          valid_ = true;
+          return;
+        }
+      }
+      LoadPage(page_.ReadU32(kNextOff));
     }
-    PageId next = page_.ReadU32(kNextOff);
-    LoadPage(next);
     if (!status_.ok()) return;
   }
   valid_ = false;
@@ -304,9 +358,9 @@ void HeapTable::Iterator::Next() {
   AdvanceToLiveSlot();
 }
 
-HeapTable::Iterator HeapTable::Scan(storage::PageReader* reader,
-                                    PageId root) {
-  return Iterator(reader, root);
+HeapTable::Iterator HeapTable::Scan(storage::PageReader* reader, PageId root,
+                                    ScanCache* cache) {
+  return Iterator(reader, root, cache);
 }
 
 Result<std::string> HeapTable::Get(storage::PageReader* reader, Rid rid) {

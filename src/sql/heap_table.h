@@ -2,10 +2,12 @@
 #define RQL_SQL_HEAP_TABLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "common/status.h"
+#include "sql/scan_cache.h"
 #include "storage/page_store.h"
 
 namespace rql::sql {
@@ -56,6 +58,14 @@ class HeapTable {
   storage::PageId root() const { return root_; }
 
   /// Forward scan over any reader (the current state or a snapshot view).
+  ///
+  /// With a ScanCache attached, pages the reader can assign a stable
+  /// version to (archived snapshot pages, keyed by Pagelog offset) are
+  /// decoded once per cache lifetime: the scan serves records — and
+  /// pre-decoded rows, see cached_row() — from the cached entry, and the
+  /// chain follows the entry's recorded successor without re-reading the
+  /// page. Unversioned pages (current-state, or shared-with-current) fall
+  /// back to the plain read-and-walk path, so a scan may mix both modes.
   class Iterator {
    public:
     /// True while positioned on a record. False at end or after error;
@@ -63,19 +73,38 @@ class HeapTable {
     bool Valid() const { return valid_; }
     Status status() const { return status_; }
 
-    Rid rid() const { return MakeRid(page_id_, slot_); }
+    Rid rid() const {
+      return MakeRid(page_id_, cached_ ? cached_->slots[slot_]
+                                       : static_cast<uint16_t>(slot_));
+    }
     std::string_view record() const { return record_; }
+
+    /// The current record's pre-decoded row, when it was served from the
+    /// scan cache; nullptr otherwise (caller decodes record() itself).
+    const Row* cached_row() const {
+      return cached_ ? &cached_->rows[slot_] : nullptr;
+    }
 
     void Next();
 
    private:
     friend class HeapTable;
-    Iterator(storage::PageReader* reader, storage::PageId root);
+    Iterator(storage::PageReader* reader, storage::PageId root,
+             ScanCache* cache);
 
     void LoadPage(storage::PageId id);
     void AdvanceToLiveSlot();
+    /// Decodes the pinned page version into a cache entry; nullptr when
+    /// any record fails to decode (the plain path surfaces the error).
+    static std::shared_ptr<const ScanCache::DecodedPage> DecodePage(
+        const storage::Page& page, storage::PinnedPage pin);
 
     storage::PageReader* reader_;
+    ScanCache* cache_ = nullptr;
+    // Cached mode: the current page's decoded entry; slot_ indexes its
+    // records. Plain mode (cached_ == nullptr): page_ holds the page and
+    // slot_ is the physical slot number.
+    std::shared_ptr<const ScanCache::DecodedPage> cached_;
     storage::Page page_;
     storage::PageId page_id_ = storage::kInvalidPageId;
     int slot_ = -1;  // current slot, advanced by AdvanceToLiveSlot
@@ -85,8 +114,10 @@ class HeapTable {
     Status status_;
   };
 
-  /// Opens a scan of the table rooted at `root` through `reader`.
-  static Iterator Scan(storage::PageReader* reader, storage::PageId root);
+  /// Opens a scan of the table rooted at `root` through `reader`,
+  /// optionally reusing decoded page versions from `cache`.
+  static Iterator Scan(storage::PageReader* reader, storage::PageId root,
+                       ScanCache* cache = nullptr);
 
   /// Reads one record by rid through `reader`.
   static Result<std::string> Get(storage::PageReader* reader, Rid rid);

@@ -1,0 +1,29 @@
+#include "sql/scan_cache.h"
+
+namespace rql::sql {
+
+std::shared_ptr<const ScanCache::DecodedPage> ScanCache::Lookup(
+    uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(version);
+  return it == pages_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const ScanCache::DecodedPage> ScanCache::Insert(
+    uint64_t version, std::shared_ptr<const DecodedPage> page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = pages_.emplace(version, std::move(page));
+  return it->second;
+}
+
+void ScanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pages_.clear();
+}
+
+uint64_t ScanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size();
+}
+
+}  // namespace rql::sql

@@ -1,0 +1,72 @@
+#ifndef RQL_SQL_SCAN_CACHE_H_
+#define RQL_SQL_SCAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sql/value.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace rql::sql {
+
+/// A run-scoped cache of decoded heap-table pages, keyed by page
+/// *version* — the Pagelog offset the snapshot page table resolves a
+/// (page, snapshot) pair to. Consecutive snapshots share most page
+/// versions under page-level COW, so a version decoded for one snapshot
+/// serves every other snapshot that maps the same offset: the page is
+/// fetched, slot-walked and tuple-decoded once per RQL run instead of
+/// once per snapshot.
+///
+/// Entries hold a PinnedPage, so the raw record bytes (string_views into
+/// the pinned frame) stay valid even if the underlying BufferPool frame
+/// is evicted; the pool merely drops its own reference. The cache is
+/// thread-safe (parallel RQL workers share one instance): lookups and
+/// publishes take a single mutex, decoding happens outside it, and a
+/// racing double-decode resolves to first-publish-wins. It holds pins
+/// for the duration of a run, so it must be cleared when the run ends
+/// (or per iteration under cold-cache experiments).
+class ScanCache {
+ public:
+  /// One decoded page version. Immutable once published.
+  struct DecodedPage {
+    storage::PinnedPage pin;  // keeps `records` bytes alive
+    storage::PageId next = storage::kInvalidPageId;  // chain successor
+    std::vector<uint16_t> slots;            // slot number per live record
+    std::vector<std::string_view> records;  // raw bytes, into the pin
+    std::vector<Row> rows;                  // decoded form of `records`
+  };
+
+  /// The cached entry for `version`, or nullptr.
+  std::shared_ptr<const DecodedPage> Lookup(uint64_t version);
+
+  /// Publishes `page` under `version`; returns the entry that ends up
+  /// cached (the already-present one if another thread published first).
+  std::shared_ptr<const DecodedPage> Insert(
+      uint64_t version, std::shared_ptr<const DecodedPage> page);
+
+  /// Drops every entry (and the pins they hold).
+  void Clear();
+
+  void AddHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// Returns the hit count accumulated since the last take and zeroes it
+  /// (per-iteration attribution in the sequential RQL loop).
+  int64_t TakeHits() { return hits_.exchange(0, std::memory_order_relaxed); }
+
+  uint64_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const DecodedPage>> pages_;
+  std::atomic<int64_t> hits_{0};
+};
+
+}  // namespace rql::sql
+
+#endif  // RQL_SQL_SCAN_CACHE_H_

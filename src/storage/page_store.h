@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "storage/buffer_pool.h"
 #include "storage/env.h"
 #include "storage/page.h"
 
@@ -19,6 +20,28 @@ class PageReader {
  public:
   virtual ~PageReader() = default;
   virtual Status ReadPage(PageId id, Page* page) = 0;
+
+  /// Physical identity of the page version this reader resolves `id` to,
+  /// when one exists that is stable across readers. The Retro snapshot
+  /// view returns the page's Pagelog offset for SPT-mapped (archived)
+  /// pages: two snapshots resolving a page to the same offset see
+  /// byte-identical content, which is what makes cross-snapshot decoded-
+  /// page reuse sound. Readers of mutable state (the default) have no
+  /// stable version key and return false.
+  virtual bool PageVersion(PageId id, uint64_t* version) {
+    (void)id;
+    (void)version;
+    return false;
+  }
+
+  /// Reads `id` as a ref-counted pin on an immutable cached page, when the
+  /// reader can serve one (the Retro view pins archived pages straight
+  /// from the snapshot cache, skipping the copy-out ReadPage does). An
+  /// empty pin means "unsupported here" — callers fall back to ReadPage.
+  virtual Result<PinnedPage> ReadPagePinned(PageId id) {
+    (void)id;
+    return PinnedPage();
+  }
 };
 
 /// The interface through which the SQL engine mutates pages. The Retro

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 namespace rql::retro {
 namespace {
 
@@ -297,6 +300,109 @@ TEST_F(MaplogTest, SptCursorRejectsUnknownSnapshots) {
   EXPECT_FALSE(cursor.Seek(*log_, 0, nullptr, &delta).ok());
   EXPECT_FALSE(cursor.Seek(*log_, 2, nullptr, &delta).ok());
   ASSERT_TRUE(cursor.Seek(*log_, 1, nullptr, &delta).ok());
+}
+
+TEST_F(MaplogTest, SptCursorDeltaInvalidAfterRebase) {
+  // A rebase (first seek of a cursor, or any backward seek) has no
+  // predecessor snapshot to diff against: last_delta must read invalid.
+  ASSERT_TRUE(log_->AppendSnapshotMark(1).ok());
+  ASSERT_TRUE(log_->AppendCapture(4, 1, 1, 4096).ok());
+  ASSERT_TRUE(log_->AppendSnapshotMark(2).ok());
+  ASSERT_TRUE(log_->AppendCapture(4, 2, 2, 8192).ok());
+
+  SptCursor cursor;
+  int64_t delta = 0;
+  ASSERT_TRUE(cursor.Seek(*log_, 1, nullptr, &delta).ok());
+  EXPECT_FALSE(cursor.last_delta_valid());
+
+  ASSERT_TRUE(cursor.Seek(*log_, 2, nullptr, &delta).ok());
+  EXPECT_TRUE(cursor.last_delta_valid());
+
+  // Backward seek rebases again: the delta is invalidated, not stale.
+  ASSERT_TRUE(cursor.Seek(*log_, 1, nullptr, &delta).ok());
+  EXPECT_FALSE(cursor.last_delta_valid());
+}
+
+TEST_F(MaplogTest, SptCursorDeltaEmptyBetweenIdenticalSnapshots) {
+  // Snapshots 2 and 3 declare no page changes; advancing across them must
+  // produce a valid, empty delta — the signal iteration skipping rests on.
+  ASSERT_TRUE(log_->AppendSnapshotMark(1).ok());
+  ASSERT_TRUE(log_->AppendSnapshotMark(2).ok());
+  ASSERT_TRUE(log_->AppendSnapshotMark(3).ok());
+  ASSERT_TRUE(log_->AppendCapture(6, 1, 3, 4096).ok());
+  ASSERT_TRUE(log_->AppendSnapshotMark(4).ok());
+  ASSERT_TRUE(log_->AppendCapture(6, 4, 4, 8192).ok());
+
+  SptCursor cursor;
+  int64_t delta = 0;
+  ASSERT_TRUE(cursor.Seek(*log_, 1, nullptr, &delta).ok());
+  for (SnapshotId s = 2; s <= 3; ++s) {
+    ASSERT_TRUE(cursor.Seek(*log_, s, nullptr, &delta).ok());
+    EXPECT_TRUE(cursor.last_delta_valid()) << "snapshot " << s;
+    EXPECT_TRUE(cursor.last_delta().empty()) << "snapshot " << s;
+    EXPECT_EQ(cursor.table().at(6), 4096u) << "snapshot " << s;
+  }
+  // Page 6's capture range [1,3] expires at 4: the advance reports it.
+  ASSERT_TRUE(cursor.Seek(*log_, 4, nullptr, &delta).ok());
+  ASSERT_TRUE(cursor.last_delta_valid());
+  ASSERT_EQ(cursor.last_delta().size(), 1u);
+  EXPECT_EQ(cursor.last_delta()[0], 6u);
+  EXPECT_EQ(cursor.table().at(6), 8192u);
+}
+
+TEST_F(MaplogTest, SptCursorDeltaCoversExpiryGapAndReawakening) {
+  // All three ways a page's mapping can move between consecutive
+  // snapshots surface in the delta: expiry (page becomes shared with the
+  // current state), an allocation gap closing (page appears), and a
+  // capture ingested after the cursor's last advance (reawakening).
+  ASSERT_TRUE(log_->AppendSnapshotMark(1).ok());
+  ASSERT_TRUE(log_->AppendCapture(10, 1, 1, 4096).ok());  // expires at 2
+  ASSERT_TRUE(log_->AppendAlloc(11, 1).ok());
+  ASSERT_TRUE(log_->AppendSnapshotMark(2).ok());
+  ASSERT_TRUE(log_->AppendCapture(11, 2, 2, 8192).ok());  // gap closes at 2
+
+  SptCursor cursor;
+  int64_t delta = 0;
+  ASSERT_TRUE(cursor.Seek(*log_, 1, nullptr, &delta).ok());
+  EXPECT_EQ(cursor.table().size(), 1u);
+  ASSERT_TRUE(cursor.Seek(*log_, 2, nullptr, &delta).ok());
+  ASSERT_TRUE(cursor.last_delta_valid());
+  std::vector<storage::PageId> pages = cursor.last_delta();
+  std::sort(pages.begin(), pages.end());
+  EXPECT_EQ(pages, (std::vector<storage::PageId>{10, 11}));
+  EXPECT_EQ(cursor.table().count(10), 0u);
+  EXPECT_EQ(cursor.table().at(11), 8192u);
+
+  // Page 10 is captured again only after the cursor reached snapshot 2;
+  // the next advance must ingest the entry and report the page.
+  ASSERT_TRUE(log_->AppendSnapshotMark(3).ok());
+  ASSERT_TRUE(log_->AppendCapture(10, 2, 3, 12288).ok());
+  ASSERT_TRUE(cursor.Seek(*log_, 3, nullptr, &delta).ok());
+  ASSERT_TRUE(cursor.last_delta_valid());
+  pages = cursor.last_delta();
+  EXPECT_NE(std::find(pages.begin(), pages.end(), 10u), pages.end());
+  EXPECT_EQ(cursor.table().at(10), 12288u);
+}
+
+TEST_F(MaplogTest, SptCursorDeltaAcrossTruncatedPrefix) {
+  // After truncation the cursor can only rebase at keep_from (no
+  // predecessor delta there), then advances normally above it.
+  for (SnapshotId s = 1; s <= 6; ++s) {
+    ASSERT_TRUE(log_->AppendSnapshotMark(s).ok());
+    ASSERT_TRUE(log_->AppendCapture(8, s, s, s * 4096).ok());
+  }
+  ASSERT_TRUE(log_->AppendTruncate(4).ok());
+
+  SptCursor cursor;
+  int64_t delta = 0;
+  EXPECT_FALSE(cursor.Seek(*log_, 3, nullptr, &delta).ok());
+  ASSERT_TRUE(cursor.Seek(*log_, 4, nullptr, &delta).ok());
+  EXPECT_FALSE(cursor.last_delta_valid());
+  ASSERT_TRUE(cursor.Seek(*log_, 5, nullptr, &delta).ok());
+  ASSERT_TRUE(cursor.last_delta_valid());
+  ASSERT_EQ(cursor.last_delta().size(), 1u);
+  EXPECT_EQ(cursor.last_delta()[0], 8u);
+  EXPECT_EQ(cursor.table().at(8), 5u * 4096u);
 }
 
 TEST_F(MaplogTest, BoundariesSurviveReopen) {

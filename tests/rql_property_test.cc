@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <set>
 
@@ -90,6 +91,131 @@ Fixture MakeFixture(uint64_t seed, int snapshots, int items) {
           if (current.count(item)) ++current[item];
           break;
         }
+      }
+    }
+    auto snap = f.engine->CommitWithSnapshot("t" + std::to_string(s));
+    EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+    f.snaps.push_back(*snap);
+    f.model[*snap] = current;
+  }
+  return f;
+}
+
+/// Like MakeFixture, but the table Qq reads (`live`) changes only every
+/// `live_period`-th snapshot while a side table (`churn`) changes every
+/// snapshot — the COW high-sharing shape: most consecutive snapshots map
+/// identical `live` page versions, so deltas relevant to Qq are empty and
+/// page versions are widely shared across the set.
+///
+/// `live` spans several heap pages (filler rows force the split) with two
+/// hot zones on different pages: zone A (items 0..items) changes every
+/// `live_period`-th snapshot, zone B (items 50000..) every
+/// 2*`live_period`-th. An iteration that executes because zone A changed
+/// still reads zone B's unchanged — and archived, since B changes again
+/// later — page version, so the decoded-page cache gets hits even when
+/// iteration skipping filters the run down to changed snapshots. Post-load
+/// mutations are in-place UPDATEs and DELETEs only (records are
+/// fixed-width, so UPDATE never relocates): an INSERT would land on the
+/// heap tail page and perturb zone B's version chain.
+Fixture MakeSparseFixture(uint64_t seed, int snapshots, int items,
+                          int live_period) {
+  Fixture f;
+  auto data = sql::Database::Open(f.env.get(), "data");
+  auto meta = sql::Database::Open(f.env.get(), "meta");
+  EXPECT_TRUE(data.ok() && meta.ok());
+  f.data = std::move(*data);
+  f.meta = std::move(*meta);
+  f.engine = std::make_unique<RqlEngine>(f.data.get(), f.meta.get());
+  EXPECT_TRUE(f.engine->EnsureSnapIds().ok());
+  EXPECT_TRUE(
+      f.data->Exec("CREATE TABLE live (item INTEGER, score INTEGER)").ok());
+  EXPECT_TRUE(
+      f.data->Exec("CREATE TABLE churn (k INTEGER, v INTEGER)").ok());
+
+  Random rng(seed);
+  std::map<int64_t, int64_t> current;
+  for (int s = 0; s < snapshots; ++s) {
+    EXPECT_TRUE(f.data->Exec("BEGIN").ok());
+    // The side table churns every snapshot, so the history is never
+    // trivially static — only the pages Qq reads go untouched.
+    EXPECT_TRUE(f.data
+                    ->Exec("INSERT INTO churn VALUES (" + std::to_string(s) +
+                           ", " + std::to_string(rng.Uniform(1000)) + ")")
+                    .ok());
+    if (s == 0) {
+      // Zone A: item 0 (never deleted, so live is never empty) plus the
+      // hot items, all on the first heap page.
+      EXPECT_TRUE(f.data->Exec("INSERT INTO live VALUES (0, 5)").ok());
+      current[0] = 5;
+      for (int i = 1; i <= items; ++i) {
+        int64_t score = static_cast<int64_t>(rng.Uniform(100));
+        EXPECT_TRUE(f.data
+                        ->Exec("INSERT INTO live VALUES (" +
+                               std::to_string(i) + ", " +
+                               std::to_string(score) + ")")
+                        .ok());
+        current[i] = score;
+      }
+      // Filler: ~155 fixed-width rows fit a 4 KiB page, so 320 rows push
+      // zone B at least two pages past zone A. Never touched again.
+      for (int i = 0; i < 320; ++i) {
+        EXPECT_TRUE(f.data
+                        ->Exec("INSERT INTO live VALUES (" +
+                               std::to_string(1000 + i) + ", 7)")
+                        .ok());
+        current[1000 + i] = 7;
+      }
+      for (int i = 0; i < items; ++i) {
+        int64_t score = static_cast<int64_t>(rng.Uniform(100));
+        EXPECT_TRUE(f.data
+                        ->Exec("INSERT INTO live VALUES (" +
+                               std::to_string(50000 + i) + ", " +
+                               std::to_string(score) + ")")
+                        .ok());
+        current[50000 + i] = score;
+      }
+    } else {
+      if (s % live_period == 0) {
+        // Zone A round. The unconditional item-0 update guarantees the
+        // iteration executes, which is what gives zone B's shared page
+        // version a reader.
+        int64_t score = static_cast<int64_t>(rng.Uniform(100));
+        EXPECT_TRUE(f.data
+                        ->Exec("UPDATE live SET score = " +
+                               std::to_string(score) + " WHERE item = 0")
+                        .ok());
+        current[0] = score;
+        int ops = static_cast<int>(rng.Uniform(3));
+        for (int op = 0; op < ops; ++op) {
+          int64_t item = 1 + static_cast<int64_t>(rng.Uniform(items));
+          if (!current.count(item)) continue;  // deleted items stay gone
+          if (rng.Uniform(4) == 0) {
+            EXPECT_TRUE(f.data
+                            ->Exec("DELETE FROM live WHERE item = " +
+                                   std::to_string(item))
+                            .ok());
+            current.erase(item);
+            continue;
+          }
+          score = static_cast<int64_t>(rng.Uniform(100));
+          EXPECT_TRUE(f.data
+                          ->Exec("UPDATE live SET score = " +
+                                 std::to_string(score) +
+                                 " WHERE item = " + std::to_string(item))
+                          .ok());
+          current[item] = score;
+        }
+      }
+      if (s % (2 * live_period) == 0) {
+        // Zone B round: in-place update on its own page.
+        int64_t item = 50000 + static_cast<int64_t>(rng.Uniform(items));
+        int64_t score = static_cast<int64_t>(rng.Uniform(100));
+        EXPECT_TRUE(f.data
+                        ->Exec("UPDATE live SET score = " +
+                               std::to_string(score) +
+                               " WHERE item = " + std::to_string(item))
+                        .ok());
+        current[item] = score;
       }
     }
     auto snap = f.engine->CommitWithSnapshot("t" + std::to_string(s));
@@ -376,6 +502,151 @@ TEST_P(RqlPropertyTest, TransientPagelogFaultsWithRetriesAreTransparent) {
   EXPECT_FALSE(failed.ok());
   f.env->DisarmAll();
   EXPECT_EQ(f.meta->catalog()->data().FindTable("NoRetry"), nullptr);
+}
+
+TEST_P(RqlPropertyTest, PageSharingFlagsPreserveAllMechanismOutputs) {
+  // reuse_decoded_pages and skip_unchanged_iterations are pure
+  // optimizations: on a sparse-update history every mechanism's result
+  // table must be byte-identical with any combination of the flags —
+  // alone, together, stacked on the iteration-setup amortization flags,
+  // under a per-iteration cold cache, and (for parallelizable mechanisms)
+  // under parallel workers. AggregateDataInVariable uses the
+  // non-idempotent `sum` fold so a replayed iteration that contributed
+  // twice (or not at all) would be caught.
+  Fixture f = MakeSparseFixture(GetParam() * 1000 + 173, 24, 8, 4);
+  const std::string qs = "SELECT snap_id FROM SnapIds";
+
+  auto dump = [&](const std::string& table) {
+    auto rows = f.meta->Query("SELECT * FROM " + table);
+    EXPECT_TRUE(rows.ok()) << table << ": " << rows.status().ToString();
+    std::vector<std::string> out;
+    for (const Row& row : rows->rows) out.push_back(sql::EncodeRow(row));
+    return out;
+  };
+
+  struct Mech {
+    const char* name;
+    std::function<Status(const std::string&)> run;
+  };
+  const std::vector<Mech> mechs = {
+      {"collate",
+       [&](const std::string& t) {
+         return f.engine->CollateData(qs, "SELECT item, score FROM live", t);
+       }},
+      {"aggvar",
+       [&](const std::string& t) {
+         return f.engine->AggregateDataInVariable(
+             qs, "SELECT COUNT(*) AS c FROM live", t, "sum");
+       }},
+      {"aggtable",
+       [&](const std::string& t) {
+         return f.engine->AggregateDataInTable(
+             qs, "SELECT item, score FROM live", t, "(score,max)");
+       }},
+      {"intervals",
+       [&](const std::string& t) {
+         return f.engine->CollateDataIntoIntervals(
+             qs, "SELECT item FROM live", t);
+       }},
+  };
+
+  struct Config {
+    const char* name;
+    bool reuse, skip, amort, cold_iter;
+    int workers;
+  };
+  const Config kConfigs[] = {
+      {"reuse", true, false, false, false, 1},
+      {"skip", false, true, false, false, 1},
+      {"both", true, true, false, false, 1},
+      {"both_amortized", true, true, true, false, 1},
+      {"reuse_cold_iter", true, false, false, true, 1},
+      {"both_parallel", true, true, false, false, 4},
+  };
+
+  for (const Mech& m : mechs) {
+    *f.engine->mutable_options() = RqlOptions{};
+    f.data->store()->ClearSnapshotCache();
+    std::string base_table = std::string("base_") + m.name;
+    ASSERT_TRUE(m.run(base_table).ok()) << m.name;
+    // Flags-off runs must not engage the new machinery at all.
+    EXPECT_EQ(f.engine->last_run_stats().iterations_skipped, 0) << m.name;
+    EXPECT_EQ(f.engine->last_run_stats().shared_page_hits, 0) << m.name;
+    std::vector<std::string> baseline = dump(base_table);
+
+    for (const Config& c : kConfigs) {
+      RqlOptions opts;
+      opts.reuse_decoded_pages = c.reuse;
+      opts.skip_unchanged_iterations = c.skip;
+      opts.incremental_spt = c.amort;
+      opts.reuse_qq_plan = c.amort;
+      opts.batch_pagelog_reads = c.amort;
+      opts.cold_cache_per_iteration = c.cold_iter;
+      opts.parallel_workers = c.workers;
+      *f.engine->mutable_options() = opts;
+      f.data->store()->ClearSnapshotCache();
+      std::string table = std::string(m.name) + "_" + c.name;
+      ASSERT_TRUE(m.run(table).ok()) << table;
+      EXPECT_EQ(dump(table), baseline) << table;
+      const RqlRunStats& stats = f.engine->last_run_stats();
+      // Live changes every 4th snapshot only: the three quiet iterations
+      // of each period must skip, and versions shared across the set must
+      // hit the decoded-page cache (unless it is dropped per iteration).
+      if (c.reuse && !c.cold_iter) {
+        EXPECT_GT(stats.shared_page_hits, 0) << table;
+      }
+      if (c.skip && !stats.parallel) {
+        EXPECT_GT(stats.iterations_skipped, 0) << table;
+      }
+      if (!stats.parallel) {
+        int64_t skipped = 0;
+        for (const RqlIterationStats& it : stats.iterations) {
+          if (it.skipped) ++skipped;
+        }
+        EXPECT_EQ(skipped, stats.iterations_skipped) << table;
+      }
+    }
+  }
+}
+
+TEST_P(RqlPropertyTest, SkipDisabledWhenQqUsesCurrentSnapshot) {
+  // current_snapshot() makes the Qq result vary per snapshot even on
+  // identical data: the engine must detect it, never skip, and still
+  // produce the baseline output.
+  Fixture f = MakeSparseFixture(GetParam() * 1000 + 191, 16, 6, 4);
+  const std::string qs = "SELECT snap_id FROM SnapIds";
+  const std::string qq =
+      "SELECT item, score, current_snapshot() AS sid FROM live";
+
+  auto dump = [&](const std::string& table) {
+    auto rows = f.meta->Query("SELECT * FROM " + table);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    std::vector<std::string> out;
+    for (const Row& row : rows->rows) out.push_back(sql::EncodeRow(row));
+    return out;
+  };
+
+  ASSERT_TRUE(f.engine->CollateData(qs, qq, "Baseline").ok());
+  std::vector<std::string> baseline = dump("Baseline");
+
+  f.engine->mutable_options()->skip_unchanged_iterations = true;
+  f.engine->mutable_options()->reuse_decoded_pages = true;
+  f.data->store()->ClearSnapshotCache();
+  ASSERT_TRUE(f.engine->CollateData(qs, qq, "Flagged").ok());
+  EXPECT_EQ(dump("Flagged"), baseline);
+  EXPECT_EQ(f.engine->last_run_stats().iterations_skipped, 0);
+}
+
+TEST(RqlPageSharingOptionsTest, SkipIncompatibleWithColdCachePerIteration) {
+  // A replayed iteration reads nothing, so the all-cold baseline that
+  // cold_cache_per_iteration defines would silently not be measured.
+  Fixture f = MakeSparseFixture(7, 6, 4, 2);
+  f.engine->mutable_options()->skip_unchanged_iterations = true;
+  f.engine->mutable_options()->cold_cache_per_iteration = true;
+  Status s = f.engine->CollateData("SELECT snap_id FROM SnapIds",
+                                   "SELECT item FROM live", "Result");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_EQ(f.meta->catalog()->data().FindTable("Result"), nullptr);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RqlPropertyTest, ::testing::Range(0, 8));
