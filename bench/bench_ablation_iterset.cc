@@ -56,20 +56,23 @@ RunResult RunConfig(tpch::History* history, const Config& config,
   // Comparable Pagelog I/O across configs: every run starts cold.
   history->data()->store()->ClearSnapshotCache();
 
+  // Counters come from the metrics registry the engine publishes into at
+  // run end (delta around the run == the run's RqlRunStats).
+  retro::MetricsRegistry* metrics = engine->metrics();
+  retro::MetricsRegistry::Snapshot before = metrics->TakeSnapshot();
   BENCH_CHECK(engine->CollateData(qs, qq, "IterSet"));
+  retro::MetricsRegistry::Snapshot delta =
+      metrics->TakeSnapshot().DeltaFrom(before);
 
   RunResult r;
-  const RqlRunStats& stats = engine->last_run_stats();
-  r.qq_parses = stats.qq_parse_count;
-  r.total_ms = RunTotalMs(stats);
-  for (const RqlIterationStats& it : stats.iterations) {
-    r.maplog_pages += it.maplog_pages;
-    r.spt_delta_entries += it.spt_delta_entries;
-    r.batched_reads += it.batched_pagelog_reads;
-    r.plan_cache_hits += it.plan_cache_hits;
-    r.spt_ms += it.spt_build_us / 1000.0;
-    r.io_ms += it.io_us / 1000.0;
-  }
+  r.qq_parses = delta.counter("rql.qq_parse_count");
+  r.total_ms = delta.counter("rql.total_us") / 1000.0;
+  r.maplog_pages = delta.counter("rql.maplog_pages");
+  r.spt_delta_entries = delta.counter("rql.spt_delta_entries");
+  r.batched_reads = delta.counter("rql.batched_pagelog_reads");
+  r.plan_cache_hits = delta.counter("rql.plan_cache_hits");
+  r.spt_ms = delta.counter("rql.spt_build_us") / 1000.0;
+  r.io_ms = delta.counter("rql.io_us") / 1000.0;
 
   auto rows = history->meta()->Query("SELECT * FROM IterSet");
   if (!rows.ok()) Fail(rows.status(), "dump IterSet");

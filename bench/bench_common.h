@@ -298,6 +298,87 @@ class JsonWriter {
   std::vector<bool> scope_is_empty_;  // per open scope: no members yet
 };
 
+// --- observability JSON ----------------------------------------------------
+
+/// Dumps an RqlTrace under `key` as
+/// {"capacity":N,"emitted":N,"dropped":N,"events":[{...}]}; each event
+/// carries t_us, type (RqlTrace::TypeName), snapshot, worker and the raw
+/// args array (per-type meaning documented in rql/trace.h).
+inline void WriteTraceJson(JsonWriter* json, const char* key,
+                           const RqlTrace& trace) {
+  json->BeginObject(key);
+  json->Field("capacity", static_cast<int64_t>(trace.capacity()));
+  json->Field("emitted", trace.emitted());
+  json->Field("dropped", trace.dropped());
+  json->BeginArray("events");
+  for (const RqlTraceEvent& ev : trace.Events()) {
+    json->BeginObject();
+    json->Field("t_us", ev.t_us);
+    json->Field("type", RqlTrace::TypeName(ev.type));
+    json->Field("snapshot", static_cast<int64_t>(ev.snapshot));
+    json->Field("worker", static_cast<int64_t>(ev.worker));
+    json->BeginArray("args");
+    for (int64_t a : ev.args) json->Field(nullptr, a);
+    json->EndArray();
+    json->EndObject();
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
+/// JSONL form: one event object per line, for streaming consumers.
+inline void WriteTraceJsonl(const RqlTrace& trace, std::FILE* f) {
+  for (const RqlTraceEvent& ev : trace.Events()) {
+    std::fprintf(f,
+                 "{\"t_us\": %lld, \"type\": \"%s\", \"snapshot\": %lld, "
+                 "\"worker\": %d, \"args\": [%lld, %lld, %lld, %lld, %lld, "
+                 "%lld]}\n",
+                 static_cast<long long>(ev.t_us), RqlTrace::TypeName(ev.type),
+                 static_cast<long long>(ev.snapshot),
+                 static_cast<int>(ev.worker),
+                 static_cast<long long>(ev.args[0]),
+                 static_cast<long long>(ev.args[1]),
+                 static_cast<long long>(ev.args[2]),
+                 static_cast<long long>(ev.args[3]),
+                 static_cast<long long>(ev.args[4]),
+                 static_cast<long long>(ev.args[5]));
+  }
+}
+
+/// Dumps a MetricsRegistry snapshot (or delta) under `key` as
+/// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum_us,
+/// buckets}}}. Zero-valued counters/gauges are elided unless
+/// `include_zero` (deltas read better without them; equality checks want
+/// everything).
+inline void WriteMetricsJson(JsonWriter* json, const char* key,
+                             const retro::MetricsRegistry::Snapshot& snap,
+                             bool include_zero = false) {
+  json->BeginObject(key);
+  json->BeginObject("counters");
+  for (const auto& [name, v] : snap.counters) {
+    if (include_zero || v != 0) json->Field(name.c_str(), v);
+  }
+  json->EndObject();
+  json->BeginObject("gauges");
+  for (const auto& [name, v] : snap.gauges) {
+    if (include_zero || v != 0) json->Field(name.c_str(), v);
+  }
+  json->EndObject();
+  json->BeginObject("histograms");
+  for (const auto& [name, h] : snap.histograms) {
+    if (!include_zero && h.count == 0) continue;
+    json->BeginObject(name.c_str());
+    json->Field("count", h.count);
+    json->Field("sum_us", h.sum_us);
+    json->BeginArray("buckets");
+    for (int64_t b : h.buckets) json->Field(nullptr, b);
+    json->EndArray();
+    json->EndObject();
+  }
+  json->EndObject();
+  json->EndObject();
+}
+
 }  // namespace rql::bench
 
 #endif  // RQL_BENCH_BENCH_COMMON_H_

@@ -128,18 +128,21 @@ AblationResult RunCell(SparseHistory* h, const AblationCell& cell) {
   // Comparable across cells: every run starts with a cold snapshot cache.
   h->data->store()->ClearSnapshotCache();
 
+  // Counters come from the metrics registry the engine publishes into at
+  // run end (delta around the run == the run's RqlRunStats).
+  retro::MetricsRegistry* metrics = engine->metrics();
+  retro::MetricsRegistry::Snapshot before = metrics->TakeSnapshot();
   BENCH_CHECK(engine->CollateData(
       "SELECT snap_id FROM SnapIds",
       "SELECT COUNT(*) AS cnt, SUM(v) AS sv FROM stock", "Sharing"));
+  retro::MetricsRegistry::Snapshot delta =
+      metrics->TakeSnapshot().DeltaFrom(before);
 
   AblationResult r;
-  const RqlRunStats& stats = engine->last_run_stats();
-  r.total_ms = RunTotalMs(stats);
-  r.iterations_skipped = stats.iterations_skipped;
-  r.shared_page_hits = stats.shared_page_hits;
-  for (const RqlIterationStats& it : stats.iterations) {
-    r.delta_pages += it.delta_pages_scanned;
-  }
+  r.total_ms = delta.counter("rql.total_us") / 1000.0;
+  r.iterations_skipped = delta.counter("rql.iterations_skipped");
+  r.shared_page_hits = delta.counter("rql.shared_page_hits");
+  r.delta_pages = delta.counter("rql.delta_pages_scanned");
 
   auto rows = h->meta->Query("SELECT * FROM Sharing");
   if (!rows.ok()) Fail(rows.status(), "dump Sharing");

@@ -36,15 +36,20 @@ RunResult RunWorkers(tpch::History* history, const std::string& qs,
                      int workers) {
   RqlEngine* engine = history->engine();
   engine->mutable_options()->parallel_workers = workers;
+  // Counters come from the metrics registry the engine publishes into at
+  // run end (delta around the run == the run's RqlRunStats).
+  retro::MetricsRegistry* metrics = engine->metrics();
+  retro::MetricsRegistry::Snapshot before = metrics->TakeSnapshot();
   // cold_cache_per_run (the default) clears the snapshot cache at run
   // start, so every worker count pays the same cold archive I/O.
   BENCH_CHECK(engine->CollateData(qs, kQqIo, "Par"));
+  retro::MetricsRegistry::Snapshot delta =
+      metrics->TakeSnapshot().DeltaFrom(before);
 
   RunResult r;
-  const RqlRunStats& stats = engine->last_run_stats();
-  r.wall_ms = RunTotalMs(stats);
-  r.coalesced_loads = stats.coalesced_loads;
-  r.lock_wait_ms = stats.parallel_lock_wait_us / 1000.0;
+  r.wall_ms = delta.counter("rql.total_us") / 1000.0;
+  r.coalesced_loads = delta.counter("rql.coalesced_loads");
+  r.lock_wait_ms = delta.counter("rql.parallel_lock_wait_us") / 1000.0;
 
   auto rows = history->meta()->Query("SELECT * FROM Par");
   if (!rows.ok()) Fail(rows.status(), "dump Par");

@@ -86,6 +86,31 @@ class Pagelog {
   uint64_t full_record_count() const { return full_records_; }
   uint64_t diff_record_count() const { return diff_records_; }
 
+  /// Registers observability gauges on `registry` under `prefix`:
+  /// `<prefix>.records`, `.full_records`, `.diff_records`, `.size_bytes`,
+  /// `.pages`. The gauges read the log directly (no copied state); they
+  /// capture `this`, so remove them (or drop the registry) before
+  /// destroying the log.
+  template <typename Registry>
+  void RegisterMetrics(Registry* registry, const std::string& prefix) const {
+    const Pagelog* log = this;
+    registry->SetGauge(prefix + ".records", [log] {
+      return static_cast<int64_t>(log->record_count());
+    });
+    registry->SetGauge(prefix + ".full_records", [log] {
+      return static_cast<int64_t>(log->full_record_count());
+    });
+    registry->SetGauge(prefix + ".diff_records", [log] {
+      return static_cast<int64_t>(log->diff_record_count());
+    });
+    registry->SetGauge(prefix + ".size_bytes", [log] {
+      return static_cast<int64_t>(log->SizeBytes());
+    });
+    registry->SetGauge(prefix + ".pages", [log] {
+      return static_cast<int64_t>(log->page_count());
+    });
+  }
+
   /// Longest diff chain before a full page is forced (kDiff mode).
   int max_diff_chain() const { return max_diff_chain_; }
   void set_max_diff_chain(int depth) { max_diff_chain_ = depth; }

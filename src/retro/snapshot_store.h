@@ -299,6 +299,29 @@ class SnapshotStore : public storage::PageWriter {
   void ClearSnapshotCache() { snapshot_cache_.Clear(); }
   storage::BufferPool* snapshot_cache() { return &snapshot_cache_; }
 
+  /// Registers observability gauges for the store and its components on
+  /// `registry` (any type with `SetGauge(name, fn)`, i.e.
+  /// retro::MetricsRegistry): `<prefix>.latest_snapshot`,
+  /// `<prefix>.earliest_snapshot`, plus the snapshot cache's pool gauges
+  /// under `<prefix>.cache.*` and the archive's under
+  /// `<prefix>.pagelog.*`. Gauges read live component state — they cannot
+  /// drift from the structs they mirror — and capture `this`: remove them
+  /// (or use a registry scoped inside the store's lifetime, as
+  /// tools/rql_report does) before destroying the store.
+  template <typename Registry>
+  void RegisterMetrics(Registry* registry,
+                       const std::string& prefix = "snapshot_store") const {
+    const SnapshotStore* store = this;
+    registry->SetGauge(prefix + ".latest_snapshot", [store] {
+      return static_cast<int64_t>(store->latest_snapshot());
+    });
+    registry->SetGauge(prefix + ".earliest_snapshot", [store] {
+      return static_cast<int64_t>(store->earliest_snapshot());
+    });
+    snapshot_cache_.RegisterMetrics(registry, prefix + ".cache");
+    pagelog_->RegisterMetrics(registry, prefix + ".pagelog");
+  }
+
   storage::PageStore* page_store() { return store_.get(); }
   Pagelog* pagelog() { return pagelog_.get(); }
   Maplog* maplog() { return maplog_.get(); }

@@ -646,16 +646,22 @@ size_t SkipSqlComment(const std::string& sql, size_t i) {
 
 std::string RqlEngine::InjectAsOf(const std::string& qq,
                                   retro::SnapshotId snap) {
-  // Find the first top-level SELECT keyword outside string literals and
-  // comments and splice in the Retro extension.
-  bool in_string = false;
+  // Find the first top-level SELECT keyword outside quotes and comments
+  // and splice in the Retro extension. Quote tracking covers both '...'
+  // string literals and "..." quoted identifiers (the lexer accepts
+  // both); the doubled-quote escape ('' / "") closes and immediately
+  // reopens a run, which the toggle handles.
+  char quote = 0;
   for (size_t i = 0; i + 6 <= qq.size(); ++i) {
     char c = qq[i];
-    if (c == '\'') {
-      in_string = !in_string;
+    if (quote != 0) {
+      if (c == quote) quote = 0;
       continue;
     }
-    if (in_string) continue;
+    if (c == '\'' || c == '"') {
+      quote = c;
+      continue;
+    }
     size_t skipped = SkipSqlComment(qq, i);
     if (skipped != i) {
       i = skipped - 1;  // the loop's ++i lands just past the comment
@@ -690,21 +696,37 @@ std::string RqlEngine::ReplaceCurrentSnapshot(const std::string& qq,
   constexpr size_t kNameLen = sizeof(kName) - 1;
   std::string out;
   out.reserve(qq.size());
-  bool in_string = false;
+  // Matches inside '...' string literals and "..." quoted identifiers
+  // must pass through untouched: a Qq like `WHERE tag =
+  // 'current_snapshot()'` is comparing against a plain string, and
+  // rewriting it would corrupt the literal (and wrongly disable
+  // skip_unchanged_iterations via the textual-use probe). The doubled
+  // quote escape ('' / "") closes and reopens a run, which the per-
+  // character toggle handles.
+  char quote = 0;
   auto is_word = [](char ch) {
     return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_';
   };
   for (size_t i = 0; i < qq.size();) {
     char c = qq[i];
-    if (!in_string) {
-      size_t skipped = SkipSqlComment(qq, i);
-      if (skipped != i) {
-        out.append(qq, i, skipped - i);  // comments pass through verbatim
-        i = skipped;
-        continue;
-      }
+    if (quote != 0) {
+      if (c == quote) quote = 0;
+      out += c;
+      ++i;
+      continue;
     }
-    if (c == '\'') in_string = !in_string;
+    size_t skipped = SkipSqlComment(qq, i);
+    if (skipped != i) {
+      out.append(qq, i, skipped - i);  // comments pass through verbatim
+      i = skipped;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+      out += c;
+      ++i;
+      continue;
+    }
     auto name_matches = [&]() {
       if (i + kNameLen > qq.size()) return false;
       for (size_t n = 0; n < kNameLen; ++n) {
@@ -715,7 +737,7 @@ std::string RqlEngine::ReplaceCurrentSnapshot(const std::string& qq,
       }
       return true;
     };
-    if (!in_string && (i == 0 || !is_word(qq[i - 1])) && name_matches()) {
+    if ((i == 0 || !is_word(qq[i - 1])) && name_matches()) {
       // Match optional whitespace and "()" after the name.
       size_t j = i + kNameLen;
       while (j < qq.size() &&
@@ -746,8 +768,97 @@ Status RqlEngine::PrepareResultTable(const std::string& table) {
   return meta_db_->Exec("DROP TABLE IF EXISTS " + table);
 }
 
+void RqlEngine::PublishRunMetrics() {
+  retro::MetricsRegistry* reg = metrics();
+  auto add = [reg](const char* name, int64_t v) {
+    // Always touch the counter so every rql.* name exists (at zero) in
+    // snapshots even when the run never exercised it.
+    reg->GetCounter(name)->Add(v);
+  };
+  add("rql.runs", 1);
+  add("rql.parallel_runs", stats_.parallel ? 1 : 0);
+  add("rql.iterations", static_cast<int64_t>(stats_.iterations.size()));
+  add("rql.iterations_skipped", stats_.iterations_skipped);
+  add("rql.qq_parse_count", stats_.qq_parse_count);
+  add("rql.extra_agg_us", stats_.extra_agg_us);
+  add("rql.parallel_io_us", stats_.parallel_io_us);
+  add("rql.parallel_spt_us", stats_.parallel_spt_us);
+  add("rql.parallel_wall_us", stats_.parallel_wall_us);
+  add("rql.parallel_lock_wait_us", stats_.parallel_lock_wait_us);
+  add("rql.coalesced_loads", stats_.coalesced_loads);
+  add("rql.archive_read_retries", stats_.archive_read_retries);
+  add("rql.shared_page_hits", stats_.shared_page_hits);
+  add("rql.total_us", stats_.TotalUs());
+
+  // Per-iteration sums, published from the very numbers last_run_stats()
+  // reports, so a registry delta over one run equals the legacy struct
+  // exactly (the equality metrics_test and the property test assert).
+  int64_t io_us = 0, spt_build_us = 0, query_eval_us = 0;
+  int64_t index_create_us = 0, udf_us = 0;
+  int64_t pagelog_pages = 0, db_pages = 0, cache_hits = 0, qq_rows = 0;
+  int64_t result_probes = 0, result_inserts = 0, result_updates = 0;
+  int64_t maplog_pages = 0, spt_delta_entries = 0, plan_cache_hits = 0;
+  int64_t batched_pagelog_reads = 0, delta_pages_scanned = 0;
+  retro::MetricsRegistry::Histogram* iter_hist =
+      reg->GetHistogram("rql.iteration_us");
+  for (const RqlIterationStats& it : stats_.iterations) {
+    io_us += it.io_us;
+    spt_build_us += it.spt_build_us;
+    query_eval_us += it.query_eval_us;
+    index_create_us += it.index_create_us;
+    udf_us += it.udf_us;
+    pagelog_pages += it.pagelog_pages;
+    db_pages += it.db_pages;
+    cache_hits += it.cache_hits;
+    qq_rows += it.qq_rows;
+    result_probes += it.result_probes;
+    result_inserts += it.result_inserts;
+    result_updates += it.result_updates;
+    maplog_pages += it.maplog_pages;
+    spt_delta_entries += it.spt_delta_entries;
+    plan_cache_hits += it.plan_cache_hits;
+    batched_pagelog_reads += it.batched_pagelog_reads;
+    delta_pages_scanned += it.delta_pages_scanned;
+    iter_hist->ObserveUs(it.TotalUs());
+  }
+  add("rql.io_us", io_us);
+  add("rql.spt_build_us", spt_build_us);
+  add("rql.query_eval_us", query_eval_us);
+  add("rql.index_create_us", index_create_us);
+  add("rql.udf_us", udf_us);
+  add("rql.pagelog_pages", pagelog_pages);
+  add("rql.db_pages", db_pages);
+  add("rql.cache_hits", cache_hits);
+  add("rql.qq_rows", qq_rows);
+  add("rql.result_probes", result_probes);
+  add("rql.result_inserts", result_inserts);
+  add("rql.result_updates", result_updates);
+  add("rql.maplog_pages", maplog_pages);
+  add("rql.spt_delta_entries", spt_delta_entries);
+  add("rql.plan_cache_hits", plan_cache_hits);
+  add("rql.batched_pagelog_reads", batched_pagelog_reads);
+  add("rql.delta_pages_scanned", delta_pages_scanned);
+  reg->GetHistogram("rql.run_us")->ObserveUs(stats_.TotalUs());
+}
+
+namespace {
+
+/// Bit encoding of the opt-in flags for the kRunBegin trace event.
+int64_t OptionFlagBits(const RqlOptions& o) {
+  return (o.incremental_spt ? 1 : 0) | (o.reuse_qq_plan ? 2 : 0) |
+         (o.batch_pagelog_reads ? 4 : 0) | (o.reuse_decoded_pages ? 8 : 0) |
+         (o.skip_unchanged_iterations ? 16 : 0);
+}
+
+}  // namespace
+
 Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
   stats_ = RqlRunStats{};
+  trace_on_ = options_.trace;
+  // Restarted even when tracing is off (at capacity 0, so Emit no-ops):
+  // last_run_trace() then always describes the *last* run, never a stale
+  // earlier one.
+  trace_.Restart(trace_on_ ? options_.trace_capacity : 0, NowMicros());
   // Validate Qq and Qs before touching the result table: a malformed query
   // must surface before the first iteration and leave the metadata
   // database untouched (no dropped table, no partial output).
@@ -784,6 +895,12 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
         "skip_unchanged_iterations (a skipped iteration reads nothing, so "
         "the all-cold baseline would not be measured)");
   }
+  if (trace_on_) {
+    trace_.Emit(RqlTraceEventType::kRunBegin, retro::kNoSnapshot, NowMicros(),
+                {static_cast<int64_t>(snap_ids.size()),
+                 parallel ? options_.parallel_workers : 1,
+                 OptionFlagBits(options_)});
+  }
   RQL_RETURN_IF_ERROR(PrepareResultTable(state->table()));
   if (options_.cold_cache_per_run) {
     // Cleared before any worker thread is spawned: thread creation gives
@@ -796,6 +913,7 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
   if (options_.reuse_decoded_pages) {
     scan_cache_.Clear();
     scan_cache_.TakeHits();
+    scan_cache_.TakeMisses();
     data_db_->set_scan_cache(&scan_cache_);
   }
   Status s = Status::OK();
@@ -823,6 +941,13 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
     scan_cache_.Clear();  // releases the pinned frames the entries hold
   }
   if (s.ok()) s = state->Finish();
+  if (trace_on_) {
+    trace_.Emit(RqlTraceEventType::kRunEnd, retro::kNoSnapshot, NowMicros(),
+                {static_cast<int64_t>(stats_.iterations.size()),
+                 stats_.iterations_skipped, stats_.TotalUs(),
+                 s.ok() ? 1 : 0});
+  }
+  PublishRunMetrics();
   if (!s.ok()) {
     // A failed iteration (or Finish) aborts the run with a clean error:
     // drop the partial result table and its transient index.
@@ -857,12 +982,16 @@ Status RqlEngine::RunMechanismParallel(
   int workers = std::min<int>(options_.parallel_workers,
                               static_cast<int>(snaps.size()));
 
-  auto worker_body = [&]() {
+  auto worker_body = [&](uint16_t worker) {
     for (;;) {
       size_t i = next.fetch_add(1);
       if (i >= snaps.size()) return;
       QqResult& out = results[i];
       int64_t start = NowMicros();
+      if (trace_on_) {
+        trace_.Emit(RqlTraceEventType::kIterationBegin, snaps[i], start,
+                    {static_cast<int64_t>(i)}, worker);
+      }
       out.status = [&]() -> Status {
         // The paper's full textual rewrite: AS OF injection plus literal
         // current_snapshot() substitution (no shared engine state).
@@ -897,14 +1026,25 @@ Status RqlEngine::RunMechanismParallel(
           return Status::OK();
         });
       }();
-      out.wall_us = NowMicros() - start;
+      int64_t end = NowMicros();
+      out.wall_us = end - start;
+      if (trace_on_) {
+        // Parallel attribution: args[2] is the worker's Qq wall time (I/O
+        // and SPT stalls fold into the run totals, not per iteration).
+        trace_.Emit(RqlTraceEventType::kIterationEnd, snaps[i], end,
+                    {0, 0, out.wall_us, 0, 0,
+                     static_cast<int64_t>(out.rows.size())},
+                    worker);
+      }
     }
   };
 
   int64_t phase_start = NowMicros();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(workers));
-  for (int w = 0; w < workers; ++w) threads.emplace_back(worker_body);
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back(worker_body, static_cast<uint16_t>(w + 1));
+  }
   for (std::thread& t : threads) t.join();
   stats_.parallel_wall_us = NowMicros() - phase_start;
   // Every worker parses and plans its textually rewritten Qq from scratch.
@@ -919,6 +1059,16 @@ Status RqlEngine::RunMechanismParallel(
   // Workers interleave on the shared cache, so hits are only meaningful
   // as a run total.
   stats_.shared_page_hits = scan_cache_.TakeHits();
+  if (trace_on_) {
+    int64_t now = NowMicros();
+    trace_.Emit(RqlTraceEventType::kWorkerStall, retro::kNoSnapshot, now,
+                {stats_.parallel_lock_wait_us, stats_.coalesced_loads,
+                 workers});
+    if (options_.reuse_decoded_pages) {
+      trace_.Emit(RqlTraceEventType::kScanCache, retro::kNoSnapshot, now,
+                  {stats_.shared_page_hits, scan_cache_.TakeMisses()});
+    }
+  }
 
   // Sequential replay in Qs order: semantics identical to the serial run.
   for (size_t i = 0; i < snaps.size(); ++i) {
@@ -993,6 +1143,10 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
     // This iteration executes; its read set replaces the previous one
     // only if it completes successfully.
     state->skip_eligible_ = false;
+  }
+  if (trace_on_) {
+    trace_.Emit(RqlTraceEventType::kIterationBegin, snap, NowMicros(),
+                {static_cast<int64_t>(stats_.iterations.size())});
   }
   RqlIterationStats iter;
   iter.snapshot = snap;
@@ -1087,9 +1241,27 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
   iter.batched_pagelog_reads = rs.batched_pagelog_reads;
   iter.coalesced_loads = rs.coalesced_loads;
   iter.qq_rows = qq_rows;
+  int64_t scan_misses = 0;
   if (options_.reuse_decoded_pages) {
     iter.shared_page_hits = scan_cache_.TakeHits();
     stats_.shared_page_hits += iter.shared_page_hits;
+    scan_misses = scan_cache_.TakeMisses();
+  }
+  if (trace_on_) {
+    int64_t now = NowMicros();
+    trace_.Emit(RqlTraceEventType::kSptBuild, snap, now,
+                {iter.maplog_pages, iter.spt_delta_entries, spt_cpu_us,
+                 options_.incremental_spt ? 1 : 0});
+    trace_.Emit(RqlTraceEventType::kArchiveFetch, snap, now,
+                {iter.pagelog_pages, iter.batched_pagelog_reads,
+                 iter.cache_hits, iter.db_pages, rs.archive_read_retries});
+    if (options_.reuse_decoded_pages) {
+      trace_.Emit(RqlTraceEventType::kScanCache, snap, now,
+                  {iter.shared_page_hits, scan_misses});
+    }
+    trace_.Emit(RqlTraceEventType::kIterationEnd, snap, now,
+                {iter.io_us, iter.spt_build_us, iter.query_eval_us,
+                 iter.index_create_us, iter.udf_us, iter.qq_rows});
   }
   if (record) {
     state->read_set_ = std::move(reads);
@@ -1137,6 +1309,11 @@ Status RqlEngine::ReplayIteration(retro::SnapshotId snap,
   iter.maplog_pages = rs.spt.maplog_pages_read;
   iter.spt_delta_entries = rs.spt_delta_entries;
   state->CollectCounters(&iter);
+  if (trace_on_) {
+    trace_.Emit(RqlTraceEventType::kIterationSkip, snap, NowMicros(),
+                {static_cast<int64_t>(stats_.iterations.size()), delta_pages,
+                 iter.qq_rows, udf_us});
+  }
   ++stats_.iterations_skipped;
   stats_.iterations.push_back(iter);
   return Status::OK();
@@ -1245,6 +1422,15 @@ Status RqlEngine::RegisterUdfs() {
             "nothing, so the all-cold baseline would not be measured)");
       }
       stats_ = RqlRunStats{};
+      trace_on_ = options_.trace;
+      int64_t now = NowMicros();
+      trace_.Restart(trace_on_ ? options_.trace_capacity : 0, now);
+      if (trace_on_) {
+        // The snapshot count is unknown up front: the driving Qs scan
+        // feeds iterations one UDF call at a time.
+        trace_.Emit(RqlTraceEventType::kRunBegin, retro::kNoSnapshot, now,
+                    {0, 1, OptionFlagBits(options_)});
+      }
       if (options_.cold_cache_per_run) {
         data_db_->store()->ClearSnapshotCache();
       }
@@ -1366,6 +1552,13 @@ Status RqlEngine::FinishUdfRuns() {
       data_db_->set_scan_cache(nullptr);
       scan_cache_.Clear();
     }
+    if (trace_on_) {
+      trace_.Emit(RqlTraceEventType::kRunEnd, retro::kNoSnapshot,
+                  NowMicros(),
+                  {static_cast<int64_t>(stats_.iterations.size()),
+                   stats_.iterations_skipped, stats_.TotalUs(), 1});
+    }
+    PublishRunMetrics();
   }
   for (auto& [table, state] : udf_states_) {
     RQL_RETURN_IF_ERROR(state->Finish());

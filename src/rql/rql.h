@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "common/status.h"
+#include "retro/metrics.h"
 #include "retro/snapshot_store.h"
 #include "rql/aggregates.h"
+#include "rql/trace.h"
 #include "sql/database.h"
 #include "sql/scan_cache.h"
 
@@ -228,6 +230,21 @@ struct RqlOptions {
   /// RqlRunStats::archive_read_retries. Default 0: fail fast, the
   /// paper-faithful assumption of reliable media.
   int archive_read_retries = 0;
+
+  // --- observability (off by default: traced and untraced runs execute
+  // --- the identical code path, differing only in event recording) --------
+  /// Record structured per-iteration trace events (see rql/trace.h) into a
+  /// bounded ring readable via RqlEngine::last_run_trace() and dumpable as
+  /// JSON (tools/rql_report). Off by default; turning it on changes no
+  /// behavior and no counter values.
+  bool trace = false;
+  /// Ring capacity in events; beyond it the oldest events are dropped
+  /// (RqlTrace::dropped() counts them), so traced memory stays bounded.
+  size_t trace_capacity = 4096;
+  /// Registry receiving the run's counters (every legacy RqlRunStats field
+  /// is published under "rql.*" when a run finishes, plus run/iteration
+  /// latency histograms). nullptr uses MetricsRegistry::Default().
+  retro::MetricsRegistry* metrics = nullptr;
 };
 
 /// The Retrospective Query Language engine (the paper's contribution).
@@ -314,14 +331,27 @@ class RqlEngine {
   static std::string InjectAsOf(const std::string& qq,
                                 retro::SnapshotId snap);
 
-  /// Replaces current_snapshot() calls (outside string literals) with the
-  /// literal snapshot id — the textual half of the paper's rewrite, used
-  /// by parallel runs where the function-based implementation would race.
+  /// Replaces current_snapshot() calls — outside comments, '...' string
+  /// literals and "..." quoted identifiers — with the literal snapshot id:
+  /// the textual half of the paper's rewrite, used by parallel runs where
+  /// the function-based implementation would race. Occurrences inside
+  /// quotes are plain text, not calls, and pass through verbatim.
   static std::string ReplaceCurrentSnapshot(const std::string& qq,
                                             retro::SnapshotId snap);
 
   const RqlRunStats& last_run_stats() const { return stats_; }
   RqlRunStats* mutable_last_run_stats() { return &stats_; }
+
+  /// Trace of the last run executed with RqlOptions::trace on (empty ring
+  /// otherwise). Valid until the next traced run starts.
+  const RqlTrace& last_run_trace() const { return trace_; }
+
+  /// The registry runs publish into: options().metrics, or the process
+  /// default when unset.
+  retro::MetricsRegistry* metrics() const {
+    return options_.metrics != nullptr ? options_.metrics
+                                       : retro::MetricsRegistry::Default();
+  }
 
   sql::Database* data_db() { return data_db_; }
   sql::Database* meta_db() { return meta_db_; }
@@ -359,10 +389,20 @@ class RqlEngine {
 
   Status PrepareResultTable(const std::string& table);
 
+  /// Adds every RqlRunStats counter of `stats_` to the registry's "rql.*"
+  /// counters and observes the run/iteration latency histograms — called
+  /// exactly once per run (mechanism and UDF forms), so a registry delta
+  /// taken around a run equals the legacy struct.
+  void PublishRunMetrics();
+
   sql::Database* data_db_;
   sql::Database* meta_db_;
   RqlOptions options_;
   RqlRunStats stats_;
+  /// Per-run structured event ring (RqlOptions::trace); `trace_on_`
+  /// latches the flag for the current run so emission sites stay cheap.
+  RqlTrace trace_;
+  bool trace_on_ = false;
   /// Run-scoped decoded-page cache (reuse_decoded_pages); attached to the
   /// data database (and to parallel worker contexts) for the duration of a
   /// run and cleared when the run ends.

@@ -1,0 +1,100 @@
+#ifndef RQL_RQL_TRACE_H_
+#define RQL_RQL_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "retro/maplog.h"  // retro::SnapshotId
+
+namespace rql {
+
+/// Event kinds recorded by RqlTrace. Per-event args[] meaning (unused
+/// slots are zero):
+///
+///   kRunBegin        {snapshot_count, workers, flags_bits, 0, 0, 0}
+///                    flags_bits: 1=incremental_spt 2=reuse_qq_plan
+///                    4=batch_pagelog_reads 8=reuse_decoded_pages
+///                    16=skip_unchanged_iterations
+///   kRunEnd          {iterations, iterations_skipped, total_us, ok, 0, 0}
+///   kIterationBegin  {index_in_run, 0, 0, 0, 0, 0}
+///   kIterationEnd    {io_us, spt_build_us, query_eval_us, index_create_us,
+///                     udf_us, qq_rows}  — the Fig. 8 phase attribution;
+///                    the five *_us slots mirror RqlIterationStats::TotalUs.
+///   kSptBuild        {maplog_pages, spt_delta_entries, spt_cpu_us,
+///                     incremental, 0, 0}
+///   kArchiveFetch    {pagelog_pages, batched_pagelog_reads, cache_hits,
+///                     db_pages, archive_read_retries, 0}
+///   kScanCache       {shared_page_hits, misses, 0, 0, 0, 0}
+///   kIterationSkip   {index_in_run, delta_pages_scanned, replayed_rows,
+///                     udf_us, 0, 0}  — replay of a provably unchanged
+///                    iteration (skip_unchanged_iterations)
+///   kWorkerStall     {lock_wait_us, coalesced_loads, workers, 0, 0, 0}
+///                    — emitted once per parallel run after the join
+enum class RqlTraceEventType : uint8_t {
+  kRunBegin = 0,
+  kRunEnd,
+  kIterationBegin,
+  kIterationEnd,
+  kSptBuild,
+  kArchiveFetch,
+  kScanCache,
+  kIterationSkip,
+  kWorkerStall,
+};
+
+/// One fixed-size trace record. `t_us` is relative to the enclosing run's
+/// start; `worker` is 0 for the coordinating thread and 1-based for
+/// parallel workers; `snapshot` is kNoSnapshot for run-scoped events.
+struct RqlTraceEvent {
+  int64_t t_us = 0;
+  retro::SnapshotId snapshot = retro::kNoSnapshot;
+  RqlTraceEventType type = RqlTraceEventType::kRunBegin;
+  uint16_t worker = 0;
+  int64_t args[6] = {0, 0, 0, 0, 0, 0};
+};
+
+/// A bounded, mutex-guarded ring of RqlTraceEvents, filled by the engine
+/// when `RqlOptions::trace` is on. Events are per-iteration summaries (not
+/// per-page), so a traced run emits O(snapshots) events; once `capacity`
+/// is reached the oldest events are dropped and `dropped()` counts them —
+/// memory stays bounded no matter how long the run is. Emission is rare
+/// enough (a handful per iteration) that one mutex keeps TSan-clean
+/// ordering under parallel workers without measurable cost.
+class RqlTrace {
+ public:
+  RqlTrace() = default;
+
+  /// Copyable so callers can capture one run's trace before the next
+  /// Restart clears it (rql_report keeps all four mechanism traces).
+  RqlTrace(const RqlTrace& other);
+  RqlTrace& operator=(const RqlTrace& other);
+
+  /// Begins a new traced run: clears prior events, sets the capacity, and
+  /// re-anchors t=0 at `now_us`.
+  void Restart(size_t capacity, int64_t now_us);
+
+  void Emit(RqlTraceEventType type, retro::SnapshotId snapshot, int64_t now_us,
+            std::initializer_list<int64_t> args, uint16_t worker = 0);
+
+  /// Retained events, oldest first.
+  std::vector<RqlTraceEvent> Events() const;
+  /// Total events emitted since the last Restart (retained + dropped).
+  int64_t emitted() const;
+  /// Events evicted from the ring since the last Restart.
+  int64_t dropped() const;
+  size_t capacity() const;
+
+  static const char* TypeName(RqlTraceEventType type);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RqlTraceEvent> ring_;
+  size_t capacity_ = 0;
+  uint64_t emitted_ = 0;  // ring head = emitted_ % capacity_
+  int64_t t0_us_ = 0;
+};
+
+}  // namespace rql
+
+#endif  // RQL_RQL_TRACE_H_

@@ -1,6 +1,7 @@
 #include "sql/functions.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <cmath>
 
@@ -165,7 +166,11 @@ FunctionRegistry FunctionRegistry::WithBuiltins() {
                          ? 0
                          : static_cast<int64_t>(pos) + 1);
                });
-  // CAST(x AS type) compiles to these.
+  // CAST(x AS type) compiles to these. Overflow semantics (matching the
+  // parser's for numeric literals): a value that does not fit the target
+  // type is an error status, never a silent saturation to an arbitrary
+  // value. Text with no leading number still casts to 0/0.0
+  // (SQLite-compatible); float-text underflow rounds to zero.
   reg.Register("cast_integer", 1, 1,
                [](const std::vector<Value>& args) -> Result<Value> {
                  const Value& v = args[0];
@@ -175,9 +180,24 @@ FunctionRegistry FunctionRegistry::WithBuiltins() {
                    char* end = nullptr;
                    long long parsed = std::strtoll(v.text().c_str(), &end,
                                                    10);
-                   return Value::Integer(end == v.text().c_str()
-                                             ? 0
-                                             : static_cast<int64_t>(parsed));
+                   if (end == v.text().c_str()) return Value::Integer(0);
+                   if (errno == ERANGE) {
+                     return Status::InvalidArgument(
+                         "integer out of range in CAST: " + v.text());
+                   }
+                   return Value::Integer(static_cast<int64_t>(parsed));
+                 }
+                 if (v.type() == ValueType::kReal) {
+                   double d = v.real();
+                   // Bounds compared in double space: [−2^63, 2^63) are the
+                   // doubles whose truncation is a representable int64; the
+                   // cast itself would be undefined outside (and for NaN).
+                   if (!(d >= -9223372036854775808.0 &&
+                         d < 9223372036854775808.0)) {
+                     return Status::InvalidArgument(
+                         "value out of range in CAST to INTEGER");
+                   }
+                   return Value::Integer(static_cast<int64_t>(d));
                  }
                  return Value::Integer(v.AsInt());
                });
@@ -186,10 +206,15 @@ FunctionRegistry FunctionRegistry::WithBuiltins() {
                  const Value& v = args[0];
                  if (v.is_null()) return Value::Null();
                  if (v.type() == ValueType::kText) {
+                   errno = 0;
                    char* end = nullptr;
                    double parsed = std::strtod(v.text().c_str(), &end);
-                   return Value::Real(end == v.text().c_str() ? 0.0
-                                                              : parsed);
+                   if (end == v.text().c_str()) return Value::Real(0.0);
+                   if (errno == ERANGE && !std::isfinite(parsed)) {
+                     return Status::InvalidArgument(
+                         "value out of range in CAST to REAL: " + v.text());
+                   }
+                   return Value::Real(parsed);
                  }
                  return Value::Real(v.AsDouble());
                });

@@ -301,6 +301,7 @@ void HeapTable::Iterator::LoadPage(PageId id) {
       cache_->AddHit();
       return;
     }
+    cache_->AddMiss();
     Result<storage::PinnedPage> pinned = reader_->ReadPagePinned(id);
     if (!pinned.ok()) {
       status_ = pinned.status();

@@ -1,6 +1,10 @@
 #include "sql/parser.h"
 
+#include <cerrno>
 #include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 
 #include "sql/lexer.h"
 
@@ -53,6 +57,41 @@ class Parser {
     return Status::InvalidArgument("parse error at offset " +
                                    std::to_string(Peek().offset) + ": " +
                                    message + " (near '" + Peek().text + "')");
+  }
+
+  // Exception-free numeric token conversions. The lexer guarantees the
+  // token is digit-shaped but not that it fits: an out-of-range literal
+  // (LIMIT 99999999999999999999, 1e999) must surface as a parse-error
+  // Status, never as a thrown std::out_of_range escaping the parser.
+  // Called with the numeric token still current (Peek), so Error() points
+  // at it; consumes the token on success.
+
+  Result<int64_t> ParseIntegerToken() {
+    const std::string& text = Peek().text;
+    int64_t v = 0;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+      return Error("integer literal out of range");
+    }
+    Advance();
+    return v;
+  }
+
+  Result<double> ParseFloatToken() {
+    const std::string& text = Peek().text;
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size()) {
+      return Error("malformed numeric literal");
+    }
+    // Overflow (1e999) is an error; underflow (1e-999) rounds to zero,
+    // the closest representable value.
+    if (errno == ERANGE && !std::isfinite(v)) {
+      return Error("numeric literal out of range");
+    }
+    Advance();
+    return v;
   }
 
   Status ExpectKeyword(std::string_view kw) {
@@ -122,7 +161,16 @@ class Parser {
         param->param_index = ++parameter_count_;
         stmt.as_of_param = std::move(param);
       } else if (Peek().type == TokenType::kInteger) {
-        stmt.as_of = static_cast<uint32_t>(std::stoull(Advance().text));
+        const std::string& text = Peek().text;
+        uint64_t sid = 0;
+        auto [ptr, ec] =
+            std::from_chars(text.data(), text.data() + text.size(), sid);
+        if (ec != std::errc() || ptr != text.data() + text.size() ||
+            sid > std::numeric_limits<uint32_t>::max()) {
+          return Error("snapshot id out of range");
+        }
+        Advance();
+        stmt.as_of = static_cast<uint32_t>(sid);
       } else {
         return Error("expected snapshot id or ? after AS OF");
       }
@@ -177,7 +225,7 @@ class Parser {
       if (Peek().type != TokenType::kInteger) {
         return Error("expected integer after LIMIT");
       }
-      stmt.limit = std::stoll(Advance().text);
+      RQL_ASSIGN_OR_RETURN(stmt.limit, ParseIntegerToken());
     }
     return stmt;
   }
@@ -574,11 +622,11 @@ class Parser {
     const Token& token = Peek();
     switch (token.type) {
       case TokenType::kInteger: {
-        int64_t v = std::stoll(Advance().text);
+        RQL_ASSIGN_OR_RETURN(int64_t v, ParseIntegerToken());
         return MakeLiteral(Value::Integer(v));
       }
       case TokenType::kFloat: {
-        double v = std::stod(Advance().text);
+        RQL_ASSIGN_OR_RETURN(double v, ParseFloatToken());
         return MakeLiteral(Value::Real(v));
       }
       case TokenType::kString:

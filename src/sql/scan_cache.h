@@ -59,12 +59,22 @@ class ScanCache {
   /// (per-iteration attribution in the sequential RQL loop).
   int64_t TakeHits() { return hits_.exchange(0, std::memory_order_relaxed); }
 
+  /// A versioned page lookup that found no entry (the page is then fetched
+  /// and decoded, and usually published). Observability only: misses do
+  /// not feed any legacy RqlIterationStats counter.
+  void AddMiss() { misses_.fetch_add(1, std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t TakeMisses() {
+    return misses_.exchange(0, std::memory_order_relaxed);
+  }
+
   uint64_t size() const;
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::shared_ptr<const DecodedPage>> pages_;
   std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
 };
 
 }  // namespace rql::sql

@@ -132,6 +132,32 @@ class BufferPool {
 
   int shard_count() const { return static_cast<int>(shards_.size()); }
 
+  /// Registers observability gauges reading this pool's live counters on
+  /// `registry` under `prefix`: `<prefix>.hits`, `.misses`, `.evictions`,
+  /// `.coalesced_loads`, `.size_pages`, `.capacity_pages`. `Registry` is
+  /// any type with `SetGauge(name, fn)` (retro::MetricsRegistry; templated
+  /// so the storage layer stays independent of it). The gauges read the
+  /// pool directly and cannot drift from stats(); they capture `this`, so
+  /// remove them (or drop the registry) before destroying the pool.
+  template <typename Registry>
+  void RegisterMetrics(Registry* registry, const std::string& prefix) const {
+    const BufferPool* pool = this;
+    registry->SetGauge(prefix + ".hits",
+                       [pool] { return pool->stats().hits; });
+    registry->SetGauge(prefix + ".misses",
+                       [pool] { return pool->stats().misses; });
+    registry->SetGauge(prefix + ".evictions",
+                       [pool] { return pool->stats().evictions; });
+    registry->SetGauge(prefix + ".coalesced_loads",
+                       [pool] { return pool->stats().coalesced_loads; });
+    registry->SetGauge(prefix + ".size_pages", [pool] {
+      return static_cast<int64_t>(pool->size());
+    });
+    registry->SetGauge(prefix + ".capacity_pages", [pool] {
+      return static_cast<int64_t>(pool->capacity());
+    });
+  }
+
   /// Aggregated over all shards; a snapshot, not a live reference.
   BufferPoolStats stats() const;
   void ResetStats();

@@ -169,5 +169,46 @@ TEST_F(ExprFeaturesTest, NotStillWorksOutsideInBetween) {
   EXPECT_EQ(v->integer(), 1);
 }
 
+TEST_F(ExprFeaturesTest, CastOverflowIsAnError) {
+  // Overflow semantics match the parser's for literals: out-of-range is
+  // an error status, never a silent saturation.
+  EXPECT_FALSE(
+      db_->QueryScalar("SELECT CAST('99999999999999999999' AS INTEGER)")
+          .ok());
+  EXPECT_FALSE(
+      db_->QueryScalar("SELECT CAST('-99999999999999999999' AS INTEGER)")
+          .ok());
+  // REAL -> INTEGER beyond int64: the old strtoll path never saw these;
+  // the cast must reject them instead of invoking UB.
+  EXPECT_FALSE(db_->QueryScalar("SELECT CAST(1.0e300 AS INTEGER)").ok());
+  EXPECT_FALSE(db_->QueryScalar("SELECT CAST(-1.0e300 AS INTEGER)").ok());
+  EXPECT_FALSE(db_->QueryScalar("SELECT CAST('1e999' AS REAL)").ok());
+  // In range still works, including the extremes.
+  EXPECT_EQ(Scalar("CAST('9223372036854775807' AS INTEGER)").integer(),
+            9223372036854775807LL);
+  EXPECT_EQ(Scalar("CAST('-9223372036854775808' AS INTEGER)").integer(),
+            INT64_MIN);
+  // Text underflow to REAL rounds to zero (representable, not an error).
+  EXPECT_DOUBLE_EQ(Scalar("CAST('1e-999' AS REAL)").real(), 0.0);
+  // Non-numeric text still casts to 0 / 0.0 (SQLite-compatible).
+  EXPECT_EQ(Scalar("CAST('junk' AS INTEGER)").integer(), 0);
+  EXPECT_DOUBLE_EQ(Scalar("CAST('junk' AS REAL)").real(), 0.0);
+}
+
+TEST_F(ExprFeaturesTest, CastRoundTrips) {
+  // INT -> TEXT -> INT and REAL -> TEXT -> REAL survive unchanged.
+  EXPECT_EQ(Scalar("CAST(CAST(-42 AS TEXT) AS INTEGER)").integer(), -42);
+  EXPECT_EQ(
+      Scalar("CAST(CAST(9223372036854775807 AS TEXT) AS INTEGER)")
+          .integer(),
+      9223372036854775807LL);
+  EXPECT_DOUBLE_EQ(Scalar("CAST(CAST(2.5 AS TEXT) AS REAL)").real(), 2.5);
+  // INT <-> REAL for values exactly representable both ways.
+  EXPECT_EQ(Scalar("CAST(CAST(1048576 AS REAL) AS INTEGER)").integer(),
+            1048576);
+  EXPECT_DOUBLE_EQ(Scalar("CAST(CAST(3.0 AS INTEGER) AS REAL)").real(),
+                   3.0);
+}
+
 }  // namespace
 }  // namespace rql::sql

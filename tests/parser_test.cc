@@ -292,6 +292,51 @@ TEST(ParserTest, Errors) {
   EXPECT_FALSE(ParseSql("DELETE t").ok());
 }
 
+TEST(ParserTest, IntegerLiteralOverflowIsAParseError) {
+  // An out-of-range literal must come back as a Status, never throw or
+  // silently wrap.
+  auto big = ParseSql("SELECT 99999999999999999999 FROM t");
+  ASSERT_FALSE(big.ok());
+  EXPECT_NE(big.status().ToString().find("out of range"),
+            std::string::npos);
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE a = 18446744073709551616")
+                   .ok());
+  // The extremes that do fit still parse.
+  auto max = ParseSelectStmt("SELECT 9223372036854775807 FROM t");
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(max->items[0].expr->literal.integer(), 9223372036854775807LL);
+}
+
+TEST(ParserTest, LimitOverflowIsAParseError) {
+  EXPECT_FALSE(
+      ParseSql("SELECT a FROM t LIMIT 99999999999999999999").ok());
+  auto ok = ParseSelectStmt("SELECT a FROM t LIMIT 10");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->limit, 10);
+}
+
+TEST(ParserTest, FloatLiteralOverflowIsAParseError) {
+  auto inf = ParseSql("SELECT 1e999 FROM t");
+  ASSERT_FALSE(inf.ok());
+  EXPECT_NE(inf.status().ToString().find("out of range"),
+            std::string::npos);
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE b < 1.5e400").ok());
+  // Underflow rounds to zero rather than erroring (it is representable).
+  auto tiny = ParseSelectStmt("SELECT 1e-999 FROM t");
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(tiny->items[0].expr->literal.real(), 0.0);
+}
+
+TEST(ParserTest, AsOfSnapshotIdOverflowIsAParseError) {
+  // Snapshot ids are uint32; anything wider must be rejected, not
+  // truncated to a different snapshot.
+  EXPECT_FALSE(ParseSql("SELECT AS OF 4294967296 a FROM t").ok());
+  EXPECT_FALSE(
+      ParseSql("SELECT AS OF 99999999999999999999 a FROM t").ok());
+  auto max = ParseSelectStmt("SELECT AS OF 4294967295 a FROM t");
+  ASSERT_TRUE(max.ok());
+}
+
 TEST(ParserTest, RqlUdfInvocationShape) {
   // The paper's UDF-embedded form must parse as a plain SELECT with a
   // function call over SnapIds.

@@ -243,6 +243,102 @@ TEST(ReplaceCurrentSnapshotTest, CommentsAreNotRewritten) {
             "SELECT 1 /* current_snapshot()");
 }
 
+TEST(ReplaceCurrentSnapshotTest, QuotedIdentifiersAreNotRewritten) {
+  // "current_snapshot()" in double quotes is an identifier, not a call.
+  EXPECT_EQ(RqlEngine::ReplaceCurrentSnapshot(
+                "SELECT \"current_snapshot()\" FROM t", 7),
+            "SELECT \"current_snapshot()\" FROM t");
+  // An apostrophe inside a quoted identifier must not open a string
+  // literal — the genuine call after it is still rewritten.
+  EXPECT_EQ(RqlEngine::ReplaceCurrentSnapshot(
+                "SELECT \"it's\", current_snapshot() FROM t", 9),
+            "SELECT \"it's\", 9 FROM t");
+  // Doubled-quote escape inside the identifier keeps the run open.
+  EXPECT_EQ(RqlEngine::ReplaceCurrentSnapshot(
+                "SELECT \"a\"\"current_snapshot()\", current_snapshot() "
+                "FROM t",
+                2),
+            "SELECT \"a\"\"current_snapshot()\", 2 FROM t");
+  // Symmetrically, a double quote inside a string literal is plain text.
+  EXPECT_EQ(RqlEngine::ReplaceCurrentSnapshot(
+                "SELECT '\"', current_snapshot() FROM t", 5),
+            "SELECT '\"', 5 FROM t");
+}
+
+TEST(InjectAsOfTest, QuotedIdentifiersAreSkipped) {
+  EXPECT_EQ(RqlEngine::InjectAsOf("SELECT \"select\" FROM t", 5),
+            "SELECT AS OF 5 \"select\" FROM t");
+  // An apostrophe inside a quoted identifier must not open a string that
+  // would hide the real SELECT keyword.
+  EXPECT_EQ(
+      RqlEngine::InjectAsOf("WITH \"it's\" AS (SELECT 1) SELECT k FROM t", 5),
+      "WITH \"it's\" AS (SELECT AS OF 5 1) SELECT k FROM t");
+}
+
+TEST(RqlTraceParallelTest, TraceWellFormedAndBoundedUnderWorkers) {
+  Env e = MakeEnv(12);
+  RqlOptions* opts = e.engine->mutable_options();
+  opts->parallel_workers = 4;
+  opts->trace = true;
+  opts->trace_capacity = 8;  // far below the ~26 events a run emits
+  ASSERT_TRUE(e.engine
+                  ->CollateData("SELECT snap_id FROM SnapIds",
+                                "SELECT k, v FROM t", "Par")
+                  .ok());
+  const RqlTrace& bounded = e.engine->last_run_trace();
+  EXPECT_EQ(bounded.capacity(), 8u);
+  EXPECT_EQ(bounded.Events().size(), 8u);
+  EXPECT_GT(bounded.dropped(), 0);
+  EXPECT_EQ(bounded.emitted(), bounded.dropped() + 8);
+
+  // With enough capacity the stream is complete and well-formed: a
+  // run_begin/run_end envelope, one begin and one end per snapshot, and
+  // worker attribution within the configured pool.
+  opts->trace_capacity = 4096;
+  ASSERT_TRUE(e.engine
+                  ->CollateData("SELECT snap_id FROM SnapIds",
+                                "SELECT k, v FROM t", "Par2")
+                  .ok());
+  std::vector<RqlTraceEvent> events = e.engine->last_run_trace().Events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(e.engine->last_run_trace().dropped(), 0);
+  EXPECT_EQ(events.front().type, RqlTraceEventType::kRunBegin);
+  EXPECT_EQ(events.front().args[1], 4);  // worker count
+  EXPECT_EQ(events.back().type, RqlTraceEventType::kRunEnd);
+  int begins = 0, ends = 0, stalls = 0;
+  for (const RqlTraceEvent& ev : events) {
+    EXPECT_LE(ev.worker, 4);
+    EXPECT_GE(ev.t_us, 0);
+    if (ev.type == RqlTraceEventType::kIterationBegin) ++begins;
+    if (ev.type == RqlTraceEventType::kIterationEnd) ++ends;
+    if (ev.type == RqlTraceEventType::kWorkerStall) ++stalls;
+  }
+  EXPECT_EQ(begins, 12);
+  EXPECT_EQ(ends, 12);
+  EXPECT_EQ(stalls, 1);
+}
+
+TEST(RqlTraceParallelTest, LiteralSurvivesParallelTextualRewrite) {
+  // Parallel workers use the textual current_snapshot() rewrite; a quoted
+  // literal in Qq must come through byte-identical to the serial run.
+  Env e = MakeEnv(6);
+  const char* qq =
+      "SELECT k, 'current_snapshot()' AS tag, current_snapshot() AS sid "
+      "FROM t";
+  ASSERT_TRUE(e.engine
+                  ->CollateData("SELECT snap_id FROM SnapIds", qq, "Serial")
+                  .ok());
+  e.engine->mutable_options()->parallel_workers = 4;
+  ASSERT_TRUE(e.engine
+                  ->CollateData("SELECT snap_id FROM SnapIds", qq, "Par")
+                  .ok());
+  EXPECT_EQ(TableContents(e.meta.get(), "Serial"),
+            TableContents(e.meta.get(), "Par"));
+  auto tag = e.meta->QueryScalar("SELECT DISTINCT tag FROM Par");
+  ASSERT_TRUE(tag.ok());
+  EXPECT_EQ(tag->text(), "current_snapshot()");
+}
+
 TEST(InjectAsOfTest, SkipsStringsAndComments) {
   EXPECT_EQ(RqlEngine::InjectAsOf("SELECT k FROM t", 5),
             "SELECT AS OF 5 k FROM t");

@@ -524,6 +524,41 @@ TEST_P(RqlPropertyTest, PageSharingFlagsPreserveAllMechanismOutputs) {
     return out;
   };
 
+  // Every configuration below also checks the observability layer: the
+  // registry delta taken around a run must equal the legacy RqlRunStats
+  // counters exactly, whatever flags were active.
+  retro::MetricsRegistry registry;
+  auto expect_delta_matches = [&](const retro::MetricsRegistry::Snapshot&
+                                      delta,
+                                  const std::string& label) {
+    const RqlRunStats& stats = f.engine->last_run_stats();
+    EXPECT_EQ(delta.counter("rql.runs"), 1) << label;
+    EXPECT_EQ(delta.counter("rql.iterations"),
+              static_cast<int64_t>(stats.iterations.size()))
+        << label;
+    EXPECT_EQ(delta.counter("rql.iterations_skipped"),
+              stats.iterations_skipped)
+        << label;
+    EXPECT_EQ(delta.counter("rql.shared_page_hits"),
+              stats.shared_page_hits)
+        << label;
+    EXPECT_EQ(delta.counter("rql.coalesced_loads"), stats.coalesced_loads)
+        << label;
+    EXPECT_EQ(delta.counter("rql.qq_parse_count"), stats.qq_parse_count)
+        << label;
+    EXPECT_EQ(delta.counter("rql.total_us"), stats.TotalUs()) << label;
+    int64_t qq_rows = 0, delta_pages = 0, plan_hits = 0;
+    for (const RqlIterationStats& it : stats.iterations) {
+      qq_rows += it.qq_rows;
+      delta_pages += it.delta_pages_scanned;
+      plan_hits += it.plan_cache_hits;
+    }
+    EXPECT_EQ(delta.counter("rql.qq_rows"), qq_rows) << label;
+    EXPECT_EQ(delta.counter("rql.delta_pages_scanned"), delta_pages)
+        << label;
+    EXPECT_EQ(delta.counter("rql.plan_cache_hits"), plan_hits) << label;
+  };
+
   struct Mech {
     const char* name;
     std::function<Status(const std::string&)> run;
@@ -566,9 +601,13 @@ TEST_P(RqlPropertyTest, PageSharingFlagsPreserveAllMechanismOutputs) {
 
   for (const Mech& m : mechs) {
     *f.engine->mutable_options() = RqlOptions{};
+    f.engine->mutable_options()->metrics = &registry;
     f.data->store()->ClearSnapshotCache();
     std::string base_table = std::string("base_") + m.name;
+    retro::MetricsRegistry::Snapshot before = registry.TakeSnapshot();
     ASSERT_TRUE(m.run(base_table).ok()) << m.name;
+    expect_delta_matches(registry.TakeSnapshot().DeltaFrom(before),
+                         base_table);
     // Flags-off runs must not engage the new machinery at all.
     EXPECT_EQ(f.engine->last_run_stats().iterations_skipped, 0) << m.name;
     EXPECT_EQ(f.engine->last_run_stats().shared_page_hits, 0) << m.name;
@@ -583,10 +622,16 @@ TEST_P(RqlPropertyTest, PageSharingFlagsPreserveAllMechanismOutputs) {
       opts.batch_pagelog_reads = c.amort;
       opts.cold_cache_per_iteration = c.cold_iter;
       opts.parallel_workers = c.workers;
+      // Options are replaced wholesale above, so the registry has to be
+      // re-installed for every configuration.
+      opts.metrics = &registry;
       *f.engine->mutable_options() = opts;
       f.data->store()->ClearSnapshotCache();
       std::string table = std::string(m.name) + "_" + c.name;
+      before = registry.TakeSnapshot();
       ASSERT_TRUE(m.run(table).ok()) << table;
+      expect_delta_matches(registry.TakeSnapshot().DeltaFrom(before),
+                           table);
       EXPECT_EQ(dump(table), baseline) << table;
       const RqlRunStats& stats = f.engine->last_run_stats();
       // Live changes every 4th snapshot only: the three quiet iterations

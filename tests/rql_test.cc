@@ -505,5 +505,200 @@ TEST_F(RqlLoggedInTest, CollateThenSqlEqualsAggregateTable) {
   }
 }
 
+// --- observability: the per-run trace --------------------------------------
+
+TEST_F(RqlLoggedInTest, TraceRecordsRunAndIterationPhases) {
+  engine_->mutable_options()->trace = true;
+  ASSERT_TRUE(engine_
+                  ->CollateData("SELECT snap_id FROM SnapIds",
+                                "SELECT DISTINCT l_userid FROM LoggedIn",
+                                "Result")
+                  .ok());
+  const RqlTrace& trace = engine_->last_run_trace();
+  std::vector<RqlTraceEvent> events = trace.Events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(trace.dropped(), 0);
+
+  // Envelope: one run_begin first (3 snapshots, 1 worker), one run_end
+  // last (3 iterations, ok), monotonic timestamps in between.
+  EXPECT_EQ(events.front().type, RqlTraceEventType::kRunBegin);
+  EXPECT_EQ(events.front().args[0], 3);
+  EXPECT_EQ(events.front().args[1], 1);
+  EXPECT_EQ(events.back().type, RqlTraceEventType::kRunEnd);
+  EXPECT_EQ(events.back().args[0], 3);
+  EXPECT_EQ(events.back().args[3], 1);
+  int64_t last_t = 0;
+  for (const RqlTraceEvent& ev : events) {
+    EXPECT_GE(ev.t_us, last_t);
+    last_t = ev.t_us;
+  }
+
+  // Phase attribution: each iteration_end mirrors the matching
+  // RqlIterationStats fields exactly (the Fig. 8 components).
+  const RqlRunStats& stats = engine_->last_run_stats();
+  size_t seen = 0;
+  for (const RqlTraceEvent& ev : events) {
+    if (ev.type != RqlTraceEventType::kIterationEnd) continue;
+    ASSERT_LT(seen, stats.iterations.size());
+    const RqlIterationStats& it = stats.iterations[seen];
+    EXPECT_EQ(ev.snapshot, it.snapshot);
+    EXPECT_EQ(ev.args[0], it.io_us);
+    EXPECT_EQ(ev.args[1], it.spt_build_us);
+    EXPECT_EQ(ev.args[2], it.query_eval_us);
+    EXPECT_EQ(ev.args[3], it.index_create_us);
+    EXPECT_EQ(ev.args[4], it.udf_us);
+    EXPECT_EQ(ev.args[5], it.qq_rows);
+    ++seen;
+  }
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST_F(RqlLoggedInTest, TraceCapacityBoundsMemoryDropOldest) {
+  engine_->mutable_options()->trace = true;
+  engine_->mutable_options()->trace_capacity = 4;
+  ASSERT_TRUE(engine_
+                  ->CollateData("SELECT snap_id FROM SnapIds",
+                                "SELECT DISTINCT l_userid FROM LoggedIn",
+                                "Result")
+                  .ok());
+  const RqlTrace& trace = engine_->last_run_trace();
+  EXPECT_EQ(trace.capacity(), 4u);
+  EXPECT_EQ(trace.Events().size(), 4u);
+  EXPECT_GT(trace.dropped(), 0);
+  EXPECT_EQ(trace.emitted(), trace.dropped() + 4);
+  // Drop-oldest: the newest event (run_end) is always retained.
+  EXPECT_EQ(trace.Events().back().type, RqlTraceEventType::kRunEnd);
+}
+
+TEST_F(RqlLoggedInTest, TraceOffHasZeroDrift) {
+  // Traced reference run.
+  engine_->mutable_options()->trace = true;
+  ASSERT_TRUE(engine_
+                  ->CollateData("SELECT snap_id FROM SnapIds",
+                                "SELECT DISTINCT l_userid FROM LoggedIn",
+                                "Traced")
+                  .ok());
+  RqlRunStats traced = engine_->last_run_stats();
+  EXPECT_GT(engine_->last_run_trace().emitted(), 0);
+
+  // Identical run with tracing off: no events, and every non-time
+  // counter — and the result table — is identical.
+  engine_->mutable_options()->trace = false;
+  ASSERT_TRUE(engine_
+                  ->CollateData("SELECT snap_id FROM SnapIds",
+                                "SELECT DISTINCT l_userid FROM LoggedIn",
+                                "Plain")
+                  .ok());
+  EXPECT_EQ(engine_->last_run_trace().emitted(), 0);
+  const RqlRunStats& plain = engine_->last_run_stats();
+  ASSERT_EQ(plain.iterations.size(), traced.iterations.size());
+  for (size_t i = 0; i < plain.iterations.size(); ++i) {
+    EXPECT_EQ(plain.iterations[i].qq_rows, traced.iterations[i].qq_rows);
+    EXPECT_EQ(plain.iterations[i].db_pages, traced.iterations[i].db_pages);
+    EXPECT_EQ(plain.iterations[i].pagelog_pages,
+              traced.iterations[i].pagelog_pages);
+    EXPECT_EQ(plain.iterations[i].result_inserts,
+              traced.iterations[i].result_inserts);
+  }
+  sql::QueryResult a =
+      Q(meta_.get(), "SELECT l_userid FROM Traced ORDER BY l_userid");
+  sql::QueryResult b =
+      Q(meta_.get(), "SELECT l_userid FROM Plain ORDER BY l_userid");
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(sql::EncodeRow(a.rows[i]), sql::EncodeRow(b.rows[i]));
+  }
+}
+
+TEST_F(RqlLoggedInTest, UdfFormEmitsTrace) {
+  engine_->mutable_options()->trace = true;
+  ASSERT_TRUE(engine_->RegisterUdfs().ok());
+  ASSERT_TRUE(meta_
+                  ->Exec("SELECT CollateData(snap_id, "
+                         "'SELECT DISTINCT l_userid FROM LoggedIn', "
+                         "'Result') FROM SnapIds")
+                  .ok());
+  ASSERT_TRUE(engine_->FinishUdfRuns().ok());
+  std::vector<RqlTraceEvent> events = engine_->last_run_trace().Events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().type, RqlTraceEventType::kRunBegin);
+  EXPECT_EQ(events.back().type, RqlTraceEventType::kRunEnd);
+  EXPECT_EQ(events.back().args[0], 3);  // three UDF-driven iterations
+}
+
+// --- current_snapshot() literal awareness ----------------------------------
+
+TEST_F(RqlLoggedInTest, LiteralCurrentSnapshotSurvivesCollate) {
+  // The literal is plain text being SELECTed, not a call: every output
+  // row must carry it verbatim, at any worker count.
+  const char* qq =
+      "SELECT l_userid, 'current_snapshot()' AS tag, "
+      "current_snapshot() AS sid FROM LoggedIn WHERE l_userid = 'UserB'";
+  ASSERT_TRUE(engine_
+                  ->CollateData("SELECT snap_id FROM SnapIds", qq, "Result")
+                  .ok());
+  sql::QueryResult r =
+      Q(meta_.get(), "SELECT DISTINCT tag FROM Result");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].text(), "current_snapshot()");
+
+  engine_->mutable_options()->parallel_workers = 3;
+  ASSERT_TRUE(engine_
+                  ->CollateData("SELECT snap_id FROM SnapIds", qq, "Par")
+                  .ok());
+  sql::QueryResult p = Q(meta_.get(), "SELECT DISTINCT tag FROM Par");
+  ASSERT_EQ(p.rows.size(), 1u);
+  EXPECT_EQ(p.rows[0][0].text(), "current_snapshot()");
+}
+
+TEST(RqlCurrentSnapshotSkipTest, LiteralDoesNotDisableSkip) {
+  // A history where `tagged` is untouched after snapshot 1: snapshots 2-4
+  // are provably unchanged and skippable — unless the skip probe misreads
+  // the quoted literal in Qq as a real current_snapshot() call.
+  storage::InMemoryEnv env;
+  auto data = sql::Database::Open(&env, "data");
+  auto meta = sql::Database::Open(&env, "meta");
+  ASSERT_TRUE(data.ok() && meta.ok());
+  RqlEngine engine(data->get(), meta->get());
+  ASSERT_TRUE(engine.EnsureSnapIds().ok());
+  ASSERT_TRUE(
+      (*data)->Exec("CREATE TABLE tagged (id INTEGER, tag TEXT)").ok());
+  ASSERT_TRUE(
+      (*data)
+          ->Exec("INSERT INTO tagged VALUES (1, 'current_snapshot()')")
+          .ok());
+  ASSERT_TRUE((*data)->Exec("CREATE TABLE churn (x INTEGER)").ok());
+  ASSERT_TRUE(engine.CommitWithSnapshot("t1").ok());
+  for (int s = 2; s <= 4; ++s) {
+    ASSERT_TRUE((*data)
+                    ->Exec("BEGIN; INSERT INTO churn VALUES (" +
+                           std::to_string(s) + ")")
+                    .ok());
+    ASSERT_TRUE(engine.CommitWithSnapshot("t" + std::to_string(s)).ok());
+  }
+  engine.mutable_options()->skip_unchanged_iterations = true;
+
+  const char* qq =
+      "SELECT id FROM tagged WHERE tag = 'current_snapshot()'";
+  ASSERT_TRUE(
+      engine.CollateData("SELECT snap_id FROM SnapIds", qq, "Lit").ok());
+  // The literal predicate matched in every snapshot...
+  auto count = (*meta)->QueryScalar("SELECT COUNT(*) FROM Lit");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->integer(), 4);
+  // ...and the unchanged iterations were skipped, not re-executed.
+  EXPECT_GT(engine.last_run_stats().iterations_skipped, 0);
+
+  // Contrast: a real call makes results snapshot-dependent, so the same
+  // unchanged history must never skip.
+  ASSERT_TRUE(engine
+                  .CollateData("SELECT snap_id FROM SnapIds",
+                               "SELECT id, current_snapshot() AS sid "
+                               "FROM tagged",
+                               "Call")
+                  .ok());
+  EXPECT_EQ(engine.last_run_stats().iterations_skipped, 0);
+}
+
 }  // namespace
 }  // namespace rql
