@@ -69,4 +69,66 @@ Result<Value> RqlCombine(RqlAggFunc func, const Value& acc,
   return Status::Internal("bad aggregate function");
 }
 
+Result<Value> RqlCombineBatch(RqlAggFunc func, Value acc, const Value* vals,
+                              size_t n) {
+  switch (func) {
+    case RqlAggFunc::kMin:
+    case RqlAggFunc::kMax: {
+      bool is_min = func == RqlAggFunc::kMin;
+      for (size_t i = 0; i < n; ++i) {
+        const Value& next = vals[i];
+        if (next.is_null()) continue;
+        if (acc.is_null()) {
+          acc = next;
+          continue;
+        }
+        int c = sql::CompareValues(next, acc);
+        if (is_min ? c < 0 : c > 0) acc = next;  // first-wins on ties
+      }
+      return acc;
+    }
+    case RqlAggFunc::kSum: {
+      // Mirror the sequential fold exactly: stay integer while both the
+      // accumulator and the next value are integers, and switch to real
+      // accumulation from the first real onward (the promotion point
+      // decides rounding, so it must match RqlCombine's).
+      for (size_t i = 0; i < n; ++i) {
+        const Value& next = vals[i];
+        if (next.is_null()) continue;
+        if (acc.is_null()) {
+          acc = next;
+          continue;
+        }
+        if (!acc.is_numeric() || !next.is_numeric()) {
+          return Status::InvalidArgument("sum over non-numeric values");
+        }
+        if (acc.type() == sql::ValueType::kInteger &&
+            next.type() == sql::ValueType::kInteger) {
+          acc = Value::Integer(acc.integer() + next.integer());
+        } else {
+          acc = Value::Real(acc.AsDouble() + next.AsDouble());
+        }
+      }
+      return acc;
+    }
+    case RqlAggFunc::kCount: {
+      int64_t count = acc.is_null() ? 0 : acc.AsInt();
+      bool seeded = !acc.is_null();
+      for (size_t i = 0; i < n; ++i) {
+        if (vals[i].is_null()) continue;
+        ++count;
+        seeded = true;
+      }
+      // All-NULL input over a NULL accumulator never counts anything and
+      // stays NULL-free per RqlCombine: acc NULL + next NULL -> 0.
+      if (!seeded && n > 0) return Value::Integer(0);
+      if (!seeded) return acc;
+      return Value::Integer(count);
+    }
+    case RqlAggFunc::kAvg:
+      return Status::Internal("avg must use AvgState, not RqlCombineBatch");
+  }
+  return Status::Internal("bad aggregate function");
+}
+
 }  // namespace rql

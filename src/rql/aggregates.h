@@ -40,6 +40,112 @@ bool IsMonoid(RqlAggFunc func);
 Result<sql::Value> RqlCombine(RqlAggFunc func, const sql::Value& acc,
                               const sql::Value& next);
 
+/// Folds vals[0..n) into `acc` left to right with RqlCombine semantics in
+/// one call — exactly equivalent to n sequential RqlCombine applications
+/// (same tie-breaking, same int/real promotion point, same errors), just
+/// without a Result round-trip per element. Not valid for kAvg.
+Result<sql::Value> RqlCombineBatch(RqlAggFunc func, sql::Value acc,
+                                   const sql::Value* vals, size_t n);
+
+/// --- Vectorized fold kernels -------------------------------------------
+///
+/// The per-value transition of each SQL aggregate, applied over a whole
+/// selection vector in one call. These are the batch-execution
+/// counterparts of the executor's row-at-a-time accumulator update: they
+/// mutate the same accumulator fields with the same per-element operation
+/// order (NULL skip, count bump, int/real split, long-double running
+/// sum), so a batch fold is bit-identical to the equivalent sequence of
+/// scalar updates — including float rounding, which is what keeps
+/// batch_execution results byte-identical to the row path. AVG and TOTAL
+/// share FoldSum: both carry the (real_sum, count) pair and diverge only
+/// at finalization. Header-inline so the sql executor can fold without a
+/// link-time dependency on the rql core library.
+namespace batch {
+
+/// Input span for a fold: either rows selected out of a batch, read in
+/// place (dense == nullptr; value i is rows[sel[i]][col], zero-copy), or
+/// a pre-evaluated dense value vector (expression arguments; value i is
+/// dense[i]).
+struct FoldInput {
+  const sql::Row* rows = nullptr;
+  const uint32_t* sel = nullptr;
+  int col = 0;
+  const sql::Value* dense = nullptr;
+  size_t n = 0;
+
+  static FoldInput Column(const sql::Row* rows, const uint32_t* sel,
+                          size_t n, int col) {
+    FoldInput in;
+    in.rows = rows;
+    in.sel = sel;
+    in.n = n;
+    in.col = col;
+    return in;
+  }
+  static FoldInput Dense(const sql::Value* vals, size_t n) {
+    FoldInput in;
+    in.dense = vals;
+    in.n = n;
+    return in;
+  }
+  const sql::Value& at(size_t i) const {
+    return dense != nullptr ? dense[i]
+                            : rows[sel[i]][static_cast<size_t>(col)];
+  }
+};
+
+/// SUM / AVG / TOTAL transition: per non-null value, bump the count, add
+/// into the integer sum while all inputs are integers, and always into
+/// the long-double running sum the real result is taken from.
+inline Status FoldSum(const FoldInput& in, int64_t* count, bool* has_value,
+                      long double* real_sum, int64_t* int_sum,
+                      bool* int_only) {
+  for (size_t i = 0; i < in.n; ++i) {
+    const sql::Value& v = in.at(i);
+    if (v.is_null()) continue;
+    if (!v.is_numeric()) {
+      return Status::InvalidArgument("SUM/AVG of non-numeric value");
+    }
+    ++*count;
+    if (v.type() == sql::ValueType::kInteger) {
+      *int_sum += v.integer();
+    } else {
+      *int_only = false;
+    }
+    *real_sum += v.AsDouble();
+    *has_value = true;
+  }
+  return Status::OK();
+}
+
+/// COUNT(expr) transition: count the non-null values.
+inline void FoldCount(const FoldInput& in, int64_t* count) {
+  for (size_t i = 0; i < in.n; ++i) {
+    if (!in.at(i).is_null()) ++*count;
+  }
+}
+
+/// MIN/MAX transition: first non-null value seeds the extreme; later
+/// values replace it only on strict improvement (first-wins on ties,
+/// like the scalar update).
+inline void FoldExtreme(bool is_min, const FoldInput& in, int64_t* count,
+                        bool* has_value, sql::Value* extreme) {
+  for (size_t i = 0; i < in.n; ++i) {
+    const sql::Value& v = in.at(i);
+    if (v.is_null()) continue;
+    ++*count;
+    if (!*has_value) {
+      *extreme = v;
+    } else {
+      int c = sql::CompareValues(v, *extreme);
+      if (is_min ? c < 0 : c > 0) *extreme = v;
+    }
+    *has_value = true;
+  }
+}
+
+}  // namespace batch
+
 /// Running state for AVG's special-case implementation.
 struct AvgState {
   long double sum = 0;

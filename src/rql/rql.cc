@@ -799,6 +799,7 @@ void RqlEngine::PublishRunMetrics() {
   int64_t result_probes = 0, result_inserts = 0, result_updates = 0;
   int64_t maplog_pages = 0, spt_delta_entries = 0, plan_cache_hits = 0;
   int64_t batched_pagelog_reads = 0, delta_pages_scanned = 0;
+  int64_t batches_scanned = 0, batch_rows = 0, batch_fallback_rows = 0;
   retro::MetricsRegistry::Histogram* iter_hist =
       reg->GetHistogram("rql.iteration_us");
   for (const RqlIterationStats& it : stats_.iterations) {
@@ -819,6 +820,9 @@ void RqlEngine::PublishRunMetrics() {
     plan_cache_hits += it.plan_cache_hits;
     batched_pagelog_reads += it.batched_pagelog_reads;
     delta_pages_scanned += it.delta_pages_scanned;
+    batches_scanned += it.batches_scanned;
+    batch_rows += it.batch_rows;
+    batch_fallback_rows += it.batch_fallback_rows;
     iter_hist->ObserveUs(it.TotalUs());
   }
   add("rql.io_us", io_us);
@@ -838,6 +842,9 @@ void RqlEngine::PublishRunMetrics() {
   add("rql.plan_cache_hits", plan_cache_hits);
   add("rql.batched_pagelog_reads", batched_pagelog_reads);
   add("rql.delta_pages_scanned", delta_pages_scanned);
+  add("rql.batches_scanned", batches_scanned);
+  add("rql.batch_rows", batch_rows);
+  add("rql.batch_fallback_rows", batch_fallback_rows);
   reg->GetHistogram("rql.run_us")->ObserveUs(stats_.TotalUs());
 }
 
@@ -847,7 +854,8 @@ namespace {
 int64_t OptionFlagBits(const RqlOptions& o) {
   return (o.incremental_spt ? 1 : 0) | (o.reuse_qq_plan ? 2 : 0) |
          (o.batch_pagelog_reads ? 4 : 0) | (o.reuse_decoded_pages ? 8 : 0) |
-         (o.skip_unchanged_iterations ? 16 : 0);
+         (o.skip_unchanged_iterations ? 16 : 0) |
+         (o.batch_execution ? 32 : 0);
 }
 
 }  // namespace
@@ -895,6 +903,13 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
         "skip_unchanged_iterations (a skipped iteration reads nothing, so "
         "the all-cold baseline would not be measured)");
   }
+  if (options_.batch_execution && options_.cold_cache_per_iteration) {
+    // The all-cold baseline times the paper-faithful row pipeline; a
+    // vectorized scan would silently change what it measures.
+    return Status::InvalidArgument(
+        "cold_cache_per_iteration is incompatible with batch_execution "
+        "(the all-cold baseline measures the row-at-a-time pipeline)");
+  }
   if (trace_on_) {
     trace_.Emit(RqlTraceEventType::kRunBegin, retro::kNoSnapshot, NowMicros(),
                 {static_cast<int64_t>(snap_ids.size()),
@@ -915,6 +930,10 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
     scan_cache_.TakeHits();
     scan_cache_.TakeMisses();
     data_db_->set_scan_cache(&scan_cache_);
+  }
+  if (options_.batch_execution) {
+    data_db_->set_batch_execution(
+        true, metrics()->GetHistogram("rql.batch_size"));
   }
   Status s = Status::OK();
   if (parallel) {
@@ -940,6 +959,7 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
     data_db_->set_scan_cache(nullptr);
     scan_cache_.Clear();  // releases the pinned frames the entries hold
   }
+  if (options_.batch_execution) data_db_->set_batch_execution(false);
   if (s.ok()) s = state->Finish();
   if (trace_on_) {
     trace_.Emit(RqlTraceEventType::kRunEnd, retro::kNoSnapshot, NowMicros(),
@@ -965,6 +985,10 @@ struct QqResult {
   std::vector<std::string> columns;
   std::vector<Row> rows;
   int64_t wall_us = 0;
+  // Batch-execution counters of this worker's Qq (batch_execution only).
+  int64_t batches_scanned = 0;
+  int64_t batch_rows = 0;
+  int64_t batch_fallback_rows = 0;
 };
 
 }  // namespace
@@ -977,6 +1001,11 @@ Status RqlEngine::RunMechanismParallel(
   const sql::FunctionRegistry* functions = data_db_->functions();
   storage::PageId catalog_root = data_db_->catalog()->root();
 
+  // Resolved once before the threads spawn; Histogram observation itself
+  // is atomic, so the workers share the instance.
+  retro::MetricsRegistry::Histogram* batch_hist =
+      options_.batch_execution ? metrics()->GetHistogram("rql.batch_size")
+                               : nullptr;
   std::vector<QqResult> results(snaps.size());
   std::atomic<size_t> next{0};
   int workers = std::min<int>(options_.parallel_workers,
@@ -1018,13 +1047,19 @@ Status RqlEngine::RunMechanismParallel(
         // page version shared across their snapshots decodes once per run.
         ctx.scan_cache =
             options_.reuse_decoded_pages ? &scan_cache_ : nullptr;
+        ctx.batch_execution = options_.batch_execution;
+        ctx.batch_size_hist = batch_hist;
         RQL_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectExecutor> exec,
                              sql::SelectExecutor::Prepare(select, ctx));
         out.columns = exec->columns();
-        return exec->Run([&out](const Row& row) {
+        Status run = exec->Run([&out](const Row& row) {
           out.rows.push_back(row);
           return Status::OK();
         });
+        out.batches_scanned = exec_stats.batches_scanned;
+        out.batch_rows = exec_stats.batch_rows;
+        out.batch_fallback_rows = exec_stats.batch_fallback_rows;
+        return run;
       }();
       int64_t end = NowMicros();
       out.wall_us = end - start;
@@ -1077,6 +1112,9 @@ Status RqlEngine::RunMechanismParallel(
     iter.snapshot = snaps[i];
     iter.query_eval_us = results[i].wall_us;
     iter.qq_rows = static_cast<int64_t>(results[i].rows.size());
+    iter.batches_scanned = results[i].batches_scanned;
+    iter.batch_rows = results[i].batch_rows;
+    iter.batch_fallback_rows = results[i].batch_fallback_rows;
     int64_t udf_us = 0;
     RQL_RETURN_IF_ERROR(meta_db_->Exec("BEGIN"));
     Status s = Status::OK();
@@ -1241,6 +1279,10 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
   iter.batched_pagelog_reads = rs.batched_pagelog_reads;
   iter.coalesced_loads = rs.coalesced_loads;
   iter.qq_rows = qq_rows;
+  iter.batches_scanned = data_db_->last_stats().exec.batches_scanned;
+  iter.batch_rows = data_db_->last_stats().exec.batch_rows;
+  iter.batch_fallback_rows =
+      data_db_->last_stats().exec.batch_fallback_rows;
   int64_t scan_misses = 0;
   if (options_.reuse_decoded_pages) {
     iter.shared_page_hits = scan_cache_.TakeHits();
@@ -1421,6 +1463,12 @@ Status RqlEngine::RegisterUdfs() {
             "skip_unchanged_iterations (a skipped iteration reads "
             "nothing, so the all-cold baseline would not be measured)");
       }
+      if (options_.batch_execution && options_.cold_cache_per_iteration) {
+        return Status::InvalidArgument(
+            "cold_cache_per_iteration is incompatible with "
+            "batch_execution (the all-cold baseline measures the "
+            "row-at-a-time pipeline)");
+      }
       stats_ = RqlRunStats{};
       trace_on_ = options_.trace;
       int64_t now = NowMicros();
@@ -1446,6 +1494,10 @@ Status RqlEngine::RegisterUdfs() {
         scan_cache_.Clear();
         scan_cache_.TakeHits();
         data_db_->set_scan_cache(&scan_cache_);
+      }
+      if (options_.batch_execution) {
+        data_db_->set_batch_execution(
+            true, metrics()->GetHistogram("rql.batch_size"));
       }
       data_db_->store()->set_archive_read_retries(
           options_.archive_read_retries);
@@ -1552,6 +1604,7 @@ Status RqlEngine::FinishUdfRuns() {
       data_db_->set_scan_cache(nullptr);
       scan_cache_.Clear();
     }
+    if (options_.batch_execution) data_db_->set_batch_execution(false);
     if (trace_on_) {
       trace_.Emit(RqlTraceEventType::kRunEnd, retro::kNoSnapshot,
                   NowMicros(),

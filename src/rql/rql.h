@@ -57,6 +57,16 @@ struct RqlIterationStats {
   /// True when Qq was not executed: the delta missed the previous
   /// iteration's read set, so its result was replayed instead.
   bool skipped = false;
+  // Batch-execution counters (RqlOptions::batch_execution; zero at
+  // paper-faithful defaults, zero for skipped/replayed iterations, and
+  // zero when Qq's plan fell back to the row path entirely).
+  /// Page-sized RowBatches the vectorized scan served to Qq.
+  int64_t batches_scanned = 0;
+  /// Rows those batches carried (pre-filter).
+  int64_t batch_rows = 0;
+  /// (row, expression) evaluations routed through scalar fallback because
+  /// the expression is not vectorizable.
+  int64_t batch_fallback_rows = 0;
 
   int64_t TotalUs() const {
     return io_us + spt_build_us + query_eval_us + index_create_us + udf_us;
@@ -223,6 +233,21 @@ struct RqlOptions {
   /// with InvalidArgument in combination with cold_cache_per_iteration,
   /// whose all-cold baseline a skipped iteration would falsify.
   bool skip_unchanged_iterations = false;
+  /// Execute Qq batch-at-a-time: eligible sequential scans decode each
+  /// pinned page into a RowBatch once and push it through vectorized
+  /// predicate evaluation and aggregate folds instead of the row-at-a-time
+  /// spine (plans the batch path cannot serve — joins, index access —
+  /// silently keep the row path). Results are byte-identical to the row
+  /// path. Pays off most on CPU-bound scans and composes with
+  /// reuse_decoded_pages, whose cached decoded pages the batches borrow
+  /// zero-copy. Counted in RqlIterationStats::batches_scanned /
+  /// batch_rows / batch_fallback_rows and the "rql.batch_size" histogram.
+  /// Rejected with InvalidArgument in combination with
+  /// cold_cache_per_iteration: that all-cold baseline measures the
+  /// paper-faithful row pipeline, and a vectorized scan would silently
+  /// change what the baseline times (the skip_unchanged_iterations
+  /// precedent).
+  bool batch_execution = false;
 
   /// Bounded retry budget for transient Pagelog archive read failures
   /// during a run: each failed read is re-issued up to this many times

@@ -15,7 +15,7 @@ namespace rql {
 ///   kRunBegin        {snapshot_count, workers, flags_bits, 0, 0, 0}
 ///                    flags_bits: 1=incremental_spt 2=reuse_qq_plan
 ///                    4=batch_pagelog_reads 8=reuse_decoded_pages
-///                    16=skip_unchanged_iterations
+///                    16=skip_unchanged_iterations 32=batch_execution
 ///   kRunEnd          {iterations, iterations_skipped, total_us, ok, 0, 0}
 ///   kIterationBegin  {index_in_run, 0, 0, 0, 0, 0}
 ///   kIterationEnd    {io_us, spt_build_us, query_eval_us, index_create_us,

@@ -255,6 +255,8 @@ Status Database::ExecSelect(const SelectStmt& stmt, const QueryCallback& cb) {
   // Harmless for current-state reads: only versioned (archived snapshot)
   // pages are ever looked up in or added to the cache.
   ctx.scan_cache = scan_cache_;
+  ctx.batch_execution = batch_execution_;
+  ctx.batch_size_hist = batch_size_hist_;
 
   std::unique_ptr<retro::SnapshotView> view;
   CatalogData as_of_catalog;

@@ -137,6 +137,19 @@ class Database {
   void set_scan_cache(ScanCache* cache) { scan_cache_ = cache; }
   ScanCache* scan_cache() const { return scan_cache_; }
 
+  /// Run-scoped batch-execution toggle (RqlOptions::batch_execution):
+  /// SELECT execution serves eligible sequential scans page-at-a-time
+  /// through RowBatches instead of row by row. Results are byte-identical
+  /// to the row path; only ExecStats batch counters and timings change.
+  /// The optional histogram observes the row count of every batch.
+  void set_batch_execution(bool on,
+                           retro::MetricsRegistry::Histogram* hist =
+                               nullptr) {
+    batch_execution_ = on;
+    batch_size_hist_ = on ? hist : nullptr;
+  }
+  bool batch_execution() const { return batch_execution_; }
+
   retro::SnapshotStore* store() { return store_.get(); }
   Catalog* catalog() { return catalog_.get(); }
   FunctionRegistry* functions() { return &functions_; }
@@ -194,6 +207,8 @@ class Database {
   // consumed by ExecSelect for the top-level statement.
   PlanCache* active_plan_cache_ = nullptr;
   ScanCache* scan_cache_ = nullptr;
+  bool batch_execution_ = false;
+  retro::MetricsRegistry::Histogram* batch_size_hist_ = nullptr;
   DbExecStats last_stats_;
 };
 

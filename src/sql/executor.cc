@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/clock.h"
+#include "rql/aggregates.h"
 #include "sql/btree.h"
 #include "sql/heap_table.h"
 
@@ -108,20 +109,15 @@ Result<AggKind> AggKindOf(const std::string& name) {
   return Status::InvalidArgument("unknown aggregate: " + name);
 }
 
-Status UpdateAccum(AggKind kind, const Expr& node, const EvalContext& ectx,
-                   AggAccum* accum) {
-  bool is_star = !node.args.empty() && node.args[0]->kind == ExprKind::kStar;
-  Value arg;
-  if (kind == AggKind::kCount && (node.args.empty() || is_star)) {
-    ++accum->count;
-    return Status::OK();
-  }
-  if (node.args.empty()) {
-    return Status::InvalidArgument("aggregate requires an argument");
-  }
-  RQL_ASSIGN_OR_RETURN(arg, EvalExpr(*node.args[0], ectx));
+// The per-value accumulator transition, shared by the row path (after it
+// evaluates the argument) and the batch path (over pre-evaluated argument
+// vectors). The batch fold kernels in rql/aggregates.h replicate the
+// non-distinct arm of this transition field for field; changes here must
+// be mirrored there to keep row and batch results byte-identical.
+Status UpdateAccumValue(AggKind kind, bool distinct, const Value& arg,
+                        AggAccum* accum) {
   if (arg.is_null()) return Status::OK();  // NULLs are ignored
-  if (node.distinct_arg) {
+  if (distinct) {
     std::string key = EncodeRow({arg});
     if (!accum->distinct.insert(std::move(key)).second) return Status::OK();
   }
@@ -157,6 +153,20 @@ Status UpdateAccum(AggKind kind, const Expr& node, const EvalContext& ectx,
       break;
   }
   return Status::OK();
+}
+
+Status UpdateAccum(AggKind kind, const Expr& node, const EvalContext& ectx,
+                   AggAccum* accum) {
+  bool is_star = !node.args.empty() && node.args[0]->kind == ExprKind::kStar;
+  if (kind == AggKind::kCount && (node.args.empty() || is_star)) {
+    ++accum->count;
+    return Status::OK();
+  }
+  if (node.args.empty()) {
+    return Status::InvalidArgument("aggregate requires an argument");
+  }
+  RQL_ASSIGN_OR_RETURN(Value arg, EvalExpr(*node.args[0], ectx));
+  return UpdateAccumValue(kind, node.distinct_arg, arg, accum);
 }
 
 Value FinalizeAccum(AggKind kind, const AggAccum& accum) {
@@ -773,6 +783,91 @@ Status SelectExecutor::JoinLevel(size_t level, Row* current,
   return it.status();
 }
 
+bool SelectExecutor::CanUseBatchScan() const {
+  if (!ctx_.batch_execution) return false;
+  if (sources_.size() != 1) return false;
+  const TableSource& source = sources_[0];
+  // Only the plain sequential scan batches; index range scans and join
+  // probes keep the row path (their per-row heap fetches dominate, and
+  // order/short-circuit semantics stay trivially identical).
+  if (source.key_expr != nullptr) return false;
+  if (source.native_index != nullptr) return false;
+  return true;
+}
+
+Status SelectExecutor::ApplyBatchFilter(const Expr* pred, bool vectorized,
+                                        RowBatch* batch,
+                                        std::vector<Value>* scratch) {
+  if (pred == nullptr || batch->selection.empty()) return Status::OK();
+  size_t keep = 0;
+  if (vectorized) {
+    RQL_RETURN_IF_ERROR(EvalBatch(*pred, batch->rows,
+                                  batch->selection.data(),
+                                  batch->selection.size(), scratch));
+    for (size_t i = 0; i < batch->selection.size(); ++i) {
+      if (ValueIsTrue((*scratch)[i])) {
+        batch->selection[keep++] = batch->selection[i];
+      }
+    }
+  } else {
+    if (ctx_.stats != nullptr) {
+      ctx_.stats->batch_fallback_rows +=
+          static_cast<int64_t>(batch->selection.size());
+    }
+    for (uint32_t idx : batch->selection) {
+      const Row& row = batch->rows[idx];
+      EvalContext ectx{&row, ctx_.functions, nullptr, nullptr, this};
+      RQL_ASSIGN_OR_RETURN(Value cond, EvalExpr(*pred, ectx));
+      if (ValueIsTrue(cond)) batch->selection[keep++] = idx;
+    }
+  }
+  batch->selection.resize(keep);
+  return Status::OK();
+}
+
+Status SelectExecutor::ScanBatched(
+    const std::function<Status(RowBatch&)>& consume) {
+  TableSource& source = sources_[0];
+  size_t width = scope_.entries[0].schema->size();
+  bool filter_vec =
+      source.filter != nullptr && EvalBatchSupported(*source.filter);
+  // With one source, predicate pushdown leaves WHERE empty; handled
+  // anyway so the batch path never silently drops a residual predicate.
+  bool where_vec = where_ != nullptr && EvalBatchSupported(*where_);
+  std::vector<Value> scratch;
+  auto it = HeapTable::ScanBatches(ctx_.reader, source.table->root,
+                                   ctx_.scan_cache);
+  for (; it.Valid(); it.Next()) {
+    RowBatch& batch = it.batch();
+    for (uint32_t i = 0; i < batch.size; ++i) {
+      if (batch.rows[i].size() != width) {
+        return Status::Corruption("row arity mismatch in table " +
+                                  source.table->name);
+      }
+    }
+    batch.selection.resize(batch.size);
+    for (uint32_t i = 0; i < batch.size; ++i) batch.selection[i] = i;
+    if (ctx_.stats != nullptr) {
+      ++ctx_.stats->batches_scanned;
+      ctx_.stats->batch_rows += batch.size;
+      // The row path counts scanned rows one emit_candidate at a time;
+      // page granularity only diverges when LIMIT stops a scan mid-page.
+      ctx_.stats->rows_scanned += batch.size;
+    }
+    if (ctx_.batch_size_hist != nullptr) {
+      ctx_.batch_size_hist->ObserveUs(batch.size);
+    }
+    RQL_RETURN_IF_ERROR(
+        ApplyBatchFilter(source.filter.get(), filter_vec, &batch, &scratch));
+    RQL_RETURN_IF_ERROR(
+        ApplyBatchFilter(where_.get(), where_vec, &batch, &scratch));
+    if (batch.selection.empty()) continue;
+    RQL_RETURN_IF_ERROR(consume(batch));
+    if (done_) return Status::OK();
+  }
+  return it.status();
+}
+
 Result<Row> SelectExecutor::ProjectRow(const EvalContext& ectx,
                                        Row* sort_key) {
   Row out;
@@ -856,6 +951,20 @@ Status SelectExecutor::Finish(const RowSink& sink) {
 }
 
 Status SelectExecutor::RunPlain(const RowSink& sink) {
+  if (batch_scan_) {
+    RQL_RETURN_IF_ERROR(ScanBatched([&](RowBatch& batch) -> Status {
+      for (uint32_t idx : batch.selection) {
+        const Row& input = batch.rows[idx];
+        EvalContext ectx{&input, ctx_.functions, nullptr, nullptr, this};
+        Row sort_key;
+        RQL_ASSIGN_OR_RETURN(Row out, ProjectRow(ectx, &sort_key));
+        RQL_RETURN_IF_ERROR(Emit(std::move(out), std::move(sort_key), sink));
+        if (done_) return Status::OK();
+      }
+      return Status::OK();
+    }));
+    return Finish(sink);
+  }
   RQL_RETURN_IF_ERROR(ScanSource([&](const Row& input) -> Status {
     EvalContext ectx{&input, ctx_.functions, nullptr, nullptr, this};
     Row sort_key;
@@ -943,28 +1052,175 @@ Status SelectExecutor::RunAggregation(const RowSink& sink) {
     kinds.push_back(kind);
   }
 
-  RQL_RETURN_IF_ERROR(ScanSource([&](const Row& input) -> Status {
-    EvalContext ectx{&input, ctx_.functions, nullptr, nullptr, this};
-    Row key;
-    if (!group_by_.empty()) {
-      key.reserve(group_by_.size());
-      for (const ExprPtr& g : group_by_) {
-        RQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, ectx));
-        key.push_back(std::move(v));
-      }
-    }
-    auto [it, inserted] = groups.try_emplace(std::move(key));
-    if (inserted) {
-      it->second.repr = input;
-      it->second.accums.resize(agg_nodes_.size());
-      group_order.push_back(&it->second);
-    }
+  if (batch_scan_) {
+    // Per-node batch plan, decided once per statement: COUNT(*) folds
+    // straight off the selection size; vectorizable arguments are
+    // batch-evaluated and then folded (single group, non-distinct) or fed
+    // value by value into the shared accumulator transition; everything
+    // else runs the scalar fallback.
+    struct NodePlan {
+      bool count_star = false;
+      bool vec_arg = false;
+    };
+    std::vector<NodePlan> plans(agg_nodes_.size());
     for (size_t i = 0; i < agg_nodes_.size(); ++i) {
-      RQL_RETURN_IF_ERROR(
-          UpdateAccum(kinds[i], *agg_nodes_[i], ectx, &it->second.accums[i]));
+      const Expr& node = *agg_nodes_[i];
+      bool is_star =
+          !node.args.empty() && node.args[0]->kind == ExprKind::kStar;
+      plans[i].count_star =
+          kinds[i] == AggKind::kCount && (node.args.empty() || is_star);
+      plans[i].vec_arg = !plans[i].count_star && !node.args.empty() &&
+                         EvalBatchSupported(*node.args[0]);
     }
-    return Status::OK();
-  }));
+    std::vector<bool> key_vec(group_by_.size());
+    for (size_t k = 0; k < group_by_.size(); ++k) {
+      key_vec[k] = EvalBatchSupported(*group_by_[k]);
+    }
+    std::vector<Value> scratch;
+    std::vector<std::vector<Value>> key_cols(group_by_.size());
+    std::vector<Group*> row_groups;
+    RQL_RETURN_IF_ERROR(ScanBatched([&](RowBatch& batch) -> Status {
+      const uint32_t* sel = batch.selection.data();
+      size_t n = batch.selection.size();
+      // Resolve every selected row's group first (one shared group
+      // without GROUP BY), creating groups in first-appearance order —
+      // the same order the row path produces.
+      row_groups.assign(n, nullptr);
+      if (group_by_.empty()) {
+        auto [it, inserted] = groups.try_emplace(Row());
+        if (inserted) {
+          it->second.repr = batch.rows[sel[0]];
+          it->second.accums.resize(agg_nodes_.size());
+          group_order.push_back(&it->second);
+        }
+        for (size_t j = 0; j < n; ++j) row_groups[j] = &it->second;
+      } else {
+        for (size_t k = 0; k < group_by_.size(); ++k) {
+          if (key_vec[k]) {
+            RQL_RETURN_IF_ERROR(EvalBatch(*group_by_[k], batch.rows, sel, n,
+                                          &key_cols[k]));
+          } else {
+            if (ctx_.stats != nullptr) {
+              ctx_.stats->batch_fallback_rows += static_cast<int64_t>(n);
+            }
+            key_cols[k].resize(n);
+            for (size_t j = 0; j < n; ++j) {
+              const Row& row = batch.rows[sel[j]];
+              EvalContext ectx{&row, ctx_.functions, nullptr, nullptr,
+                               this};
+              RQL_ASSIGN_OR_RETURN(key_cols[k][j],
+                                   EvalExpr(*group_by_[k], ectx));
+            }
+          }
+        }
+        for (size_t j = 0; j < n; ++j) {
+          Row key;
+          key.reserve(group_by_.size());
+          for (size_t k = 0; k < group_by_.size(); ++k) {
+            key.push_back(key_cols[k][j]);
+          }
+          auto [it, inserted] = groups.try_emplace(std::move(key));
+          if (inserted) {
+            it->second.repr = batch.rows[sel[j]];
+            it->second.accums.resize(agg_nodes_.size());
+            group_order.push_back(&it->second);
+          }
+          row_groups[j] = &it->second;
+        }
+      }
+      // Aggregate transitions, one node at a time across the batch.
+      for (size_t i = 0; i < agg_nodes_.size(); ++i) {
+        const Expr& node = *agg_nodes_[i];
+        if (plans[i].count_star) {
+          for (size_t j = 0; j < n; ++j) ++row_groups[j]->accums[i].count;
+          continue;
+        }
+        if (node.args.empty()) {
+          return Status::InvalidArgument("aggregate requires an argument");
+        }
+        if (!plans[i].vec_arg) {
+          if (ctx_.stats != nullptr) {
+            ctx_.stats->batch_fallback_rows += static_cast<int64_t>(n);
+          }
+          for (size_t j = 0; j < n; ++j) {
+            const Row& row = batch.rows[sel[j]];
+            EvalContext ectx{&row, ctx_.functions, nullptr, nullptr, this};
+            RQL_RETURN_IF_ERROR(UpdateAccum(kinds[i], node, ectx,
+                                            &row_groups[j]->accums[i]));
+          }
+          continue;
+        }
+        bool column_arg = node.args[0]->kind == ExprKind::kColumnRef;
+        if (!column_arg) {
+          RQL_RETURN_IF_ERROR(
+              EvalBatch(*node.args[0], batch.rows, sel, n, &scratch));
+        }
+        if (node.distinct_arg || !group_by_.empty()) {
+          // Scattered groups or distinct tracking: per-value transition
+          // over the evaluated argument.
+          for (size_t j = 0; j < n; ++j) {
+            const Value& arg = column_arg
+                                   ? batch.rows[sel[j]][static_cast<size_t>(
+                                         node.args[0]->column_index)]
+                                   : scratch[j];
+            RQL_RETURN_IF_ERROR(UpdateAccumValue(kinds[i],
+                                                 node.distinct_arg, arg,
+                                                 &row_groups[j]->accums[i]));
+          }
+          continue;
+        }
+        // Single group, non-distinct: fold the whole selection in one
+        // kernel call — straight off the page for column arguments.
+        AggAccum* accum = &row_groups[0]->accums[i];
+        rql::batch::FoldInput in =
+            column_arg ? rql::batch::FoldInput::Column(
+                             batch.rows, sel, n, node.args[0]->column_index)
+                       : rql::batch::FoldInput::Dense(scratch.data(), n);
+        switch (kinds[i]) {
+          case AggKind::kCount:
+            rql::batch::FoldCount(in, &accum->count);
+            break;
+          case AggKind::kSum:
+          case AggKind::kAvg:
+          case AggKind::kTotal:
+            RQL_RETURN_IF_ERROR(rql::batch::FoldSum(
+                in, &accum->count, &accum->has_value, &accum->real_sum,
+                &accum->int_sum, &accum->int_only));
+            break;
+          case AggKind::kMin:
+          case AggKind::kMax:
+            rql::batch::FoldExtreme(kinds[i] == AggKind::kMin, in,
+                                    &accum->count, &accum->has_value,
+                                    &accum->extreme);
+            break;
+        }
+      }
+      return Status::OK();
+    }));
+  } else {
+    RQL_RETURN_IF_ERROR(ScanSource([&](const Row& input) -> Status {
+      EvalContext ectx{&input, ctx_.functions, nullptr, nullptr, this};
+      Row key;
+      if (!group_by_.empty()) {
+        key.reserve(group_by_.size());
+        for (const ExprPtr& g : group_by_) {
+          RQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, ectx));
+          key.push_back(std::move(v));
+        }
+      }
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      if (inserted) {
+        it->second.repr = input;
+        it->second.accums.resize(agg_nodes_.size());
+        group_order.push_back(&it->second);
+      }
+      for (size_t i = 0; i < agg_nodes_.size(); ++i) {
+        RQL_RETURN_IF_ERROR(UpdateAccum(kinds[i], *agg_nodes_[i], ectx,
+                                        &it->second.accums[i]));
+      }
+      return Status::OK();
+    }));
+  }
 
   // SQL semantics: an aggregate query with no GROUP BY yields exactly one
   // row even over empty input.
@@ -999,6 +1255,7 @@ Status SelectExecutor::RunAggregation(const RowSink& sink) {
 }
 
 Status SelectExecutor::Run(const RowSink& sink) {
+  batch_scan_ = CanUseBatchScan();
   return aggregated_ ? RunAggregation(sink) : RunPlain(sink);
 }
 

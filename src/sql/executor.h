@@ -10,10 +10,12 @@
 
 #include "common/status.h"
 #include "retro/maplog.h"
+#include "retro/metrics.h"
 #include "sql/ast.h"
 #include "sql/catalog.h"
 #include "sql/expr.h"
 #include "sql/functions.h"
+#include "sql/row_batch.h"
 
 namespace rql::sql {
 
@@ -28,6 +30,12 @@ struct ExecStats {
   int64_t index_build_us = 0;
   bool used_transient_index = false;
   bool used_native_index = false;
+  // Batch-execution counters (zero when the row path ran). A fallback row
+  // is one (row, expression) evaluation the batch path had to route
+  // through scalar EvalExpr because the expression is not vectorizable.
+  int64_t batches_scanned = 0;
+  int64_t batch_rows = 0;
+  int64_t batch_fallback_rows = 0;
 
   void Reset() { *this = ExecStats{}; }
 };
@@ -72,6 +80,14 @@ struct ExecContext {
   /// (archived snapshot pages); readers without stable page versions —
   /// the current state — leave it untouched.
   ScanCache* scan_cache = nullptr;
+  /// Batch-at-a-time execution (RqlOptions::batch_execution): eligible
+  /// sequential scans run page-sized RowBatches through vectorized
+  /// filters and aggregate folds instead of the row-at-a-time spine.
+  /// Plans the batch path cannot serve (joins, index scans) silently use
+  /// the row path; results are byte-identical either way.
+  bool batch_execution = false;
+  /// Optional histogram observing the row count of every batch scanned.
+  retro::MetricsRegistry::Histogram* batch_size_hist = nullptr;
 };
 
 using RowSink = std::function<Status(const Row&)>;
@@ -134,6 +150,19 @@ class SelectExecutor : public SubqueryRunner {
   void PlanIndexOnlyAccess();
   Status ScanSource(const RowSink& sink);
   Status JoinLevel(size_t level, Row* current, const RowSink& sink);
+  /// True when this plan is a single-table plain sequential scan the
+  /// batch path can serve (no join, no index access path).
+  bool CanUseBatchScan() const;
+  /// Narrows `batch->selection` to the rows where `pred` is true, via
+  /// EvalBatch when `vectorized`, else scalar EvalExpr per row (counted
+  /// as batch_fallback_rows).
+  Status ApplyBatchFilter(const Expr* pred, bool vectorized, RowBatch* batch,
+                          std::vector<Value>* scratch);
+  /// Batched sequential scan of the single source: decodes pages into
+  /// RowBatches, applies the pushed-down filter (and any residual WHERE)
+  /// to each selection vector, and hands every batch with surviving rows
+  /// to `consume`. Stops early once done_ is set.
+  Status ScanBatched(const std::function<Status(RowBatch&)>& consume);
   Status BuildTransientIndex(TableSource* source);
   Status RunAggregation(const RowSink& sink);
   Status RunPlain(const RowSink& sink);
@@ -155,6 +184,7 @@ class SelectExecutor : public SubqueryRunner {
   std::vector<OrderItem> order_by_;        // bound copies
   bool aggregated_ = false;
   std::vector<Expr*> agg_nodes_;
+  bool batch_scan_ = false;  // decided once per Run from CanUseBatchScan
 
   // Output staging (DISTINCT / ORDER BY / LIMIT).
   bool need_sort_ = false;

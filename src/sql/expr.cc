@@ -155,6 +155,140 @@ Result<Value> EvalArithmetic(BinOp op, const Value& lhs, const Value& rhs) {
 
 }  // namespace
 
+bool EvalBatchSupported(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kParameter:
+    case ExprKind::kColumnRef:
+      return true;
+    case ExprKind::kUnary:
+      return EvalBatchSupported(*expr.args[0]);
+    case ExprKind::kBinary:
+      return EvalBatchSupported(*expr.args[0]) &&
+             EvalBatchSupported(*expr.args[1]);
+    default:
+      return false;
+  }
+}
+
+Status EvalBatch(const Expr& expr, const Row* rows, const uint32_t* sel,
+                 size_t count, std::vector<Value>* out) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      out->assign(count, expr.literal);
+      return Status::OK();
+
+    case ExprKind::kParameter:
+      if (!expr.param_bound) {
+        return Status::InvalidArgument(
+            "unbound parameter ?" + std::to_string(expr.param_index));
+      }
+      out->assign(count, expr.literal);
+      return Status::OK();
+
+    case ExprKind::kColumnRef: {
+      out->resize(count);
+      int idx = expr.column_index;
+      for (size_t i = 0; i < count; ++i) {
+        const Row& row = rows[sel[i]];
+        if (idx < 0 || idx >= static_cast<int>(row.size())) {
+          return Status::Internal("unbound column reference: " + expr.name);
+        }
+        (*out)[i] = row[idx];
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kUnary: {
+      std::vector<Value> in;
+      RQL_RETURN_IF_ERROR(EvalBatch(*expr.args[0], rows, sel, count, &in));
+      out->resize(count);
+      for (size_t i = 0; i < count; ++i) {
+        const Value& v = in[i];
+        if (expr.un_op == UnOp::kIsNull || expr.un_op == UnOp::kIsNotNull) {
+          bool is_null = v.is_null();
+          (*out)[i] = Value::Integer(
+              (expr.un_op == UnOp::kIsNull ? is_null : !is_null) ? 1 : 0);
+        } else if (expr.un_op == UnOp::kNot) {
+          (*out)[i] = v.is_null() ? Value::Null()
+                                  : Value::Integer(ValueIsTrue(v) ? 0 : 1);
+        } else {  // kNeg
+          if (v.is_null()) {
+            (*out)[i] = Value::Null();
+          } else if (v.type() == ValueType::kInteger) {
+            (*out)[i] = Value::Integer(-v.integer());
+          } else if (v.type() == ValueType::kReal) {
+            (*out)[i] = Value::Real(-v.real());
+          } else {
+            return Status::InvalidArgument("cannot negate a text value");
+          }
+        }
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kBinary: {
+      if (expr.bin_op == BinOp::kAnd || expr.bin_op == BinOp::kOr) {
+        bool is_and = expr.bin_op == BinOp::kAnd;
+        std::vector<Value> lhs;
+        RQL_RETURN_IF_ERROR(
+            EvalBatch(*expr.args[0], rows, sel, count, &lhs));
+        // The right operand runs only over the rows the left side does
+        // not decide — the batch form of the scalar short-circuit.
+        std::vector<uint32_t> sub;
+        std::vector<uint32_t> sub_pos;
+        for (size_t i = 0; i < count; ++i) {
+          const Value& l = lhs[i];
+          if (!l.is_null() && ValueIsTrue(l) != is_and) continue;
+          sub.push_back(sel[i]);
+          sub_pos.push_back(static_cast<uint32_t>(i));
+        }
+        std::vector<Value> rhs;
+        RQL_RETURN_IF_ERROR(
+            EvalBatch(*expr.args[1], rows, sub.data(), sub.size(), &rhs));
+        out->assign(count, Value::Integer(is_and ? 0 : 1));
+        for (size_t j = 0; j < sub.size(); ++j) {
+          const Value& l = lhs[sub_pos[j]];
+          const Value& r = rhs[j];
+          Value* slot = &(*out)[sub_pos[j]];
+          if (!r.is_null() && ValueIsTrue(r) != is_and) {
+            *slot = Value::Integer(is_and ? 0 : 1);
+          } else if (l.is_null() || r.is_null()) {
+            *slot = Value::Null();
+          } else {
+            *slot = Value::Integer(is_and ? 1 : 0);
+          }
+        }
+        return Status::OK();
+      }
+      std::vector<Value> lhs, rhs;
+      RQL_RETURN_IF_ERROR(EvalBatch(*expr.args[0], rows, sel, count, &lhs));
+      RQL_RETURN_IF_ERROR(EvalBatch(*expr.args[1], rows, sel, count, &rhs));
+      bool comparison = false;
+      switch (expr.bin_op) {
+        case BinOp::kEq: case BinOp::kNe: case BinOp::kLt: case BinOp::kLe:
+        case BinOp::kGt: case BinOp::kGe: case BinOp::kLike:
+          comparison = true;
+          break;
+        default:
+          break;
+      }
+      out->resize(count);
+      for (size_t i = 0; i < count; ++i) {
+        Result<Value> v =
+            comparison ? EvalComparison(expr.bin_op, lhs[i], rhs[i])
+                       : EvalArithmetic(expr.bin_op, lhs[i], rhs[i]);
+        if (!v.ok()) return v.status();
+        (*out)[i] = std::move(*v);
+      }
+      return Status::OK();
+    }
+
+    default:
+      return Status::Internal("expression not supported by EvalBatch");
+  }
+}
+
 Result<Value> EvalExpr(const Expr& expr, const EvalContext& ctx) {
   switch (expr.kind) {
     case ExprKind::kLiteral:

@@ -64,6 +64,27 @@ struct EvalContext {
 /// with NULL yield NULL, AND/OR follow Kleene logic).
 Result<Value> EvalExpr(const Expr& expr, const EvalContext& ctx);
 
+/// True if `expr` is in the subset the vectorized evaluator handles:
+/// literals, bound parameters, column references, unary operators,
+/// comparisons (including LIKE) and arithmetic, and AND/OR over those.
+/// Function calls, IN, CASE and subqueries are not vectorized; callers
+/// route such expressions through scalar EvalExpr row by row (the
+/// "scalar fallback"). The answer is row-independent, so callers check
+/// once per scan, not per batch.
+bool EvalBatchSupported(const Expr& expr);
+
+/// Vectorized expression evaluation: computes `expr` for each row index
+/// in sel[0..count) of `rows`, writing one value per selected row into
+/// `out` (resized to count). Requires EvalBatchSupported(expr).
+///
+/// Semantics match scalar EvalExpr exactly, including error behavior:
+/// AND/OR evaluate their right operand only for the rows the left
+/// operand does not already decide (Kleene short-circuit), so a row the
+/// scalar path would never evaluate the right operand for cannot raise
+/// a right-operand error here either. Any error aborts the whole batch.
+Status EvalBatch(const Expr& expr, const Row* rows, const uint32_t* sel,
+                 size_t count, std::vector<Value>* out);
+
 /// SQL truthiness of a value: NULL and zero are false.
 bool ValueIsTrue(const Value& v);
 

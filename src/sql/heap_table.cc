@@ -67,6 +67,33 @@ void CompactPage(Page* page) {
   page->WriteU16(kDataEndOff, pos);
 }
 
+// Decodes every live record of `page` into `out` (slots, raw bytes,
+// decoded rows; string_views point into the buffer backing `page`).
+// Does not touch out->pin; the caller anchors the buffer's lifetime.
+Status DecodePageRecords(const Page& page, ScanCache::DecodedPage* out) {
+  out->next = page.ReadU32(kNextOff);
+  uint16_t slot_count = page.ReadU16(kSlotCountOff);
+  for (int s = 0; s < slot_count; ++s) {
+    uint16_t off, len;
+    ReadSlot(page, s, &off, &len);
+    if (len == kDeadLen) continue;
+    std::string_view record(page.data + off, len);
+    RQL_ASSIGN_OR_RETURN(Row row, DecodeRow(record));
+    out->slots.push_back(static_cast<uint16_t>(s));
+    out->records.push_back(record);
+    out->rows.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+// An unversioned page decoded for a batch scan: the frame must live as
+// long as the DecodedPage views into it, so both share one allocation
+// and batches hold the entry through an aliasing shared_ptr.
+struct OwnedDecodedPage {
+  Page frame;
+  ScanCache::DecodedPage decoded;
+};
+
 int LiveCount(const Page& page) {
   uint16_t slot_count = page.ReadU16(kSlotCountOff);
   int live = 0;
@@ -265,25 +292,19 @@ HeapTable::Iterator::Iterator(storage::PageReader* reader, PageId root,
   if (status_.ok()) AdvanceToLiveSlot();
 }
 
-std::shared_ptr<const ScanCache::DecodedPage>
-HeapTable::Iterator::DecodePage(const Page& page, storage::PinnedPage pin) {
+namespace {
+
+// Decodes the pinned page version into a cache entry; nullptr when any
+// record fails to decode (the row scan's plain path surfaces the error).
+std::shared_ptr<const ScanCache::DecodedPage> DecodePinnedPage(
+    const Page& page, storage::PinnedPage pin) {
   auto decoded = std::make_shared<ScanCache::DecodedPage>();
-  decoded->next = page.ReadU32(kNextOff);
-  uint16_t slot_count = page.ReadU16(kSlotCountOff);
-  for (int s = 0; s < slot_count; ++s) {
-    uint16_t off, len;
-    ReadSlot(page, s, &off, &len);
-    if (len == kDeadLen) continue;
-    std::string_view record(page.data + off, len);
-    Result<Row> row = DecodeRow(record);
-    if (!row.ok()) return nullptr;  // undecodable: leave it to plain reads
-    decoded->slots.push_back(static_cast<uint16_t>(s));
-    decoded->records.push_back(record);
-    decoded->rows.push_back(std::move(*row));
-  }
+  if (!DecodePageRecords(page, decoded.get()).ok()) return nullptr;
   decoded->pin = std::move(pin);
   return decoded;
 }
+
+}  // namespace
 
 void HeapTable::Iterator::LoadPage(PageId id) {
   page_id_ = id;
@@ -310,7 +331,7 @@ void HeapTable::Iterator::LoadPage(PageId id) {
     }
     if (*pinned) {
       const Page& frame = **pinned;  // outlives the move: the entry pins it
-      auto decoded = DecodePage(frame, std::move(*pinned));
+      auto decoded = DecodePinnedPage(frame, std::move(*pinned));
       if (decoded != nullptr) {
         cached_ = cache_->Insert(version, std::move(decoded));
         return;
@@ -362,6 +383,84 @@ void HeapTable::Iterator::Next() {
 HeapTable::Iterator HeapTable::Scan(storage::PageReader* reader, PageId root,
                                     ScanCache* cache) {
   return Iterator(reader, root, cache);
+}
+
+HeapTable::BatchIterator::BatchIterator(storage::PageReader* reader,
+                                        PageId root, ScanCache* cache)
+    : reader_(reader), cache_(cache) {
+  LoadBatch(root);
+}
+
+void HeapTable::BatchIterator::LoadBatch(PageId id) {
+  while (id != kInvalidPageId) {
+    std::shared_ptr<const ScanCache::DecodedPage> entry;
+    uint64_t version = 0;
+    if (cache_ != nullptr && reader_->PageVersion(id, &version)) {
+      entry = cache_->Lookup(version);
+      if (entry != nullptr) {
+        cache_->AddHit();
+      } else {
+        cache_->AddMiss();
+        Result<storage::PinnedPage> pinned = reader_->ReadPagePinned(id);
+        if (!pinned.ok()) {
+          status_ = pinned.status();
+          valid_ = false;
+          return;
+        }
+        if (*pinned) {
+          const Page& frame = **pinned;
+          auto decoded = std::make_shared<ScanCache::DecodedPage>();
+          status_ = DecodePageRecords(frame, decoded.get());
+          if (!status_.ok()) {
+            valid_ = false;
+            return;
+          }
+          decoded->pin = std::move(*pinned);
+          entry = cache_->Insert(version, std::move(decoded));
+        }
+        // No pin: decode from a plain read below, like the row scan.
+      }
+    }
+    if (entry == nullptr) {
+      auto owned = std::make_shared<OwnedDecodedPage>();
+      status_ = reader_->ReadPage(id, &owned->frame);
+      if (!status_.ok()) {
+        valid_ = false;
+        return;
+      }
+      status_ = DecodePageRecords(owned->frame, &owned->decoded);
+      if (!status_.ok()) {
+        valid_ = false;
+        return;
+      }
+      entry = std::shared_ptr<const ScanCache::DecodedPage>(
+          owned, &owned->decoded);
+    }
+    PageId next = entry->next;
+    if (!entry->rows.empty()) {
+      batch_.page = std::move(entry);
+      batch_.rows = batch_.page->rows.data();
+      batch_.size = static_cast<uint32_t>(batch_.page->rows.size());
+      batch_.selection.clear();
+      next_ = next;
+      valid_ = true;
+      return;
+    }
+    id = next;  // all-dead page: skip it
+  }
+  valid_ = false;
+}
+
+void HeapTable::BatchIterator::Next() {
+  if (!valid_) return;
+  valid_ = false;
+  LoadBatch(next_);
+}
+
+HeapTable::BatchIterator HeapTable::ScanBatches(storage::PageReader* reader,
+                                                PageId root,
+                                                ScanCache* cache) {
+  return BatchIterator(reader, root, cache);
 }
 
 Result<std::string> HeapTable::Get(storage::PageReader* reader, Rid rid) {

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "sql/row_batch.h"
 #include "sql/scan_cache.h"
 #include "storage/page_store.h"
 
@@ -94,10 +95,6 @@ class HeapTable {
 
     void LoadPage(storage::PageId id);
     void AdvanceToLiveSlot();
-    /// Decodes the pinned page version into a cache entry; nullptr when
-    /// any record fails to decode (the plain path surfaces the error).
-    static std::shared_ptr<const ScanCache::DecodedPage> DecodePage(
-        const storage::Page& page, storage::PinnedPage pin);
 
     storage::PageReader* reader_;
     ScanCache* cache_ = nullptr;
@@ -118,6 +115,47 @@ class HeapTable {
   /// optionally reusing decoded page versions from `cache`.
   static Iterator Scan(storage::PageReader* reader, storage::PageId root,
                        ScanCache* cache = nullptr);
+
+  /// Page-at-a-time scan: each position is a RowBatch holding every live
+  /// record of one heap page, fully decoded. Pages the reader can version
+  /// go through the same ScanCache protocol as Iterator (lookup / decode
+  /// once / publish), so hit accounting and read-set recording are
+  /// identical to the row scan; unversioned pages are decoded into a
+  /// batch-private buffer the RowBatch keeps alive. Pages with no live
+  /// records are skipped, so a valid batch is never empty. Unlike the
+  /// row scan, an undecodable record fails the whole scan (status()).
+  class BatchIterator {
+   public:
+    bool Valid() const { return valid_; }
+    Status status() const { return status_; }
+
+    /// The current page's rows. Only `selection` may be mutated; the
+    /// batch stays usable after Next() (it owns its lifetime anchor),
+    /// which is what lets consumers hold borrowed values across pages.
+    RowBatch& batch() { return batch_; }
+
+    void Next();
+
+   private:
+    friend class HeapTable;
+    BatchIterator(storage::PageReader* reader, storage::PageId root,
+                  ScanCache* cache);
+
+    void LoadBatch(storage::PageId id);
+
+    storage::PageReader* reader_;
+    ScanCache* cache_ = nullptr;
+    RowBatch batch_;
+    storage::PageId next_ = storage::kInvalidPageId;
+    bool valid_ = false;
+    Status status_;
+  };
+
+  /// Opens a batch scan of the table rooted at `root` through `reader`,
+  /// optionally reusing decoded page versions from `cache`.
+  static BatchIterator ScanBatches(storage::PageReader* reader,
+                                   storage::PageId root,
+                                   ScanCache* cache = nullptr);
 
   /// Reads one record by rid through `reader`.
   static Result<std::string> Get(storage::PageReader* reader, Rid rid);

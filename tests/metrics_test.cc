@@ -205,6 +205,7 @@ class EngineMetricsTest : public ::testing::Test {
 
     int64_t io = 0, spt = 0, query = 0, index = 0, udf = 0, rows = 0;
     int64_t maplog = 0, plog = 0, db = 0, hits = 0, plans = 0, batched = 0;
+    int64_t vbatches = 0, vrows = 0, vfallback = 0;
     for (const RqlIterationStats& it : stats.iterations) {
       io += it.io_us;
       spt += it.spt_build_us;
@@ -218,6 +219,9 @@ class EngineMetricsTest : public ::testing::Test {
       hits += it.cache_hits;
       plans += it.plan_cache_hits;
       batched += it.batched_pagelog_reads;
+      vbatches += it.batches_scanned;
+      vrows += it.batch_rows;
+      vfallback += it.batch_fallback_rows;
     }
     EXPECT_EQ(delta.counter("rql.io_us"), io);
     EXPECT_EQ(delta.counter("rql.spt_build_us"), spt);
@@ -231,6 +235,9 @@ class EngineMetricsTest : public ::testing::Test {
     EXPECT_EQ(delta.counter("rql.cache_hits"), hits);
     EXPECT_EQ(delta.counter("rql.plan_cache_hits"), plans);
     EXPECT_EQ(delta.counter("rql.batched_pagelog_reads"), batched);
+    EXPECT_EQ(delta.counter("rql.batches_scanned"), vbatches);
+    EXPECT_EQ(delta.counter("rql.batch_rows"), vrows);
+    EXPECT_EQ(delta.counter("rql.batch_fallback_rows"), vfallback);
 
     const auto& hist = delta.histograms.at("rql.iteration_us");
     EXPECT_EQ(hist.count, static_cast<int64_t>(stats.iterations.size()));
@@ -283,12 +290,28 @@ TEST_F(EngineMetricsTest, FlagsOnDeltaStillMatchesLegacyStats) {
   opts->batch_pagelog_reads = true;
   opts->reuse_decoded_pages = true;
   opts->skip_unchanged_iterations = true;
+  opts->batch_execution = true;
   ExpectDeltaMatchesStats([this] {
     return engine_->CollateData(
         "SELECT snap_id FROM SnapIds",
         "SELECT id, current_snapshot() AS sid FROM items WHERE st = 'O'",
         "M5");
   });
+}
+
+TEST_F(EngineMetricsTest, BatchExecutionDeltaMatchesLegacyStats) {
+  engine_->mutable_options()->batch_execution = true;
+  ExpectDeltaMatchesStats([this] {
+    return engine_->CollateData("SELECT snap_id FROM SnapIds",
+                                "SELECT id, st FROM items WHERE st = 'O'",
+                                "M8");
+  });
+  // The plain single-table Qq actually took the batch path.
+  int64_t batches = 0;
+  for (const RqlIterationStats& it : engine_->last_run_stats().iterations) {
+    batches += it.batches_scanned;
+  }
+  EXPECT_GT(batches, 0);
 }
 
 TEST_F(EngineMetricsTest, ParallelDeltaMatchesLegacyStats) {

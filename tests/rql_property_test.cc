@@ -548,15 +548,23 @@ TEST_P(RqlPropertyTest, PageSharingFlagsPreserveAllMechanismOutputs) {
         << label;
     EXPECT_EQ(delta.counter("rql.total_us"), stats.TotalUs()) << label;
     int64_t qq_rows = 0, delta_pages = 0, plan_hits = 0;
+    int64_t batches = 0, batch_rows = 0, batch_fallback = 0;
     for (const RqlIterationStats& it : stats.iterations) {
       qq_rows += it.qq_rows;
       delta_pages += it.delta_pages_scanned;
       plan_hits += it.plan_cache_hits;
+      batches += it.batches_scanned;
+      batch_rows += it.batch_rows;
+      batch_fallback += it.batch_fallback_rows;
     }
     EXPECT_EQ(delta.counter("rql.qq_rows"), qq_rows) << label;
     EXPECT_EQ(delta.counter("rql.delta_pages_scanned"), delta_pages)
         << label;
     EXPECT_EQ(delta.counter("rql.plan_cache_hits"), plan_hits) << label;
+    EXPECT_EQ(delta.counter("rql.batches_scanned"), batches) << label;
+    EXPECT_EQ(delta.counter("rql.batch_rows"), batch_rows) << label;
+    EXPECT_EQ(delta.counter("rql.batch_fallback_rows"), batch_fallback)
+        << label;
   };
 
   struct Mech {
