@@ -484,6 +484,14 @@ void SnapshotStore::AddLockWaitUs(int64_t us) {
   stats_.lock_wait_us += us;
 }
 
+void SnapshotView::RecordVersion(storage::PageId id, uint64_t token) {
+  if (version_recorder_ != nullptr) {
+    (*version_recorder_)[id] = token;
+    return;
+  }
+  store_->RecordPageVersion(id, token);
+}
+
 bool SnapshotView::PageVersion(storage::PageId id, uint64_t* version) {
   // A scan-cache hit answers the read from this version lookup alone,
   // never reaching ReadPage/ReadPagePinned — so the read must be recorded
@@ -495,7 +503,11 @@ bool SnapshotView::PageVersion(storage::PageId id, uint64_t* version) {
   // current database may change under a concurrently committing update, so
   // it is deliberately unversioned (and thus uncacheable across reads).
   auto it = spt_.find(id);
-  if (it == spt_.end()) return false;
+  if (it == spt_.end()) {
+    RecordVersion(id, kUnversionedPageToken);
+    return false;
+  }
+  RecordVersion(id, it->second);
   *version = it->second;
   return true;
 }
@@ -504,7 +516,11 @@ Result<storage::PinnedPage> SnapshotView::ReadPagePinned(
     storage::PageId id) {
   store_->RecordPageRead(id);
   auto it = spt_.find(id);
-  if (it == spt_.end()) return storage::PinnedPage();
+  if (it == spt_.end()) {
+    RecordVersion(id, kUnversionedPageToken);
+    return storage::PinnedPage();
+  }
+  RecordVersion(id, it->second);
   return store_->ReadArchivedPinned(it->second);
 }
 
@@ -517,6 +533,7 @@ Status SnapshotView::ReadPage(storage::PageId id, storage::Page* page) {
   // pre-state page coalesce into one archive read.
   auto it = spt_.find(id);
   if (it != spt_.end()) {
+    RecordVersion(id, it->second);
     return store_->ReadArchived(it->second, page);
   }
 
@@ -542,6 +559,7 @@ Status SnapshotView::ReadPage(storage::PageId id, storage::Page* page) {
                                 std::to_string(snap_));
     }
     lock.unlock();
+    RecordVersion(id, it->second);
     return store_->ReadArchived(it->second, page);
   }
   // Shared with the current database state.
@@ -549,6 +567,7 @@ Status SnapshotView::ReadPage(storage::PageId id, storage::Page* page) {
     std::lock_guard<std::mutex> stats_lock(store_->stats_mu_);
     ++store_->stats_.db_page_reads;
   }
+  RecordVersion(id, kUnversionedPageToken);
   return store_->store_->ReadPage(id, page);
 }
 

@@ -95,6 +95,14 @@ struct IterationStats {
 
 class SnapshotStore;
 
+/// Version token fed to version recorders for a page with no stable
+/// archived identity — one the snapshot shares with the current database.
+/// The first modification after the snapshot's declaration captures the
+/// pre-state and gives the page an SPT mapping (a real Pagelog offset), so
+/// observing this token again on a later probe proves the page unchanged.
+/// retro::MemoTable (memo_table.h) aliases it as kMemoDbSharedVersion.
+constexpr uint64_t kUnversionedPageToken = ~0ull;
+
 /// A read-only, transactionally consistent view of the database as of a
 /// declared snapshot. Page reads resolve through the snapshot page table:
 /// captured pages come from the Pagelog (through the snapshot page cache);
@@ -134,15 +142,33 @@ class SnapshotView : public storage::PageReader {
   /// Number of pages this snapshot does not share with the current state.
   uint64_t spt_size() const { return spt_.size(); }
 
+  /// Arms (or with nullptr disarms) a view-local (page -> version token)
+  /// recorder: every read through this view records the Pagelog offset it
+  /// resolved to, or kUnversionedPageToken for pages shared with the
+  /// current database. Parallel RQL workers own their views, so each arms
+  /// its own map here; the sequential loop uses the store-level
+  /// SnapshotStore::set_version_recorder instead. The caller owns the map
+  /// and must keep it alive while armed.
+  void set_version_recorder(
+      std::unordered_map<storage::PageId, uint64_t>* recorder) {
+    version_recorder_ = recorder;
+  }
+
  private:
   friend class SnapshotStore;
   SnapshotView(SnapshotStore* store, SnapshotId snap)
       : store_(store), snap_(snap) {}
 
+  /// Feeds (id, token) to the view-local recorder if armed, else to the
+  /// store-level one. Last write wins: a page first seen as db-shared and
+  /// then refreshed to an archived mapping keeps the final (stable) token.
+  void RecordVersion(storage::PageId id, uint64_t token);
+
   SnapshotStore* store_;
   SnapshotId snap_;
   SnapshotPageTable spt_;
   uint64_t resume_index_ = 0;
+  std::unordered_map<storage::PageId, uint64_t>* version_recorder_ = nullptr;
 };
 
 /// The Retro snapshot system: a transactional page store extended with
@@ -258,6 +284,17 @@ class SnapshotStore : public storage::PageWriter {
     read_recorder_.store(recorder, std::memory_order_relaxed);
   }
 
+  /// Arms (or with nullptr disarms) a recorder mapping every page read
+  /// through any SnapshotView to the version token it resolved to (the
+  /// Pagelog offset, or kUnversionedPageToken for db-shared pages) — the
+  /// versioned read-set the cross-run memo validates entries against. Like
+  /// set_read_recorder, only meaningful for single-threaded runs; parallel
+  /// workers arm SnapshotView::set_version_recorder on their own views.
+  void set_version_recorder(
+      std::unordered_map<storage::PageId, uint64_t>* recorder) {
+    version_recorder_.store(recorder, std::memory_order_relaxed);
+  }
+
   /// When enabled, OpenSnapshot prefetches the view's SPT-resident pages
   /// that miss the snapshot cache in one Pagelog-offset-ordered pass,
   /// charged at CostModel::pagelog_seq_read_us per fetched page
@@ -364,6 +401,14 @@ class SnapshotStore : public storage::PageWriter {
     if (recorder != nullptr) recorder->insert(id);
   }
 
+  /// Feeds (id, token) to the armed store-level version recorder, if any
+  /// (see set_version_recorder). Relaxed: armed only in single-threaded
+  /// runs.
+  void RecordPageVersion(storage::PageId id, uint64_t token) {
+    auto* recorder = version_recorder_.load(std::memory_order_relaxed);
+    if (recorder != nullptr) (*recorder)[id] = token;
+  }
+
   /// The snapshot-cache loader for archive offset keys: a Pagelog read
   /// (counting records into `*fetches`) plus the optional simulated
   /// latency sleep.
@@ -427,6 +472,8 @@ class SnapshotStore : public storage::PageWriter {
   int archive_read_retries_ = 0;
   std::atomic<int64_t> simulated_archive_latency_us_{0};
   std::atomic<std::unordered_set<storage::PageId>*> read_recorder_{nullptr};
+  std::atomic<std::unordered_map<storage::PageId, uint64_t>*>
+      version_recorder_{nullptr};
 
   IterationStats stats_;
 };

@@ -1,0 +1,199 @@
+#ifndef RQL_RQL_MEMO_TABLE_H_
+#define RQL_RQL_MEMO_TABLE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "retro/snapshot_store.h"  // SnapshotId, kUnversionedPageToken
+#include "storage/env.h"
+#include "storage/page.h"  // storage::PageId
+
+namespace rql::retro {
+
+/// Version token of one page in a memoized iteration's read set: the
+/// Pagelog offset the snapshot's SPT resolved the page to, or
+/// kMemoDbSharedVersion for pages the snapshot shares with the current
+/// database (no archive record exists; the first later modification
+/// captures one, flipping the token — so strict token equality at probe
+/// time is exactly the "content unchanged" test).
+constexpr uint64_t kMemoDbSharedVersion = kUnversionedPageToken;
+
+struct MemoPageVersion {
+  storage::PageId page = 0;
+  uint64_t version = 0;
+};
+
+/// One memoized Qq iteration: everything needed to replay the iteration
+/// through a mechanism without executing Qq. Rows are stored encoded
+/// (sql::EncodeRow payloads) so the table depends only on storage — and so
+/// the persistent form is the in-memory form.
+struct MemoEntry {
+  /// Canonicalized query/mechanism fingerprint (sql::QueryFingerprint of
+  /// the original Qq text salted with the mechanism name).
+  uint64_t fingerprint = 0;
+  /// Snapshot the entry was recorded at (the first publisher's iteration).
+  SnapshotId snapshot = kNoSnapshot;
+  /// Sorted by page id; the pages Qq read and the versions they resolved
+  /// to. A probe replays the entry only when every recorded token equals
+  /// the probing snapshot's current resolution.
+  std::vector<MemoPageVersion> read_set;
+  std::vector<std::string> columns;
+  std::vector<std::string> rows;  // sql::EncodeRow payloads, Qq order
+};
+
+struct MemoTableOptions {
+  /// In-memory LRU bound, in (approximate serialized) entry bytes.
+  uint64_t max_bytes = 64ull << 20;
+  /// Open-time compaction: when the log file exceeds twice the live entry
+  /// bytes plus this slack, Open rewrites it with only the live records
+  /// (write-to-temp + rename; the online path stays append-only).
+  uint64_t compact_slack_bytes = 1ull << 20;
+};
+
+struct MemoPublishResult {
+  /// Log bytes this publish appended (full record, or the small alias
+  /// record when an identical entry was already present under another
+  /// snapshot).
+  uint64_t bytes_appended = 0;
+  /// Entries the LRU byte bound evicted to make room.
+  int64_t evictions = 0;
+  /// False when an entry with the same (fingerprint, read-set digest) key
+  /// already existed — first publish wins; the new snapshot is registered
+  /// as an alias of the existing entry.
+  bool inserted = false;
+};
+
+/// A persistent, bounded, version-keyed memo of per-iteration RQL Qq
+/// results (the cross-run extension of the engine's intra-run skip
+/// machinery). Key = (query/mechanism fingerprint, digest of the sorted
+/// page-version read set); probing is by (fingerprint, snapshot id), which
+/// resolves through an index to the entry last published or aliased for
+/// that snapshot.
+///
+/// Persistence is a WAL-style append-only log through storage::Env: each
+/// record is [magic, type, payload length, FNV-1a checksum, payload], and
+/// Open scans the log, truncating at the first torn or corrupt record
+/// (crash mid-append loses at most that record; everything before it
+/// replays). Publishes sync the log, so a published entry survives any
+/// later crash.
+///
+/// Thread-safe: one mutex serializes probes and publishes, and publishes
+/// are first-publish-wins, so any number of engines (cross-client reuse)
+/// may share one table.
+class MemoTable {
+ public:
+  /// Opens (or creates) the memo log `<name>.memo` inside `env`,
+  /// recovering all intact records. The memo must live and die with the
+  /// database files it memoizes: entries are validated against the store's
+  /// current page-version resolutions, so pairing a memo with a *different*
+  /// store (rather than a later state of the same one) is undefined.
+  static Result<std::unique_ptr<MemoTable>> Open(
+      storage::Env* env, const std::string& name,
+      MemoTableOptions options = MemoTableOptions());
+
+  /// Entry registered for (fingerprint, snapshot), or nullptr. A returned
+  /// entry is *unvalidated*: the caller must check every read-set token
+  /// against the snapshot's current resolution before replaying. Touches
+  /// the entry's LRU recency.
+  std::shared_ptr<const MemoEntry> Probe(uint64_t fingerprint,
+                                         SnapshotId snapshot);
+
+  /// Inserts `entry` (first publish of its key wins), registers it for
+  /// entry->snapshot, appends the log record and syncs. Evicts
+  /// least-recently-used entries beyond MemoTableOptions::max_bytes.
+  Result<MemoPublishResult> Publish(std::shared_ptr<const MemoEntry> entry);
+
+  /// Retention hook: drops (and persistently invalidates) every snapshot
+  /// registration below `keep_from`, and any entry left without a
+  /// registration. Called by RqlEngine::TruncateHistory; entries for
+  /// surviving snapshots stay, and their read-set validation keeps them
+  /// safe even though Pagelog compaction may have moved their offsets
+  /// (a moved offset mismatches and conservatively misses).
+  Status InvalidateBelow(SnapshotId keep_from);
+
+  /// Order-independent digest of a read set: the set is sorted by page id
+  /// before hashing, so recording order never changes the key.
+  static uint64_t ReadSetDigest(std::vector<MemoPageVersion> read_set);
+
+  /// Approximate in-memory/logged size of one entry (its record payload).
+  static uint64_t EntryBytes(const MemoEntry& entry);
+
+  // --- instrumentation ---------------------------------------------------
+  uint64_t bytes() const;        // live entry bytes (LRU-bounded)
+  size_t entry_count() const;    // live entries
+  int64_t evictions() const;     // lifetime LRU evictions (incl. recovery)
+  int64_t recovered_entries() const;  // intact entries replayed by Open
+  uint64_t truncated_tail_bytes() const;  // bytes Open cut from a torn tail
+  uint64_t log_bytes() const;    // current log file size
+  const MemoTableOptions& options() const { return options_; }
+
+ private:
+  struct Key {
+    uint64_t fingerprint = 0;
+    uint64_t digest = 0;
+    bool operator==(const Key& o) const {
+      return fingerprint == o.fingerprint && digest == o.digest;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // splitmix-style mix; the inputs are already 64-bit hashes.
+      uint64_t x = k.fingerprint ^ (k.digest * 0x9E3779B97F4A7C15ull);
+      x ^= x >> 30;
+      x *= 0xBF58476D1CE4E5B9ull;
+      x ^= x >> 27;
+      return static_cast<size_t>(x);
+    }
+  };
+  struct Stored {
+    std::shared_ptr<const MemoEntry> entry;
+    uint64_t bytes = 0;
+    /// Snapshots probing to this entry (the first publisher plus aliases);
+    /// eviction erases exactly these probe-index rows.
+    std::vector<SnapshotId> snapshots;
+    std::list<Key>::iterator lru_it;
+  };
+
+  MemoTable(storage::Env* env, std::string name, MemoTableOptions options)
+      : env_(env), name_(std::move(name)), options_(options) {}
+
+  Status Recover();
+  Status CompactLocked();
+  Status AppendRecordLocked(uint32_t type, const std::string& payload,
+                            uint64_t* appended);
+  /// Applies one recovered/compacted record to the in-memory maps (no log
+  /// writes). Unknown types and dangling aliases are ignored.
+  void ApplyRecord(uint32_t type, const std::string& payload);
+  /// Inserts or aliases without logging; shared by Publish and recovery.
+  bool InsertLocked(std::shared_ptr<const MemoEntry> entry, int64_t* evicted);
+  void TouchLocked(Stored* stored);
+  void RegisterSnapshotLocked(const Key& key, SnapshotId snapshot);
+  int64_t EnforceBoundLocked(const Key* keep);
+  void EraseLocked(const Key& key);
+
+  storage::Env* env_;
+  std::string name_;
+  MemoTableOptions options_;
+  std::unique_ptr<storage::File> file_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Stored, KeyHash> entries_;
+  std::list<Key> lru_;  // front = most recently used
+  std::map<std::pair<uint64_t, SnapshotId>, Key> probe_;
+  uint64_t bytes_ = 0;
+  uint64_t log_bytes_ = 0;
+  int64_t evictions_ = 0;
+  int64_t recovered_entries_ = 0;
+  uint64_t truncated_tail_bytes_ = 0;
+};
+
+}  // namespace rql::retro
+
+#endif  // RQL_RQL_MEMO_TABLE_H_

@@ -9,6 +9,7 @@
 #include "common/clock.h"
 #include "sql/btree.h"
 #include "sql/executor.h"
+#include "sql/fingerprint.h"
 #include "sql/heap_table.h"
 #include "sql/parser.h"
 
@@ -164,6 +165,24 @@ class RqlEngine::MechanismState {
   /// Probed lazily on first skip opportunity: -1 unknown, 0 no, 1 yes.
   int qq_uses_current_snapshot_ = -1;
 
+  /// Stable mechanism name salted into the cross-run memo fingerprint:
+  /// the same Qq driven by two different mechanisms must produce two
+  /// different memo keys (memo_table.h).
+  virtual const char* MechanismName() const = 0;
+
+  /// Lazily computed memo key half: FNV-1a over the canonicalized Qq,
+  /// salted with MechanismName(). Computed once per state, on the
+  /// original (unrewritten) Qq text, so the sequential, prepared-plan and
+  /// parallel execution paths all derive the identical key.
+  Result<uint64_t> MemoFingerprint() {
+    if (!memo_fp_ready_) {
+      RQL_ASSIGN_OR_RETURN(memo_fp_,
+                           sql::QueryFingerprint(qq_, MechanismName()));
+      memo_fp_ready_ = true;
+    }
+    return memo_fp_;
+  }
+
  protected:
   sql::Database* meta() { return engine_->meta_db_; }
 
@@ -182,6 +201,8 @@ class RqlEngine::MechanismState {
   int64_t probes_ = 0;
   int64_t inserts_ = 0;
   int64_t updates_ = 0;
+  uint64_t memo_fp_ = 0;
+  bool memo_fp_ready_ = false;
 };
 
 /// Collate Data: append every Qq row to T.
@@ -197,6 +218,8 @@ class RqlEngine::CollateState : public MechanismState {
   }
 
   bool SupportsParallel() const override { return true; }
+
+  const char* MechanismName() const override { return "CollateData"; }
 };
 
 /// Aggregate Data In Variable: fold a single value per snapshot.
@@ -246,6 +269,10 @@ class RqlEngine::AggVariableState : public MechanismState {
   }
 
   bool SupportsParallel() const override { return true; }
+
+  const char* MechanismName() const override {
+    return "AggregateDataInVariable";
+  }
 
  private:
   RqlAggFunc func_;
@@ -344,6 +371,10 @@ class RqlEngine::AggTableState : public MechanismState {
       first_done_ = true;
     }
     return Status::OK();
+  }
+
+  const char* MechanismName() const override {
+    return "AggregateDataInTable";
   }
 
  protected:
@@ -570,6 +601,10 @@ class RqlEngine::IntervalState : public MechanismState {
     return Status::OK();
   }
 
+  const char* MechanismName() const override {
+    return "CollateDataIntoIntervals";
+  }
+
  private:
   std::string IndexName() const { return table_ + "_rql_idx"; }
 
@@ -615,6 +650,13 @@ Result<retro::SnapshotId> RqlEngine::CommitWithSnapshot(
 
 Status RqlEngine::TruncateHistory(retro::SnapshotId keep_from) {
   RQL_RETURN_IF_ERROR(data_db_->store()->TruncateHistory(keep_from));
+  // Dropped snapshots can never validate again; purge their memo
+  // registrations (persistently) so the table's bytes go to live entries.
+  // Survivors stay: their read-set validation already catches the Pagelog
+  // offsets compaction moved (conservative miss, then republish).
+  if (options_.memo != nullptr) {
+    RQL_RETURN_IF_ERROR(options_.memo->InvalidateBelow(keep_from));
+  }
   // The snapshots are gone; drop their SnapIds rows so Qs never selects
   // them. (SnapIds lives at application level, as in the paper.)
   return meta_db_->Exec("DELETE FROM " + options_.snapids_table +
@@ -800,6 +842,8 @@ void RqlEngine::PublishRunMetrics() {
   int64_t maplog_pages = 0, spt_delta_entries = 0, plan_cache_hits = 0;
   int64_t batched_pagelog_reads = 0, delta_pages_scanned = 0;
   int64_t batches_scanned = 0, batch_rows = 0, batch_fallback_rows = 0;
+  int64_t memo_hits = 0, memo_misses = 0, memo_bytes = 0;
+  int64_t memo_evictions = 0;
   retro::MetricsRegistry::Histogram* iter_hist =
       reg->GetHistogram("rql.iteration_us");
   for (const RqlIterationStats& it : stats_.iterations) {
@@ -823,6 +867,10 @@ void RqlEngine::PublishRunMetrics() {
     batches_scanned += it.batches_scanned;
     batch_rows += it.batch_rows;
     batch_fallback_rows += it.batch_fallback_rows;
+    memo_hits += it.memo_hits;
+    memo_misses += it.memo_misses;
+    memo_bytes += it.memo_bytes;
+    memo_evictions += it.memo_evictions;
     iter_hist->ObserveUs(it.TotalUs());
   }
   add("rql.io_us", io_us);
@@ -845,6 +893,10 @@ void RqlEngine::PublishRunMetrics() {
   add("rql.batches_scanned", batches_scanned);
   add("rql.batch_rows", batch_rows);
   add("rql.batch_fallback_rows", batch_fallback_rows);
+  add("rql.memo_hits", memo_hits);
+  add("rql.memo_misses", memo_misses);
+  add("rql.memo_bytes", memo_bytes);
+  add("rql.memo_evictions", memo_evictions);
   reg->GetHistogram("rql.run_us")->ObserveUs(stats_.TotalUs());
 }
 
@@ -855,7 +907,7 @@ int64_t OptionFlagBits(const RqlOptions& o) {
   return (o.incremental_spt ? 1 : 0) | (o.reuse_qq_plan ? 2 : 0) |
          (o.batch_pagelog_reads ? 4 : 0) | (o.reuse_decoded_pages ? 8 : 0) |
          (o.skip_unchanged_iterations ? 16 : 0) |
-         (o.batch_execution ? 32 : 0);
+         (o.batch_execution ? 32 : 0) | (o.memoize_iterations ? 64 : 0);
 }
 
 }  // namespace
@@ -910,6 +962,22 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
         "cold_cache_per_iteration is incompatible with batch_execution "
         "(the all-cold baseline measures the row-at-a-time pipeline)");
   }
+  if (options_.memoize_iterations) {
+    if (options_.memo == nullptr) {
+      return Status::InvalidArgument(
+          "memoize_iterations requires RqlOptions::memo to point at a "
+          "retro::MemoTable");
+    }
+    if (options_.cold_cache_per_iteration) {
+      // Same incompatibility as skip_unchanged_iterations: a memo-replayed
+      // iteration performs no reads, so the all-cold baseline the flag
+      // defines would silently not be measured.
+      return Status::InvalidArgument(
+          "cold_cache_per_iteration is incompatible with "
+          "memoize_iterations (a memo-replayed iteration reads nothing, "
+          "so the all-cold baseline would not be measured)");
+    }
+  }
   if (trace_on_) {
     trace_.Emit(RqlTraceEventType::kRunBegin, retro::kNoSnapshot, NowMicros(),
                 {static_cast<int64_t>(snap_ids.size()),
@@ -941,9 +1009,12 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
   } else {
     // Iteration skipping rides the same snapshot-set session as the
     // incremental SPT: the session cursor is what surfaces the per-step
-    // Maplog delta.
-    bool session =
-        options_.incremental_spt || options_.skip_unchanged_iterations;
+    // Maplog delta. Memoized runs join it too, so a memo probe's snapshot
+    // open plus the execute-on-miss open of the same id cost one SPT
+    // derivation, not two cold builds.
+    bool session = options_.incremental_spt ||
+                   options_.skip_unchanged_iterations ||
+                   options_.memoize_iterations;
     if (session) store->BeginSnapshotSet();
     bool saved_batch = store->batch_archive_reads();
     if (options_.batch_pagelog_reads) store->set_batch_archive_reads(true);
@@ -979,6 +1050,57 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
 
 namespace {
 
+/// True when every page version the memo entry recorded equals the
+/// snapshot's current resolution through `view` — the content-identity
+/// test that makes replaying the entry sound. Any mismatch (a page
+/// rewritten inside the read set, an archive offset moved by compaction,
+/// a formerly db-shared page since captured) is a conservative miss.
+bool ValidateMemoEntry(retro::SnapshotView* view,
+                       const retro::MemoEntry& entry) {
+  for (const retro::MemoPageVersion& pv : entry.read_set) {
+    uint64_t v = 0;
+    uint64_t token = view->PageVersion(pv.page, &v)
+                         ? v
+                         : retro::kMemoDbSharedVersion;
+    if (token != pv.version) return false;
+  }
+  return true;
+}
+
+/// Decodes a memo entry's stored rows. A decode failure (possible only if
+/// the in-memory entry was corrupted past the log checksum) is reported so
+/// callers can fall back to executing Qq.
+Result<std::vector<Row>> DecodeMemoRows(const retro::MemoEntry& entry) {
+  std::vector<Row> rows;
+  rows.reserve(entry.rows.size());
+  for (const std::string& encoded : entry.rows) {
+    RQL_ASSIGN_OR_RETURN(Row row, sql::DecodeRow(encoded));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Builds the publishable memo entry for one executed iteration.
+std::shared_ptr<const retro::MemoEntry> MakeMemoEntry(
+    uint64_t fingerprint, retro::SnapshotId snap,
+    const std::unordered_map<storage::PageId, uint64_t>& versions,
+    const std::vector<std::string>& columns, const std::vector<Row>& rows) {
+  auto entry = std::make_shared<retro::MemoEntry>();
+  entry->fingerprint = fingerprint;
+  entry->snapshot = snap;
+  entry->read_set.reserve(versions.size());
+  for (const auto& [page, token] : versions) {
+    entry->read_set.push_back(retro::MemoPageVersion{page, token});
+  }
+  std::sort(entry->read_set.begin(), entry->read_set.end(),
+            [](const retro::MemoPageVersion& a,
+               const retro::MemoPageVersion& b) { return a.page < b.page; });
+  entry->columns = columns;
+  entry->rows.reserve(rows.size());
+  for (const Row& row : rows) entry->rows.push_back(sql::EncodeRow(row));
+  return entry;
+}
+
 /// The per-snapshot output of one parallel Qq evaluation.
 struct QqResult {
   Status status;
@@ -989,6 +1111,12 @@ struct QqResult {
   int64_t batches_scanned = 0;
   int64_t batch_rows = 0;
   int64_t batch_fallback_rows = 0;
+  // Memoization outputs (memoize_iterations only): a validated hit serves
+  // `rows` from the memo (`validated_pages` tokens checked); a miss
+  // carries the recorded read set for the post-join publish.
+  bool memo_hit = false;
+  int64_t validated_pages = 0;
+  std::vector<retro::MemoPageVersion> read_set;
 };
 
 }  // namespace
@@ -1000,6 +1128,16 @@ Status RqlEngine::RunMechanismParallel(
   store->ResetStats();
   const sql::FunctionRegistry* functions = data_db_->functions();
   storage::PageId catalog_root = data_db_->catalog()->root();
+
+  // Memoization composes with parallel evaluation: workers probe the
+  // (thread-safe) memo and record versions into view-local maps; publishes
+  // happen in the sequential replay loop, in Qs order.
+  const bool memoize = options_.memoize_iterations;
+  retro::MemoTable* memo = options_.memo;
+  uint64_t memo_fp = 0;
+  if (memoize) {
+    RQL_ASSIGN_OR_RETURN(memo_fp, state->MemoFingerprint());
+  }
 
   // Resolved once before the threads spawn; Histogram observation itself
   // is atomic, so the workers share the instance.
@@ -1022,6 +1160,27 @@ Status RqlEngine::RunMechanismParallel(
                     {static_cast<int64_t>(i)}, worker);
       }
       out.status = [&]() -> Status {
+        RQL_ASSIGN_OR_RETURN(std::unique_ptr<retro::SnapshotView> view,
+                             store->OpenSnapshot(snaps[i]));
+        if (memoize) {
+          std::shared_ptr<const retro::MemoEntry> entry =
+              memo->Probe(memo_fp, snaps[i]);
+          if (entry != nullptr && ValidateMemoEntry(view.get(), *entry)) {
+            auto rows = DecodeMemoRows(*entry);
+            if (rows.ok()) {
+              out.columns = entry->columns;
+              out.rows = std::move(rows).value();
+              out.memo_hit = true;
+              out.validated_pages =
+                  static_cast<int64_t>(entry->read_set.size());
+              return Status::OK();
+            }
+          }
+        }
+        // Armed before the catalog load: schema pages the query depends on
+        // belong in the recorded read set too.
+        std::unordered_map<storage::PageId, uint64_t> versions;
+        if (memoize) view->set_version_recorder(&versions);
         // The paper's full textual rewrite: AS OF injection plus literal
         // current_snapshot() substitution (no shared engine state).
         std::string rewritten = ReplaceCurrentSnapshot(
@@ -1032,8 +1191,6 @@ Status RqlEngine::RunMechanismParallel(
         if (select == nullptr) {
           return Status::InvalidArgument("Qq must be a SELECT");
         }
-        RQL_ASSIGN_OR_RETURN(std::unique_ptr<retro::SnapshotView> view,
-                             store->OpenSnapshot(snaps[i]));
         RQL_ASSIGN_OR_RETURN(
             sql::CatalogData catalog,
             sql::CatalogData::Load(view.get(), catalog_root));
@@ -1059,6 +1216,18 @@ Status RqlEngine::RunMechanismParallel(
         out.batches_scanned = exec_stats.batches_scanned;
         out.batch_rows = exec_stats.batch_rows;
         out.batch_fallback_rows = exec_stats.batch_fallback_rows;
+        if (memoize) {
+          view->set_version_recorder(nullptr);
+          out.read_set.reserve(versions.size());
+          for (const auto& [page, token] : versions) {
+            out.read_set.push_back(retro::MemoPageVersion{page, token});
+          }
+          std::sort(out.read_set.begin(), out.read_set.end(),
+                    [](const retro::MemoPageVersion& a,
+                       const retro::MemoPageVersion& b) {
+                      return a.page < b.page;
+                    });
+        }
         return run;
       }();
       int64_t end = NowMicros();
@@ -1115,6 +1284,8 @@ Status RqlEngine::RunMechanismParallel(
     iter.batches_scanned = results[i].batches_scanned;
     iter.batch_rows = results[i].batch_rows;
     iter.batch_fallback_rows = results[i].batch_fallback_rows;
+    iter.memo_hits = results[i].memo_hit ? 1 : 0;
+    iter.memo_misses = (memoize && !results[i].memo_hit) ? 1 : 0;
     int64_t udf_us = 0;
     RQL_RETURN_IF_ERROR(meta_db_->Exec("BEGIN"));
     Status s = Status::OK();
@@ -1133,6 +1304,28 @@ Status RqlEngine::RunMechanismParallel(
     RQL_RETURN_IF_ERROR(meta_db_->Exec("COMMIT"));
     iter.udf_us = udf_us;
     state->CollectCounters(&iter);
+    if (memoize) {
+      if (results[i].memo_hit) {
+        if (trace_on_) {
+          trace_.Emit(RqlTraceEventType::kMemoHit, snaps[i], NowMicros(),
+                      {static_cast<int64_t>(i), results[i].validated_pages,
+                       iter.qq_rows, udf_us});
+        }
+      } else {
+        std::unordered_map<storage::PageId, uint64_t> versions;
+        versions.reserve(results[i].read_set.size());
+        for (const retro::MemoPageVersion& pv : results[i].read_set) {
+          versions.emplace(pv.page, pv.version);
+        }
+        RQL_ASSIGN_OR_RETURN(
+            retro::MemoPublishResult pub,
+            memo->Publish(MakeMemoEntry(memo_fp, snaps[i], versions,
+                                        results[i].columns,
+                                        results[i].rows)));
+        iter.memo_bytes = static_cast<int64_t>(pub.bytes_appended);
+        iter.memo_evictions = pub.evictions;
+      }
+    }
     stats_.iterations.push_back(iter);
   }
   return Status::OK();
@@ -1182,6 +1375,22 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
     // only if it completes successfully.
     state->skip_eligible_ = false;
   }
+  // Memo probe: a persistent entry for (fingerprint, snapshot) whose
+  // page-version read set still validates replays without executing Qq.
+  // Runs after the skip probe so the cheaper intra-run replay wins when
+  // both would hit; a memo hit seeds the skipper's read set, so the two
+  // chain across the rest of the run.
+  const bool memoize = options_.memoize_iterations;
+  if (memoize) {
+    RQL_ASSIGN_OR_RETURN(uint64_t fp, state->MemoFingerprint());
+    std::shared_ptr<const retro::MemoEntry> entry =
+        options_.memo->Probe(fp, snap);
+    if (entry != nullptr) {
+      RQL_ASSIGN_OR_RETURN(bool served,
+                           TryMemoReplay(snap, state, entry, delta_pages));
+      if (served) return Status::OK();
+    }
+  }
   if (trace_on_) {
     trace_.Emit(RqlTraceEventType::kIterationBegin, snap, NowMicros(),
                 {static_cast<int64_t>(stats_.iterations.size())});
@@ -1189,6 +1398,7 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
   RqlIterationStats iter;
   iter.snapshot = snap;
   iter.delta_pages_scanned = delta_pages;
+  iter.memo_misses = memoize ? 1 : 0;
   int64_t udf_us = 0;
   int64_t qq_rows = 0;
 
@@ -1201,11 +1411,17 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
   std::unordered_set<storage::PageId> reads;
   std::vector<std::string> buf_cols;
   std::vector<Row> buf_rows;
+  const bool buffer = record || memoize;
   if (record) store->set_read_recorder(&reads);
+  // The version recorder captures, for every page the snapshot view
+  // serves, the Pagelog offset it resolved to (or the db-shared sentinel)
+  // — the memo entry's validation key.
+  std::unordered_map<storage::PageId, uint64_t> versions;
+  if (memoize) store->set_version_recorder(&versions);
   int64_t start = NowMicros();
   auto row_cb = [&](const std::vector<std::string>& cols,
                     const Row& row) -> Status {
-    if (record) {
+    if (buffer) {
       if (buf_cols.empty()) buf_cols = cols;
       buf_rows.push_back(row);
     }
@@ -1247,6 +1463,7 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
     s = data_db_->Exec(rewritten, row_cb);
   }
   if (record) store->set_read_recorder(nullptr);
+  if (memoize) store->set_version_recorder(nullptr);
   int64_t index_create_us = data_db_->last_stats().exec.index_build_us;
   int64_t spt_cpu_us = store->stats()->spt.cpu_us;
   if (s.ok()) {
@@ -1305,6 +1522,15 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
                 {iter.io_us, iter.spt_build_us, iter.query_eval_us,
                  iter.index_create_us, iter.udf_us, iter.qq_rows});
   }
+  if (memoize) {
+    RQL_ASSIGN_OR_RETURN(uint64_t fp, state->MemoFingerprint());
+    RQL_ASSIGN_OR_RETURN(
+        retro::MemoPublishResult pub,
+        options_.memo->Publish(
+            MakeMemoEntry(fp, snap, versions, buf_cols, buf_rows)));
+    iter.memo_bytes = static_cast<int64_t>(pub.bytes_appended);
+    iter.memo_evictions = pub.evictions;
+  }
   if (record) {
     state->read_set_ = std::move(reads);
     state->replay_cols_ = std::move(buf_cols);
@@ -1359,6 +1585,76 @@ Status RqlEngine::ReplayIteration(retro::SnapshotId snap,
   ++stats_.iterations_skipped;
   stats_.iterations.push_back(iter);
   return Status::OK();
+}
+
+Result<bool> RqlEngine::TryMemoReplay(
+    retro::SnapshotId snap, MechanismState* state,
+    const std::shared_ptr<const retro::MemoEntry>& entry,
+    int64_t delta_pages) {
+  retro::SnapshotStore* store = data_db_->store();
+  // Validation failures are conservative misses, never errors: the
+  // execute path runs next and surfaces any real problem itself.
+  auto view_or = store->OpenSnapshot(snap);
+  if (!view_or.ok()) return false;
+  std::unique_ptr<retro::SnapshotView> view = std::move(view_or).value();
+  if (!ValidateMemoEntry(view.get(), *entry)) return false;
+  auto rows_or = DecodeMemoRows(*entry);
+  if (!rows_or.ok()) return false;
+  std::vector<Row> rows = std::move(rows_or).value();
+
+  RqlIterationStats iter;
+  iter.snapshot = snap;
+  iter.memo_hits = 1;
+  iter.delta_pages_scanned = delta_pages;
+  iter.qq_rows = static_cast<int64_t>(rows.size());
+  int64_t udf_us = 0;
+  RQL_RETURN_IF_ERROR(meta_db_->Exec("BEGIN"));
+  Status s = Status::OK();
+  {
+    // Non-idempotent folds stay correct because the mechanism re-runs
+    // exactly as it would have over the live Qq cursor.
+    ScopedTimer timer(&udf_us);
+    for (const Row& row : rows) {
+      s = state->OnRow(snap, entry->columns, row);
+      if (!s.ok()) break;
+    }
+    if (s.ok()) s = state->OnIterationEnd(snap);
+  }
+  if (!s.ok()) {
+    (void)meta_db_->Exec("ROLLBACK");
+    return s;
+  }
+  RQL_RETURN_IF_ERROR(meta_db_->Exec("COMMIT"));
+  // Store work this iteration: the skip probe's Maplog advance plus the
+  // probe view's SPT derivation and validation lookups (all landed after
+  // ResetStats in RunIteration, so they are attributed here).
+  const retro::CostModel& cm = store->cost_model();
+  const retro::IterationStats& rs = *store->stats();
+  iter.io_us = rs.IoUs(cm);
+  iter.spt_build_us = rs.SptUs(cm);
+  iter.udf_us = udf_us;
+  iter.maplog_pages = rs.spt.maplog_pages_read;
+  iter.spt_delta_entries = rs.spt_delta_entries;
+  if (options_.skip_unchanged_iterations) {
+    // Seed the intra-run skipper from the memo entry: provably unchanged
+    // successors replay these buffers without re-probing the memo.
+    state->read_set_.clear();
+    for (const retro::MemoPageVersion& pv : entry->read_set) {
+      state->read_set_.insert(pv.page);
+    }
+    state->replay_cols_ = entry->columns;
+    state->replay_rows_ = std::move(rows);
+    state->skip_eligible_ = true;
+  }
+  state->CollectCounters(&iter);
+  if (trace_on_) {
+    trace_.Emit(RqlTraceEventType::kMemoHit, snap, NowMicros(),
+                {static_cast<int64_t>(stats_.iterations.size()),
+                 static_cast<int64_t>(entry->read_set.size()), iter.qq_rows,
+                 udf_us});
+  }
+  stats_.iterations.push_back(iter);
+  return true;
 }
 
 Status RqlEngine::CollateData(const std::string& qs, const std::string& qq,
@@ -1469,6 +1765,19 @@ Status RqlEngine::RegisterUdfs() {
             "batch_execution (the all-cold baseline measures the "
             "row-at-a-time pipeline)");
       }
+      if (options_.memoize_iterations) {
+        if (options_.memo == nullptr) {
+          return Status::InvalidArgument(
+              "memoize_iterations requires RqlOptions::memo to point at "
+              "a retro::MemoTable");
+        }
+        if (options_.cold_cache_per_iteration) {
+          return Status::InvalidArgument(
+              "cold_cache_per_iteration is incompatible with "
+              "memoize_iterations (a memo-replayed iteration reads "
+              "nothing, so the all-cold baseline would not be measured)");
+        }
+      }
       stats_ = RqlRunStats{};
       trace_on_ = options_.trace;
       int64_t now = NowMicros();
@@ -1484,7 +1793,8 @@ Status RqlEngine::RegisterUdfs() {
       }
       // UDF-driven runs iterate sequentially inside one Qs scan, so the
       // same amortization session applies; FinishUdfRuns closes it.
-      if (options_.incremental_spt || options_.skip_unchanged_iterations) {
+      if (options_.incremental_spt || options_.skip_unchanged_iterations ||
+          options_.memoize_iterations) {
         data_db_->store()->BeginSnapshotSet();
       }
       if (options_.batch_pagelog_reads) {
@@ -1595,7 +1905,8 @@ Status RqlEngine::RegisterUdfs() {
 
 Status RqlEngine::FinishUdfRuns() {
   if (udf_run_started_) {
-    if (options_.incremental_spt || options_.skip_unchanged_iterations) {
+    if (options_.incremental_spt || options_.skip_unchanged_iterations ||
+        options_.memoize_iterations) {
       data_db_->store()->EndSnapshotSet();
     }
     data_db_->store()->set_batch_archive_reads(false);

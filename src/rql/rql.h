@@ -10,6 +10,7 @@
 #include "retro/metrics.h"
 #include "retro/snapshot_store.h"
 #include "rql/aggregates.h"
+#include "rql/memo_table.h"
 #include "rql/trace.h"
 #include "sql/database.h"
 #include "sql/scan_cache.h"
@@ -67,6 +68,19 @@ struct RqlIterationStats {
   /// (row, expression) evaluations routed through scalar fallback because
   /// the expression is not vectorizable.
   int64_t batch_fallback_rows = 0;
+  // Cross-run memoization counters (RqlOptions::memoize_iterations; all
+  // zero at paper-faithful defaults).
+  /// 1 when this iteration was answered by replaying a persistent memo
+  /// entry whose page-version read set validated against the snapshot.
+  int64_t memo_hits = 0;
+  /// 1 when the memo was consulted and could not serve the iteration (no
+  /// entry for the key, or a recorded page version no longer matched).
+  int64_t memo_misses = 0;
+  /// Memo-log bytes appended by this iteration's publish (0 on hits and
+  /// on skip-replayed iterations, which publish nothing).
+  int64_t memo_bytes = 0;
+  /// Entries the publish evicted to keep the memo under its byte bound.
+  int64_t memo_evictions = 0;
 
   int64_t TotalUs() const {
     return io_us + spt_build_us + query_eval_us + index_create_us + udf_us;
@@ -248,6 +262,31 @@ struct RqlOptions {
   /// change what the baseline times (the skip_unchanged_iterations
   /// precedent).
   bool batch_execution = false;
+  /// Memoize per-iteration Qq results *across runs* (and across engines
+  /// sharing one table) in the persistent retro::MemoTable pointed to by
+  /// `memo`: every executed iteration publishes (canonicalized
+  /// query/mechanism fingerprint, page-version read set, buffered result
+  /// rows), and a later iteration over the same snapshot replays the entry
+  /// through the mechanism — after validating every recorded page version
+  /// against the snapshot's current resolution, so rewritten pages or a
+  /// compacted archive conservatively miss — instead of executing Qq.
+  /// Results are byte-identical to execution (the mechanism fold re-runs
+  /// on the replayed rows, exactly like skip_unchanged_iterations).
+  /// Composes with all other opt-in flags, sequential and parallel runs,
+  /// and the UDF form; unlike the intra-run skipper it is sound for Qq
+  /// using current_snapshot() (entries are keyed per snapshot). Counted in
+  /// RqlIterationStats::memo_hits / memo_misses / memo_bytes /
+  /// memo_evictions and traced as kMemoHit. Requires `memo` non-null;
+  /// rejected with InvalidArgument in combination with
+  /// cold_cache_per_iteration (a memo-replayed iteration reads nothing, so
+  /// the all-cold baseline would not be measured — the
+  /// skip_unchanged_iterations precedent).
+  bool memoize_iterations = false;
+  /// The memo table memoize_iterations consults and publishes into. Owned
+  /// by the caller; shareable by any number of engines (publishes are
+  /// first-publish-wins). Must live and die with the data database's
+  /// files (see MemoTable::Open).
+  retro::MemoTable* memo = nullptr;
 
   /// Bounded retry budget for transient Pagelog archive read failures
   /// during a run: each failed read is re-issued up to this many times
@@ -411,6 +450,15 @@ class RqlEngine {
   /// is the size of the Maplog delta the skip decision examined.
   Status ReplayIteration(retro::SnapshotId snap, MechanismState* state,
                          int64_t delta_pages);
+
+  /// Memoized-iteration fast path: validates `entry`'s page-version read
+  /// set against snapshot `snap`'s current resolution and, when every
+  /// token matches, replays the entry's rows through the state, recording
+  /// a memo_hits iteration. Returns false (and records nothing) when the
+  /// entry does not validate — the caller then executes Qq normally.
+  Result<bool> TryMemoReplay(retro::SnapshotId snap, MechanismState* state,
+                             const std::shared_ptr<const retro::MemoEntry>& entry,
+                             int64_t delta_pages);
 
   Status PrepareResultTable(const std::string& table);
 

@@ -102,6 +102,8 @@ const char* RqlTrace::TypeName(RqlTraceEventType type) {
       return "iteration_skip";
     case RqlTraceEventType::kWorkerStall:
       return "worker_stall";
+    case RqlTraceEventType::kMemoHit:
+      return "memo_hit";
   }
   return "unknown";
 }

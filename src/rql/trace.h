@@ -16,6 +16,7 @@ namespace rql {
 ///                    flags_bits: 1=incremental_spt 2=reuse_qq_plan
 ///                    4=batch_pagelog_reads 8=reuse_decoded_pages
 ///                    16=skip_unchanged_iterations 32=batch_execution
+///                    64=memoize_iterations
 ///   kRunEnd          {iterations, iterations_skipped, total_us, ok, 0, 0}
 ///   kIterationBegin  {index_in_run, 0, 0, 0, 0, 0}
 ///   kIterationEnd    {io_us, spt_build_us, query_eval_us, index_create_us,
@@ -31,6 +32,10 @@ namespace rql {
 ///                    iteration (skip_unchanged_iterations)
 ///   kWorkerStall     {lock_wait_us, coalesced_loads, workers, 0, 0, 0}
 ///                    — emitted once per parallel run after the join
+///   kMemoHit         {index_in_run, validated_pages, replayed_rows,
+///                     udf_us, 0, 0}  — replay of a persistent memo entry
+///                    whose page-version read set validated against the
+///                    snapshot (memoize_iterations)
 enum class RqlTraceEventType : uint8_t {
   kRunBegin = 0,
   kRunEnd,
@@ -41,6 +46,7 @@ enum class RqlTraceEventType : uint8_t {
   kScanCache,
   kIterationSkip,
   kWorkerStall,
+  kMemoHit,
 };
 
 /// One fixed-size trace record. `t_us` is relative to the enclosing run's

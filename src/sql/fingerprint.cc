@@ -1,0 +1,303 @@
+#include "sql/fingerprint.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+#include "sql/parser.h"
+
+namespace rql::sql {
+
+namespace {
+
+std::string Lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// Type-tagged literal rendering: int:1 / real:1.5 / txt:'a' / null. The
+/// tag keeps values of different types from ever canonicalizing to the
+/// same token, and text is quote-escaped so 'a,b' cannot collide with the
+/// two-element list 'a', 'b'.
+std::string CanonLiteral(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInteger: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "int:%" PRId64, v.integer());
+      return buf;
+    }
+    case ValueType::kReal: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "real:%.17g", v.real());
+      return buf;
+    }
+    case ValueType::kText: {
+      std::string out = "txt:'";
+      for (char c : v.text()) {
+        if (c == '\'') out += "''";
+        out += c;
+      }
+      out += '\'';
+      return out;
+    }
+  }
+  return "null";
+}
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "<>";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kAnd: return "AND";
+    case BinOp::kOr: return "OR";
+    case BinOp::kLike: return "LIKE";
+  }
+  return "?op?";
+}
+
+std::string CanonSelect(const SelectStmt& stmt);
+
+std::string CanonExpr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return CanonLiteral(e.literal);
+    case ExprKind::kColumnRef:
+      return e.table.empty() ? Lower(e.name)
+                             : Lower(e.table) + "." + Lower(e.name);
+    case ExprKind::kBinary:
+      return "(" + CanonExpr(*e.args[0]) + " " + BinOpName(e.bin_op) + " " +
+             CanonExpr(*e.args[1]) + ")";
+    case ExprKind::kUnary:
+      switch (e.un_op) {
+        case UnOp::kNot: return "(NOT " + CanonExpr(*e.args[0]) + ")";
+        case UnOp::kNeg: return "(- " + CanonExpr(*e.args[0]) + ")";
+        case UnOp::kIsNull:
+          return "(" + CanonExpr(*e.args[0]) + " IS NULL)";
+        case UnOp::kIsNotNull:
+          return "(" + CanonExpr(*e.args[0]) + " IS NOT NULL)";
+      }
+      return "?un?";
+    case ExprKind::kFunctionCall: {
+      std::string out = Lower(e.name) + "(";
+      if (e.distinct_arg) out += "DISTINCT ";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += CanonExpr(*e.args[i]);
+      }
+      return out + ")";
+    }
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kIn: {
+      std::string out = "(" + CanonExpr(*e.args[0]);
+      out += e.negated ? " NOT IN (" : " IN (";
+      for (size_t i = 1; i < e.args.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += CanonExpr(*e.args[i]);
+      }
+      return out + "))";
+    }
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      size_t i = 0;
+      if (e.case_has_base) out += " " + CanonExpr(*e.args[i++]);
+      size_t end = e.args.size() - (e.case_has_else ? 1 : 0);
+      for (; i + 1 <= end; i += 2) {
+        out += " WHEN " + CanonExpr(*e.args[i]) + " THEN " +
+               CanonExpr(*e.args[i + 1]);
+      }
+      if (e.case_has_else) out += " ELSE " + CanonExpr(*e.args.back());
+      return out + " END";
+    }
+    case ExprKind::kSubquery:
+      return "(" + CanonSelect(*e.subquery) + ")";
+    case ExprKind::kParameter:
+      // Shape only: a bound parameter's value is an execution-time input,
+      // not part of the statement's identity.
+      return "?";
+  }
+  return "?expr?";
+}
+
+std::string CanonSelect(const SelectStmt& stmt) {
+  std::string out = "SELECT";
+  if (stmt.as_of_param != nullptr) {
+    out += " AS OF ?";
+  } else if (stmt.as_of != 0) {
+    out += " AS OF " + std::to_string(stmt.as_of);
+  }
+  if (stmt.distinct) out += " DISTINCT";
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    out += i == 0 ? " " : ", ";
+    out += CanonExpr(*stmt.items[i].expr);
+    if (!stmt.items[i].alias.empty()) {
+      out += " AS " + Lower(stmt.items[i].alias);
+    }
+  }
+  if (!stmt.from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < stmt.from.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Lower(stmt.from[i].name);
+      if (!stmt.from[i].alias.empty() &&
+          !IdentEquals(stmt.from[i].alias, stmt.from[i].name)) {
+        out += " " + Lower(stmt.from[i].alias);
+      }
+    }
+  }
+  if (stmt.where != nullptr) out += " WHERE " + CanonExpr(*stmt.where);
+  if (!stmt.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += CanonExpr(*stmt.group_by[i]);
+    }
+  }
+  if (stmt.having != nullptr) out += " HAVING " + CanonExpr(*stmt.having);
+  if (!stmt.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += CanonExpr(*stmt.order_by[i].expr);
+      if (stmt.order_by[i].desc) out += " DESC";
+    }
+  }
+  if (stmt.limit >= 0) out += " LIMIT " + std::to_string(stmt.limit);
+  return out;
+}
+
+std::string CanonSchema(const TableSchema& schema) {
+  std::string out = "(";
+  for (size_t i = 0; i < schema.columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += Lower(schema.columns[i].name);
+    out += " ";
+    out += ValueTypeName(schema.columns[i].type);
+  }
+  return out + ")";
+}
+
+struct StatementPrinter {
+  std::string operator()(const SelectStmt& s) const { return CanonSelect(s); }
+  std::string operator()(const CreateTableStmt& s) const {
+    std::string out = "CREATE TABLE ";
+    if (s.if_not_exists) out += "IF NOT EXISTS ";
+    out += Lower(s.name);
+    if (s.as_select != nullptr) {
+      out += " AS " + CanonSelect(*s.as_select);
+    } else {
+      out += " " + CanonSchema(s.schema);
+    }
+    return out;
+  }
+  std::string operator()(const CreateIndexStmt& s) const {
+    std::string out =
+        "CREATE INDEX " + Lower(s.name) + " ON " + Lower(s.table) + " (";
+    for (size_t i = 0; i < s.columns.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Lower(s.columns[i]);
+    }
+    return out + ")";
+  }
+  std::string operator()(const DropStmt& s) const {
+    std::string out = s.is_index ? "DROP INDEX " : "DROP TABLE ";
+    if (s.if_exists) out += "IF EXISTS ";
+    return out + Lower(s.name);
+  }
+  std::string operator()(const InsertStmt& s) const {
+    std::string out = "INSERT INTO " + Lower(s.table);
+    if (!s.columns.empty()) {
+      out += " (";
+      for (size_t i = 0; i < s.columns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += Lower(s.columns[i]);
+      }
+      out += ")";
+    }
+    if (s.select != nullptr) return out + " " + CanonSelect(*s.select);
+    out += " VALUES ";
+    for (size_t r = 0; r < s.rows.size(); ++r) {
+      if (r > 0) out += ", ";
+      out += "(";
+      for (size_t i = 0; i < s.rows[r].size(); ++i) {
+        if (i > 0) out += ", ";
+        out += CanonExpr(*s.rows[r][i]);
+      }
+      out += ")";
+    }
+    return out;
+  }
+  std::string operator()(const UpdateStmt& s) const {
+    std::string out = "UPDATE " + Lower(s.table) + " SET ";
+    for (size_t i = 0; i < s.assignments.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Lower(s.assignments[i].first) + " = " +
+             CanonExpr(*s.assignments[i].second);
+    }
+    if (s.where != nullptr) out += " WHERE " + CanonExpr(*s.where);
+    return out;
+  }
+  std::string operator()(const DeleteStmt& s) const {
+    std::string out = "DELETE FROM " + Lower(s.table);
+    if (s.where != nullptr) out += " WHERE " + CanonExpr(*s.where);
+    return out;
+  }
+  std::string operator()(const BeginStmt&) const { return "BEGIN"; }
+  std::string operator()(const CommitStmt& s) const {
+    return s.with_snapshot ? "COMMIT WITH SNAPSHOT" : "COMMIT";
+  }
+  std::string operator()(const RollbackStmt&) const { return "ROLLBACK"; }
+  std::string operator()(const ExplainStmt& s) const {
+    return "EXPLAIN " + CanonSelect(*s.select);
+  }
+};
+
+}  // namespace
+
+std::string CanonicalizeStatement(const Statement& stmt) {
+  return std::visit(StatementPrinter{}, stmt);
+}
+
+Result<std::string> CanonicalizeSql(std::string_view sql) {
+  RQL_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseSql(sql));
+  std::string out;
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += CanonicalizeStatement(stmts[i]);
+  }
+  return out;
+}
+
+uint64_t Fnv1a64(std::string_view data, uint64_t seed) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+Result<uint64_t> QueryFingerprint(std::string_view sql,
+                                  std::string_view salt) {
+  RQL_ASSIGN_OR_RETURN(std::string canon, CanonicalizeSql(sql));
+  uint64_t h = Fnv1a64(canon);
+  h = Fnv1a64("|", h);
+  return Fnv1a64(salt, h);
+}
+
+}  // namespace rql::sql

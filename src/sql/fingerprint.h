@@ -1,0 +1,46 @@
+#ifndef RQL_SQL_FINGERPRINT_H_
+#define RQL_SQL_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace rql::sql {
+
+/// Renders `stmt` in a canonical textual form: keywords uppercase,
+/// identifiers lowercase, single spacing, every expression fully
+/// parenthesized, literals printed with an explicit type tag (so the
+/// integer 1 and the text '1' can never collide). Two query texts that
+/// parse to the same tree — differing only in whitespace, letter case or
+/// comments — canonicalize identically; any semantic difference (another
+/// predicate, another literal value, another column order) does not.
+///
+/// AS OF handling: a literal "AS OF <n>" keeps its value (it pins the
+/// statement to one snapshot), while the bindable "AS OF ?" form prints as
+/// the shape marker "AS OF ?" — the memo key must distinguish the *shape*
+/// (absent / literal / bound), not the per-iteration binding, which the
+/// engine supplies per snapshot.
+std::string CanonicalizeStatement(const Statement& stmt);
+
+/// Parses `sql` (one or more ';'-separated statements) and joins the
+/// canonical forms with "; ". Fails when the text does not parse —
+/// callers fingerprinting an already-validated Qq never see the error.
+Result<std::string> CanonicalizeSql(std::string_view sql);
+
+/// 64-bit FNV-1a over the canonical form of `sql`, mixed with `salt`
+/// (the RQL engine passes the mechanism name: the same Qq driven by two
+/// different mechanisms must produce two different memo keys).
+Result<uint64_t> QueryFingerprint(std::string_view sql,
+                                  std::string_view salt = {});
+
+/// The raw FNV-1a step, exposed for composing digests over other byte
+/// strings (the memo table's read-set digest uses it).
+uint64_t Fnv1a64(std::string_view data,
+                 uint64_t seed = 0xCBF29CE484222325ull);
+
+}  // namespace rql::sql
+
+#endif  // RQL_SQL_FINGERPRINT_H_

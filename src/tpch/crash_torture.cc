@@ -63,6 +63,9 @@ struct Harness {
   }
 };
 
+Status RunRqlChecks(Harness* h, int j, std::string* collate,
+                    std::string* aggmax);
+
 std::string Timestamp(int round) {
   std::string day = std::to_string(round);
   if (day.size() < 2) day = "0" + day;
@@ -113,11 +116,24 @@ Status RunWorkload(storage::Env* env, const TortureConfig& cfg, int* acked,
       sigs->push_back(std::move(sig));
     }
   }
+  if (cfg.memoize) {
+    // Memoized pass: every executed iteration publishes (and syncs) a memo
+    // record, adding one kill point per iteration to the schedule.
+    RQL_ASSIGN_OR_RETURN(std::unique_ptr<retro::MemoTable> memo,
+                         retro::MemoTable::Open(env, "tortmemo"));
+    h.engine->mutable_options()->memoize_iterations = true;
+    h.engine->mutable_options()->memo = memo.get();
+    std::string collate, aggmax;
+    RQL_RETURN_IF_ERROR(
+        RunRqlChecks(&h, cfg.snapshots, &collate, &aggmax));
+  }
   return Status::OK();
 }
 
 /// Runs both verification mechanisms over snapshots 1..j and serializes
-/// their result tables.
+/// their result tables. The engine runs with whatever options are
+/// installed, so the same checks serve the memo-less oracle and the
+/// memoized recovery passes.
 Status RunRqlChecks(Harness* h, int j, std::string* collate,
                     std::string* aggmax) {
   std::string qs = "SELECT snap_id FROM SnapIds WHERE snap_id <= " +
@@ -248,6 +264,45 @@ Status VerifyRecovered(storage::Env* env, const TortureConfig& cfg,
     if (aggmax != oracle.aggmax_sig[static_cast<size_t>(m) - 1]) {
       return fail("AggregateDataInTable over snapshots 1.." +
                   std::to_string(m) + " differs from the fault-free oracle");
+    }
+  }
+
+  // Recovery invariant 6 (memoize only): the recovered memo log — however
+  // much of it survived the crash, including a torn publish record — never
+  // changes RQL answers. The first memoized pass replays whatever entries
+  // recovered and recomputes the rest; a second pass runs fully warm. Both
+  // must match the memo-less oracle byte-for-byte.
+  if (cfg.memoize && m >= 1) {
+    auto memo = retro::MemoTable::Open(env, "tortmemo");
+    if (!memo.ok()) {
+      return fail("memo reopen after recovery failed: " +
+                  memo.status().ToString());
+    }
+    h.engine->mutable_options()->memoize_iterations = true;
+    h.engine->mutable_options()->memo = memo->get();
+    for (int pass = 1; pass <= 2; ++pass) {
+      std::string collate, aggmax;
+      Status s = RunRqlChecks(&h, m, &collate, &aggmax);
+      if (!s.ok()) {
+        return fail("memoized RQL pass " + std::to_string(pass) +
+                    " over recovered state: " + s.ToString());
+      }
+      if (collate != oracle.collate_sig[static_cast<size_t>(m) - 1] ||
+          aggmax != oracle.aggmax_sig[static_cast<size_t>(m) - 1]) {
+        return fail("memoized RQL pass " + std::to_string(pass) +
+                    " served rows differing from the memo-less oracle");
+      }
+    }
+    // The second pass ran against a memo the first pass fully refreshed:
+    // every iteration of its last mechanism must have replayed.
+    int64_t hits = 0;
+    for (const RqlIterationStats& it :
+         h.engine->last_run_stats().iterations) {
+      hits += it.memo_hits;
+    }
+    if (hits != m) {
+      return fail("warm memoized pass replayed " + std::to_string(hits) +
+                  " of " + std::to_string(m) + " iterations");
     }
   }
   return Status::OK();

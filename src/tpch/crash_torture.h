@@ -35,6 +35,14 @@ struct TortureConfig {
   int max_kill_points = 0;
   /// Emit one report log line per kill point instead of only failures.
   bool verbose = false;
+  /// When set, the workload ends with a memoized RQL pass over all
+  /// declared snapshots (publishing into a persistent retro::MemoTable on
+  /// the same Env), so the memo log's publish syncs join the kill-point
+  /// space. Verification then reruns the memoized mechanisms from the
+  /// recovered memo and asserts byte-identity against the memo-less
+  /// oracle: a crash anywhere — including mid-publish — may lose memo
+  /// entries but never serve stale rows.
+  bool memoize = false;
 };
 
 struct TortureReport {

@@ -1,0 +1,613 @@
+// MemoTable torture tests: fingerprint canonicalization, read-set digest
+// order independence, LRU byte-bound eviction, persistence and recovery
+// from corrupt / torn memo logs (FaultInjectionEnv is the substrate),
+// first-publish-wins under concurrent publishers, and the engine-level
+// staleness guarantees — ingest inside vs. outside a recorded read set,
+// and TruncateHistory invalidation.
+
+#include "rql/memo_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rql/rql.h"
+#include "sql/fingerprint.h"
+#include "storage/fault_env.h"
+
+namespace rql {
+namespace {
+
+using retro::MemoEntry;
+using retro::MemoPageVersion;
+using retro::MemoPublishResult;
+using retro::MemoTable;
+using retro::MemoTableOptions;
+
+uint64_t Fp(const std::string& sql, const std::string& salt) {
+  auto fp = sql::QueryFingerprint(sql, salt);
+  EXPECT_TRUE(fp.ok()) << sql << ": " << fp.status().ToString();
+  return fp.ok() ? *fp : 0;
+}
+
+TEST(MemoFingerprintTest, CanonicalizationNormalizesWhitespaceAndCase) {
+  const uint64_t base =
+      Fp("SELECT item, score FROM live WHERE score > 10", "CollateData");
+  EXPECT_EQ(base, Fp("select   item,\n\tscore  from LIVE  where score>10",
+                     "CollateData"));
+  EXPECT_EQ(base, Fp("Select Item, Score From Live Where (score > 10)",
+                     "CollateData"));
+}
+
+TEST(MemoFingerprintTest, SemanticDifferencesChangeTheKey) {
+  const std::string salt = "CollateData";
+  const uint64_t base = Fp("SELECT item, score FROM live WHERE score > 10",
+                           salt);
+  // Another literal value, another predicate, another column order, and a
+  // type-flipped literal must all produce distinct keys.
+  EXPECT_NE(base,
+            Fp("SELECT item, score FROM live WHERE score > 11", salt));
+  EXPECT_NE(base,
+            Fp("SELECT item, score FROM live WHERE item > 10", salt));
+  EXPECT_NE(base,
+            Fp("SELECT score, item FROM live WHERE score > 10", salt));
+  EXPECT_NE(Fp("SELECT item FROM live WHERE item = 1", salt),
+            Fp("SELECT item FROM live WHERE item = '1'", salt));
+}
+
+TEST(MemoFingerprintTest, MechanismSaltSeparatesKeys) {
+  const std::string qq = "SELECT item, score FROM live";
+  EXPECT_NE(Fp(qq, "CollateData"), Fp(qq, "AggregateDataInTable"));
+  EXPECT_NE(Fp(qq, "CollateData"), Fp(qq, "AggregateDataInVariable"));
+  EXPECT_NE(Fp(qq, "AggregateDataInTable"),
+            Fp(qq, "CollateDataIntoIntervals"));
+}
+
+TEST(MemoFingerprintTest, AsOfShapeSeparatesKeys) {
+  const std::string salt = "CollateData";
+  const uint64_t absent = Fp("SELECT item FROM live", salt);
+  const uint64_t lit3 = Fp("SELECT AS OF 3 item FROM live", salt);
+  const uint64_t lit4 = Fp("SELECT AS OF 4 item FROM live", salt);
+  const uint64_t param = Fp("SELECT AS OF ? item FROM live", salt);
+  EXPECT_NE(absent, lit3);
+  EXPECT_NE(lit3, lit4);  // a literal AS OF pins the snapshot: value counts
+  EXPECT_NE(absent, param);
+  EXPECT_NE(lit3, param);
+}
+
+TEST(MemoDigestTest, ReadSetDigestIsOrderIndependent) {
+  std::vector<MemoPageVersion> a = {{7, 100}, {2, 50}, {9, 1}, {3, 3}};
+  std::vector<MemoPageVersion> b = {{3, 3}, {9, 1}, {7, 100}, {2, 50}};
+  EXPECT_EQ(MemoTable::ReadSetDigest(a), MemoTable::ReadSetDigest(b));
+}
+
+TEST(MemoDigestTest, VersionChangesChangeTheDigest) {
+  std::vector<MemoPageVersion> a = {{2, 50}, {7, 100}};
+  std::vector<MemoPageVersion> b = {{2, 50}, {7, 101}};
+  std::vector<MemoPageVersion> c = {{2, 50}};
+  std::vector<MemoPageVersion> d = {{2, 50},
+                                    {7, retro::kMemoDbSharedVersion}};
+  EXPECT_NE(MemoTable::ReadSetDigest(a), MemoTable::ReadSetDigest(b));
+  EXPECT_NE(MemoTable::ReadSetDigest(a), MemoTable::ReadSetDigest(c));
+  EXPECT_NE(MemoTable::ReadSetDigest(a), MemoTable::ReadSetDigest(d));
+}
+
+// ---------------------------------------------------------------------------
+// Unit-level table tests, run through a FaultInjectionEnv so every test
+// doubles as a transparency check for the fault layer.
+
+struct MemoEnv {
+  storage::InMemoryEnv base;
+  storage::FaultInjectionEnv env{&base};
+};
+
+std::shared_ptr<const MemoEntry> MakeEntry(uint64_t fp, retro::SnapshotId snap,
+                                           uint64_t version_base,
+                                           size_t payload_bytes = 64) {
+  auto e = std::make_shared<MemoEntry>();
+  e->fingerprint = fp;
+  e->snapshot = snap;
+  e->read_set = {{1, version_base}, {2, version_base + 1}};
+  e->columns = {"item", "score"};
+  e->rows = {std::string(payload_bytes, 'r'),
+             std::string(payload_bytes, 's')};
+  return e;
+}
+
+std::unique_ptr<MemoTable> MustOpen(storage::Env* env,
+                                    const std::string& name,
+                                    MemoTableOptions opts = {}) {
+  auto table = MemoTable::Open(env, name, opts);
+  EXPECT_TRUE(table.ok()) << table.status().ToString();
+  return std::move(*table);
+}
+
+TEST(MemoTableTest, PublishProbeRoundTripAndPersistence) {
+  MemoEnv m;
+  auto table = MustOpen(&m.env, "m");
+  auto e1 = MakeEntry(10, 1, 100);
+  auto e2 = MakeEntry(20, 2, 200);
+  auto p1 = table->Publish(e1);
+  auto p2 = table->Publish(e2);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_TRUE(p1->inserted);
+  EXPECT_GT(p1->bytes_appended, 0u);
+  EXPECT_EQ(table->entry_count(), 2u);
+
+  auto hit = table->Probe(10, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->rows, e1->rows);
+  EXPECT_EQ(hit->columns, e1->columns);
+  EXPECT_EQ(table->Probe(10, 2), nullptr);  // registered per snapshot
+  EXPECT_EQ(table->Probe(99, 1), nullptr);
+
+  // Cross-process persistence: a fresh open recovers both entries.
+  table.reset();
+  auto reopened = MustOpen(&m.env, "m");
+  EXPECT_EQ(reopened->recovered_entries(), 2);
+  EXPECT_EQ(reopened->truncated_tail_bytes(), 0u);
+  auto again = reopened->Probe(10, 1);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again->rows, e1->rows);
+  ASSERT_NE(reopened->Probe(20, 2), nullptr);
+}
+
+TEST(MemoTableTest, FirstPublishWinsAndAliasesSnapshots) {
+  MemoEnv m;
+  auto table = MustOpen(&m.env, "m");
+  auto first = MakeEntry(10, 1, 100);
+  auto dup = MakeEntry(10, 5, 100);  // same key, later snapshot
+  auto p1 = table->Publish(first);
+  auto p2 = table->Publish(dup);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_TRUE(p1->inserted);
+  EXPECT_FALSE(p2->inserted);
+  // The duplicate logs only a small alias record, not the rows again.
+  EXPECT_LT(p2->bytes_appended, p1->bytes_appended);
+  EXPECT_EQ(table->entry_count(), 1u);
+  // Both snapshots resolve to the first publisher's entry.
+  EXPECT_EQ(table->Probe(10, 1), table->Probe(10, 5));
+  ASSERT_NE(table->Probe(10, 1), nullptr);
+
+  // Aliases persist: after reopen both snapshots still resolve.
+  table.reset();
+  auto reopened = MustOpen(&m.env, "m");
+  EXPECT_EQ(reopened->entry_count(), 1u);
+  EXPECT_NE(reopened->Probe(10, 1), nullptr);
+  EXPECT_NE(reopened->Probe(10, 5), nullptr);
+}
+
+TEST(MemoTableTest, LruByteBoundEvictsColdEntries) {
+  MemoEnv m;
+  auto probe_entry = MakeEntry(1, 1, 10, 256);
+  MemoTableOptions opts;
+  opts.max_bytes = 4 * MemoTable::EntryBytes(*probe_entry);
+  auto table = MustOpen(&m.env, "m", opts);
+
+  int64_t evictions = 0;
+  for (uint64_t fp = 1; fp <= 8; ++fp) {
+    auto pub = table->Publish(
+        MakeEntry(fp, static_cast<retro::SnapshotId>(fp), fp * 10, 256));
+    ASSERT_TRUE(pub.ok()) << pub.status().ToString();
+    evictions += pub->evictions;
+    // Keep fp=2 hot so recency, not insertion order, decides eviction.
+    if (fp >= 2) {
+      ASSERT_NE(table->Probe(2, 2), nullptr);
+    }
+  }
+  EXPECT_GT(evictions, 0);
+  EXPECT_EQ(evictions, table->evictions());
+  EXPECT_LE(table->bytes(), opts.max_bytes);
+  EXPECT_LT(table->entry_count(), 8u);
+  // The hot entry and the newest survive; the coldest was evicted.
+  EXPECT_NE(table->Probe(2, 2), nullptr);
+  EXPECT_NE(table->Probe(8, 8), nullptr);
+  EXPECT_EQ(table->Probe(1, 1), nullptr);
+  EXPECT_EQ(table->Probe(3, 3), nullptr);
+}
+
+TEST(MemoTableTest, TornTailIsTruncatedOnRecovery) {
+  MemoEnv m;
+  auto table = MustOpen(&m.env, "m");
+  for (uint64_t fp = 1; fp <= 3; ++fp) {
+    ASSERT_TRUE(
+        table->Publish(MakeEntry(fp, static_cast<retro::SnapshotId>(fp),
+                                 fp * 10))
+            .ok());
+  }
+  table.reset();
+
+  // A torn append: 13 garbage bytes, not even a whole record header.
+  auto file = m.env.OpenFile("m.memo");
+  ASSERT_TRUE(file.ok());
+  uint64_t off = 0;
+  ASSERT_TRUE((*file)->Append(13, "garbage-tail!", &off).ok());
+  uint64_t torn_size = (*file)->Size();
+  file->reset();
+
+  auto reopened = MustOpen(&m.env, "m");
+  EXPECT_EQ(reopened->recovered_entries(), 3);
+  EXPECT_EQ(reopened->truncated_tail_bytes(), 13u);
+  EXPECT_EQ(reopened->log_bytes(), torn_size - 13);
+  for (uint64_t fp = 1; fp <= 3; ++fp) {
+    EXPECT_NE(reopened->Probe(fp, static_cast<retro::SnapshotId>(fp)),
+              nullptr);
+  }
+  // The truncated log must stay appendable: publishing works again and the
+  // new entry survives another reopen.
+  ASSERT_TRUE(reopened->Publish(MakeEntry(4, 4, 40)).ok());
+  reopened.reset();
+  auto third = MustOpen(&m.env, "m");
+  EXPECT_EQ(third->recovered_entries(), 4);
+  EXPECT_EQ(third->truncated_tail_bytes(), 0u);
+}
+
+TEST(MemoTableTest, ChecksumMismatchTruncatesFromCorruption) {
+  MemoEnv m;
+  auto table = MustOpen(&m.env, "m");
+  uint64_t third_record_off = 0;
+  for (uint64_t fp = 1; fp <= 3; ++fp) {
+    if (fp == 3) third_record_off = table->log_bytes();
+    ASSERT_TRUE(
+        table->Publish(MakeEntry(fp, static_cast<retro::SnapshotId>(fp),
+                                 fp * 10))
+            .ok());
+  }
+  table.reset();
+
+  // Flip one payload byte of the third record: its checksum mismatches,
+  // so recovery must cut the log back to the end of record two.
+  auto file = m.env.OpenFile("m.memo");
+  ASSERT_TRUE(file.ok());
+  uint64_t total = (*file)->Size();
+  uint64_t corrupt_at = third_record_off + 30;
+  ASSERT_LT(corrupt_at, total);
+  char byte = 0;
+  ASSERT_TRUE((*file)->Read(corrupt_at, 1, &byte).ok());
+  byte = static_cast<char>(byte ^ 0x5A);
+  ASSERT_TRUE((*file)->Write(corrupt_at, 1, &byte).ok());
+  file->reset();
+
+  auto reopened = MustOpen(&m.env, "m");
+  EXPECT_EQ(reopened->recovered_entries(), 2);
+  EXPECT_EQ(reopened->truncated_tail_bytes(), total - third_record_off);
+  EXPECT_EQ(reopened->log_bytes(), third_record_off);
+  EXPECT_NE(reopened->Probe(1, 1), nullptr);
+  EXPECT_NE(reopened->Probe(2, 2), nullptr);
+  EXPECT_EQ(reopened->Probe(3, 3), nullptr);
+}
+
+TEST(MemoTableTest, TornAppendFaultLosesOnlyThatRecord) {
+  MemoEnv m;
+  auto table = MustOpen(&m.env, "m");
+  ASSERT_TRUE(table->Publish(MakeEntry(1, 1, 10)).ok());
+  ASSERT_TRUE(table->Publish(MakeEntry(2, 2, 20)).ok());
+
+  storage::FaultSpec spec;
+  spec.op = storage::FaultOp::kAppend;
+  spec.kind = storage::FaultKind::kTornWrite;
+  spec.glob = "*.memo";
+  m.env.Arm(spec);
+  auto torn = table->Publish(MakeEntry(3, 3, 30));
+  EXPECT_FALSE(torn.ok());
+  EXPECT_EQ(m.env.stats().faults_fired, 1u);
+  table.reset();
+
+  // Recovery sees at most a partial third record and truncates it; the
+  // two published entries replay intact.
+  auto reopened = MustOpen(&m.env, "m");
+  EXPECT_EQ(reopened->recovered_entries(), 2);
+  EXPECT_NE(reopened->Probe(1, 1), nullptr);
+  EXPECT_NE(reopened->Probe(2, 2), nullptr);
+  EXPECT_EQ(reopened->Probe(3, 3), nullptr);
+}
+
+TEST(MemoTableTest, CrashAtPublishSyncRecoversPrefix) {
+  MemoEnv m;
+  auto table = MustOpen(&m.env, "m");
+  ASSERT_TRUE(table->Publish(MakeEntry(1, 1, 10)).ok());
+
+  storage::FaultSpec spec;
+  spec.op = storage::FaultOp::kSync;
+  spec.kind = storage::FaultKind::kCrash;
+  spec.glob = "*.memo";
+  m.env.Arm(spec);
+  EXPECT_FALSE(table->Publish(MakeEntry(2, 2, 20)).ok());
+  EXPECT_TRUE(m.env.crashed());
+  table.reset();
+
+  // Reboot: un-synced bytes are gone; the synced prefix replays.
+  ASSERT_TRUE(m.env.RecoverToSyncedState().ok());
+  auto reopened = MustOpen(&m.env, "m");
+  EXPECT_EQ(reopened->recovered_entries(), 1);
+  EXPECT_NE(reopened->Probe(1, 1), nullptr);
+  EXPECT_EQ(reopened->Probe(2, 2), nullptr);
+}
+
+TEST(MemoTableTest, InvalidateBelowDropsRegistrationsPersistently) {
+  MemoEnv m;
+  auto table = MustOpen(&m.env, "m");
+  for (uint64_t fp = 1; fp <= 4; ++fp) {
+    ASSERT_TRUE(
+        table->Publish(MakeEntry(fp, static_cast<retro::SnapshotId>(fp),
+                                 fp * 10))
+            .ok());
+  }
+  ASSERT_TRUE(table->InvalidateBelow(3).ok());
+  EXPECT_EQ(table->Probe(1, 1), nullptr);
+  EXPECT_EQ(table->Probe(2, 2), nullptr);
+  EXPECT_NE(table->Probe(3, 3), nullptr);
+  EXPECT_NE(table->Probe(4, 4), nullptr);
+  EXPECT_EQ(table->entry_count(), 2u);
+
+  // The invalidation is a logged record: recovery replays it.
+  table.reset();
+  auto reopened = MustOpen(&m.env, "m");
+  EXPECT_EQ(reopened->Probe(1, 1), nullptr);
+  EXPECT_EQ(reopened->Probe(2, 2), nullptr);
+  EXPECT_NE(reopened->Probe(3, 3), nullptr);
+  EXPECT_NE(reopened->Probe(4, 4), nullptr);
+}
+
+TEST(MemoTableTest, ConcurrentPublishersAgreeOnFirstWin) {
+  MemoEnv m;
+  auto table = MustOpen(&m.env, "m");
+  constexpr int kThreads = 8;
+  std::atomic<int> inserted{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // All threads publish the same key (fingerprint 7, same read set)
+      // under distinct snapshots, interleaved with probes.
+      auto pub = table->Publish(
+          MakeEntry(7, static_cast<retro::SnapshotId>(t + 1), 70));
+      if (!pub.ok()) {
+        ++failures;
+        return;
+      }
+      if (pub->inserted) ++inserted;
+      auto hit = table->Probe(7, static_cast<retro::SnapshotId>(t + 1));
+      if (hit == nullptr || hit->rows.size() != 2) ++failures;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(inserted.load(), 1);  // first publish wins, everyone else aliases
+  EXPECT_EQ(table->entry_count(), 1u);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_NE(table->Probe(7, static_cast<retro::SnapshotId>(t + 1)),
+              nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level staleness: ingest inside vs. outside a recorded read set,
+// and TruncateHistory invalidation.
+
+constexpr char kQq[] = "SELECT item, score FROM live";
+constexpr char kQsAll[] = "SELECT snap_id FROM SnapIds";
+
+struct EngineFixture {
+  std::unique_ptr<storage::InMemoryEnv> base =
+      std::make_unique<storage::InMemoryEnv>();
+  std::unique_ptr<storage::FaultInjectionEnv> env =
+      std::make_unique<storage::FaultInjectionEnv>(base.get());
+  std::unique_ptr<sql::Database> data;
+  std::unique_ptr<sql::Database> meta;
+  std::unique_ptr<RqlEngine> engine;
+  std::unique_ptr<MemoTable> memo;
+  std::vector<retro::SnapshotId> snaps;
+};
+
+/// `live` changes during the first `live_changes` snapshots, then goes
+/// static while `churn` keeps changing — so the tail snapshots map live's
+/// pages to the current database (db-shared tokens) and the early ones to
+/// archived versions (offset tokens). Both token kinds get exercised.
+EngineFixture MakeEngineFixture(int snapshots, int live_changes) {
+  EngineFixture f;
+  auto data = sql::Database::Open(f.env.get(), "data");
+  auto meta = sql::Database::Open(f.env.get(), "meta");
+  EXPECT_TRUE(data.ok() && meta.ok());
+  f.data = std::move(*data);
+  f.meta = std::move(*meta);
+  f.engine = std::make_unique<RqlEngine>(f.data.get(), f.meta.get());
+  EXPECT_TRUE(f.engine->EnsureSnapIds().ok());
+  EXPECT_TRUE(
+      f.data->Exec("CREATE TABLE live (item INTEGER, score INTEGER)").ok());
+  EXPECT_TRUE(
+      f.data->Exec("CREATE TABLE churn (k INTEGER, v INTEGER)").ok());
+  f.memo = MustOpen(f.env.get(), "qmemo");
+  for (int s = 0; s < snapshots; ++s) {
+    EXPECT_TRUE(f.data->Exec("BEGIN").ok());
+    EXPECT_TRUE(f.data
+                    ->Exec("INSERT INTO churn VALUES (" + std::to_string(s) +
+                           ", " + std::to_string(s * 7) + ")")
+                    .ok());
+    if (s == 0) {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(f.data
+                        ->Exec("INSERT INTO live VALUES (" +
+                               std::to_string(i) + ", " +
+                               std::to_string(i * 3) + ")")
+                        .ok());
+      }
+    } else if (s < live_changes) {
+      EXPECT_TRUE(f.data
+                      ->Exec("UPDATE live SET score = score + 1 "
+                             "WHERE item = " + std::to_string(s % 10))
+                      .ok());
+    }
+    auto snap = f.engine->CommitWithSnapshot("t" + std::to_string(s));
+    EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+    f.snaps.push_back(*snap);
+  }
+  return f;
+}
+
+std::vector<std::string> Dump(EngineFixture* f, const std::string& table) {
+  auto rows = f->meta->Query("SELECT * FROM " + table);
+  EXPECT_TRUE(rows.ok()) << table << ": " << rows.status().ToString();
+  std::vector<std::string> out;
+  if (rows.ok()) {
+    for (const sql::Row& row : rows->rows) out.push_back(sql::EncodeRow(row));
+  }
+  return out;
+}
+
+Status RunMemoized(EngineFixture* f, const std::string& qs,
+                   const std::string& table) {
+  RqlOptions opts;
+  opts.memoize_iterations = true;
+  opts.memo = f->memo.get();
+  *f->engine->mutable_options() = opts;
+  return f->engine->CollateData(qs, kQq, table);
+}
+
+Status RunPlain(EngineFixture* f, const std::string& qs,
+                const std::string& table) {
+  *f->engine->mutable_options() = RqlOptions{};
+  return f->engine->CollateData(qs, kQq, table);
+}
+
+int64_t SumHits(const RqlRunStats& stats) {
+  int64_t hits = 0;
+  for (const RqlIterationStats& it : stats.iterations) hits += it.memo_hits;
+  return hits;
+}
+
+int64_t SumMisses(const RqlRunStats& stats) {
+  int64_t misses = 0;
+  for (const RqlIterationStats& it : stats.iterations) {
+    misses += it.memo_misses;
+  }
+  return misses;
+}
+
+TEST(MemoStalenessTest, WarmRunReplaysEveryIteration) {
+  EngineFixture f = MakeEngineFixture(10, 5);
+  ASSERT_TRUE(RunPlain(&f, kQsAll, "Base").ok());
+  std::vector<std::string> baseline = Dump(&f, "Base");
+  // Flags-off runs must not touch the memo counters at all.
+  EXPECT_EQ(SumHits(f.engine->last_run_stats()), 0);
+  EXPECT_EQ(SumMisses(f.engine->last_run_stats()), 0);
+
+  ASSERT_TRUE(RunMemoized(&f, kQsAll, "Cold").ok());
+  EXPECT_EQ(Dump(&f, "Cold"), baseline);
+  EXPECT_EQ(SumHits(f.engine->last_run_stats()), 0);
+  EXPECT_EQ(SumMisses(f.engine->last_run_stats()), 10);
+
+  ASSERT_TRUE(RunMemoized(&f, kQsAll, "Warm").ok());
+  EXPECT_EQ(Dump(&f, "Warm"), baseline);
+  EXPECT_EQ(SumHits(f.engine->last_run_stats()), 10);
+  EXPECT_EQ(SumMisses(f.engine->last_run_stats()), 0);
+}
+
+TEST(MemoStalenessTest, IngestOutsideReadSetKeepsHits) {
+  EngineFixture f = MakeEngineFixture(10, 5);
+  ASSERT_TRUE(RunPlain(&f, kQsAll, "Base").ok());
+  std::vector<std::string> baseline = Dump(&f, "Base");
+  ASSERT_TRUE(RunMemoized(&f, kQsAll, "Cold").ok());
+
+  // New ingest touching only `churn` — pages outside every recorded read
+  // set. The old snapshots' live pages resolve exactly as before, so every
+  // probe must still validate.
+  ASSERT_TRUE(f.data->Exec("BEGIN").ok());
+  ASSERT_TRUE(f.data->Exec("INSERT INTO churn VALUES (999, 999)").ok());
+  ASSERT_TRUE(f.engine->CommitWithSnapshot("after").ok());
+
+  std::string qs_prefix = std::string(kQsAll) + " WHERE snap_id <= " +
+                          std::to_string(f.snaps.back());
+  ASSERT_TRUE(RunMemoized(&f, qs_prefix, "Warm").ok());
+  EXPECT_EQ(Dump(&f, "Warm"), baseline);
+  EXPECT_EQ(SumHits(f.engine->last_run_stats()), 10);
+  EXPECT_EQ(SumMisses(f.engine->last_run_stats()), 0);
+}
+
+TEST(MemoStalenessTest, IngestInsideReadSetInvalidatesAffectedSnapshots) {
+  EngineFixture f = MakeEngineFixture(10, 5);
+  ASSERT_TRUE(RunPlain(&f, kQsAll, "Base").ok());
+  std::vector<std::string> baseline = Dump(&f, "Base");
+  ASSERT_TRUE(RunMemoized(&f, kQsAll, "Cold").ok());
+
+  // Rewrite a live page: the tail snapshots recorded that page as
+  // db-shared, and the update forces its capture — their tokens flip, so
+  // their probes must miss. Early snapshots recorded archived offsets the
+  // update cannot move, so they keep hitting. Either way the replayed AS
+  // OF results must stay byte-identical (a stale hit would not).
+  ASSERT_TRUE(f.data->Exec("BEGIN").ok());
+  ASSERT_TRUE(
+      f.data->Exec("UPDATE live SET score = score + 100 WHERE item = 0")
+          .ok());
+  ASSERT_TRUE(f.engine->CommitWithSnapshot("rewrite").ok());
+
+  std::string qs_prefix = std::string(kQsAll) + " WHERE snap_id <= " +
+                          std::to_string(f.snaps.back());
+  ASSERT_TRUE(RunMemoized(&f, qs_prefix, "Warm").ok());
+  EXPECT_EQ(Dump(&f, "Warm"), baseline);
+  const RqlRunStats& stats = f.engine->last_run_stats();
+  EXPECT_GT(SumMisses(stats), 0);  // the flipped tokens were caught
+  EXPECT_GT(SumHits(stats), 0);    // the archived prefix still replays
+  EXPECT_EQ(SumHits(stats) + SumMisses(stats), 10);
+
+  // The misses republished against the new resolutions: a further run
+  // replays everything again.
+  ASSERT_TRUE(RunMemoized(&f, qs_prefix, "Warm2").ok());
+  EXPECT_EQ(Dump(&f, "Warm2"), baseline);
+  EXPECT_EQ(SumHits(f.engine->last_run_stats()), 10);
+}
+
+TEST(MemoStalenessTest, TruncateHistoryInvalidatesDroppedSnapshots) {
+  EngineFixture f = MakeEngineFixture(10, 5);
+  ASSERT_TRUE(RunMemoized(&f, kQsAll, "Cold").ok());
+  const uint64_t fp = Fp(kQq, "CollateData");
+  for (retro::SnapshotId snap : f.snaps) {
+    ASSERT_NE(f.memo->Probe(fp, snap), nullptr) << snap;
+  }
+
+  // TruncateHistory must purge the dropped snapshots' registrations (the
+  // engine's options carry the memo, so the hook fires) — probing them can
+  // never validate again.
+  retro::SnapshotId keep = f.snaps[5];
+  f.engine->mutable_options()->memoize_iterations = true;
+  f.engine->mutable_options()->memo = f.memo.get();
+  ASSERT_TRUE(f.engine->TruncateHistory(keep).ok());
+  for (retro::SnapshotId snap : f.snaps) {
+    if (snap < keep) {
+      EXPECT_EQ(f.memo->Probe(fp, snap), nullptr) << snap;
+    } else {
+      EXPECT_NE(f.memo->Probe(fp, snap), nullptr) << snap;
+    }
+  }
+
+  // Post-truncation runs only see surviving snapshots (SnapIds was purged)
+  // and must match a memo-less recomputation byte for byte; hits are only
+  // allowed where the recorded versions are still live, which the result
+  // comparison verifies implicitly (a stale replay would differ).
+  ASSERT_TRUE(RunPlain(&f, kQsAll, "BaseAfter").ok());
+  std::vector<std::string> baseline = Dump(&f, "BaseAfter");
+  ASSERT_TRUE(RunMemoized(&f, kQsAll, "WarmAfter").ok());
+  EXPECT_EQ(Dump(&f, "WarmAfter"), baseline);
+  const RqlRunStats& stats = f.engine->last_run_stats();
+  EXPECT_EQ(static_cast<int>(stats.iterations.size()), 5);
+  EXPECT_EQ(SumHits(stats) + SumMisses(stats), 5);
+
+  // And the invalidation persisted: a reopened memo still refuses the
+  // dropped snapshots.
+  f.memo.reset();
+  f.memo = MustOpen(f.env.get(), "qmemo");
+  for (retro::SnapshotId snap : f.snaps) {
+    if (snap < keep) {
+      EXPECT_EQ(f.memo->Probe(fp, snap), nullptr) << snap;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rql

@@ -155,5 +155,30 @@ TEST_F(RqlErrorPathsTest, MidRunFailureInCollateDropsCreatedTable) {
   EXPECT_FALSE(TableExists("Result"));
 }
 
+TEST_F(RqlErrorPathsTest, MemoizeWithoutMemoTableIsRejected) {
+  engine_->mutable_options()->memoize_iterations = true;  // memo left null
+  Status s = engine_->CollateData("SELECT snap_id FROM SnapIds",
+                                  "SELECT k FROM t", "Result");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_FALSE(TableExists("Result"));
+  EXPECT_TRUE(engine_->last_run_stats().iterations.empty());
+}
+
+TEST_F(RqlErrorPathsTest, MemoizeIncompatibleWithColdCachePerIteration) {
+  // A memo-replayed iteration reads nothing, so the all-cold baseline that
+  // cold_cache_per_iteration defines would silently not be measured.
+  auto memo = retro::MemoTable::Open(&env_, "memo");
+  ASSERT_TRUE(memo.ok()) << memo.status().ToString();
+  engine_->mutable_options()->memoize_iterations = true;
+  engine_->mutable_options()->memo = memo->get();
+  engine_->mutable_options()->cold_cache_per_iteration = true;
+  Status s = engine_->CollateData("SELECT snap_id FROM SnapIds",
+                                  "SELECT k FROM t", "Result");
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_FALSE(TableExists("Result"));
+  // Validation fires before any iteration: the memo stayed empty.
+  EXPECT_EQ((*memo)->entry_count(), 0u);
+}
+
 }  // namespace
 }  // namespace rql

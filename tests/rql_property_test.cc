@@ -690,6 +690,151 @@ TEST_P(RqlPropertyTest, SkipDisabledWhenQqUsesCurrentSnapshot) {
   EXPECT_EQ(f.engine->last_run_stats().iterations_skipped, 0);
 }
 
+TEST_P(RqlPropertyTest, MemoizationPreservesAllMechanismOutputs) {
+  // memoize_iterations is a pure optimization: for every mechanism, under
+  // every flag combination it composes with (decoded-page reuse, iteration
+  // skipping, batch execution, parallel workers), both the cold run that
+  // fills the persistent memo and the warm run that replays from it must
+  // be byte-identical to the flags-off baseline — and the warm run must
+  // actually hit. AggregateDataInVariable uses the non-idempotent `sum`
+  // fold so a replayed iteration that contributed twice (or not at all)
+  // would be caught.
+  Fixture f = MakeSparseFixture(GetParam() * 1000 + 211, 24, 8, 4);
+  const std::string qs = "SELECT snap_id FROM SnapIds";
+
+  auto dump = [&](const std::string& table) {
+    auto rows = f.meta->Query("SELECT * FROM " + table);
+    EXPECT_TRUE(rows.ok()) << table << ": " << rows.status().ToString();
+    std::vector<std::string> out;
+    for (const Row& row : rows->rows) out.push_back(sql::EncodeRow(row));
+    return out;
+  };
+
+  retro::MetricsRegistry registry;
+  auto memo_sums = [&](const RqlRunStats& stats) {
+    struct Sums {
+      int64_t hits = 0, misses = 0, bytes = 0, evictions = 0;
+    } s;
+    for (const RqlIterationStats& it : stats.iterations) {
+      s.hits += it.memo_hits;
+      s.misses += it.memo_misses;
+      s.bytes += it.memo_bytes;
+      s.evictions += it.memo_evictions;
+    }
+    return s;
+  };
+  // The registry delta taken around a run must equal the per-iteration
+  // stats exactly, whatever flags were active.
+  auto expect_memo_delta_matches =
+      [&](const retro::MetricsRegistry::Snapshot& delta,
+          const std::string& label) {
+        auto s = memo_sums(f.engine->last_run_stats());
+        EXPECT_EQ(delta.counter("rql.memo_hits"), s.hits) << label;
+        EXPECT_EQ(delta.counter("rql.memo_misses"), s.misses) << label;
+        EXPECT_EQ(delta.counter("rql.memo_bytes"), s.bytes) << label;
+        EXPECT_EQ(delta.counter("rql.memo_evictions"), s.evictions) << label;
+      };
+
+  struct Mech {
+    const char* name;
+    std::function<Status(const std::string&)> run;
+  };
+  const std::vector<Mech> mechs = {
+      {"collate",
+       [&](const std::string& t) {
+         return f.engine->CollateData(qs, "SELECT item, score FROM live", t);
+       }},
+      {"aggvar",
+       [&](const std::string& t) {
+         return f.engine->AggregateDataInVariable(
+             qs, "SELECT COUNT(*) AS c FROM live", t, "sum");
+       }},
+      {"aggtable",
+       [&](const std::string& t) {
+         return f.engine->AggregateDataInTable(
+             qs, "SELECT item, score FROM live", t, "(score,max)");
+       }},
+      {"intervals",
+       [&](const std::string& t) {
+         return f.engine->CollateDataIntoIntervals(
+             qs, "SELECT item FROM live", t);
+       }},
+  };
+
+  struct Config {
+    const char* name;
+    bool reuse, skip, batch;
+    int workers;
+  };
+  const Config kConfigs[] = {
+      {"memo", false, false, false, 1},
+      {"memo_reuse", true, false, false, 1},
+      {"memo_skip", false, true, false, 1},
+      {"memo_batch", false, false, true, 1},
+      {"memo_parallel", false, false, false, 4},
+      {"memo_all_flags", true, true, true, 1},
+  };
+
+  for (const Mech& m : mechs) {
+    *f.engine->mutable_options() = RqlOptions{};
+    f.data->store()->ClearSnapshotCache();
+    std::string base_table = std::string("base_") + m.name;
+    ASSERT_TRUE(m.run(base_table).ok()) << m.name;
+    // Flags-off runs must not engage the memo at all.
+    auto off = memo_sums(f.engine->last_run_stats());
+    EXPECT_EQ(off.hits, 0) << m.name;
+    EXPECT_EQ(off.misses, 0) << m.name;
+    std::vector<std::string> baseline = dump(base_table);
+
+    for (const Config& c : kConfigs) {
+      // Every configuration gets its own persistent memo so cold/warm hit
+      // accounting is exact.
+      auto memo = retro::MemoTable::Open(
+          f.env.get(), std::string("memo_") + m.name + "_" + c.name);
+      ASSERT_TRUE(memo.ok()) << memo.status().ToString();
+      RqlOptions opts;
+      opts.memoize_iterations = true;
+      opts.memo = memo->get();
+      opts.reuse_decoded_pages = c.reuse;
+      opts.skip_unchanged_iterations = c.skip;
+      opts.batch_execution = c.batch;
+      opts.parallel_workers = c.workers;
+      opts.metrics = &registry;
+      *f.engine->mutable_options() = opts;
+
+      f.data->store()->ClearSnapshotCache();
+      std::string table = std::string(m.name) + "_" + c.name;
+      retro::MetricsRegistry::Snapshot before = registry.TakeSnapshot();
+      ASSERT_TRUE(m.run(table + "_cold").ok()) << table;
+      expect_memo_delta_matches(registry.TakeSnapshot().DeltaFrom(before),
+                                table + "_cold");
+      EXPECT_EQ(dump(table + "_cold"), baseline) << table;
+      auto cold = memo_sums(f.engine->last_run_stats());
+      EXPECT_EQ(cold.hits, 0) << table;
+      EXPECT_GT(cold.misses, 0) << table;
+      EXPECT_GT(cold.bytes, 0) << table;
+
+      f.data->store()->ClearSnapshotCache();
+      before = registry.TakeSnapshot();
+      ASSERT_TRUE(m.run(table + "_warm").ok()) << table;
+      expect_memo_delta_matches(registry.TakeSnapshot().DeltaFrom(before),
+                                table + "_warm");
+      EXPECT_EQ(dump(table + "_warm"), baseline) << table;
+      const RqlRunStats& stats = f.engine->last_run_stats();
+      auto warm = memo_sums(stats);
+      EXPECT_GT(warm.hits, 0) << table;
+      if (!c.skip && !stats.parallel) {
+        // Without the intra-run skipper in front, every iteration of the
+        // warm run must replay straight from the memo.
+        EXPECT_EQ(warm.hits,
+                  static_cast<int64_t>(stats.iterations.size()))
+            << table;
+        EXPECT_EQ(warm.misses, 0) << table;
+      }
+    }
+  }
+}
+
 TEST(RqlPageSharingOptionsTest, SkipIncompatibleWithColdCachePerIteration) {
   // A replayed iteration reads nothing, so the all-cold baseline that
   // cold_cache_per_iteration defines would silently not be measured.

@@ -3,10 +3,11 @@
 
 Usage: check_report_json.py REPORT.json
 
-Validates the structure CI depends on: the four mechanism runs, each with
-a per-iteration phase breakdown, a metrics delta, and a well-formed
-bounded trace. Exits non-zero with a path-qualified message on the first
-violation.
+Validates the structure CI depends on: the four mechanisms each run as a
+cold (memo-publishing) and a warm (memo-replaying) pass, each with a
+per-iteration phase breakdown, a metrics delta, and a well-formed bounded
+trace, plus the memo-table totals. Exits non-zero with a path-qualified
+message on the first violation.
 """
 
 import json
@@ -15,8 +16,10 @@ import sys
 EVENT_TYPES = {
     "run_begin", "run_end", "iteration_begin", "iteration_end",
     "spt_build", "archive_fetch", "scan_cache", "iteration_skip",
-    "worker_stall",
+    "worker_stall", "memo_hit",
 }
+
+PASSES = {"cold", "warm"}
 
 MECHANISMS = {
     "CollateData", "AggregateDataInVariable", "AggregateDataInTable",
@@ -25,6 +28,7 @@ MECHANISMS = {
 
 ITERATION_FIELDS = {
     "index": int, "snapshot": int, "worker": int, "skipped": bool,
+    "memo_hit": bool, "validated_pages": int,
     "io_us": int, "spt_build_us": int, "query_eval_us": int,
     "index_create_us": int, "udf_us": int, "total_us": int, "qq_rows": int,
     "maplog_pages": int, "pagelog_pages": int, "cache_hits": int,
@@ -101,6 +105,8 @@ def check_trace(trace, path):
 def check_run(run, path):
     require(run.get("mechanism") in MECHANISMS, path,
             f"unknown mechanism {run.get('mechanism')!r}")
+    require(run.get("pass") in PASSES, path,
+            f"unknown memo pass {run.get('pass')!r}")
     require(isinstance(run.get("table"), str) and run["table"], path,
             "missing result table name")
     require(isinstance(run.get("iterations"), list) and run["iterations"],
@@ -124,6 +130,18 @@ def check_run(run, path):
     require(counters.get("rql.iterations") == len(run["iterations"]), path,
             "rql.iterations != breakdown rows")
     require(counters.get("rql.runs") == 1, path, "rql.runs != 1 in delta")
+    # Memo cross-checks: counter deltas agree with the per-iteration rows,
+    # and the cold/warm contract holds — a cold pass over a fresh memo hits
+    # nothing; a warm pass replays at least one iteration from the memo.
+    memo_rows = sum(1 for it in run["iterations"] if it["memo_hit"])
+    require(counters.get("rql.memo_hits", 0) == memo_rows, path,
+            "rql.memo_hits != memo_hit rows")
+    if run["pass"] == "cold":
+        require(memo_rows == 0, path, "cold pass served memo hits")
+        require(counters.get("rql.memo_misses", 0) > 0, path,
+                "cold pass published no memo entries")
+    else:
+        require(memo_rows > 0, path, "warm pass replayed nothing")
 
 
 def check_report(doc):
@@ -133,9 +151,15 @@ def check_report(doc):
     seen = set()
     for i, run in enumerate(doc["runs"]):
         check_run(run, f"$.runs[{i}]")
-        seen.add(run["mechanism"])
-    require(seen == MECHANISMS, "$.runs",
-            f"mechanisms missing: {sorted(MECHANISMS - seen)}")
+        seen.add((run["mechanism"], run["pass"]))
+    want = {(m, p) for m in MECHANISMS for p in PASSES}
+    require(seen == want, "$.runs",
+            f"mechanism passes missing: {sorted(want - seen)}")
+    check_typed_fields(doc.get("memo"), {"entries": int, "bytes": int,
+                                         "log_bytes": int, "evictions": int},
+                       "$.memo")
+    require(doc["memo"]["entries"] > 0, "$.memo",
+            "memo table empty after the cold passes")
     check_metrics(doc.get("final"), "$.final")
 
 

@@ -1,11 +1,13 @@
 // rql_report: "EXPLAIN ANALYZE for RQL".
 //
 // Builds a small self-contained history (InMemoryEnv, no TPC-H data
-// needed), runs all four retrospective mechanisms with tracing on, and
-// renders what the engine did per iteration: the Figure 8 phase
-// breakdown (archive I/O, SPT build, Qq evaluation, index creation, UDF
-// time) next to the page and row counts, plus the metrics-registry delta
-// for each run and the component gauges at exit.
+// needed), runs all four retrospective mechanisms with tracing and
+// cross-run memoization on — twice each, a cold pass that publishes the
+// memo and a warm pass that replays it — and renders what the engine did
+// per iteration: the Figure 8 phase breakdown (archive I/O, SPT build,
+// Qq evaluation, index creation, UDF time) next to the page and row
+// counts, plus the metrics-registry delta for each run, the memo-table
+// totals, and the component gauges at exit.
 //
 // Every number is read through the observability layer — the per-run
 // RqlTrace ring and the retro::MetricsRegistry delta — never by reaching
@@ -24,6 +26,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "rql/memo_table.h"
 #include "rql/rql.h"
 
 namespace rql::bench {
@@ -45,6 +48,8 @@ struct IterRow {
   retro::SnapshotId snapshot = retro::kNoSnapshot;
   uint16_t worker = 0;
   bool skipped = false;
+  bool memo_hit = false;
+  int64_t validated_pages = 0;  // memo-hit rows: read-set pages validated
   int64_t io_us = 0, spt_us = 0, query_us = 0, index_us = 0, udf_us = 0;
   int64_t qq_rows = 0;
   int64_t maplog_pages = 0, pagelog_pages = 0, cache_hits = 0, db_pages = 0;
@@ -106,6 +111,34 @@ std::vector<IterRow> RowsFromTrace(const RqlTrace& trace) {
         rows.push_back(row);
         break;
       }
+      case RqlTraceEventType::kMemoHit: {
+        // Parallel runs emit begin/end around the worker's probe and the
+        // replay loop adds the memo_hit event afterwards: fold it into
+        // the worker's row. Sequential hits have no begin/end pair, so
+        // the event stands alone.
+        bool merged = false;
+        for (auto it = rows.rbegin(); it != rows.rend(); ++it) {
+          if (it->snapshot == ev.snapshot && !it->memo_hit && !it->skipped) {
+            it->memo_hit = true;
+            it->validated_pages = ev.args[1];
+            it->qq_rows = ev.args[2];
+            it->udf_us += ev.args[3];
+            merged = true;
+            break;
+          }
+        }
+        if (merged) break;
+        IterRow row;
+        row.index = ev.args[0];
+        row.snapshot = ev.snapshot;
+        row.worker = ev.worker;
+        row.memo_hit = true;
+        row.validated_pages = ev.args[1];
+        row.qq_rows = ev.args[2];
+        row.udf_us = ev.args[3];
+        rows.push_back(row);
+        break;
+      }
       case RqlTraceEventType::kIterationSkip: {
         IterRow row;
         row.index = ev.args[0];
@@ -132,7 +165,10 @@ void PrintIterationTable(const std::vector<IterRow>& rows) {
   for (size_t i = 0; i < rows.size(); ++i) {
     const IterRow& r = rows[i];
     std::string note;
-    if (r.skipped) {
+    if (r.memo_hit) {
+      note = "memo hit (validated_pages=" + std::to_string(r.validated_pages) +
+             ", replayed_rows=" + std::to_string(r.qq_rows) + ")";
+    } else if (r.skipped) {
       note = "skipped (delta_pages=" + std::to_string(r.delta_pages) +
              ", replayed_rows=" + std::to_string(r.qq_rows) + ")";
     } else if (r.scan_hits + r.scan_misses > 0) {
@@ -172,6 +208,7 @@ void PrintMetricsDelta(const retro::MetricsRegistry::Snapshot& delta) {
 struct MechanismRun {
   std::string name;
   std::string table;
+  const char* pass = "cold";  // "cold" publishes the memo, "warm" replays
   RqlTrace trace;  // copy of the engine's last-run trace
   retro::MetricsRegistry::Snapshot delta;
   std::vector<IterRow> rows;
@@ -243,6 +280,15 @@ int Run(const ReportOptions& opt) {
   opts->reuse_decoded_pages = true;
   opts->skip_unchanged_iterations = true;
 
+  // Cross-run memoization: every mechanism runs twice, a cold pass that
+  // publishes per-iteration results into the memo and a warm pass that
+  // replays them — so the report shows both sides of the memo counters
+  // and the memo_hit trace rows.
+  auto memo = retro::MemoTable::Open(&env, "report_memo");
+  if (!memo.ok()) Fail(memo.status(), "open memo table");
+  opts->memoize_iterations = true;
+  opts->memo = memo->get();
+
   const std::string qs = "SELECT snap_id FROM SnapIds";
   struct Mechanism {
     const char* name;
@@ -284,27 +330,41 @@ int Run(const ReportOptions& opt) {
               static_cast<long long>(opt.trace_capacity));
 
   std::vector<MechanismRun> runs;
-  for (const Mechanism& m : mechanisms) {
-    retro::MetricsRegistry::Snapshot before = registry.TakeSnapshot();
-    Status s = m.run();
-    if (!s.ok()) Fail(s, m.name);
-    MechanismRun run;
-    run.name = m.name;
-    run.table = m.table;
-    run.trace = engine.last_run_trace();
-    run.delta = registry.TakeSnapshot().DeltaFrom(before);
-    run.rows = RowsFromTrace(run.trace);
+  for (const char* pass : {"cold", "warm"}) {
+    for (const Mechanism& m : mechanisms) {
+      retro::MetricsRegistry::Snapshot before = registry.TakeSnapshot();
+      Status s = m.run();
+      if (!s.ok()) Fail(s, m.name);
+      MechanismRun run;
+      run.name = m.name;
+      run.table = m.table;
+      run.pass = pass;
+      run.trace = engine.last_run_trace();
+      run.delta = registry.TakeSnapshot().DeltaFrom(before);
+      run.rows = RowsFromTrace(run.trace);
 
-    std::printf("\n== %s -> %s ==\n", run.name.c_str(), run.table.c_str());
-    PrintIterationTable(run.rows);
-    if (run.trace.dropped() > 0) {
-      std::printf("  (trace dropped %lld oldest events; raise "
-                  "--trace-capacity for a full stream)\n",
-                  static_cast<long long>(run.trace.dropped()));
+      std::printf("\n== %s -> %s (%s) ==\n", run.name.c_str(),
+                  run.table.c_str(), pass);
+      PrintIterationTable(run.rows);
+      if (run.trace.dropped() > 0) {
+        std::printf("  (trace dropped %lld oldest events; raise "
+                    "--trace-capacity for a full stream)\n",
+                    static_cast<long long>(run.trace.dropped()));
+      }
+      PrintMetricsDelta(run.delta);
+      runs.push_back(std::move(run));
     }
-    PrintMetricsDelta(run.delta);
-    runs.push_back(std::move(run));
   }
+
+  std::printf("\n== memo table ==\n");
+  std::printf("  %-32s %12lld\n", "entries",
+              static_cast<long long>((*memo)->entry_count()));
+  std::printf("  %-32s %12lld\n", "bytes",
+              static_cast<long long>((*memo)->bytes()));
+  std::printf("  %-32s %12lld\n", "log_bytes",
+              static_cast<long long>((*memo)->log_bytes()));
+  std::printf("  %-32s %12lld\n", "evictions",
+              static_cast<long long>((*memo)->evictions()));
 
   retro::MetricsRegistry::Snapshot final_snap = registry.TakeSnapshot();
   std::printf("\n== component gauges (point-in-time) ==\n");
@@ -323,6 +383,7 @@ int Run(const ReportOptions& opt) {
       json.BeginObject();
       json.Field("mechanism", run.name);
       json.Field("table", run.table);
+      json.Field("pass", run.pass);
       json.BeginArray("iterations");
       for (const IterRow& r : run.rows) {
         json.BeginObject();
@@ -330,6 +391,8 @@ int Run(const ReportOptions& opt) {
         json.Field("snapshot", static_cast<int64_t>(r.snapshot));
         json.Field("worker", static_cast<int64_t>(r.worker));
         json.Field("skipped", r.skipped);
+        json.Field("memo_hit", r.memo_hit);
+        json.Field("validated_pages", r.validated_pages);
         json.Field("io_us", r.io_us);
         json.Field("spt_build_us", r.spt_us);
         json.Field("query_eval_us", r.query_us);
@@ -350,6 +413,12 @@ int Run(const ReportOptions& opt) {
       json.EndObject();
     }
     json.EndArray();
+    json.BeginObject("memo");
+    json.Field("entries", static_cast<int64_t>((*memo)->entry_count()));
+    json.Field("bytes", static_cast<int64_t>((*memo)->bytes()));
+    json.Field("log_bytes", static_cast<int64_t>((*memo)->log_bytes()));
+    json.Field("evictions", static_cast<int64_t>((*memo)->evictions()));
+    json.EndObject();
     WriteMetricsJson(&json, "final", final_snap, /*include_zero=*/true);
     json.EndObject();
     json.Close();
