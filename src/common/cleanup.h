@@ -1,0 +1,73 @@
+#ifndef RQL_COMMON_CLEANUP_H_
+#define RQL_COMMON_CLEANUP_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace rql {
+
+/// A move-only bundle of deferred actions, run in reverse order on
+/// destruction. Components return one from registration-style calls
+/// (e.g. `RegisterMetrics`) so the deregistration is scoped to the
+/// handle instead of relying on the caller to remember a manual
+/// teardown — the classic dangling-gauge footgun where a callback
+/// captured `this` outlives the object it reads.
+///
+/// Handles compose: `Merge` folds a child handle into a parent so one
+/// object can own the lifetime of everything it registered, including
+/// registrations made by its sub-components.
+class ScopedCleanup {
+ public:
+  ScopedCleanup() = default;
+  explicit ScopedCleanup(std::function<void()> fn) { Add(std::move(fn)); }
+
+  ScopedCleanup(ScopedCleanup&& other) noexcept
+      : actions_(std::move(other.actions_)) {
+    other.actions_.clear();
+  }
+  ScopedCleanup& operator=(ScopedCleanup&& other) noexcept {
+    if (this != &other) {
+      RunAll();
+      actions_ = std::move(other.actions_);
+      other.actions_.clear();
+    }
+    return *this;
+  }
+
+  ScopedCleanup(const ScopedCleanup&) = delete;
+  ScopedCleanup& operator=(const ScopedCleanup&) = delete;
+
+  ~ScopedCleanup() { RunAll(); }
+
+  /// Defers `fn` to run when this handle is destroyed (or reassigned).
+  void Add(std::function<void()> fn) {
+    if (fn) actions_.push_back(std::move(fn));
+  }
+
+  /// Takes over `child`'s deferred actions; `child` becomes empty.
+  void Merge(ScopedCleanup child) {
+    for (auto& fn : child.actions_) actions_.push_back(std::move(fn));
+    child.actions_.clear();
+  }
+
+  /// Runs the deferred actions now (reverse order) and empties the handle.
+  void Reset() { RunAll(); }
+
+  /// Drops the deferred actions without running them.
+  void Release() { actions_.clear(); }
+
+  bool empty() const { return actions_.empty(); }
+
+ private:
+  void RunAll() {
+    for (auto it = actions_.rbegin(); it != actions_.rend(); ++it) (*it)();
+    actions_.clear();
+  }
+
+  std::vector<std::function<void()>> actions_;
+};
+
+}  // namespace rql
+
+#endif  // RQL_COMMON_CLEANUP_H_

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/cleanup.h"
 #include "common/status.h"
 #include "storage/env.h"
 #include "storage/page.h"
@@ -88,11 +89,12 @@ class Pagelog {
 
   /// Registers observability gauges on `registry` under `prefix`:
   /// `<prefix>.records`, `.full_records`, `.diff_records`, `.size_bytes`,
-  /// `.pages`. The gauges read the log directly (no copied state); they
-  /// capture `this`, so remove them (or drop the registry) before
-  /// destroying the log.
+  /// `.pages`. The gauges read the log directly (no copied state), but
+  /// they capture `this`: the returned handle removes them on destruction
+  /// and MUST NOT outlive the log or the registry.
   template <typename Registry>
-  void RegisterMetrics(Registry* registry, const std::string& prefix) const {
+  [[nodiscard]] ScopedCleanup RegisterMetrics(Registry* registry,
+                                              const std::string& prefix) const {
     const Pagelog* log = this;
     registry->SetGauge(prefix + ".records", [log] {
       return static_cast<int64_t>(log->record_count());
@@ -109,6 +111,8 @@ class Pagelog {
     registry->SetGauge(prefix + ".pages", [log] {
       return static_cast<int64_t>(log->page_count());
     });
+    return ScopedCleanup(
+        [registry, prefix] { registry->RemoveGaugesWithPrefix(prefix + "."); });
   }
 
   /// Longest diff chain before a full page is forced (kDiff mode).

@@ -273,8 +273,15 @@ Status SnapshotStore::TruncateHistory(SnapshotId keep_from) {
                                                 &last_capture_offset_));
   snapshot_cache_.Clear();
   // Compaction rewrote the log; any open snapshot-set cursor holds stale
-  // chain state and must re-anchor on its next seek.
+  // chain state and must re-anchor on its next seek, and cached shared
+  // SPTs hold pre-compaction Pagelog offsets (recycled keys) and must go.
+  // No build is in flight here: builds run under the shared half of mu_,
+  // which we hold exclusively.
   set_cursor_.reset();
+  {
+    std::lock_guard<std::mutex> share_lock(spt_share_mu_);
+    spt_shared_.clear();
+  }
   return Status::OK();
 }
 
@@ -331,16 +338,80 @@ Result<std::unique_ptr<SnapshotView>> SnapshotStore::OpenSnapshot(
     return Status::NotFound("unknown snapshot id " + std::to_string(snap));
   }
   auto view = std::unique_ptr<SnapshotView>(new SnapshotView(this, snap));
-  SptBuildStats build;
-  Status s =
-      maplog_->BuildSpt(snap, &view->spt_, &view->resume_index_, &build);
-  AddSptBuildStats(build);
   AddLockWaitUs(waited_us);
-  RQL_RETURN_IF_ERROR(s);
+  if (share_spt_builds_.load(std::memory_order_relaxed)) {
+    RQL_RETURN_IF_ERROR(FillSptShared(snap, view.get()));
+  } else {
+    SptBuildStats build;
+    Status s =
+        maplog_->BuildSpt(snap, &view->spt_, &view->resume_index_, &build);
+    AddSptBuildStats(build);
+    RQL_RETURN_IF_ERROR(s);
+  }
   if (batch_archive_reads_) {
     RQL_RETURN_IF_ERROR(PrefetchArchived(*view));
   }
   return view;
+}
+
+Status SnapshotStore::FillSptShared(SnapshotId snap, SnapshotView* view) {
+  constexpr size_t kMaxSharedSpts = 64;
+  std::shared_ptr<SharedSpt> entry;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> share_lock(spt_share_mu_);
+    auto it = spt_shared_.find(snap);
+    if (it == spt_shared_.end()) {
+      // Crude bound: tables can be large, and runs sweep snapshots in
+      // order, so wholesale reset beats tracking recency. In-flight
+      // waiters keep their entry alive through their own shared_ptr.
+      if (spt_shared_.size() >= kMaxSharedSpts) spt_shared_.clear();
+      entry = std::make_shared<SharedSpt>();
+      spt_shared_.emplace(snap, entry);
+      builder = true;
+    } else {
+      entry = it->second;
+    }
+  }
+  if (builder) {
+    SptBuildStats build;
+    entry->status =
+        maplog_->BuildSpt(snap, &entry->table, &entry->resume_index, &build);
+    AddSptBuildStats(build);
+    {
+      std::lock_guard<std::mutex> entry_lock(entry->mu);
+      entry->done = true;
+    }
+    entry->cv.notify_all();
+    if (!entry->status.ok()) {
+      // Do not cache failures; let the next caller retry the build.
+      std::lock_guard<std::mutex> share_lock(spt_share_mu_);
+      auto it = spt_shared_.find(snap);
+      if (it != spt_shared_.end() && it->second == entry) {
+        spt_shared_.erase(it);
+      }
+      return entry->status;
+    }
+  } else {
+    {
+      std::unique_lock<std::mutex> entry_lock(entry->mu);
+      entry->cv.wait(entry_lock, [&] { return entry->done; });
+    }
+    if (!entry->status.ok()) return entry->status;
+    shared_spt_builds_total_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.shared_spt_builds;
+  }
+  // Copy out (views mutate their table during Maplog catch-up). A table
+  // built earlier than `now` is sound: resume_index records where its
+  // build stopped, and the view's refresh path replays the suffix.
+  int64_t copy_start_us = NowMicros();
+  view->spt_ = entry->table;
+  view->resume_index_ = entry->resume_index;
+  SptBuildStats copy;
+  copy.cpu_us = NowMicros() - copy_start_us;
+  AddSptBuildStats(copy);
+  return Status::OK();
 }
 
 Result<std::unique_ptr<SnapshotView>> SnapshotStore::OpenSnapshotExclusive(
@@ -383,7 +454,27 @@ storage::BufferPool::Loader SnapshotStore::MakeArchiveLoader(
     int64_t latency_us =
         simulated_archive_latency_us_.load(std::memory_order_relaxed);
     if (s.ok() && latency_us > 0) {
+      // With bounded fetch slots the sleep itself queues, so concurrent
+      // fetches beyond the archive's bandwidth serialize (the slot limit
+      // is re-read inside the wait: shrinking it mid-run is safe, callers
+      // waiting under an older, larger bound wake as slots free up).
+      const int slots =
+          simulated_archive_fetch_slots_.load(std::memory_order_relaxed);
+      if (slots > 0) {
+        std::unique_lock<std::mutex> slot_lock(archive_fetch_mu_);
+        archive_fetch_cv_.wait(slot_lock, [this, slots] {
+          return archive_fetches_inflight_ < slots;
+        });
+        ++archive_fetches_inflight_;
+      }
       std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+      if (slots > 0) {
+        {
+          std::lock_guard<std::mutex> slot_lock(archive_fetch_mu_);
+          --archive_fetches_inflight_;
+        }
+        archive_fetch_cv_.notify_one();
+      }
     }
     return s;
   };

@@ -2,6 +2,7 @@
 #define RQL_RETRO_SNAPSHOT_STORE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -11,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/cleanup.h"
 #include "common/status.h"
 #include "retro/maplog.h"
 #include "retro/pagelog.h"
@@ -62,6 +64,10 @@ struct IterationStats {
   /// reader lock (writers hold it exclusively) plus waiting on coalesced
   /// archive loads. Always ~0 in sequential runs.
   int64_t lock_wait_us = 0;
+  /// OpenSnapshot calls that served their SPT from (or coalesced into)
+  /// another run's build of the same snapshot (set_share_spt_builds).
+  /// Always 0 unless concurrent runs overlap on a snapshot.
+  int64_t shared_spt_builds = 0;
   SptBuildStats spt;
 
   void Reset() { *this = IterationStats{}; }
@@ -75,6 +81,7 @@ struct IterationStats {
     archive_read_retries += o.archive_read_retries;
     coalesced_loads += o.coalesced_loads;
     lock_wait_us += o.lock_wait_us;
+    shared_spt_builds += o.shared_spt_builds;
     spt.entries_scanned += o.spt.entries_scanned;
     spt.maplog_pages_read += o.spt.maplog_pages_read;
     spt.cpu_us += o.spt.cpu_us;
@@ -310,6 +317,29 @@ class SnapshotStore : public storage::PageWriter {
   void set_archive_read_retries(int n) { archive_read_retries_ = n; }
   int archive_read_retries() const { return archive_read_retries_; }
 
+  /// When enabled, concurrent OpenSnapshot calls (outside snapshot-set
+  /// sessions) on the same snapshot id share one SPT build: the first
+  /// caller scans the Maplog, the others block on that build and copy its
+  /// result (IterationStats::shared_spt_builds), and later opens of the
+  /// same id reuse the cached table. A cached table built earlier is
+  /// sound because its recorded resume index makes the view catch up from
+  /// the Maplog suffix on demand, exactly as a freshly built SPT does.
+  /// The engine enables this when runs attach a store-scoped
+  /// SharedScanCache; TruncateHistory drops every cached table.
+  void set_share_spt_builds(bool on) {
+    share_spt_builds_.store(on, std::memory_order_relaxed);
+  }
+  bool share_spt_builds() const {
+    return share_spt_builds_.load(std::memory_order_relaxed);
+  }
+  /// Monotonic count of SPT builds served from another open's build
+  /// (cached table or in-flight wait). Unlike the IterationStats counter
+  /// this survives ResetStats, so concurrent runs — each of which resets
+  /// the shared iteration stats — can still observe aggregate sharing.
+  int64_t shared_spt_builds_total() const {
+    return shared_spt_builds_total_.load(std::memory_order_relaxed);
+  }
+
   /// Real (slept) per-load archive latency, in addition to the CostModel's
   /// simulated charges. Parallel-scaling benchmarks use it to make the
   /// I/O-bound speedup measurable in wall time regardless of core count:
@@ -321,6 +351,20 @@ class SnapshotStore : public storage::PageWriter {
   }
   int64_t simulated_archive_latency_us() const {
     return simulated_archive_latency_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Bounds how many simulated archive fetches may sleep concurrently,
+  /// modeling an archive with finite bandwidth: a cold store serves only
+  /// so many reads at once, so concurrent fetches beyond the bound queue
+  /// behind the in-flight ones. Duplicated fetches of the same bytes then
+  /// cost aggregate wall time, not just aggregate sleep — the regime
+  /// where cross-run sharing pays. 0 (default) = unbounded sleeps.
+  /// Only meaningful together with a nonzero simulated latency.
+  void set_simulated_archive_fetch_slots(int n) {
+    simulated_archive_fetch_slots_.store(n, std::memory_order_relaxed);
+  }
+  int simulated_archive_fetch_slots() const {
+    return simulated_archive_fetch_slots_.load(std::memory_order_relaxed);
   }
 
   // --- instrumentation ----------------------------------------------------
@@ -342,12 +386,13 @@ class SnapshotStore : public storage::PageWriter {
   /// `<prefix>.earliest_snapshot`, plus the snapshot cache's pool gauges
   /// under `<prefix>.cache.*` and the archive's under
   /// `<prefix>.pagelog.*`. Gauges read live component state — they cannot
-  /// drift from the structs they mirror — and capture `this`: remove them
-  /// (or use a registry scoped inside the store's lifetime, as
-  /// tools/rql_report does) before destroying the store.
+  /// drift from the structs they mirror — but they capture `this`: the
+  /// returned handle removes every gauge (the store's own and its
+  /// components') on destruction and MUST NOT outlive the store or the
+  /// registry.
   template <typename Registry>
-  void RegisterMetrics(Registry* registry,
-                       const std::string& prefix = "snapshot_store") const {
+  [[nodiscard]] ScopedCleanup RegisterMetrics(
+      Registry* registry, const std::string& prefix = "snapshot_store") const {
     const SnapshotStore* store = this;
     registry->SetGauge(prefix + ".latest_snapshot", [store] {
       return static_cast<int64_t>(store->latest_snapshot());
@@ -355,8 +400,14 @@ class SnapshotStore : public storage::PageWriter {
     registry->SetGauge(prefix + ".earliest_snapshot", [store] {
       return static_cast<int64_t>(store->earliest_snapshot());
     });
-    snapshot_cache_.RegisterMetrics(registry, prefix + ".cache");
-    pagelog_->RegisterMetrics(registry, prefix + ".pagelog");
+    ScopedCleanup cleanup(
+        [registry, prefix] { registry->RemoveGaugesWithPrefix(prefix + "."); });
+    // Fold the components' handles in so one handle scopes everything the
+    // store registered (dropping a child's return here would deregister
+    // its gauges immediately).
+    cleanup.Merge(snapshot_cache_.RegisterMetrics(registry, prefix + ".cache"));
+    cleanup.Merge(pagelog_->RegisterMetrics(registry, prefix + ".pagelog"));
+    return cleanup;
   }
 
   storage::PageStore* page_store() { return store_.get(); }
@@ -429,6 +480,12 @@ class SnapshotStore : public storage::PageWriter {
   Result<std::unique_ptr<SnapshotView>> OpenSnapshotExclusive(
       SnapshotId snap);
 
+  /// OpenSnapshot's shared-build path (set_share_spt_builds): single-
+  /// flights BuildSpt per snapshot id across concurrent callers and
+  /// caches the result. Requires mu_ held shared (BuildSpt only reads the
+  /// Maplog, which is stable under the reader lock).
+  Status FillSptShared(SnapshotId snap, SnapshotView* view);
+
   /// Fold per-call counters into stats_ under stats_mu_.
   void AddSptBuildStats(const SptBuildStats& s);
   void AddLockWaitUs(int64_t us);
@@ -470,7 +527,28 @@ class SnapshotStore : public storage::PageWriter {
   std::unique_ptr<SptCursor> set_cursor_;
   bool batch_archive_reads_ = false;
   int archive_read_retries_ = 0;
+  // Cross-run SPT sharing (set_share_spt_builds). An entry is created by
+  // the first opener of a snapshot and completed under its own mutex;
+  // `spt_share_mu_` only guards the map. Builds run under the shared half
+  // of mu_, so TruncateHistory (exclusive) never races one and can just
+  // drop the map.
+  struct SharedSpt {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    SnapshotPageTable table;
+    uint64_t resume_index = 0;
+  };
+  std::atomic<bool> share_spt_builds_{false};
+  std::atomic<int64_t> shared_spt_builds_total_{0};
+  mutable std::mutex spt_share_mu_;
+  std::unordered_map<SnapshotId, std::shared_ptr<SharedSpt>> spt_shared_;
   std::atomic<int64_t> simulated_archive_latency_us_{0};
+  std::atomic<int> simulated_archive_fetch_slots_{0};
+  std::mutex archive_fetch_mu_;  // guards archive_fetches_inflight_
+  std::condition_variable archive_fetch_cv_;
+  int archive_fetches_inflight_ = 0;
   std::atomic<std::unordered_set<storage::PageId>*> read_recorder_{nullptr};
   std::atomic<std::unordered_map<storage::PageId, uint64_t>*>
       version_recorder_{nullptr};

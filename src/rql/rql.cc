@@ -12,6 +12,7 @@
 #include "sql/fingerprint.h"
 #include "sql/heap_table.h"
 #include "sql/parser.h"
+#include "sql/shared_scan_cache.h"
 
 namespace rql {
 
@@ -657,6 +658,13 @@ Status RqlEngine::TruncateHistory(retro::SnapshotId keep_from) {
   if (options_.memo != nullptr) {
     RQL_RETURN_IF_ERROR(options_.memo->InvalidateBelow(keep_from));
   }
+  // Compaction rebased Pagelog offsets — the shared cache's version keys.
+  // Conservative contract, like MemoTable::InvalidateBelow: drop every
+  // entry (runs still holding one keep it alive via their shared_ptr);
+  // survivors re-decode and republish on next access.
+  if (options_.shared_scan_cache != nullptr) {
+    options_.shared_scan_cache->OnTruncateHistory(keep_from);
+  }
   // The snapshots are gone; drop their SnapIds rows so Qs never selects
   // them. (SnapIds lives at application level, as in the paper.)
   return meta_db_->Exec("DELETE FROM " + options_.snapids_table +
@@ -830,6 +838,13 @@ void RqlEngine::PublishRunMetrics() {
   add("rql.coalesced_loads", stats_.coalesced_loads);
   add("rql.archive_read_retries", stats_.archive_read_retries);
   add("rql.shared_page_hits", stats_.shared_page_hits);
+  // Scan-cache traffic under the rql.scan_cache.* prefix the shared
+  // cache's own gauges (bytes, entries, evictions — registered by the
+  // caller via SharedScanCache::RegisterMetrics) share. These counters
+  // are run-attributed; the gauges are cache-lifetime totals.
+  add("rql.scan_cache.shared_hits", stats_.shared_page_hits);
+  add("rql.scan_cache.misses", stats_.scan_cache_misses);
+  add("rql.scan_cache.coalesced_decodes", stats_.coalesced_decodes);
   add("rql.total_us", stats_.TotalUs());
 
   // Per-iteration sums, published from the very numbers last_run_stats()
@@ -907,7 +922,8 @@ int64_t OptionFlagBits(const RqlOptions& o) {
   return (o.incremental_spt ? 1 : 0) | (o.reuse_qq_plan ? 2 : 0) |
          (o.batch_pagelog_reads ? 4 : 0) | (o.reuse_decoded_pages ? 8 : 0) |
          (o.skip_unchanged_iterations ? 16 : 0) |
-         (o.batch_execution ? 32 : 0) | (o.memoize_iterations ? 64 : 0);
+         (o.batch_execution ? 32 : 0) | (o.memoize_iterations ? 64 : 0) |
+         (o.shared_scan_cache != nullptr ? 128 : 0);
 }
 
 }  // namespace
@@ -978,6 +994,15 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
           "so the all-cold baseline would not be measured)");
     }
   }
+  if (options_.shared_scan_cache != nullptr &&
+      options_.cold_cache_per_iteration) {
+    // Pages decoded by any run sharing the store would serve this run's
+    // scans, so the all-cold baseline would silently not be measured.
+    return Status::InvalidArgument(
+        "cold_cache_per_iteration is incompatible with shared_scan_cache "
+        "(a store-scoped cache serves pages other runs decoded, so the "
+        "all-cold baseline would not be measured)");
+  }
   if (trace_on_) {
     trace_.Emit(RqlTraceEventType::kRunBegin, retro::kNoSnapshot, NowMicros(),
                 {static_cast<int64_t>(snap_ids.size()),
@@ -993,12 +1018,19 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
   }
   retro::SnapshotStore* store = data_db_->store();
   store->set_archive_read_retries(options_.archive_read_retries);
-  if (options_.reuse_decoded_pages) {
+  sql::ScanCache* run_cache = nullptr;
+  if (options_.shared_scan_cache != nullptr) {
+    // Store-scoped: survives the run (other runs are using it), so no
+    // Clear on either side. Overlapping runs also share SPT builds.
+    run_cache = options_.shared_scan_cache;
+    store->set_share_spt_builds(true);
+  } else if (options_.reuse_decoded_pages) {
     scan_cache_.Clear();
     scan_cache_.TakeHits();
     scan_cache_.TakeMisses();
-    data_db_->set_scan_cache(&scan_cache_);
+    run_cache = &scan_cache_;
   }
+  if (run_cache != nullptr) data_db_->set_scan_cache(run_cache);
   if (options_.batch_execution) {
     data_db_->set_batch_execution(
         true, metrics()->GetHistogram("rql.batch_size"));
@@ -1026,9 +1058,11 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
     if (session) store->EndSnapshotSet();
   }
   store->set_archive_read_retries(0);
-  if (options_.reuse_decoded_pages) {
+  if (run_cache != nullptr) {
     data_db_->set_scan_cache(nullptr);
-    scan_cache_.Clear();  // releases the pinned frames the entries hold
+    // Only the run-private cache is dropped here (releasing the pinned
+    // frames its entries hold); a shared cache keeps serving other runs.
+    if (run_cache == &scan_cache_) scan_cache_.Clear();
   }
   if (options_.batch_execution) data_db_->set_batch_execution(false);
   if (s.ok()) s = state->Finish();
@@ -1111,6 +1145,10 @@ struct QqResult {
   int64_t batches_scanned = 0;
   int64_t batch_rows = 0;
   int64_t batch_fallback_rows = 0;
+  // Scan-cache traffic of this worker's Qq, harvested from its private
+  // ExecStats — exact per-iteration attribution even though the cache
+  // (and its global counters) is shared by every worker and run.
+  sql::ScanCacheCounters scan_cache;
   // Memoization outputs (memoize_iterations only): a validated hit serves
   // `rows` from the memo (`validated_pages` tokens checked); a miss
   // carries the recorded read set for the post-join publish.
@@ -1200,10 +1238,11 @@ Status RqlEngine::RunMechanismParallel(
         ctx.catalog = &catalog;
         ctx.functions = functions;
         ctx.stats = &exec_stats;
-        // Workers share the engine's thread-safe decoded-page cache, so a
-        // page version shared across their snapshots decodes once per run.
-        ctx.scan_cache =
-            options_.reuse_decoded_pages ? &scan_cache_ : nullptr;
+        // Workers share the run's thread-safe decoded-page cache (the
+        // engine's, or the store-scoped shared cache RunMechanism
+        // attached), so a page version shared across their snapshots
+        // decodes once.
+        ctx.scan_cache = data_db_->scan_cache();
         ctx.batch_execution = options_.batch_execution;
         ctx.batch_size_hist = batch_hist;
         RQL_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectExecutor> exec,
@@ -1216,6 +1255,7 @@ Status RqlEngine::RunMechanismParallel(
         out.batches_scanned = exec_stats.batches_scanned;
         out.batch_rows = exec_stats.batch_rows;
         out.batch_fallback_rows = exec_stats.batch_fallback_rows;
+        out.scan_cache = exec_stats.scan_cache;
         if (memoize) {
           view->set_version_recorder(nullptr);
           out.read_set.reserve(versions.size());
@@ -1260,17 +1300,24 @@ Status RqlEngine::RunMechanismParallel(
   stats_.parallel_lock_wait_us = store->stats()->lock_wait_us;
   stats_.coalesced_loads = store->stats()->coalesced_loads;
   stats_.archive_read_retries += store->stats()->archive_read_retries;
-  // Workers interleave on the shared cache, so hits are only meaningful
-  // as a run total.
-  stats_.shared_page_hits = scan_cache_.TakeHits();
+  // Scan-cache attribution comes from per-worker ExecStats, never from
+  // the cache's global counters: workers (and, with a shared cache,
+  // concurrent runs) interleave on those, so harvesting them here would
+  // credit this run with traffic it did not perform.
+  for (const QqResult& r : results) {
+    stats_.shared_page_hits += r.scan_cache.hits;
+    stats_.scan_cache_misses += r.scan_cache.misses;
+    stats_.coalesced_decodes += r.scan_cache.coalesced;
+  }
   if (trace_on_) {
     int64_t now = NowMicros();
     trace_.Emit(RqlTraceEventType::kWorkerStall, retro::kNoSnapshot, now,
                 {stats_.parallel_lock_wait_us, stats_.coalesced_loads,
                  workers});
-    if (options_.reuse_decoded_pages) {
+    if (data_db_->scan_cache() != nullptr) {
       trace_.Emit(RqlTraceEventType::kScanCache, retro::kNoSnapshot, now,
-                  {stats_.shared_page_hits, scan_cache_.TakeMisses()});
+                  {stats_.shared_page_hits, stats_.scan_cache_misses,
+                   stats_.coalesced_decodes});
     }
   }
 
@@ -1284,6 +1331,9 @@ Status RqlEngine::RunMechanismParallel(
     iter.batches_scanned = results[i].batches_scanned;
     iter.batch_rows = results[i].batch_rows;
     iter.batch_fallback_rows = results[i].batch_fallback_rows;
+    iter.shared_page_hits = results[i].scan_cache.hits;
+    iter.scan_cache_misses = results[i].scan_cache.misses;
+    iter.coalesced_decodes = results[i].scan_cache.coalesced;
     iter.memo_hits = results[i].memo_hit ? 1 : 0;
     iter.memo_misses = (memoize && !results[i].memo_hit) ? 1 : 0;
     int64_t udf_us = 0;
@@ -1500,12 +1550,16 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
   iter.batch_rows = data_db_->last_stats().exec.batch_rows;
   iter.batch_fallback_rows =
       data_db_->last_stats().exec.batch_fallback_rows;
-  int64_t scan_misses = 0;
-  if (options_.reuse_decoded_pages) {
-    iter.shared_page_hits = scan_cache_.TakeHits();
-    stats_.shared_page_hits += iter.shared_page_hits;
-    scan_misses = scan_cache_.TakeMisses();
-  }
+  // Per-execution counters, not the cache's globals: exact for this
+  // iteration even when the cache is store-scoped and other runs are
+  // hitting it concurrently (all zero when no cache is attached).
+  const sql::ScanCacheCounters& sc = data_db_->last_stats().exec.scan_cache;
+  iter.shared_page_hits = sc.hits;
+  iter.scan_cache_misses = sc.misses;
+  iter.coalesced_decodes = sc.coalesced;
+  stats_.shared_page_hits += iter.shared_page_hits;
+  stats_.scan_cache_misses += iter.scan_cache_misses;
+  stats_.coalesced_decodes += iter.coalesced_decodes;
   if (trace_on_) {
     int64_t now = NowMicros();
     trace_.Emit(RqlTraceEventType::kSptBuild, snap, now,
@@ -1514,9 +1568,10 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
     trace_.Emit(RqlTraceEventType::kArchiveFetch, snap, now,
                 {iter.pagelog_pages, iter.batched_pagelog_reads,
                  iter.cache_hits, iter.db_pages, rs.archive_read_retries});
-    if (options_.reuse_decoded_pages) {
+    if (data_db_->scan_cache() != nullptr) {
       trace_.Emit(RqlTraceEventType::kScanCache, snap, now,
-                  {iter.shared_page_hits, scan_misses});
+                  {iter.shared_page_hits, iter.scan_cache_misses,
+                   iter.coalesced_decodes});
     }
     trace_.Emit(RqlTraceEventType::kIterationEnd, snap, now,
                 {iter.io_us, iter.spt_build_us, iter.query_eval_us,
@@ -1778,6 +1833,14 @@ Status RqlEngine::RegisterUdfs() {
               "nothing, so the all-cold baseline would not be measured)");
         }
       }
+      if (options_.shared_scan_cache != nullptr &&
+          options_.cold_cache_per_iteration) {
+        return Status::InvalidArgument(
+            "cold_cache_per_iteration is incompatible with "
+            "shared_scan_cache (a store-scoped cache serves pages other "
+            "runs decoded, so the all-cold baseline would not be "
+            "measured)");
+      }
       stats_ = RqlRunStats{};
       trace_on_ = options_.trace;
       int64_t now = NowMicros();
@@ -1800,7 +1863,10 @@ Status RqlEngine::RegisterUdfs() {
       if (options_.batch_pagelog_reads) {
         data_db_->store()->set_batch_archive_reads(true);
       }
-      if (options_.reuse_decoded_pages) {
+      if (options_.shared_scan_cache != nullptr) {
+        data_db_->set_scan_cache(options_.shared_scan_cache);
+        data_db_->store()->set_share_spt_builds(true);
+      } else if (options_.reuse_decoded_pages) {
         scan_cache_.Clear();
         scan_cache_.TakeHits();
         data_db_->set_scan_cache(&scan_cache_);
@@ -1911,9 +1977,10 @@ Status RqlEngine::FinishUdfRuns() {
     }
     data_db_->store()->set_batch_archive_reads(false);
     data_db_->store()->set_archive_read_retries(0);
-    if (options_.reuse_decoded_pages) {
+    if (data_db_->scan_cache() != nullptr) {
       data_db_->set_scan_cache(nullptr);
-      scan_cache_.Clear();
+      // Run-private cache only; a shared cache keeps serving other runs.
+      if (options_.shared_scan_cache == nullptr) scan_cache_.Clear();
     }
     if (options_.batch_execution) data_db_->set_batch_execution(false);
     if (trace_on_) {

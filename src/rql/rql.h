@@ -17,6 +17,10 @@
 
 namespace rql {
 
+namespace sql {
+class SharedScanCache;  // sql/shared_scan_cache.h
+}
+
 /// Cost breakdown of one RQL iteration (one Qq execution on one snapshot).
 /// These are the bars of the paper's Figures 8-13: Pagelog I/O, SPT build,
 /// query evaluation, transient index creation, and the mechanism-specific
@@ -50,8 +54,17 @@ struct RqlIterationStats {
   /// skip_unchanged_iterations).
   /// Scan-path pages served from the run's decoded-page cache: the page
   /// version (Pagelog offset) was already fetched and tuple-decoded for an
-  /// earlier snapshot of this run.
+  /// earlier snapshot of this run — or, with a store-scoped
+  /// SharedScanCache attached, for any run sharing the store.
   int64_t shared_page_hits = 0;
+  /// Scan-path pages the cache could not serve (versioned pages that had
+  /// to be fetched and decoded). hits / (hits + misses) is the decode
+  /// reuse ratio of the iteration.
+  int64_t scan_cache_misses = 0;
+  /// Subset of shared_page_hits served by blocking on another run's
+  /// in-flight decode of the same page version (SharedScanCache
+  /// single-flight). Always 0 with the run-private cache.
+  int64_t coalesced_decodes = 0;
   /// Size of the Maplog delta (pages whose mapping may differ from the
   /// previous snapshot in the set) examined by the skip decision.
   int64_t delta_pages_scanned = 0;
@@ -123,10 +136,16 @@ struct RqlRunStats {
   /// executing Qq (RqlOptions::skip_unchanged_iterations).
   int64_t iterations_skipped = 0;
   /// Run total of decoded-page cache hits
-  /// (RqlOptions::reuse_decoded_pages). Parallel runs report only this
-  /// total: workers share one cache, so per-iteration attribution is
-  /// meaningless there.
+  /// (RqlOptions::reuse_decoded_pages or shared_scan_cache). Hits are
+  /// attributed from per-execution counters (ExecStats::scan_cache), so
+  /// the total is exact for this run even when the cache is shared by
+  /// concurrent runs or parallel workers.
   int64_t shared_page_hits = 0;
+  /// Run total of scan-cache misses (versioned pages decoded).
+  int64_t scan_cache_misses = 0;
+  /// Run total of hits served by waiting on another run's in-flight
+  /// decode (SharedScanCache single-flight; 0 with the private cache).
+  int64_t coalesced_decodes = 0;
 
   int64_t TotalUs() const {
     if (parallel) {
@@ -287,6 +306,25 @@ struct RqlOptions {
   /// first-publish-wins). Must live and die with the data database's
   /// files (see MemoTable::Open).
   retro::MemoTable* memo = nullptr;
+  /// Store-scoped decoded-page cache shared by every run (and engine)
+  /// attached to the same SnapshotStore: page versions are keyed by their
+  /// Pagelog offset — immutable and globally unique within a store — so
+  /// N overlapping runs fetch and tuple-decode each unique version once,
+  /// with concurrent racers coalescing onto a single in-flight decode
+  /// (single-flight, the BufferPool coalesced-load discipline one layer
+  /// up). Owned by the caller; must outlive every engine using it and be
+  /// used with one store only. Takes precedence over the run-private
+  /// cache of reuse_decoded_pages (which it subsumes); results are
+  /// byte-identical to running with no cache. Enables cross-run SPT-build
+  /// sharing on the store (SnapshotStore::set_share_spt_builds). Counted
+  /// in RqlIterationStats::shared_page_hits / scan_cache_misses /
+  /// coalesced_decodes, surfaced as rql.scan_cache.* metrics, and traced
+  /// in kScanCache events. Invalidated conservatively by
+  /// TruncateHistory (entries a live run still holds stay alive through
+  /// their shared_ptr). Rejected with InvalidArgument in combination with
+  /// cold_cache_per_iteration: a cross-run cache would falsify the
+  /// all-cold baseline (the skip_unchanged_iterations precedent).
+  sql::SharedScanCache* shared_scan_cache = nullptr;
 
   /// Bounded retry budget for transient Pagelog archive read failures
   /// during a run: each failed read is re-issued up to this many times

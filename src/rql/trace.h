@@ -26,7 +26,10 @@ namespace rql {
 ///                     incremental, 0, 0}
 ///   kArchiveFetch    {pagelog_pages, batched_pagelog_reads, cache_hits,
 ///                     db_pages, archive_read_retries, 0}
-///   kScanCache       {shared_page_hits, misses, 0, 0, 0, 0}
+///   kScanCache       {shared_page_hits, misses, coalesced_decodes, 0, 0, 0}
+///                    — coalesced_decodes is the subset of hits served by
+///                    waiting on another run's in-flight decode
+///                    (shared_scan_cache single-flight; 0 otherwise)
 ///   kIterationSkip   {index_in_run, delta_pages_scanned, replayed_rows,
 ///                     udf_us, 0, 0}  — replay of a provably unchanged
 ///                    iteration (skip_unchanged_iterations)

@@ -43,21 +43,34 @@ Result<std::unique_ptr<Database>> Database::Open(storage::Env* env,
                                                  const std::string& name,
                                                  DatabaseOptions options) {
   auto db = std::unique_ptr<Database>(new Database());
-  RQL_ASSIGN_OR_RETURN(db->store_,
+  RQL_ASSIGN_OR_RETURN(db->owned_store_,
                        retro::SnapshotStore::Open(env, name, options.store));
+  db->store_ = db->owned_store_.get();
+  RQL_RETURN_IF_ERROR(db->Init());
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::Attach(
+    retro::SnapshotStore* store) {
+  auto db = std::unique_ptr<Database>(new Database());
+  db->store_ = store;
+  RQL_RETURN_IF_ERROR(db->Init());
+  return db;
+}
+
+Status Database::Init() {
   RQL_ASSIGN_OR_RETURN(storage::PageId catalog_root,
-                       db->store_->GetRoot(kCatalogRootSlot));
+                       store_->GetRoot(kCatalogRootSlot));
   storage::PageId original_root = catalog_root;
-  RQL_ASSIGN_OR_RETURN(db->catalog_,
-                       Catalog::Open(db->store_.get(), &catalog_root));
+  RQL_ASSIGN_OR_RETURN(catalog_, Catalog::Open(store_, &catalog_root));
   if (catalog_root != original_root) {
-    RQL_RETURN_IF_ERROR(db->store_->SetRoot(kCatalogRootSlot, catalog_root));
+    RQL_RETURN_IF_ERROR(store_->SetRoot(kCatalogRootSlot, catalog_root));
   }
-  db->functions_ = FunctionRegistry::WithBuiltins();
+  functions_ = FunctionRegistry::WithBuiltins();
   // The paper's current_snapshot() construct: yields the snapshot id of the
   // RQL iteration in progress.
-  Database* raw = db.get();
-  db->functions_.Register(
+  Database* raw = this;
+  functions_.Register(
       "current_snapshot", 0, 0,
       [raw](const std::vector<Value>&) -> Result<Value> {
         if (raw->current_snapshot_ == retro::kNoSnapshot) {
@@ -66,7 +79,7 @@ Result<std::unique_ptr<Database>> Database::Open(storage::Env* env,
         }
         return Value::Integer(raw->current_snapshot_);
       });
-  return db;
+  return Status::OK();
 }
 
 Status Database::Exec(std::string_view sql, const QueryCallback& cb) {
@@ -226,7 +239,7 @@ Status Database::ExecStatement(Statement* stmt, const QueryCallback& cb) {
     CatalogData as_of_catalog;
     RQL_ASSIGN_OR_RETURN(ctx.as_of, ResolveAsOf(*s->select));
     if (ctx.as_of == retro::kNoSnapshot) {
-      ctx.reader = store_.get();
+      ctx.reader = store_;
       ctx.catalog = &catalog_->data();
     } else {
       RQL_ASSIGN_OR_RETURN(view, store_->OpenSnapshot(ctx.as_of));
@@ -262,7 +275,7 @@ Status Database::ExecSelect(const SelectStmt& stmt, const QueryCallback& cb) {
   CatalogData as_of_catalog;
   RQL_ASSIGN_OR_RETURN(ctx.as_of, ResolveAsOf(stmt));
   if (ctx.as_of == retro::kNoSnapshot) {
-    ctx.reader = store_.get();
+    ctx.reader = store_;
     ctx.catalog = &catalog_->data();
   } else {
     RQL_ASSIGN_OR_RETURN(view, store_->OpenSnapshot(ctx.as_of));
@@ -300,7 +313,7 @@ Status Database::ExecCreateTable(CreateTableStmt* stmt) {
   CatalogData as_of_catalog;
   RQL_ASSIGN_OR_RETURN(ctx.as_of, ResolveAsOf(*stmt->as_select));
   if (ctx.as_of == retro::kNoSnapshot) {
-    ctx.reader = store_.get();
+    ctx.reader = store_;
     ctx.catalog = &catalog_->data();
   } else {
     RQL_ASSIGN_OR_RETURN(view, store_->OpenSnapshot(ctx.as_of));
@@ -343,8 +356,8 @@ Status Database::ExecCreateIndex(const CreateIndexStmt& stmt) {
                        catalog_->CreateIndex(stmt.name, stmt.table,
                                              stmt.columns));
   const TableInfo* table = catalog_->data().FindTable(stmt.table);
-  BTree tree(store_.get(), index->root);
-  for (auto it = HeapTable::Scan(store_.get(), table->root); it.Valid();
+  BTree tree(store_, index->root);
+  for (auto it = HeapTable::Scan(store_, table->root); it.Valid();
        it.Next()) {
     RQL_ASSIGN_OR_RETURN(Row row, DecodeRow(it.record()));
     RQL_RETURN_IF_ERROR(tree.Insert(IndexKey(*index, row, it.rid()),
@@ -369,20 +382,20 @@ Status Database::InsertRow(const TableInfo& table, const Row& row) {
     return Status::InvalidArgument("row arity mismatch for table " +
                                    table.name);
   }
-  HeapTable heap(store_.get(), table.root);
+  HeapTable heap(store_, table.root);
   RQL_ASSIGN_OR_RETURN(Rid rid, heap.Insert(EncodeRow(row)));
   for (const IndexInfo* index : catalog_->data().TableIndexes(table.name)) {
-    BTree tree(store_.get(), index->root);
+    BTree tree(store_, index->root);
     RQL_RETURN_IF_ERROR(tree.Insert(IndexKey(*index, row, rid), rid));
   }
   return Status::OK();
 }
 
 Status Database::DeleteRow(const TableInfo& table, Rid rid, const Row& row) {
-  HeapTable heap(store_.get(), table.root);
+  HeapTable heap(store_, table.root);
   RQL_RETURN_IF_ERROR(heap.Delete(rid));
   for (const IndexInfo* index : catalog_->data().TableIndexes(table.name)) {
-    BTree tree(store_.get(), index->root);
+    BTree tree(store_, index->root);
     RQL_RETURN_IF_ERROR(tree.Delete(IndexKey(*index, row, rid)));
   }
   return Status::OK();
@@ -422,7 +435,7 @@ Status Database::ExecInsert(InsertStmt* stmt) {
 
   if (stmt->select != nullptr) {
     ExecContext ctx;
-    ctx.reader = store_.get();
+    ctx.reader = store_;
     ctx.catalog = &catalog_->data();
     ctx.functions = &functions_;
     ctx.stats = &last_stats_.exec;
@@ -527,7 +540,7 @@ Status Database::ExecDelete(DeleteStmt* stmt) {
 
   // Collect matches first (scan or index probe), then mutate.
   ExecContext sub_ctx;
-  sub_ctx.reader = store_.get();
+  sub_ctx.reader = store_;
   sub_ctx.catalog = &catalog_->data();
   sub_ctx.functions = &functions_;
   DmlSubqueryRunner subqueries(sub_ctx);
@@ -542,20 +555,20 @@ Status Database::ExecDelete(DeleteStmt* stmt) {
   if (index != nullptr) {
     Row probe = {literal->literal};
     RQL_ASSIGN_OR_RETURN(BTree::Iterator it,
-                         BTree::Seek(store_.get(), index->root, probe));
+                         BTree::Seek(store_, index->root, probe));
     for (; it.Valid(); it.Next()) {
       if (it.key().empty() ||
           CompareValues(it.key()[0], literal->literal) != 0) {
         break;
       }
       RQL_ASSIGN_OR_RETURN(std::string record,
-                           HeapTable::Get(store_.get(), it.value()));
+                           HeapTable::Get(store_, it.value()));
       RQL_ASSIGN_OR_RETURN(Row row, DecodeRow(record));
       victims.emplace_back(it.value(), std::move(row));
     }
     RQL_RETURN_IF_ERROR(it.status());
   } else {
-    for (auto it = HeapTable::Scan(store_.get(), table->root); it.Valid();
+    for (auto it = HeapTable::Scan(store_, table->root); it.Valid();
          it.Next()) {
       RQL_ASSIGN_OR_RETURN(Row row, DecodeRow(it.record()));
       if (stmt->where != nullptr) {
@@ -591,12 +604,12 @@ Status Database::ExecUpdate(UpdateStmt* stmt) {
   }
 
   ExecContext sub_ctx;
-  sub_ctx.reader = store_.get();
+  sub_ctx.reader = store_;
   sub_ctx.catalog = &catalog_->data();
   sub_ctx.functions = &functions_;
   DmlSubqueryRunner subqueries(sub_ctx);
   std::vector<std::pair<Rid, Row>> matches;
-  for (auto it = HeapTable::Scan(store_.get(), table->root); it.Valid();
+  for (auto it = HeapTable::Scan(store_, table->root); it.Valid();
        it.Next()) {
     RQL_ASSIGN_OR_RETURN(Row row, DecodeRow(it.record()));
     if (stmt->where != nullptr) {
@@ -607,7 +620,7 @@ Status Database::ExecUpdate(UpdateStmt* stmt) {
     matches.emplace_back(it.rid(), std::move(row));
   }
 
-  HeapTable heap(store_.get(), table->root);
+  HeapTable heap(store_, table->root);
   auto indexes = catalog_->data().TableIndexes(table->name);
   for (auto& [rid, row] : matches) {
     Row updated = row;
@@ -618,7 +631,7 @@ Status Database::ExecUpdate(UpdateStmt* stmt) {
     }
     RQL_ASSIGN_OR_RETURN(Rid new_rid, heap.Update(rid, EncodeRow(updated)));
     for (const IndexInfo* index : indexes) {
-      BTree tree(store_.get(), index->root);
+      BTree tree(store_, index->root);
       RQL_RETURN_IF_ERROR(tree.Delete(IndexKey(*index, row, rid)));
       RQL_RETURN_IF_ERROR(tree.Insert(IndexKey(*index, updated, new_rid),
                                       new_rid));
@@ -638,10 +651,10 @@ Result<Rid> Database::AppendRow(std::string_view table, const Row& row) {
       return Status::InvalidArgument("row arity mismatch for table " +
                                      info->name);
     }
-    HeapTable heap(store_.get(), info->root);
+    HeapTable heap(store_, info->root);
     RQL_ASSIGN_OR_RETURN(rid, heap.Insert(EncodeRow(row)));
     for (const IndexInfo* index : catalog_->data().TableIndexes(info->name)) {
-      BTree tree(store_.get(), index->root);
+      BTree tree(store_, index->root);
       RQL_RETURN_IF_ERROR(tree.Insert(IndexKey(*index, row, rid), rid));
     }
     return Status::OK();
@@ -657,10 +670,10 @@ Result<Rid> Database::UpdateRowAt(std::string_view table, Rid rid,
   }
   Rid new_rid = rid;
   RQL_RETURN_IF_ERROR(WithImplicitTxn([&]() -> Status {
-    HeapTable heap(store_.get(), info->root);
+    HeapTable heap(store_, info->root);
     RQL_ASSIGN_OR_RETURN(new_rid, heap.Update(rid, EncodeRow(new_row)));
     for (const IndexInfo* index : catalog_->data().TableIndexes(info->name)) {
-      BTree tree(store_.get(), index->root);
+      BTree tree(store_, index->root);
       RQL_RETURN_IF_ERROR(tree.Delete(IndexKey(*index, old_row, rid)));
       RQL_RETURN_IF_ERROR(
           tree.Insert(IndexKey(*index, new_row, new_rid), new_rid));
@@ -677,9 +690,9 @@ Result<Database::TableStats> Database::GetTableStats(std::string_view table) {
   }
   TableStats stats;
   RQL_ASSIGN_OR_RETURN(stats.pages,
-                       HeapTable::CountPages(store_.get(), info->root));
+                       HeapTable::CountPages(store_, info->root));
   stats.bytes = stats.pages * storage::kPageSize;
-  for (auto it = HeapTable::Scan(store_.get(), info->root); it.Valid();
+  for (auto it = HeapTable::Scan(store_, info->root); it.Valid();
        it.Next()) {
     ++stats.rows;
     stats.payload_bytes += it.record().size();
@@ -694,7 +707,7 @@ Result<Database::TableStats> Database::GetIndexStats(std::string_view index) {
   }
   TableStats stats;
   RQL_ASSIGN_OR_RETURN(stats.pages,
-                       BTree::CountPages(store_.get(), info->root));
+                       BTree::CountPages(store_, info->root));
   stats.bytes = stats.pages * storage::kPageSize;
   return stats;
 }

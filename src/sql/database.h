@@ -100,6 +100,17 @@ class Database {
       storage::Env* env, const std::string& name,
       DatabaseOptions options = DatabaseOptions());
 
+  /// Opens a second Database handle over an existing store (which the
+  /// caller keeps ownership of, and which must outlive the returned
+  /// handle). This is how concurrent RQL clients share one SnapshotStore —
+  /// and with it the snapshot page cache and a store-scoped
+  /// SharedScanCache — while keeping per-client state (current_snapshot,
+  /// attached caches, statement stats) independent. Attached handles are
+  /// intended for snapshot (AS OF) reads; writes are the owning handle's
+  /// business: the attached catalog is loaded once and not refreshed on
+  /// concurrent DDL.
+  static Result<std::unique_ptr<Database>> Attach(retro::SnapshotStore* store);
+
   /// Executes a ';'-separated script. Result rows of SELECTs go to `cb`
   /// (or are discarded when null).
   Status Exec(std::string_view sql, const QueryCallback& cb = nullptr);
@@ -150,7 +161,7 @@ class Database {
   }
   bool batch_execution() const { return batch_execution_; }
 
-  retro::SnapshotStore* store() { return store_.get(); }
+  retro::SnapshotStore* store() { return store_; }
   Catalog* catalog() { return catalog_.get(); }
   FunctionRegistry* functions() { return &functions_; }
   const DbExecStats& last_stats() const { return last_stats_; }
@@ -181,6 +192,10 @@ class Database {
   friend class PreparedStatement;
   Database() = default;
 
+  /// Shared tail of Open/Attach: loads the catalog and registers builtins
+  /// once `store_` points at the (owned or borrowed) store.
+  Status Init();
+
   Status ExecStatement(Statement* stmt, const QueryCallback& cb);
   Status ExecSelect(const SelectStmt& stmt, const QueryCallback& cb);
   Status ExecCreateTable(CreateTableStmt* stmt);
@@ -198,7 +213,10 @@ class Database {
   /// single-statement transaction with rollback on failure.
   Status WithImplicitTxn(const std::function<Status()>& body);
 
-  std::unique_ptr<retro::SnapshotStore> store_;
+  // `store_` is the working pointer; `owned_store_` holds ownership for
+  // Open-created databases and stays null for Attach-created handles.
+  std::unique_ptr<retro::SnapshotStore> owned_store_;
+  retro::SnapshotStore* store_ = nullptr;
   std::unique_ptr<Catalog> catalog_;
   FunctionRegistry functions_;
   retro::SnapshotId current_snapshot_ = retro::kNoSnapshot;

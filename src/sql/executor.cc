@@ -580,8 +580,9 @@ Status SelectExecutor::BuildTransientIndex(TableSource* source) {
     HeapTable heap(store, source->transient_heap_root);
     BTree tree(store, source->transient_index_root);
     int64_t seq = 0;
-    for (auto it = HeapTable::Scan(ctx_.reader, source->table->root,
-                                   ctx_.scan_cache);
+    for (auto it = HeapTable::Scan(
+             ctx_.reader, source->table->root, ctx_.scan_cache,
+             ctx_.stats != nullptr ? &ctx_.stats->scan_cache : nullptr);
          it.Valid(); it.Next()) {
       const Row* cached = it.cached_row();
       Row row;
@@ -768,8 +769,9 @@ Status SelectExecutor::JoinLevel(size_t level, Row* current,
   // Sequential scan. Pages the reader versions (archived snapshot pages)
   // come pre-decoded from the scan cache; copying the cached row replaces
   // the per-row DecodeRow parse.
-  auto it = HeapTable::Scan(ctx_.reader, source.table->root,
-                            ctx_.scan_cache);
+  auto it = HeapTable::Scan(
+      ctx_.reader, source.table->root, ctx_.scan_cache,
+      ctx_.stats != nullptr ? &ctx_.stats->scan_cache : nullptr);
   for (; it.Valid(); it.Next()) {
     Row row;
     if (const Row* cached = it.cached_row()) {
@@ -835,8 +837,9 @@ Status SelectExecutor::ScanBatched(
   // anyway so the batch path never silently drops a residual predicate.
   bool where_vec = where_ != nullptr && EvalBatchSupported(*where_);
   std::vector<Value> scratch;
-  auto it = HeapTable::ScanBatches(ctx_.reader, source.table->root,
-                                   ctx_.scan_cache);
+  auto it = HeapTable::ScanBatches(
+      ctx_.reader, source.table->root, ctx_.scan_cache,
+      ctx_.stats != nullptr ? &ctx_.stats->scan_cache : nullptr);
   for (; it.Valid(); it.Next()) {
     RowBatch& batch = it.batch();
     for (uint32_t i = 0; i < batch.size; ++i) {

@@ -16,10 +16,9 @@
 #include "sql/expr.h"
 #include "sql/functions.h"
 #include "sql/row_batch.h"
+#include "sql/scan_cache.h"
 
 namespace rql::sql {
-
-class ScanCache;
 
 /// Per-statement execution counters. `index_build_us` isolates the cost of
 /// transient join indexes (SQLite's "automatic covering index"), which the
@@ -36,6 +35,11 @@ struct ExecStats {
   int64_t batches_scanned = 0;
   int64_t batch_rows = 0;
   int64_t batch_fallback_rows = 0;
+  // Scan-cache traffic attributed to THIS execution. Exact even when the
+  // cache is shared across runs or parallel workers (the cache's own
+  // counters are global), so the engine credits hits to the iteration
+  // that performed them.
+  ScanCacheCounters scan_cache;
 
   void Reset() { *this = ExecStats{}; }
 };

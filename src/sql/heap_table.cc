@@ -286,8 +286,8 @@ Status HeapTable::Drop() {
 }
 
 HeapTable::Iterator::Iterator(storage::PageReader* reader, PageId root,
-                              ScanCache* cache)
-    : reader_(reader), cache_(cache) {
+                              ScanCache* cache, ScanCacheCounters* counters)
+    : reader_(reader), cache_(cache), counters_(counters) {
   LoadPage(root);
   if (status_.ok()) AdvanceToLiveSlot();
 }
@@ -317,28 +317,42 @@ void HeapTable::Iterator::LoadPage(PageId id) {
   }
   uint64_t version = 0;
   if (cache_ != nullptr && reader_->PageVersion(id, &version)) {
-    cached_ = cache_->Lookup(version);
-    if (cached_ != nullptr) {
+    ScanCache::AcquireResult acq = cache_->Acquire(version);
+    if (acq.page != nullptr) {
+      cached_ = std::move(acq.page);
       cache_->AddHit();
+      if (counters_ != nullptr) {
+        ++counters_->hits;
+        if (acq.coalesced) ++counters_->coalesced;
+      }
       return;
     }
     cache_->AddMiss();
-    Result<storage::PinnedPage> pinned = reader_->ReadPagePinned(id);
-    if (!pinned.ok()) {
-      status_ = pinned.status();
-      valid_ = false;
-      return;
-    }
-    if (*pinned) {
-      const Page& frame = **pinned;  // outlives the move: the entry pins it
-      auto decoded = DecodePinnedPage(frame, std::move(*pinned));
-      if (decoded != nullptr) {
-        cached_ = cache_->Insert(version, std::move(decoded));
+    if (counters_ != nullptr) ++counters_->misses;
+    if (acq.claimed) {
+      // This caller owns the decode: every exit below must either publish
+      // (Insert) or release the claim (AbandonDecode) so single-flight
+      // waiters never hang on an abandoned version.
+      Result<storage::PinnedPage> pinned = reader_->ReadPagePinned(id);
+      if (!pinned.ok()) {
+        cache_->AbandonDecode(version);
+        status_ = pinned.status();
+        valid_ = false;
         return;
       }
+      if (*pinned) {
+        const Page& frame = **pinned;  // outlives the move: the entry pins it
+        auto decoded = DecodePinnedPage(frame, std::move(*pinned));
+        if (decoded != nullptr) {
+          cached_ = cache_->Insert(version, std::move(decoded));
+          return;
+        }
+      }
+      cache_->AbandonDecode(version);
     }
-    // No pin or undecodable records: fall through to the plain path, which
-    // reports decode errors through the caller's own DecodeRow.
+    // No claim (a waited-on decode was abandoned), no pin, or undecodable
+    // records: fall through to the plain path, which reports decode errors
+    // through the caller's own DecodeRow.
   }
   status_ = reader_->ReadPage(id, &page_);
   if (!status_.ok()) {
@@ -381,13 +395,15 @@ void HeapTable::Iterator::Next() {
 }
 
 HeapTable::Iterator HeapTable::Scan(storage::PageReader* reader, PageId root,
-                                    ScanCache* cache) {
-  return Iterator(reader, root, cache);
+                                    ScanCache* cache,
+                                    ScanCacheCounters* counters) {
+  return Iterator(reader, root, cache, counters);
 }
 
 HeapTable::BatchIterator::BatchIterator(storage::PageReader* reader,
-                                        PageId root, ScanCache* cache)
-    : reader_(reader), cache_(cache) {
+                                        PageId root, ScanCache* cache,
+                                        ScanCacheCounters* counters)
+    : reader_(reader), cache_(cache), counters_(counters) {
   LoadBatch(root);
 }
 
@@ -396,29 +412,42 @@ void HeapTable::BatchIterator::LoadBatch(PageId id) {
     std::shared_ptr<const ScanCache::DecodedPage> entry;
     uint64_t version = 0;
     if (cache_ != nullptr && reader_->PageVersion(id, &version)) {
-      entry = cache_->Lookup(version);
-      if (entry != nullptr) {
+      ScanCache::AcquireResult acq = cache_->Acquire(version);
+      if (acq.page != nullptr) {
+        entry = std::move(acq.page);
         cache_->AddHit();
+        if (counters_ != nullptr) {
+          ++counters_->hits;
+          if (acq.coalesced) ++counters_->coalesced;
+        }
       } else {
         cache_->AddMiss();
-        Result<storage::PinnedPage> pinned = reader_->ReadPagePinned(id);
-        if (!pinned.ok()) {
-          status_ = pinned.status();
-          valid_ = false;
-          return;
-        }
-        if (*pinned) {
-          const Page& frame = **pinned;
-          auto decoded = std::make_shared<ScanCache::DecodedPage>();
-          status_ = DecodePageRecords(frame, decoded.get());
-          if (!status_.ok()) {
+        if (counters_ != nullptr) ++counters_->misses;
+        if (acq.claimed) {
+          // Claim held: publish or abandon on every exit (see LoadPage).
+          Result<storage::PinnedPage> pinned = reader_->ReadPagePinned(id);
+          if (!pinned.ok()) {
+            cache_->AbandonDecode(version);
+            status_ = pinned.status();
             valid_ = false;
             return;
           }
-          decoded->pin = std::move(*pinned);
-          entry = cache_->Insert(version, std::move(decoded));
+          if (*pinned) {
+            const Page& frame = **pinned;
+            auto decoded = std::make_shared<ScanCache::DecodedPage>();
+            status_ = DecodePageRecords(frame, decoded.get());
+            if (!status_.ok()) {
+              cache_->AbandonDecode(version);
+              valid_ = false;
+              return;
+            }
+            decoded->pin = std::move(*pinned);
+            entry = cache_->Insert(version, std::move(decoded));
+          } else {
+            // No pin: decode from a plain read below, like the row scan.
+            cache_->AbandonDecode(version);
+          }
         }
-        // No pin: decode from a plain read below, like the row scan.
       }
     }
     if (entry == nullptr) {
@@ -458,9 +487,9 @@ void HeapTable::BatchIterator::Next() {
 }
 
 HeapTable::BatchIterator HeapTable::ScanBatches(storage::PageReader* reader,
-                                                PageId root,
-                                                ScanCache* cache) {
-  return BatchIterator(reader, root, cache);
+                                                PageId root, ScanCache* cache,
+                                                ScanCacheCounters* counters) {
+  return BatchIterator(reader, root, cache, counters);
 }
 
 Result<std::string> HeapTable::Get(storage::PageReader* reader, Rid rid) {

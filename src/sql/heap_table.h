@@ -91,13 +91,14 @@ class HeapTable {
    private:
     friend class HeapTable;
     Iterator(storage::PageReader* reader, storage::PageId root,
-             ScanCache* cache);
+             ScanCache* cache, ScanCacheCounters* counters);
 
     void LoadPage(storage::PageId id);
     void AdvanceToLiveSlot();
 
     storage::PageReader* reader_;
     ScanCache* cache_ = nullptr;
+    ScanCacheCounters* counters_ = nullptr;  // per-execution attribution
     // Cached mode: the current page's decoded entry; slot_ indexes its
     // records. Plain mode (cached_ == nullptr): page_ holds the page and
     // slot_ is the physical slot number.
@@ -112,9 +113,13 @@ class HeapTable {
   };
 
   /// Opens a scan of the table rooted at `root` through `reader`,
-  /// optionally reusing decoded page versions from `cache`.
+  /// optionally reusing decoded page versions from `cache`. `counters`,
+  /// when given, receives this scan's hit/miss/coalesced counts — the
+  /// race-free per-execution attribution (the cache's own counters are
+  /// global across every run sharing it).
   static Iterator Scan(storage::PageReader* reader, storage::PageId root,
-                       ScanCache* cache = nullptr);
+                       ScanCache* cache = nullptr,
+                       ScanCacheCounters* counters = nullptr);
 
   /// Page-at-a-time scan: each position is a RowBatch holding every live
   /// record of one heap page, fully decoded. Pages the reader can version
@@ -139,12 +144,13 @@ class HeapTable {
    private:
     friend class HeapTable;
     BatchIterator(storage::PageReader* reader, storage::PageId root,
-                  ScanCache* cache);
+                  ScanCache* cache, ScanCacheCounters* counters);
 
     void LoadBatch(storage::PageId id);
 
     storage::PageReader* reader_;
     ScanCache* cache_ = nullptr;
+    ScanCacheCounters* counters_ = nullptr;  // per-execution attribution
     RowBatch batch_;
     storage::PageId next_ = storage::kInvalidPageId;
     bool valid_ = false;
@@ -152,10 +158,12 @@ class HeapTable {
   };
 
   /// Opens a batch scan of the table rooted at `root` through `reader`,
-  /// optionally reusing decoded page versions from `cache`.
+  /// optionally reusing decoded page versions from `cache` (with
+  /// per-execution attribution into `counters`, as in Scan).
   static BatchIterator ScanBatches(storage::PageReader* reader,
                                    storage::PageId root,
-                                   ScanCache* cache = nullptr);
+                                   ScanCache* cache = nullptr,
+                                   ScanCacheCounters* counters = nullptr);
 
   /// Reads one record by rid through `reader`.
   static Result<std::string> Get(storage::PageReader* reader, Rid rid);

@@ -9,6 +9,13 @@ std::shared_ptr<const ScanCache::DecodedPage> ScanCache::Lookup(
   return it == pages_.end() ? nullptr : it->second;
 }
 
+ScanCache::AcquireResult ScanCache::Acquire(uint64_t version) {
+  AcquireResult r;
+  r.page = Lookup(version);
+  r.claimed = r.page == nullptr;
+  return r;
+}
+
 std::shared_ptr<const ScanCache::DecodedPage> ScanCache::Insert(
     uint64_t version, std::shared_ptr<const DecodedPage> page) {
   std::lock_guard<std::mutex> lock(mu_);

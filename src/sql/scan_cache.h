@@ -15,6 +15,26 @@
 
 namespace rql::sql {
 
+/// Per-execution scan-cache counters, accumulated by HeapTable iterators
+/// into the executor's ExecStats. Unlike the cache-global atomics below,
+/// these are exact per execution even when several runs or parallel
+/// workers share one cache instance, so the RQL engine attributes hits
+/// and misses to the iteration that actually performed them.
+struct ScanCacheCounters {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  /// Hits served by blocking on another thread's in-flight decode of the
+  /// same version (single-flight coalescing; SharedScanCache only).
+  int64_t coalesced = 0;
+
+  void Reset() { *this = ScanCacheCounters{}; }
+  void Add(const ScanCacheCounters& o) {
+    hits += o.hits;
+    misses += o.misses;
+    coalesced += o.coalesced;
+  }
+};
+
 /// A run-scoped cache of decoded heap-table pages, keyed by page
 /// *version* — the Pagelog offset the snapshot page table resolves a
 /// (page, snapshot) pair to. Consecutive snapshots share most page
@@ -31,6 +51,14 @@ namespace rql::sql {
 /// racing double-decode resolves to first-publish-wins. It holds pins
 /// for the duration of a run, so it must be cleared when the run ends
 /// (or per iteration under cold-cache experiments).
+///
+/// The class is polymorphic: SharedScanCache (shared_scan_cache.h)
+/// promotes the same interface to store scope, adding a byte budget,
+/// segmented-LRU eviction and per-version single-flight decoding.
+/// Readers speak the Acquire/Insert/AbandonDecode protocol below; for
+/// this run-scoped base the protocol degenerates to the historical
+/// lookup-then-publish behavior (never blocks, double decodes allowed,
+/// first publish wins), keeping flag-off runs byte-identical.
 class ScanCache {
  public:
   /// One decoded page version. Immutable once published.
@@ -42,21 +70,50 @@ class ScanCache {
     std::vector<Row> rows;                  // decoded form of `records`
   };
 
+  /// Result of Acquire(): either a published entry (`page` non-null), a
+  /// decode claim (`claimed` — the caller MUST follow up with Insert or
+  /// AbandonDecode for the same version), or neither (an in-flight decode
+  /// the caller waited on was abandoned; fall through to a plain,
+  /// uncached read).
+  struct AcquireResult {
+    std::shared_ptr<const DecodedPage> page;
+    bool claimed = false;
+    bool coalesced = false;  // hit was served by waiting on a decode
+  };
+
+  ScanCache() = default;
+  virtual ~ScanCache() = default;
+  ScanCache(const ScanCache&) = delete;
+  ScanCache& operator=(const ScanCache&) = delete;
+
   /// The cached entry for `version`, or nullptr.
-  std::shared_ptr<const DecodedPage> Lookup(uint64_t version);
+  virtual std::shared_ptr<const DecodedPage> Lookup(uint64_t version);
+
+  /// Looks up `version`, claiming the decode on a miss. The base
+  /// implementation never blocks and always claims on a miss (racing
+  /// claimants both decode; Insert resolves first-publish-wins).
+  virtual AcquireResult Acquire(uint64_t version);
 
   /// Publishes `page` under `version`; returns the entry that ends up
   /// cached (the already-present one if another thread published first).
-  std::shared_ptr<const DecodedPage> Insert(
+  /// Releases the caller's decode claim, if any.
+  virtual std::shared_ptr<const DecodedPage> Insert(
       uint64_t version, std::shared_ptr<const DecodedPage> page);
 
+  /// Releases a decode claim without publishing (fetch or decode failed;
+  /// the caller falls back to an uncached read). No-op in the base class.
+  virtual void AbandonDecode(uint64_t version) { (void)version; }
+
   /// Drops every entry (and the pins they hold).
-  void Clear();
+  virtual void Clear();
+
+  virtual uint64_t size() const;
 
   void AddHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  /// Returns the hit count accumulated since the last take and zeroes it
-  /// (per-iteration attribution in the sequential RQL loop).
+  /// Returns the hit count accumulated since the last take and zeroes it.
+  /// Cache-global, so only meaningful when a single run owns the cache;
+  /// per-iteration attribution uses ScanCacheCounters instead.
   int64_t TakeHits() { return hits_.exchange(0, std::memory_order_relaxed); }
 
   /// A versioned page lookup that found no entry (the page is then fetched
@@ -67,8 +124,6 @@ class ScanCache {
   int64_t TakeMisses() {
     return misses_.exchange(0, std::memory_order_relaxed);
   }
-
-  uint64_t size() const;
 
  private:
   mutable std::mutex mu_;

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cleanup.h"
 #include "common/status.h"
 #include "storage/page.h"
 
@@ -135,12 +136,15 @@ class BufferPool {
   /// Registers observability gauges reading this pool's live counters on
   /// `registry` under `prefix`: `<prefix>.hits`, `.misses`, `.evictions`,
   /// `.coalesced_loads`, `.size_pages`, `.capacity_pages`. `Registry` is
-  /// any type with `SetGauge(name, fn)` (retro::MetricsRegistry; templated
-  /// so the storage layer stays independent of it). The gauges read the
-  /// pool directly and cannot drift from stats(); they capture `this`, so
-  /// remove them (or drop the registry) before destroying the pool.
+  /// any type with `SetGauge(name, fn)` and `RemoveGaugesWithPrefix(p)`
+  /// (retro::MetricsRegistry; templated so the storage layer stays
+  /// independent of it). The gauges read the pool directly and cannot
+  /// drift from stats(), but they capture `this`: the returned handle
+  /// removes them on destruction and MUST NOT outlive the pool or the
+  /// registry.
   template <typename Registry>
-  void RegisterMetrics(Registry* registry, const std::string& prefix) const {
+  [[nodiscard]] ScopedCleanup RegisterMetrics(Registry* registry,
+                                              const std::string& prefix) const {
     const BufferPool* pool = this;
     registry->SetGauge(prefix + ".hits",
                        [pool] { return pool->stats().hits; });
@@ -156,6 +160,8 @@ class BufferPool {
     registry->SetGauge(prefix + ".capacity_pages", [pool] {
       return static_cast<int64_t>(pool->capacity());
     });
+    return ScopedCleanup(
+        [registry, prefix] { registry->RemoveGaugesWithPrefix(prefix + "."); });
   }
 
   /// Aggregated over all shards; a snapshot, not a live reference.

@@ -131,9 +131,10 @@ TEST(ComponentMetricsTest, SnapshotStoreGaugesTrackLiveState) {
   ASSERT_TRUE(engine.CommitWithSnapshot("2020-01-01 00:00:00").ok());
 
   // The registry outlives nothing here: it is scoped inside the store's
-  // lifetime, per the documented gauge-lifetime rule.
+  // lifetime, and the handle deregisters the gauges when it goes out of
+  // scope.
   MetricsRegistry reg;
-  (*data)->store()->RegisterMetrics(&reg);
+  ScopedCleanup gauges = (*data)->store()->RegisterMetrics(&reg);
   MetricsRegistry::Snapshot snap = reg.TakeSnapshot();
   EXPECT_EQ(snap.gauges.at("snapshot_store.latest_snapshot"), 1);
   EXPECT_EQ(snap.gauges.at("snapshot_store.earliest_snapshot"), 1);

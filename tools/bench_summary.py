@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Collate BENCH_*.json artifacts into one BENCH_summary.json (stdlib only).
+
+Usage: bench_summary.py [BENCH_DIR] [-o OUTPUT]
+
+Scans BENCH_DIR (default: the current directory) for files matching
+BENCH_*.json — the per-bench artifacts emitted by the gating benchmarks
+(bench_cpu, bench_aggfunc, bench_iterset, bench_memo_rerun,
+bench_concurrent_runs, ...) — and writes a single machine-readable
+roll-up with, per bench:
+
+  - every scalar top-level field (sf, counts, *_speedup_* ratios, ...),
+    so headline numbers are greppable without knowing each bench's
+    nested schema;
+  - its checks_ok verdict.
+
+plus an overall `all_checks_ok` conjunction. Exits non-zero if any bench
+reported failed checks or if no artifacts were found, so CI can gate on
+the collation step itself.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+SUMMARY_NAME = "BENCH_summary.json"
+
+
+def scalars(doc):
+    """Top-level scalar fields of a bench artifact, in file order."""
+    out = {}
+    for key, value in doc.items():
+        if isinstance(value, bool) or isinstance(value, (int, float, str)):
+            out[key] = value
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Collate BENCH_*.json into BENCH_summary.json")
+    parser.add_argument("bench_dir", nargs="?", default=".",
+                        help="directory holding BENCH_*.json artifacts")
+    parser.add_argument("-o", "--output", default=None,
+                        help=f"output path (default: BENCH_DIR/{SUMMARY_NAME})")
+    args = parser.parse_args()
+
+    paths = sorted(glob.glob(os.path.join(args.bench_dir, "BENCH_*.json")))
+    paths = [p for p in paths if os.path.basename(p) != SUMMARY_NAME]
+    if not paths:
+        print(f"bench_summary: no BENCH_*.json under {args.bench_dir}",
+              file=sys.stderr)
+        return 1
+
+    benches = {}
+    all_ok = True
+    for path in paths:
+        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_summary: cannot load {path}: {e}", file=sys.stderr)
+            return 1
+        entry = scalars(doc)
+        entry["file"] = os.path.basename(path)
+        ok = doc.get("checks_ok")
+        if ok is not True:
+            all_ok = False
+            print(f"bench_summary: {path}: checks_ok is {ok!r}",
+                  file=sys.stderr)
+        benches[name] = entry
+
+    summary = {"benches": benches, "all_checks_ok": all_ok}
+    out_path = args.output or os.path.join(args.bench_dir, SUMMARY_NAME)
+    with open(out_path, "w") as f:
+        json.dump(summary, f, indent=2)
+        f.write("\n")
+
+    for name, entry in benches.items():
+        headlines = ", ".join(
+            f"{k}={v}" for k, v in entry.items()
+            if "speedup" in k or k == "checks_ok")
+        print(f"  {name:12s} {headlines}")
+    print(f"bench_summary: wrote {out_path} "
+          f"({len(benches)} benches, all_checks_ok={all_ok})")
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -160,6 +160,22 @@ def check_report(doc):
                        "$.memo")
     require(doc["memo"]["entries"] > 0, "$.memo",
             "memo table empty after the cold passes")
+    check_typed_fields(doc.get("shared_cache"),
+                       {"entries": int, "bytes": int, "shared_hits": int,
+                        "misses": int, "coalesced_decodes": int,
+                        "inserts": int, "evictions": int,
+                        "abandoned_decodes": int,
+                        "truncate_invalidations": int},
+                       "$.shared_cache")
+    cache = doc["shared_cache"]
+    require(cache["misses"] > 0, "$.shared_cache",
+            "no cold decodes — the cache was never exercised")
+    require(cache["shared_hits"] > 0, "$.shared_cache",
+            "no cross-run hits — eight passes over one store must share")
+    require(cache["inserts"] <= cache["misses"], "$.shared_cache",
+            "more publishes than claimed decodes")
+    require(cache["entries"] <= cache["inserts"], "$.shared_cache",
+            "more resident entries than publishes")
     check_metrics(doc.get("final"), "$.final")
 
 
