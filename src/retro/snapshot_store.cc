@@ -271,6 +271,10 @@ Status SnapshotStore::TruncateHistory(SnapshotId keep_from) {
   RQL_ASSIGN_OR_RETURN(maplog_, Maplog::Open(env_, maplog_name));
   RQL_RETURN_IF_ERROR(maplog_->RecoverModEpochs(&mod_epoch_, &latest_snap_,
                                                 &last_capture_offset_));
+  // Published before the cache clear: a background prefetcher that
+  // re-checks the epoch after this store observes the bump no later than
+  // it could observe recycled offsets, and abandons its stale plan.
+  truncate_epoch_.fetch_add(1, std::memory_order_acq_rel);
   snapshot_cache_.Clear();
   // Compaction rewrote the log; any open snapshot-set cursor holds stale
   // chain state and must re-anchor on its next seek, and cached shared
@@ -446,11 +450,20 @@ Result<std::unique_ptr<SnapshotView>> SnapshotStore::OpenSnapshotExclusive(
 }
 
 storage::BufferPool::Loader SnapshotStore::MakeArchiveLoader(
-    int64_t* fetches) {
-  return [this, fetches](uint64_t off, storage::Page* p) {
+    int64_t* fetches, bool prefetch) {
+  return [this, fetches, prefetch](uint64_t off, storage::Page* p) {
     // Diff-chain reconstruction may touch several records; each counts as
     // an archive fetch (the Thresher trade-off).
+    const int64_t fetches_before = *fetches;
     Status s = pagelog_->Read(off, p, fetches);
+    if (s.ok()) {
+      auto* hist = diff_depth_hist_.load(std::memory_order_acquire);
+      if (hist != nullptr && *fetches > fetches_before) {
+        // Records touched minus one == the chain depth DepthAt(off) would
+        // report, without a second log walk.
+        hist->ObserveUs(*fetches - fetches_before - 1);
+      }
+    }
     int64_t latency_us =
         simulated_archive_latency_us_.load(std::memory_order_relaxed);
     if (s.ok() && latency_us > 0) {
@@ -458,13 +471,19 @@ storage::BufferPool::Loader SnapshotStore::MakeArchiveLoader(
       // fetches beyond the archive's bandwidth serialize (the slot limit
       // is re-read inside the wait: shrinking it mid-run is safe, callers
       // waiting under an older, larger bound wake as slots free up).
+      // Prefetch loads additionally yield to demand: a background fetch
+      // stays parked while any foreground reader wants a slot, so warming
+      // ahead spends only the bandwidth the query leaves idle.
       const int slots =
           simulated_archive_fetch_slots_.load(std::memory_order_relaxed);
       if (slots > 0) {
         std::unique_lock<std::mutex> slot_lock(archive_fetch_mu_);
-        archive_fetch_cv_.wait(slot_lock, [this, slots] {
-          return archive_fetches_inflight_ < slots;
+        if (!prefetch) ++demand_slot_waiters_;
+        archive_fetch_cv_.wait(slot_lock, [this, slots, prefetch] {
+          if (archive_fetches_inflight_ >= slots) return false;
+          return !(prefetch && demand_slot_waiters_ > 0);
         });
+        if (!prefetch) --demand_slot_waiters_;
         ++archive_fetches_inflight_;
       }
       std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
@@ -473,7 +492,10 @@ storage::BufferPool::Loader SnapshotStore::MakeArchiveLoader(
           std::lock_guard<std::mutex> slot_lock(archive_fetch_mu_);
           --archive_fetches_inflight_;
         }
-        archive_fetch_cv_.notify_one();
+        // All, not one: demand and prefetch waiters have different wake
+        // predicates, and a single notify could land on a prefetch that
+        // immediately re-parks behind a waiting demand reader.
+        archive_fetch_cv_.notify_all();
       }
     }
     return s;
@@ -483,8 +505,18 @@ storage::BufferPool::Loader SnapshotStore::MakeArchiveLoader(
 Status SnapshotStore::PrefetchArchived(const SnapshotView& view) {
   std::vector<uint64_t> missing;
   missing.reserve(view.spt_.size());
+  // The batched sweep is the demand front-end for every page the
+  // iteration maps, so it must credit the background prefetcher the same
+  // way ReadArchivedPinned does: a page served without a fresh load —
+  // already resident or coalesced onto an in-flight fetch — is a demand
+  // read a prefetched page saved.
+  auto* tracker = prefetch_tracker_.load(std::memory_order_acquire);
   for (const auto& [page, offset] : view.spt_) {
-    if (!snapshot_cache_.Lookup(offset)) missing.push_back(offset);
+    if (!snapshot_cache_.Lookup(offset)) {
+      missing.push_back(offset);
+    } else if (tracker != nullptr) {
+      tracker->OnArchivedPageServed(offset);
+    }
   }
   std::sort(missing.begin(), missing.end());
   int64_t batched = 0;
@@ -508,7 +540,11 @@ Status SnapshotStore::PrefetchArchived(const SnapshotView& view) {
       s = page.status();
       break;
     }
-    if (outcome.loaded) batched += fetches;
+    if (outcome.loaded) {
+      batched += fetches;
+    } else if (tracker != nullptr) {
+      tracker->OnArchivedPageServed(offset);
+    }
   }
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
@@ -558,6 +594,13 @@ Result<storage::PinnedPage> SnapshotStore::ReadArchivedPinned(
         ++stats_.snapshot_cache_hits;
       }
     }
+  }
+  if (result.ok() && !outcome.loaded) {
+    // Served without loading (hit or coalesced): tell the prefetcher, so
+    // it can attribute the save to a page it fetched ahead. Outside
+    // stats_mu_ — the tracker synchronizes internally.
+    auto* tracker = prefetch_tracker_.load(std::memory_order_acquire);
+    if (tracker != nullptr) tracker->OnArchivedPageServed(pagelog_offset);
   }
   return result;
 }

@@ -15,12 +15,25 @@
 #include "common/cleanup.h"
 #include "common/status.h"
 #include "retro/maplog.h"
+#include "retro/metrics.h"
 #include "retro/pagelog.h"
 #include "storage/buffer_pool.h"
 #include "storage/env.h"
 #include "storage/page_store.h"
 
 namespace rql::retro {
+
+/// Consumer-side callback of a background prefetcher: the store invokes it
+/// whenever a demand read was served an archived page without running its
+/// own load (a snapshot-cache hit, or a wait coalesced onto an in-flight
+/// load). The prefetcher matches the offset against what it fetched ahead
+/// to attribute prefetch hits. Implementations must be thread-safe; the
+/// callback runs on reader threads with no store lock held.
+class PrefetchTracker {
+ public:
+  virtual ~PrefetchTracker() = default;
+  virtual void OnArchivedPageServed(uint64_t pagelog_offset) = 0;
+};
 
 /// Simulated device costs used to convert page-fetch counts into time.
 /// The paper's testbed keeps the current database memory-resident and the
@@ -353,6 +366,43 @@ class SnapshotStore : public storage::PageWriter {
     return simulated_archive_latency_us_.load(std::memory_order_relaxed);
   }
 
+  /// Arms (or with nullptr disarms) a prefetch-consumption tracker: every
+  /// demand archive read served without a fresh load (cache hit or
+  /// coalesced wait) reports its Pagelog offset, letting a background
+  /// prefetcher count which of its fetches were consumed. The tracker must
+  /// outlive its registration; retro::PrefetchScheduler deregisters itself
+  /// (compare-and-swap, so overlapping schedulers never clear each other's
+  /// registration) on shutdown.
+  void set_prefetch_tracker(PrefetchTracker* tracker) {
+    prefetch_tracker_.store(tracker, std::memory_order_release);
+  }
+  /// Atomically replaces `expected` with nullptr; used by a tracker
+  /// deregistering itself without clobbering a newer registration.
+  void clear_prefetch_tracker(PrefetchTracker* expected) {
+    prefetch_tracker_.compare_exchange_strong(expected, nullptr,
+                                              std::memory_order_acq_rel);
+  }
+
+  /// Arms (or with nullptr disarms) a histogram observing, per successful
+  /// archive read, the diff-chain depth the read walked (records touched
+  /// minus one — identical to Pagelog::DepthAt for the read's offset, but
+  /// measured for free from the fetch counter; always 0 in kFull mode).
+  /// The histogram is internally synchronized and must outlive its
+  /// registration (registry histograms live as long as the registry).
+  /// Engines sharing a store share the slot: last writer wins, which is
+  /// acceptable for a pure observability feed.
+  void set_diff_depth_histogram(MetricsRegistry::Histogram* hist) {
+    diff_depth_hist_.store(hist, std::memory_order_release);
+  }
+
+  /// Monotonic count of completed TruncateHistory compactions. Pagelog
+  /// offsets are only comparable within one epoch: compaction rewrites the
+  /// log and recycles offsets, so a background prefetcher snapshots the
+  /// epoch when it plans and abandons the plan if the epoch moved.
+  uint64_t truncate_epoch() const {
+    return truncate_epoch_.load(std::memory_order_acquire);
+  }
+
   /// Bounds how many simulated archive fetches may sleep concurrently,
   /// modeling an archive with finite bandwidth: a cold store serves only
   /// so many reads at once, so concurrent fetches beyond the bound queue
@@ -424,6 +474,11 @@ class SnapshotStore : public storage::PageWriter {
 
  private:
   friend class SnapshotView;
+  // The background prefetch pipeline plans against the Maplog under the
+  // shared half of mu_ and issues loads through the snapshot cache with
+  // the prefetch-flagged loader; it lives in this layer, so narrow access
+  // beats widening the public surface.
+  friend class PrefetchScheduler;
 
   SnapshotStore(Options options) : options_(options), snapshot_cache_(0) {}
 
@@ -462,8 +517,11 @@ class SnapshotStore : public storage::PageWriter {
 
   /// The snapshot-cache loader for archive offset keys: a Pagelog read
   /// (counting records into `*fetches`) plus the optional simulated
-  /// latency sleep.
-  storage::BufferPool::Loader MakeArchiveLoader(int64_t* fetches);
+  /// latency sleep. With `prefetch` the simulated-bandwidth slot wait
+  /// yields to any waiting demand reader (background fetches get the
+  /// archive's leftover bandwidth, never priority over the foreground).
+  storage::BufferPool::Loader MakeArchiveLoader(int64_t* fetches,
+                                                bool prefetch = false);
 
   /// Fetches `view`'s SPT entries missing from the snapshot cache in one
   /// offset-ordered pass (set_batch_archive_reads). Requires at least a
@@ -546,9 +604,15 @@ class SnapshotStore : public storage::PageWriter {
   std::unordered_map<SnapshotId, std::shared_ptr<SharedSpt>> spt_shared_;
   std::atomic<int64_t> simulated_archive_latency_us_{0};
   std::atomic<int> simulated_archive_fetch_slots_{0};
-  std::mutex archive_fetch_mu_;  // guards archive_fetches_inflight_
+  std::mutex archive_fetch_mu_;  // guards the two slot-wait counters below
   std::condition_variable archive_fetch_cv_;
   int archive_fetches_inflight_ = 0;
+  // Demand readers currently waiting for (or about to claim) a fetch
+  // slot; prefetch loaders stay parked while this is nonzero.
+  int demand_slot_waiters_ = 0;
+  std::atomic<uint64_t> truncate_epoch_{0};
+  std::atomic<PrefetchTracker*> prefetch_tracker_{nullptr};
+  std::atomic<MetricsRegistry::Histogram*> diff_depth_hist_{nullptr};
   std::atomic<std::unordered_set<storage::PageId>*> read_recorder_{nullptr};
   std::atomic<std::unordered_map<storage::PageId, uint64_t>*>
       version_recorder_{nullptr};

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/clock.h"
+#include "retro/prefetch_scheduler.h"
 #include "sql/btree.h"
 #include "sql/executor.h"
 #include "sql/fingerprint.h"
@@ -859,6 +860,8 @@ void RqlEngine::PublishRunMetrics() {
   int64_t batches_scanned = 0, batch_rows = 0, batch_fallback_rows = 0;
   int64_t memo_hits = 0, memo_misses = 0, memo_bytes = 0;
   int64_t memo_evictions = 0;
+  int64_t prefetch_issued = 0, prefetch_hits = 0, prefetch_wasted = 0;
+  int64_t prefetch_cancelled = 0;
   retro::MetricsRegistry::Histogram* iter_hist =
       reg->GetHistogram("rql.iteration_us");
   for (const RqlIterationStats& it : stats_.iterations) {
@@ -886,6 +889,10 @@ void RqlEngine::PublishRunMetrics() {
     memo_misses += it.memo_misses;
     memo_bytes += it.memo_bytes;
     memo_evictions += it.memo_evictions;
+    prefetch_issued += it.prefetch_issued;
+    prefetch_hits += it.prefetch_hits;
+    prefetch_wasted += it.prefetch_wasted;
+    prefetch_cancelled += it.prefetch_cancelled;
     iter_hist->ObserveUs(it.TotalUs());
   }
   add("rql.io_us", io_us);
@@ -912,6 +919,10 @@ void RqlEngine::PublishRunMetrics() {
   add("rql.memo_misses", memo_misses);
   add("rql.memo_bytes", memo_bytes);
   add("rql.memo_evictions", memo_evictions);
+  add("rql.prefetch_issued", prefetch_issued);
+  add("rql.prefetch_hits", prefetch_hits);
+  add("rql.prefetch_wasted", prefetch_wasted);
+  add("rql.prefetch_cancelled", prefetch_cancelled);
   reg->GetHistogram("rql.run_us")->ObserveUs(stats_.TotalUs());
 }
 
@@ -923,7 +934,8 @@ int64_t OptionFlagBits(const RqlOptions& o) {
          (o.batch_pagelog_reads ? 4 : 0) | (o.reuse_decoded_pages ? 8 : 0) |
          (o.skip_unchanged_iterations ? 16 : 0) |
          (o.batch_execution ? 32 : 0) | (o.memoize_iterations ? 64 : 0) |
-         (o.shared_scan_cache != nullptr ? 128 : 0);
+         (o.shared_scan_cache != nullptr ? 128 : 0) |
+         (o.async_prefetch ? 256 : 0);
 }
 
 }  // namespace
@@ -1003,6 +1015,14 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
         "(a store-scoped cache serves pages other runs decoded, so the "
         "all-cold baseline would not be measured)");
   }
+  if (options_.async_prefetch && options_.cold_cache_per_iteration) {
+    // A background fetch landing after the per-iteration clear would
+    // silently warm the all-cold baseline the flag defines.
+    return Status::InvalidArgument(
+        "cold_cache_per_iteration is incompatible with async_prefetch "
+        "(a background fetch landing after the clear would warm the "
+        "all-cold baseline)");
+  }
   if (trace_on_) {
     trace_.Emit(RqlTraceEventType::kRunBegin, retro::kNoSnapshot, NowMicros(),
                 {static_cast<int64_t>(snap_ids.size()),
@@ -1018,6 +1038,10 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
   }
   retro::SnapshotStore* store = data_db_->store();
   store->set_archive_read_retries(options_.archive_read_retries);
+  // Armed for every run: in kDiff mode each archive read reports the
+  // diff-chain depth it walked (always 0 in kFull mode — one bucket).
+  store->set_diff_depth_histogram(
+      metrics()->GetHistogram("rql.pagelog.diff_depth"));
   sql::ScanCache* run_cache = nullptr;
   if (options_.shared_scan_cache != nullptr) {
     // Store-scoped: survives the run (other runs are using it), so no
@@ -1050,14 +1074,54 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
     if (session) store->BeginSnapshotSet();
     bool saved_batch = store->batch_archive_reads();
     if (options_.batch_pagelog_reads) store->set_batch_archive_reads(true);
-    for (retro::SnapshotId snap : snap_ids) {
-      s = RunIteration(snap, state);
+    if (options_.async_prefetch) {
+      retro::PrefetchScheduler::Options popts;
+      popts.budget_pages = options_.prefetch_budget_pages;
+      if (options_.shared_scan_cache != nullptr) {
+        // Only the store-scoped cache is a thread-safe probe; the
+        // run-private ScanCache is single-threaded by contract, so with
+        // reuse_decoded_pages alone the planner simply fetches raw pages
+        // the decoded cache may already cover (wasted bandwidth, never
+        // wrong results).
+        sql::SharedScanCache* shared = options_.shared_scan_cache;
+        popts.is_decoded = [shared](uint64_t version) {
+          return shared->Contains(version);
+        };
+      }
+      prefetch_ = std::make_unique<retro::PrefetchScheduler>(store, popts);
+    }
+    for (size_t i = 0; i < snap_ids.size(); ++i) {
+      if (prefetch_ != nullptr && i + 1 < snap_ids.size()) {
+        // Look ahead while iteration i executes. A step the memo will
+        // serve reads nothing, so it schedules nothing; the skip probe
+        // needs the cursor position iteration i+1 itself establishes, so
+        // its replay cancels the job at iteration head instead.
+        bool next_memoized = false;
+        if (options_.memoize_iterations) {
+          Result<uint64_t> fp = state->MemoFingerprint();
+          next_memoized = fp.ok() &&
+                          options_.memo->Probe(*fp, snap_ids[i + 1]) != nullptr;
+        }
+        if (!next_memoized) prefetch_->Schedule(snap_ids[i + 1]);
+      }
+      s = RunIteration(snap_ids[i], state);
       if (!s.ok()) break;
+    }
+    if (prefetch_ != nullptr) {
+      prefetch_->Shutdown();
+      // Waste is only known once no further iteration can consume a
+      // fetched page: charge the remainder to the final iteration.
+      int64_t wasted = prefetch_->TakeWasted();
+      if (wasted > 0 && !stats_.iterations.empty()) {
+        stats_.iterations.back().prefetch_wasted += wasted;
+      }
+      prefetch_.reset();
     }
     store->set_batch_archive_reads(saved_batch);
     if (session) store->EndSnapshotSet();
   }
   store->set_archive_read_retries(0);
+  store->set_diff_depth_histogram(nullptr);
   if (run_cache != nullptr) {
     data_db_->set_scan_cache(nullptr);
     // Only the run-private cache is dropped here (releasing the pinned
@@ -1418,7 +1482,20 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
         for (size_t i = 0; unchanged && i < delta.size(); ++i) {
           unchanged = state->read_set_.count(delta[i]) == 0;
         }
-        if (unchanged) return ReplayIteration(snap, state, delta_pages);
+        if (unchanged) {
+          // A replayed step reads nothing: cancel its prefetch job (the
+          // parked error, if any, dies with it — the synchronous path
+          // would not have issued these reads either) and attribute what
+          // the job already did to the replayed iteration.
+          retro::PrefetchScheduler::JobReport rep;
+          if (prefetch_ != nullptr) rep = prefetch_->Cancel(snap);
+          RQL_RETURN_IF_ERROR(ReplayIteration(snap, state, delta_pages));
+          if (rep.scheduled && !stats_.iterations.empty()) {
+            stats_.iterations.back().prefetch_issued += rep.issued;
+            stats_.iterations.back().prefetch_cancelled += rep.cancelled;
+          }
+          return Status::OK();
+        }
       }
     }
     // This iteration executes; its read set replaces the previous one
@@ -1438,7 +1515,19 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
     if (entry != nullptr) {
       RQL_ASSIGN_OR_RETURN(bool served,
                            TryMemoReplay(snap, state, entry, delta_pages));
-      if (served) return Status::OK();
+      if (served) {
+        // Usually no job exists (the run loop schedules nothing for a
+        // memo-probed step), but an entry published by a concurrent
+        // engine after that probe leaves one to cancel here.
+        if (prefetch_ != nullptr) {
+          retro::PrefetchScheduler::JobReport rep = prefetch_->Cancel(snap);
+          if (rep.scheduled && !stats_.iterations.empty()) {
+            stats_.iterations.back().prefetch_issued += rep.issued;
+            stats_.iterations.back().prefetch_cancelled += rep.cancelled;
+          }
+        }
+        return Status::OK();
+      }
     }
   }
   if (trace_on_) {
@@ -1451,6 +1540,22 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
   iter.memo_misses = memoize ? 1 : 0;
   int64_t udf_us = 0;
   int64_t qq_rows = 0;
+
+  // Consume this iteration's prefetch job before executing: stop the
+  // un-issued remainder (the iteration's own demand reads take over, with
+  // slot priority) and surface any parked background I/O error exactly
+  // where the synchronous batched pass would have failed.
+  retro::PrefetchScheduler::JobReport prefetch_report;
+  if (prefetch_ != nullptr) {
+    prefetch_report = prefetch_->Collect(snap);
+    RQL_RETURN_IF_ERROR(prefetch_report.error);
+    iter.prefetch_issued = prefetch_report.issued;
+    iter.prefetch_cancelled = prefetch_report.cancelled;
+    if (prefetch_report.scheduled) {
+      metrics()->GetHistogram("rql.prefetch.overlap_us")
+          ->ObserveUs(prefetch_report.overlap_us);
+    }
+  }
 
   data_db_->set_current_snapshot(snap);
   RQL_RETURN_IF_ERROR(meta_db_->Exec("BEGIN"));
@@ -1560,6 +1665,9 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
   stats_.shared_page_hits += iter.shared_page_hits;
   stats_.scan_cache_misses += iter.scan_cache_misses;
   stats_.coalesced_decodes += iter.coalesced_decodes;
+  // Harvested after the query so every demand read of this iteration has
+  // had its chance to consume a prefetched page.
+  if (prefetch_ != nullptr) iter.prefetch_hits = prefetch_->TakeHits();
   if (trace_on_) {
     int64_t now = NowMicros();
     trace_.Emit(RqlTraceEventType::kSptBuild, snap, now,
@@ -1572,6 +1680,11 @@ Status RqlEngine::RunIteration(retro::SnapshotId snap,
       trace_.Emit(RqlTraceEventType::kScanCache, snap, now,
                   {iter.shared_page_hits, iter.scan_cache_misses,
                    iter.coalesced_decodes});
+    }
+    if (prefetch_report.scheduled) {
+      trace_.Emit(RqlTraceEventType::kPrefetch, snap, now,
+                  {iter.prefetch_issued, iter.prefetch_hits,
+                   iter.prefetch_cancelled, prefetch_report.overlap_us});
     }
     trace_.Emit(RqlTraceEventType::kIterationEnd, snap, now,
                 {iter.io_us, iter.spt_build_us, iter.query_eval_us,
@@ -1841,6 +1954,12 @@ Status RqlEngine::RegisterUdfs() {
             "runs decoded, so the all-cold baseline would not be "
             "measured)");
       }
+      if (options_.async_prefetch && options_.cold_cache_per_iteration) {
+        return Status::InvalidArgument(
+            "cold_cache_per_iteration is incompatible with "
+            "async_prefetch (a background fetch landing after the clear "
+            "would warm the all-cold baseline)");
+      }
       stats_ = RqlRunStats{};
       trace_on_ = options_.trace;
       int64_t now = NowMicros();
@@ -1877,6 +1996,11 @@ Status RqlEngine::RegisterUdfs() {
       }
       data_db_->store()->set_archive_read_retries(
           options_.archive_read_retries);
+      data_db_->store()->set_diff_depth_histogram(
+          metrics()->GetHistogram("rql.pagelog.diff_depth"));
+      // async_prefetch is accepted but inert here: the Qs scan feeds
+      // iterations one UDF call at a time, so there is no lookahead to
+      // schedule against.
       udf_run_started_ = true;
     }
     auto it = udf_states_.find(table);
@@ -1977,6 +2101,7 @@ Status RqlEngine::FinishUdfRuns() {
     }
     data_db_->store()->set_batch_archive_reads(false);
     data_db_->store()->set_archive_read_retries(0);
+    data_db_->store()->set_diff_depth_histogram(nullptr);
     if (data_db_->scan_cache() != nullptr) {
       data_db_->set_scan_cache(nullptr);
       // Run-private cache only; a shared cache keeps serving other runs.

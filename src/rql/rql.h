@@ -20,6 +20,9 @@ namespace rql {
 namespace sql {
 class SharedScanCache;  // sql/shared_scan_cache.h
 }
+namespace retro {
+class PrefetchScheduler;  // retro/prefetch_scheduler.h
+}
 
 /// Cost breakdown of one RQL iteration (one Qq execution on one snapshot).
 /// These are the bars of the paper's Figures 8-13: Pagelog I/O, SPT build,
@@ -94,6 +97,24 @@ struct RqlIterationStats {
   int64_t memo_bytes = 0;
   /// Entries the publish evicted to keep the memo under its byte bound.
   int64_t memo_evictions = 0;
+  // Background prefetch counters (RqlOptions::async_prefetch; all zero at
+  // paper-faithful defaults).
+  /// Archive pages the background pipeline loaded ahead for this
+  /// iteration (attributed to the iteration that consumed or cancelled
+  /// the prefetch job).
+  int64_t prefetch_issued = 0;
+  /// Prefetched pages a demand read of this iteration was served without
+  /// a fresh archive load (cache hit or coalesced onto the in-flight
+  /// prefetch).
+  int64_t prefetch_hits = 0;
+  /// Pages loaded ahead but never consumed by any demand read. Counted at
+  /// run end against the final iteration (waste is only known once no
+  /// further iteration can consume the page).
+  int64_t prefetch_wasted = 0;
+  /// Planned pages dropped before issue: the job was cancelled (its
+  /// iteration replayed from the skip or memo path, or the run ended) or
+  /// abandoned after a background I/O error or history truncation.
+  int64_t prefetch_cancelled = 0;
 
   int64_t TotalUs() const {
     return io_us + spt_build_us + query_eval_us + index_create_us + udf_us;
@@ -325,6 +346,28 @@ struct RqlOptions {
   /// cold_cache_per_iteration: a cross-run cache would falsify the
   /// all-cold baseline (the skip_unchanged_iterations precedent).
   sql::SharedScanCache* shared_scan_cache = nullptr;
+  /// Overlap each iteration's archive I/O with the previous iteration's
+  /// query execution: while Qq runs on snapshot s_i, a background
+  /// retro::PrefetchScheduler — driven by the snapshot-set cursor's Maplog
+  /// delta and the SPT mapping for s_{i+1} — fetches the pages the next
+  /// iteration will touch and that are not already resident (BufferPool
+  /// probe, SharedScanCache probe; a step the skipper or memo will replay
+  /// schedules nothing). Demand reads coalesce with in-flight prefetches
+  /// through the BufferPool single-flight and take priority for simulated
+  /// archive bandwidth; background I/O errors surface on the consuming
+  /// iteration as the same Status the synchronous path would have
+  /// returned. Results are byte-identical on and off. Sequential runs
+  /// only (parallel workers fetch concurrently already; the UDF form has
+  /// no lookahead — both ignore the flag). Counted in
+  /// RqlIterationStats::prefetch_* and traced as kPrefetch. Rejected with
+  /// InvalidArgument in combination with cold_cache_per_iteration: a
+  /// background fetch landing after the per-iteration clear would
+  /// silently warm the all-cold baseline (the skip_unchanged_iterations
+  /// precedent).
+  bool async_prefetch = false;
+  /// Max pages the pipeline fetches ahead per iteration; 0 = unbounded.
+  /// Bounds background read amplification and snapshot-cache churn.
+  int prefetch_budget_pages = 64;
 
   /// Bounded retry budget for transient Pagelog archive read failures
   /// during a run: each failed read is re-issued up to this many times
@@ -518,6 +561,10 @@ class RqlEngine {
   /// data database (and to parallel worker contexts) for the duration of a
   /// run and cleared when the run ends.
   sql::ScanCache scan_cache_;
+  /// Background archive-read pipeline (async_prefetch); created at the
+  /// head of a sequential run, shut down and destroyed before the run
+  /// returns (workers never outlive the run's store/Env use).
+  std::unique_ptr<retro::PrefetchScheduler> prefetch_;
   // UDF-form state, keyed by result table name.
   std::unordered_map<std::string, std::unique_ptr<MechanismState>>
       udf_states_;

@@ -104,6 +104,8 @@ const char* RqlTrace::TypeName(RqlTraceEventType type) {
       return "worker_stall";
     case RqlTraceEventType::kMemoHit:
       return "memo_hit";
+    case RqlTraceEventType::kPrefetch:
+      return "prefetch";
   }
   return "unknown";
 }

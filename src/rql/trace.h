@@ -16,7 +16,8 @@ namespace rql {
 ///                    flags_bits: 1=incremental_spt 2=reuse_qq_plan
 ///                    4=batch_pagelog_reads 8=reuse_decoded_pages
 ///                    16=skip_unchanged_iterations 32=batch_execution
-///                    64=memoize_iterations
+///                    64=memoize_iterations 128=shared_scan_cache
+///                    256=async_prefetch
 ///   kRunEnd          {iterations, iterations_skipped, total_us, ok, 0, 0}
 ///   kIterationBegin  {index_in_run, 0, 0, 0, 0, 0}
 ///   kIterationEnd    {io_us, spt_build_us, query_eval_us, index_create_us,
@@ -39,6 +40,12 @@ namespace rql {
 ///                     udf_us, 0, 0}  — replay of a persistent memo entry
 ///                    whose page-version read set validated against the
 ///                    snapshot (memoize_iterations)
+///   kPrefetch        {issued, hits, cancelled, overlap_us, 0, 0}
+///                    — one per iteration whose background prefetch job
+///                    existed (async_prefetch): pages loaded ahead, the
+///                    subset demand reads consumed, planned pages dropped
+///                    before issue, and the job's wall-time overlap with
+///                    the previous iteration
 enum class RqlTraceEventType : uint8_t {
   kRunBegin = 0,
   kRunEnd,
@@ -50,6 +57,7 @@ enum class RqlTraceEventType : uint8_t {
   kIterationSkip,
   kWorkerStall,
   kMemoHit,
+  kPrefetch,
 };
 
 /// One fixed-size trace record. `t_us` is relative to the enclosing run's
