@@ -947,6 +947,10 @@ Status RqlEngine::RunMechanism(const std::string& qs, MechanismState* state) {
   // last_run_trace() then always describes the *last* run, never a stale
   // earlier one.
   trace_.Restart(trace_on_ ? options_.trace_capacity : 0, NowMicros());
+  trace_.SetContext(options_.session_id, options_.run_id);
+  // A run cancelled before it starts must leave the metadata database
+  // untouched (no dropped result table).
+  if (CancelRequested()) return Status::Aborted("run cancelled");
   // Validate Qq and Qs before touching the result table: a malformed query
   // must surface before the first iteration and leave the metadata
   // database untouched (no dropped table, no partial output).
@@ -1256,6 +1260,14 @@ Status RqlEngine::RunMechanismParallel(
       size_t i = next.fetch_add(1);
       if (i >= snaps.size()) return;
       QqResult& out = results[i];
+      // Checked after claiming i: every index up to the highest claim is
+      // owned by some worker, so the sequential replay below sees an
+      // Aborted status (never a silent empty result) once cancellation
+      // hits.
+      if (CancelRequested()) {
+        out.status = Status::Aborted("run cancelled");
+        return;
+      }
       int64_t start = NowMicros();
       if (trace_on_) {
         trace_.Emit(RqlTraceEventType::kIterationBegin, snaps[i], start,
@@ -1447,6 +1459,12 @@ Status RqlEngine::RunMechanismParallel(
 
 Status RqlEngine::RunIteration(retro::SnapshotId snap,
                                MechanismState* state) {
+  // Iteration boundaries are the cancellation safety points: nothing is
+  // half-done here, so aborting leaves the store, caches and the (about to
+  // be discarded) result table in a reusable state. Covers both the
+  // sequential mechanism loop and the UDF form, whose driving SELECT calls
+  // one iteration per SnapIds row.
+  if (CancelRequested()) return Status::Aborted("run cancelled");
   retro::SnapshotStore* store = data_db_->store();
   if (options_.cold_cache_per_iteration) {
     // Decoded pages pin buffer frames; release them before dropping the
@@ -1964,6 +1982,7 @@ Status RqlEngine::RegisterUdfs() {
       trace_on_ = options_.trace;
       int64_t now = NowMicros();
       trace_.Restart(trace_on_ ? options_.trace_capacity : 0, now);
+      trace_.SetContext(options_.session_id, options_.run_id);
       if (trace_on_) {
         // The snapshot count is unknown up front: the driving Qs scan
         // feeds iterations one UDF call at a time.

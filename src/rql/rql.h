@@ -1,6 +1,7 @@
 #ifndef RQL_RQL_RQL_H_
 #define RQL_RQL_RQL_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -369,6 +370,22 @@ struct RqlOptions {
   /// Bounds background read amplification and snapshot-cache churn.
   int prefetch_budget_pages = 64;
 
+  /// Cooperative cancellation: when non-null, the engine polls the flag at
+  /// iteration boundaries — sequential and UDF-form runs at the head of
+  /// every iteration, parallel workers after claiming each snapshot — and
+  /// aborts the run with Status::Aborted("run cancelled") once it is set.
+  /// The abort takes the normal failed-run path (the partial result table
+  /// is dropped, pins and caches are released), so the store stays fully
+  /// reusable; nothing mid-page is interrupted. The flag's owner (e.g. the
+  /// server's run scheduler) must keep it alive for the whole run.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Identifiers stamped into the run's trace ring (RqlTrace::session_id /
+  /// run_id) so a shared observability pipeline can attribute events to
+  /// the daemon session and scheduled run that produced them. 0 = unset
+  /// (embedded single-process runs).
+  uint64_t session_id = 0;
+  uint64_t run_id = 0;
+
   /// Bounded retry budget for transient Pagelog archive read failures
   /// during a run: each failed read is re-issued up to this many times
   /// before the iteration aborts. Counted in
@@ -542,6 +559,13 @@ class RqlEngine {
                              int64_t delta_pages);
 
   Status PrepareResultTable(const std::string& table);
+
+  /// True when the caller-owned cancellation flag (RqlOptions::cancel) has
+  /// been raised; polled at iteration boundaries.
+  bool CancelRequested() const {
+    return options_.cancel != nullptr &&
+           options_.cancel->load(std::memory_order_relaxed);
+  }
 
   /// Adds every RqlRunStats counter of `stats_` to the registry's "rql.*"
   /// counters and observes the run/iteration latency histograms — called

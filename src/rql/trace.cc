@@ -8,6 +8,8 @@ RqlTrace::RqlTrace(const RqlTrace& other) {
   capacity_ = other.capacity_;
   emitted_ = other.emitted_;
   t0_us_ = other.t0_us_;
+  session_id_ = other.session_id_;
+  run_id_ = other.run_id_;
 }
 
 RqlTrace& RqlTrace::operator=(const RqlTrace& other) {
@@ -17,6 +19,8 @@ RqlTrace& RqlTrace::operator=(const RqlTrace& other) {
   capacity_ = other.capacity_;
   emitted_ = other.emitted_;
   t0_us_ = other.t0_us_;
+  session_id_ = other.session_id_;
+  run_id_ = other.run_id_;
   return *this;
 }
 
@@ -27,6 +31,24 @@ void RqlTrace::Restart(size_t capacity, int64_t now_us) {
   ring_.reserve(capacity_ < 1024 ? capacity_ : 1024);
   emitted_ = 0;
   t0_us_ = now_us;
+  session_id_ = 0;
+  run_id_ = 0;
+}
+
+void RqlTrace::SetContext(uint64_t session_id, uint64_t run_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  session_id_ = session_id;
+  run_id_ = run_id;
+}
+
+uint64_t RqlTrace::session_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return session_id_;
+}
+
+uint64_t RqlTrace::run_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return run_id_;
 }
 
 void RqlTrace::Emit(RqlTraceEventType type, retro::SnapshotId snapshot,

@@ -87,9 +87,17 @@ class RqlTrace {
   RqlTrace(const RqlTrace& other);
   RqlTrace& operator=(const RqlTrace& other);
 
-  /// Begins a new traced run: clears prior events, sets the capacity, and
-  /// re-anchors t=0 at `now_us`.
+  /// Begins a new traced run: clears prior events, sets the capacity,
+  /// re-anchors t=0 at `now_us`, and resets the session/run context to 0.
   void Restart(size_t capacity, int64_t now_us);
+
+  /// Stamps the ring with the daemon session and scheduled-run identifiers
+  /// of the run being traced (RqlOptions::session_id / run_id); 0 = an
+  /// embedded run. Set by the engine right after Restart, so every ring
+  /// carries the context of exactly the run it describes.
+  void SetContext(uint64_t session_id, uint64_t run_id);
+  uint64_t session_id() const;
+  uint64_t run_id() const;
 
   void Emit(RqlTraceEventType type, retro::SnapshotId snapshot, int64_t now_us,
             std::initializer_list<int64_t> args, uint16_t worker = 0);
@@ -110,6 +118,8 @@ class RqlTrace {
   size_t capacity_ = 0;
   uint64_t emitted_ = 0;  // ring head = emitted_ % capacity_
   int64_t t0_us_ = 0;
+  uint64_t session_id_ = 0;
+  uint64_t run_id_ = 0;
 };
 
 }  // namespace rql

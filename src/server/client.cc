@@ -1,0 +1,284 @@
+#include "server/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "sql/value.h"
+
+namespace rql::server {
+
+Result<std::unique_ptr<Client>> Client::Connect(
+    const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::IoError("connect " + socket_path + ": " +
+                                std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  std::unique_ptr<Client> client(new Client());
+  client->fd_ = fd;
+  std::string hello;
+  PutU32(&hello, kWireVersion);
+  RQL_ASSIGN_OR_RETURN(
+      Frame reply,
+      client->Roundtrip(MsgType::kHello, hello, MsgType::kHelloOk));
+  WireReader reader(reply.payload);
+  uint32_t version = 0;
+  if (!reader.GetU64(&client->session_id_) || !reader.GetU32(&version)) {
+    return reader.status();
+  }
+  return client;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) {
+    (void)WriteFrame(fd_, MsgType::kGoodbye, "");
+    ::close(fd_);
+  }
+}
+
+Result<Frame> Client::ReadReply() {
+  while (true) {
+    RQL_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+    if (frame.type == MsgType::kRunDone) {
+      RQL_ASSIGN_OR_RETURN(RunResult done, DecodeRunDone(frame));
+      done_runs_[done.run_id] = std::move(done);
+      continue;
+    }
+    return frame;
+  }
+}
+
+Result<Frame> Client::Roundtrip(MsgType type, const std::string& payload,
+                                MsgType want) {
+  RQL_RETURN_IF_ERROR(WriteFrame(fd_, type, payload));
+  RQL_ASSIGN_OR_RETURN(Frame reply, ReadReply());
+  if (reply.type == MsgType::kError) {
+    WireReader reader(reply.payload);
+    uint8_t code = 0;
+    std::string message;
+    if (!reader.GetU8(&code) || !reader.GetString(&message)) {
+      return reader.status();
+    }
+    return Status(static_cast<StatusCode>(code), std::move(message));
+  }
+  if (reply.type != want) {
+    return Status::Corruption("unexpected reply frame type " +
+                              std::to_string(static_cast<int>(reply.type)));
+  }
+  return reply;
+}
+
+Result<sql::QueryResult> Client::DecodeResult(const Frame& frame) {
+  WireReader reader(frame.payload);
+  uint32_t ncols = 0;
+  sql::QueryResult result;
+  if (!reader.GetU32(&ncols)) return reader.status();
+  result.columns.resize(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    if (!reader.GetString(&result.columns[i])) return reader.status();
+  }
+  uint32_t nrows = 0;
+  if (!reader.GetU32(&nrows)) return reader.status();
+  result.rows.reserve(nrows);
+  for (uint32_t i = 0; i < nrows; ++i) {
+    std::string encoded;
+    if (!reader.GetString(&encoded)) return reader.status();
+    RQL_ASSIGN_OR_RETURN(sql::Row row, sql::DecodeRow(encoded));
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+Result<Client::RunResult> Client::DecodeRunDone(const Frame& frame) {
+  WireReader reader(frame.payload);
+  RunResult done;
+  uint8_t code = 0;
+  std::string message;
+  if (!reader.GetU64(&done.run_id) || !reader.GetU8(&code) ||
+      !reader.GetString(&message) || !reader.GetU32(&done.iterations) ||
+      !reader.GetI64(&done.total_us) ||
+      !reader.GetI64(&done.shared_page_hits) ||
+      !reader.GetI64(&done.coalesced_decodes) ||
+      !reader.GetI64(&done.iterations_skipped)) {
+    return reader.status();
+  }
+  done.status = code == 0 ? Status::OK()
+                          : Status(static_cast<StatusCode>(code),
+                                   std::move(message));
+  return done;
+}
+
+Result<sql::QueryResult> Client::Sql(const std::string& sql) {
+  std::string payload;
+  PutString(&payload, sql);
+  RQL_ASSIGN_OR_RETURN(
+      Frame reply, Roundtrip(MsgType::kSql, payload, MsgType::kResult));
+  return DecodeResult(reply);
+}
+
+Result<sql::QueryResult> Client::MetaSql(const std::string& sql) {
+  std::string payload;
+  PutString(&payload, sql);
+  RQL_ASSIGN_OR_RETURN(
+      Frame reply, Roundtrip(MsgType::kMetaSql, payload, MsgType::kResult));
+  return DecodeResult(reply);
+}
+
+Result<retro::SnapshotId> Client::DeclareSnapshot(const std::string& label) {
+  std::string payload;
+  PutString(&payload, label);
+  RQL_ASSIGN_OR_RETURN(
+      Frame reply,
+      Roundtrip(MsgType::kSnapshot, payload, MsgType::kSnapshotDone));
+  WireReader reader(reply.payload);
+  uint32_t snap = 0;
+  if (!reader.GetU32(&snap)) return reader.status();
+  return static_cast<retro::SnapshotId>(snap);
+}
+
+Result<sql::QueryResult> Client::ListSnapshots() {
+  RQL_ASSIGN_OR_RETURN(
+      Frame reply, Roundtrip(MsgType::kListSnapshots, "", MsgType::kResult));
+  return DecodeResult(reply);
+}
+
+Result<sql::QueryResult> Client::ListSchema(bool indexes) {
+  std::string payload;
+  PutU8(&payload, indexes ? 1 : 0);
+  RQL_ASSIGN_OR_RETURN(
+      Frame reply, Roundtrip(MsgType::kListSchema, payload, MsgType::kResult));
+  return DecodeResult(reply);
+}
+
+Result<std::string> Client::RunStatsText() {
+  RQL_ASSIGN_OR_RETURN(
+      Frame reply, Roundtrip(MsgType::kRunStats, "", MsgType::kStatsJson));
+  WireReader reader(reply.payload);
+  std::string text;
+  if (!reader.GetString(&text)) return reader.status();
+  return text;
+}
+
+Result<std::string> Client::StatsJson() {
+  RQL_ASSIGN_OR_RETURN(Frame reply,
+                       Roundtrip(MsgType::kStats, "", MsgType::kStatsJson));
+  WireReader reader(reply.payload);
+  std::string json;
+  if (!reader.GetString(&json)) return reader.status();
+  return json;
+}
+
+Result<retro::SnapshotId> Client::Truncate(retro::SnapshotId keep_from) {
+  std::string payload;
+  PutU32(&payload, static_cast<uint32_t>(keep_from));
+  RQL_ASSIGN_OR_RETURN(Frame reply,
+                       Roundtrip(MsgType::kTruncate, payload, MsgType::kOk));
+  WireReader reader(reply.payload);
+  uint32_t earliest = 0;
+  if (!reader.GetU32(&earliest)) return reader.status();
+  return static_cast<retro::SnapshotId>(earliest);
+}
+
+Result<uint64_t> Client::StartRun(Mechanism mechanism, const std::string& qs,
+                                  const std::string& qq,
+                                  const std::string& table,
+                                  const std::string& extra, int workers) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(mechanism));
+  PutU32(&payload, static_cast<uint32_t>(workers < 1 ? 1 : workers));
+  PutString(&payload, qs);
+  PutString(&payload, qq);
+  PutString(&payload, table);
+  PutString(&payload, extra);
+  RQL_ASSIGN_OR_RETURN(
+      Frame reply, Roundtrip(MsgType::kRqlRun, payload, MsgType::kRunQueued));
+  WireReader reader(reply.payload);
+  uint64_t run_id = 0;
+  if (!reader.GetU64(&run_id)) return reader.status();
+  return run_id;
+}
+
+Result<Client::RunResult> Client::WaitRun(uint64_t run_id) {
+  while (true) {
+    auto it = done_runs_.find(run_id);
+    if (it != done_runs_.end()) {
+      RunResult done = std::move(it->second);
+      done_runs_.erase(it);
+      return done;
+    }
+    RQL_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+    if (frame.type != MsgType::kRunDone) {
+      // The client is synchronous: with no request outstanding, nothing
+      // but a run completion may arrive here.
+      return Status::Corruption("unexpected frame while waiting for run");
+    }
+    RQL_ASSIGN_OR_RETURN(RunResult done, DecodeRunDone(frame));
+    done_runs_[done.run_id] = std::move(done);
+  }
+}
+
+Status Client::CancelRun(uint64_t run_id) {
+  std::string payload;
+  PutU64(&payload, run_id);
+  return Roundtrip(MsgType::kCancelRun, payload, MsgType::kOk).status();
+}
+
+Result<uint32_t> Client::Prepare(const std::string& sql) {
+  std::string payload;
+  PutString(&payload, sql);
+  RQL_ASSIGN_OR_RETURN(
+      Frame reply, Roundtrip(MsgType::kPrepare, payload, MsgType::kPrepared));
+  WireReader reader(reply.payload);
+  uint32_t stmt_id = 0;
+  if (!reader.GetU32(&stmt_id)) return reader.status();
+  return stmt_id;
+}
+
+Status Client::BindAsOf(uint32_t stmt_id, retro::SnapshotId snap) {
+  std::string payload;
+  PutU32(&payload, stmt_id);
+  PutU32(&payload, static_cast<uint32_t>(snap));
+  return Roundtrip(MsgType::kBindAsOf, payload, MsgType::kOk).status();
+}
+
+Status Client::BindValue(uint32_t stmt_id, int index,
+                         const sql::Value& value) {
+  std::string payload;
+  PutU32(&payload, stmt_id);
+  PutU32(&payload, static_cast<uint32_t>(index));
+  PutString(&payload, sql::EncodeRow({value}));
+  return Roundtrip(MsgType::kBindValue, payload, MsgType::kOk).status();
+}
+
+Result<sql::QueryResult> Client::ExecPrepared(uint32_t stmt_id) {
+  std::string payload;
+  PutU32(&payload, stmt_id);
+  RQL_ASSIGN_OR_RETURN(
+      Frame reply,
+      Roundtrip(MsgType::kExecPrepared, payload, MsgType::kResult));
+  return DecodeResult(reply);
+}
+
+Status Client::ClosePrepared(uint32_t stmt_id) {
+  std::string payload;
+  PutU32(&payload, stmt_id);
+  return Roundtrip(MsgType::kClosePrepared, payload, MsgType::kOk).status();
+}
+
+}  // namespace rql::server

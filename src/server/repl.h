@@ -1,0 +1,115 @@
+#ifndef RQL_SERVER_REPL_H_
+#define RQL_SERVER_REPL_H_
+
+// The shell's REPL core, extracted from tools/rql_shell so the same
+// statement buffering, dot-command parsing and table rendering drive both
+// the embedded shell (a Database + RqlEngine in process) and the socket
+// client against rql_serverd. The pieces are exposed individually because
+// they carry regression-tested fixes:
+//
+//   * FormatTable sizes column widths to the widest row arity, so a row
+//     with more cells than the header no longer reads widths[] out of
+//     bounds;
+//   * ParseDotCommand trims the std::getline remainder, so ".snapshot x"
+//     stores the label "x", not " x", and an empty ".meta" is detectable;
+//   * StatementComplete reuses the SQL lexer, so a ';' inside an
+//     unterminated string literal or a comment no longer fires the
+//     multi-line terminator and executes a half-typed statement.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "retro/snapshot_store.h"
+#include "rql/rql.h"
+#include "sql/database.h"
+
+namespace rql::server {
+
+/// Renders a result table in the shell's aligned-columns format,
+/// including the trailing "(N rows)" line. Rows may be ragged and may be
+/// wider than the header; every cell is padded to its column's width.
+std::string FormatTable(const std::vector<std::string>& columns,
+                        const std::vector<sql::Row>& rows);
+
+/// The per-iteration cost breakdown of the last RQL run (the shell's
+/// ".stats" view), rendered server- or client-side from RqlRunStats.
+std::string FormatRunStats(const RqlRunStats& stats);
+
+struct DotCommand {
+  std::string name;  // including the leading '.', e.g. ".snapshot"
+  std::string arg;   // remainder with surrounding whitespace trimmed
+};
+
+/// Splits a ".command arg..." line; `arg` is everything after the command
+/// word with leading/trailing whitespace removed (empty when absent).
+DotCommand ParseDotCommand(const std::string& line);
+
+/// True when `buffer` is a complete statement list ready to execute: it
+/// lexes without leaving a string literal or comment open, and its last
+/// token is ';'. An unterminated literal/comment keeps buffering even if
+/// the raw text ends in ';'; a buffer whose only content is comments
+/// stays incomplete until a real ';' token arrives. Lexical errors other
+/// than "unterminated ..." report complete, so execution surfaces the
+/// error to the user instead of buffering forever.
+bool StatementComplete(const std::string& buffer);
+
+/// What the REPL runs against: either the in-process engine or a socket
+/// connection to rql_serverd. All calls are synchronous.
+class ShellBackend {
+ public:
+  virtual ~ShellBackend() = default;
+
+  /// SQL on the (snapshotable) data database.
+  virtual Result<sql::QueryResult> DataSql(const std::string& sql) = 0;
+  /// SQL on the metadata database (SnapIds, result tables, RQL UDFs).
+  virtual Result<sql::QueryResult> MetaSql(const std::string& sql) = 0;
+  /// COMMIT WITH SNAPSHOT + SnapIds row; returns the new snapshot id.
+  virtual Result<retro::SnapshotId> DeclareSnapshot(
+      const std::string& label) = 0;
+  /// The canonical SnapIds table.
+  virtual Result<sql::QueryResult> Snapshots() = 0;
+  /// Catalog listing: tables (name, schema) or indexes (name, table).
+  virtual Result<sql::QueryResult> ListSchema(bool indexes) = 0;
+  /// Rendered ".stats" text for the last RQL run.
+  virtual Result<std::string> RunStatsText() = 0;
+  /// Retention; returns the new earliest snapshot id.
+  virtual Result<retro::SnapshotId> Truncate(retro::SnapshotId keep_from) = 0;
+  /// One-line description printed at REPL start.
+  virtual std::string Banner() const = 0;
+};
+
+/// The embedded mode: today's shell, a data/meta Database pair and an
+/// RqlEngine owned by the caller.
+class EmbeddedBackend : public ShellBackend {
+ public:
+  EmbeddedBackend(sql::Database* data, sql::Database* meta,
+                  RqlEngine* engine, std::string banner)
+      : data_(data), meta_(meta), engine_(engine),
+        banner_(std::move(banner)) {}
+
+  Result<sql::QueryResult> DataSql(const std::string& sql) override;
+  Result<sql::QueryResult> MetaSql(const std::string& sql) override;
+  Result<retro::SnapshotId> DeclareSnapshot(const std::string& label) override;
+  Result<sql::QueryResult> Snapshots() override;
+  Result<sql::QueryResult> ListSchema(bool indexes) override;
+  Result<std::string> RunStatsText() override;
+  Result<retro::SnapshotId> Truncate(retro::SnapshotId keep_from) override;
+  std::string Banner() const override { return banner_; }
+
+ private:
+  sql::Database* data_;
+  sql::Database* meta_;
+  RqlEngine* engine_;
+  std::string banner_;
+};
+
+/// Runs the REPL over `backend` until EOF or ".quit". `interactive`
+/// controls prompts ("rql> " / "...> "). Returns a process exit code.
+int RunRepl(std::istream& in, std::ostream& out, ShellBackend* backend,
+            bool interactive);
+
+}  // namespace rql::server
+
+#endif  // RQL_SERVER_REPL_H_

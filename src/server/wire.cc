@@ -1,0 +1,170 @@
+#include "server/wire.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rql::server {
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+bool WireReader::Take(size_t n, const char** p) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *p = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::GetU8(uint8_t* v) {
+  const char* p = nullptr;
+  if (!Take(1, &p)) return false;
+  *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool WireReader::GetU32(uint32_t* v) {
+  const char* p = nullptr;
+  if (!Take(4, &p)) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool WireReader::GetU64(uint64_t* v) {
+  const char* p = nullptr;
+  if (!Take(8, &p)) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool WireReader::GetI64(int64_t* v) {
+  uint64_t u = 0;
+  if (!GetU64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool WireReader::GetString(std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(&len)) return false;
+  const char* p = nullptr;
+  if (!Take(len, &p)) return false;
+  s->assign(p, len);
+  return true;
+}
+
+namespace {
+
+/// Sends the whole buffer, retrying on EINTR and partial writes.
+/// MSG_NOSIGNAL turns a peer hangup into EPIPE instead of a fatal
+/// SIGPIPE, so server and tests need no global signal handler.
+Status SendAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `len` bytes. `*eof` is set (and OK returned) only when
+/// the connection closes cleanly before the first byte.
+Status RecvAll(int fd, char* data, size_t len, bool* eof) {
+  *eof = false;
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) {
+        *eof = true;
+        return Status::OK();
+      }
+      return Status::IoError("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, MsgType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds kMaxFramePayload");
+  }
+  std::string header;
+  header.reserve(5);
+  PutU32(&header, static_cast<uint32_t>(payload.size()));
+  PutU8(&header, static_cast<uint8_t>(type));
+  RQL_RETURN_IF_ERROR(SendAll(fd, header.data(), header.size()));
+  return SendAll(fd, payload.data(), payload.size());
+}
+
+Result<Frame> ReadFrame(int fd) {
+  char header[5];
+  bool eof = false;
+  RQL_RETURN_IF_ERROR(RecvAll(fd, header, sizeof(header), &eof));
+  if (eof) return Status::IoError("connection closed");
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(header[i])) << (8 * i);
+  }
+  if (len > kMaxFramePayload) {
+    return Status::Corruption("frame payload length " + std::to_string(len) +
+                              " exceeds protocol maximum");
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(static_cast<uint8_t>(header[4]));
+  frame.payload.resize(len);
+  if (len > 0) {
+    RQL_RETURN_IF_ERROR(RecvAll(fd, frame.payload.data(), len, &eof));
+    if (eof) return Status::IoError("connection closed mid-frame");
+  }
+  return frame;
+}
+
+}  // namespace rql::server

@@ -1,0 +1,214 @@
+// Regression tests for the shell's extracted REPL core (server/repl.h):
+// the widths[] out-of-bounds on ragged result rows, the leading-space
+// dot-command argument, empty-.meta usage, and the lexer-based
+// multi-statement terminator (';' inside string literals and comments
+// must keep buffering; trailing comments after ';' must not).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "rql/rql.h"
+#include "server/repl.h"
+#include "sql/database.h"
+#include "storage/env.h"
+
+namespace rql::server {
+namespace {
+
+using sql::Row;
+using sql::Value;
+
+// --- FormatTable ------------------------------------------------------------
+
+TEST(FormatTableTest, RowsWiderThanHeaderDoNotOverflowWidths) {
+  // The pre-extraction shell sized widths[] to the header arity and then
+  // indexed it with each row's cell count: a row with more cells than the
+  // header read (and wrote) out of bounds. UDF-driven results routinely
+  // produce such rows.
+  std::vector<std::string> columns = {"only"};
+  std::vector<Row> rows = {
+      {Value::Integer(1), Value::Text("extra"), Value::Text("cells")},
+      {Value::Integer(2)},
+  };
+  std::string out = FormatTable(columns, rows);
+  EXPECT_NE(out.find("only"), std::string::npos);
+  EXPECT_NE(out.find("extra"), std::string::npos);
+  EXPECT_NE(out.find("cells"), std::string::npos);
+  EXPECT_NE(out.find("(2 rows)"), std::string::npos);
+}
+
+TEST(FormatTableTest, RaggedRowsPadToColumnWidth) {
+  std::vector<std::string> columns = {"a", "b"};
+  std::vector<Row> rows = {
+      {Value::Text("longvalue"), Value::Integer(1)},
+      {Value::Integer(2)},  // fewer cells than the header
+  };
+  std::string out = FormatTable(columns, rows);
+  EXPECT_NE(out.find("longvalue"), std::string::npos);
+  EXPECT_NE(out.find("(2 rows)"), std::string::npos);
+}
+
+TEST(FormatTableTest, EmptyResult) {
+  std::string out = FormatTable({"x"}, {});
+  EXPECT_NE(out.find("(0 rows)"), std::string::npos);
+}
+
+// --- ParseDotCommand --------------------------------------------------------
+
+TEST(ParseDotCommandTest, ArgumentIsTrimmed) {
+  // std::getline after `iss >> cmd` kept the separating space, so
+  // ".snapshot mylabel" used to store the label " mylabel".
+  DotCommand cmd = ParseDotCommand(".snapshot mylabel");
+  EXPECT_EQ(cmd.name, ".snapshot");
+  EXPECT_EQ(cmd.arg, "mylabel");
+
+  cmd = ParseDotCommand(".meta   SELECT 1;  ");
+  EXPECT_EQ(cmd.name, ".meta");
+  EXPECT_EQ(cmd.arg, "SELECT 1;");
+}
+
+TEST(ParseDotCommandTest, MissingArgumentIsEmpty) {
+  DotCommand cmd = ParseDotCommand(".meta");
+  EXPECT_EQ(cmd.name, ".meta");
+  EXPECT_TRUE(cmd.arg.empty());
+
+  cmd = ParseDotCommand(".meta   ");
+  EXPECT_EQ(cmd.name, ".meta");
+  EXPECT_TRUE(cmd.arg.empty());
+}
+
+// --- StatementComplete ------------------------------------------------------
+
+TEST(StatementCompleteTest, PlainTerminator) {
+  EXPECT_TRUE(StatementComplete("SELECT 1;"));
+  EXPECT_TRUE(StatementComplete("SELECT 1;\n"));
+  EXPECT_TRUE(StatementComplete("INSERT INTO t VALUES (1); SELECT 1;"));
+  EXPECT_FALSE(StatementComplete("SELECT 1"));
+  EXPECT_FALSE(StatementComplete("SELECT 1\n"));
+}
+
+TEST(StatementCompleteTest, SemicolonInsideStringLiteralKeepsBuffering) {
+  // The old check looked at the last non-space character: "SELECT 'a;"
+  // ends in ';' textually, so the half-typed statement executed (and
+  // errored) instead of continuing the multi-line prompt.
+  EXPECT_FALSE(StatementComplete("SELECT 'a;"));
+  EXPECT_FALSE(StatementComplete("SELECT 'a;\n"));
+  EXPECT_FALSE(StatementComplete("INSERT INTO t VALUES ('x;"));
+  // Once the literal closes and the statement terminates, it executes —
+  // with the ';' inside the literal preserved as data.
+  EXPECT_TRUE(StatementComplete("SELECT 'a; b';"));
+}
+
+TEST(StatementCompleteTest, SemicolonInsideCommentKeepsBuffering) {
+  EXPECT_FALSE(StatementComplete("SELECT 1 -- done;\n"));
+  EXPECT_FALSE(StatementComplete("SELECT 1 /* ; */"));
+  EXPECT_TRUE(StatementComplete("SELECT 1 /* ; */;"));
+}
+
+TEST(StatementCompleteTest, CommentAfterTerminatorIsComplete) {
+  // A trailing comment after the ';' must not hide the terminator.
+  EXPECT_TRUE(StatementComplete("SELECT 1; -- trailing note\n"));
+  EXPECT_TRUE(StatementComplete("SELECT 1; /* note */"));
+}
+
+TEST(StatementCompleteTest, BlankAndCommentOnlyBuffersIncomplete) {
+  EXPECT_FALSE(StatementComplete(""));
+  EXPECT_FALSE(StatementComplete("   \n"));
+  EXPECT_FALSE(StatementComplete("-- just a comment\n"));
+}
+
+TEST(StatementCompleteTest, UnterminatedQuotedIdentifierKeepsBuffering) {
+  EXPECT_FALSE(StatementComplete("SELECT \"col;"));
+}
+
+// --- the REPL loop over an embedded backend ---------------------------------
+
+struct ShellFixture {
+  storage::InMemoryEnv env;
+  std::unique_ptr<sql::Database> data;
+  std::unique_ptr<sql::Database> meta;
+  std::unique_ptr<RqlEngine> engine;
+  std::unique_ptr<EmbeddedBackend> backend;
+};
+
+ShellFixture MakeShell() {
+  ShellFixture f;
+  auto data = sql::Database::Open(&f.env, "data");
+  auto meta = sql::Database::Open(&f.env, "meta");
+  EXPECT_TRUE(data.ok() && meta.ok());
+  f.data = std::move(*data);
+  f.meta = std::move(*meta);
+  f.engine = std::make_unique<RqlEngine>(f.data.get(), f.meta.get());
+  EXPECT_TRUE(f.engine->EnsureSnapIds().ok());
+  EXPECT_TRUE(f.engine->RegisterUdfs().ok());
+  f.backend = std::make_unique<EmbeddedBackend>(f.data.get(), f.meta.get(),
+                                                f.engine.get(), "test shell");
+  return f;
+}
+
+std::string RunScript(ShellFixture* f, const std::string& script) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  RunRepl(in, out, f->backend.get(), false);
+  return out.str();
+}
+
+TEST(RunReplTest, SnapshotLabelIsStoredWithoutLeadingSpace) {
+  ShellFixture f = MakeShell();
+  std::string out = RunScript(&f,
+                        "CREATE TABLE t (k INTEGER);\n"
+                        ".snapshot mylabel\n"
+                        ".snapshots\n");
+  EXPECT_NE(out.find("declared snapshot 1"), std::string::npos) << out;
+  // The label column must hold "mylabel", not " mylabel".
+  auto rows = f.meta->Query(
+      "SELECT label FROM SnapIds WHERE snap_id = 1");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0].ToString(), "mylabel");
+}
+
+TEST(RunReplTest, EmptyMetaPrintsUsageInsteadOfExecuting) {
+  ShellFixture f = MakeShell();
+  std::string out = RunScript(&f, ".meta\n");
+  EXPECT_NE(out.find("usage: .meta <sql>"), std::string::npos) << out;
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(RunReplTest, MultiLineStatementWithSemicolonInLiteral) {
+  ShellFixture f = MakeShell();
+  std::string out = RunScript(&f,
+                        "CREATE TABLE s (txt TEXT);\n"
+                        "INSERT INTO s VALUES ('a;\n"
+                        "b');\n"
+                        "SELECT txt FROM s;\n");
+  // The INSERT spans two input lines; its value keeps the embedded ';'
+  // and newline.
+  EXPECT_NE(out.find("a;"), std::string::npos) << out;
+  EXPECT_NE(out.find("(1 row)"), std::string::npos) << out;
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(RunReplTest, UdfFormRunsThroughMeta) {
+  ShellFixture f = MakeShell();
+  std::string out = RunScript(&f,
+                        "CREATE TABLE t (k INTEGER, v INTEGER);\n"
+                        "INSERT INTO t VALUES (1, 10);\n"
+                        ".snapshot s1\n"
+                        "UPDATE t SET v = 20;\n"
+                        ".snapshot s2\n"
+                        ".meta SELECT CollateData(snap_id, 'SELECT "
+                        "current_snapshot(), v FROM t', 'Out') FROM "
+                        "SnapIds;\n"
+                        ".meta SELECT * FROM Out;\n"
+                        ".stats\n");
+  EXPECT_NE(out.find("(2 rows)"), std::string::npos) << out;
+  EXPECT_NE(out.find("iterations"), std::string::npos) << out;
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace rql::server

@@ -2,134 +2,60 @@
 // Retro snapshot extensions and the RQL mechanisms available both as C++
 // driven dot-commands and as the paper's UDF-embedded SQL form.
 //
-// Usage:
-//   rql_shell [path-prefix]     # persistent databases <prefix>_data.* /
-//                               # <prefix>_meta.* ; in-memory when omitted
+// The REPL core (statement buffering, dot commands, table rendering)
+// lives in src/server/repl.h and runs against either backend:
 //
-// Dot commands:
-//   .help                   this text
-//   .tables                 list tables (data database)
-//   .indexes                list indexes (data database)
-//   .snapshot [label]       COMMIT WITH SNAPSHOT + SnapIds entry
-//   .snapshots              show the SnapIds table
-//   .meta <sql>             run SQL on the metadata database (SnapIds,
-//                           RQL result tables; RQL UDFs are registered)
-//   .stats                  cost breakdown of the last RQL run
-//   .truncate <keep_from>   drop snapshots older than <keep_from> and
-//                           compact the archive (retention)
-//   .quit
+//   rql_shell [path-prefix]       embedded: persistent databases
+//                                 <prefix>_data.* / <prefix>_meta.*
+//                                 (in-memory when omitted)
+//   rql_shell --connect SOCKET    socket client of rql_serverd
 //
-// Everything else is SQL executed on the data database, including
-// SELECT AS OF <sid> ... and BEGIN; ... COMMIT WITH SNAPSHOT;
+// Client-mode extras:
+//   --pull-stats                  print the server's kStats JSON and exit
+//                                 (CI smoke checks pipe this into
+//                                 tools/check_server_json.py)
+//   --run MECH QS QQ TABLE        submit one scheduled RQL run, wait for
+//                                 its completion and print the summary
+//                                 (MECH: collate | aggvar | aggtable |
+//                                 intervals; aggvar reads the aggregate
+//                                 function from --extra)
+//   --extra ARG                   mechanism extra argument
+//   --workers N                   parallel workers to request
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
-#include <sstream>
+#include <memory>
 #include <string>
 
-#include "rql/rql.h"
+#include "server/client.h"
+#include "server/repl.h"
+#include "server/server.h"
 #include "sql/database.h"
 #include "storage/env.h"
 
 namespace {
 
-using rql::RqlEngine;
-using rql::Status;
-using rql::sql::Database;
-using rql::sql::Row;
+using rql::server::Client;
+using rql::server::Mechanism;
 
-void PrintTable(const std::vector<std::string>& columns,
-                const std::vector<Row>& rows) {
-  std::vector<size_t> widths(columns.size());
-  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
-  std::vector<std::vector<std::string>> cells;
-  for (const Row& row : rows) {
-    std::vector<std::string> line;
-    for (size_t c = 0; c < row.size(); ++c) {
-      line.push_back(row[c].ToString());
-      if (c < widths.size()) widths[c] = std::max(widths[c], line[c].size());
-    }
-    cells.push_back(std::move(line));
-  }
-  for (size_t c = 0; c < columns.size(); ++c) {
-    std::printf("%-*s  ", static_cast<int>(widths[c]), columns[c].c_str());
-  }
-  std::printf("\n");
-  for (size_t c = 0; c < columns.size(); ++c) {
-    std::printf("%s  ", std::string(widths[c], '-').c_str());
-  }
-  std::printf("\n");
-  for (const auto& line : cells) {
-    for (size_t c = 0; c < line.size(); ++c) {
-      std::printf("%-*s  ", static_cast<int>(widths[c]), line[c].c_str());
-    }
-    std::printf("\n");
-  }
-  std::printf("(%zu row%s)\n", cells.size(), cells.size() == 1 ? "" : "s");
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rql_shell [path-prefix]\n"
+               "       rql_shell --connect SOCKET [--pull-stats]\n"
+               "       rql_shell --connect SOCKET --run MECH QS QQ TABLE\n"
+               "                 [--extra ARG] [--workers N]\n");
+  return 2;
 }
 
-void RunSql(Database* db, const std::string& sql) {
-  auto result = db->Query(sql);
-  if (!result.ok()) {
-    std::printf("error: %s\n", result.status().ToString().c_str());
-    return;
-  }
-  if (!result->columns.empty() || !result->rows.empty()) {
-    PrintTable(result->columns, result->rows);
-  } else {
-    std::printf("ok\n");
-  }
-}
-
-void ShowStats(RqlEngine* engine) {
-  const rql::RqlRunStats& stats = engine->last_run_stats();
-  if (stats.iterations.empty()) {
-    std::printf("no RQL run recorded yet\n");
-    return;
-  }
-  std::printf("%-10s %10s %10s %10s %10s %8s %8s\n", "snapshot", "io_us",
-              "spt_us", "query_us", "udf_us", "plog_pg", "rows");
-  for (const rql::RqlIterationStats& it : stats.iterations) {
-    std::printf("%-10u %10lld %10lld %10lld %10lld %8lld %8lld\n",
-                it.snapshot, static_cast<long long>(it.io_us),
-                static_cast<long long>(it.spt_build_us),
-                static_cast<long long>(it.query_eval_us),
-                static_cast<long long>(it.udf_us),
-                static_cast<long long>(it.pagelog_pages),
-                static_cast<long long>(it.qq_rows));
-  }
-  std::printf("total: %.2f ms over %zu iterations\n",
-              stats.TotalUs() / 1000.0, stats.iterations.size());
-}
-
-constexpr char kHelp[] = R"(commands:
-  .help                 this text
-  .tables / .indexes    list schema objects in the data database
-  .snapshot [label]     declare a snapshot (COMMIT WITH SNAPSHOT)
-  .snapshots            show SnapIds
-  .meta <sql>           SQL on the metadata database (RQL UDFs live here,
-                        e.g. SELECT CollateData(snap_id, 'SELECT ...', 'T')
-                        FROM SnapIds;)
-  .stats                cost breakdown of the last RQL run
-  .truncate <keep>      drop snapshots with id < keep; compact the archive
-  .quit                 exit
-anything else: SQL on the data database (AS OF, COMMIT WITH SNAPSHOT, ...)
-)";
-
-}  // namespace
-
-int main(int argc, char** argv) {
+int RunEmbedded(const std::string& prefix, bool persistent) {
   rql::storage::InMemoryEnv mem_env;
   rql::storage::PosixEnv posix_env;
-  rql::storage::Env* env = &mem_env;
-  std::string prefix = "shell";
-  if (argc > 1) {
-    env = &posix_env;
-    prefix = argv[1];
-  }
-
-  auto data = Database::Open(env, prefix + "_data");
-  auto meta = Database::Open(env, prefix + "_meta");
+  rql::storage::Env* env = persistent
+                               ? static_cast<rql::storage::Env*>(&posix_env)
+                               : &mem_env;
+  auto data = rql::sql::Database::Open(env, prefix + "_data");
+  auto meta = rql::sql::Database::Open(env, prefix + "_meta");
   if (!data.ok() || !meta.ok()) {
     std::fprintf(stderr, "cannot open databases: %s\n",
                  (!data.ok() ? data.status() : meta.status())
@@ -137,94 +63,128 @@ int main(int argc, char** argv) {
                      .c_str());
     return 1;
   }
-  RqlEngine engine(data->get(), meta->get());
+  rql::RqlEngine engine(data->get(), meta->get());
   if (!engine.EnsureSnapIds().ok() || !engine.RegisterUdfs().ok()) {
     std::fprintf(stderr, "cannot initialize RQL\n");
     return 1;
   }
+  rql::server::EmbeddedBackend backend(
+      data->get(), meta->get(), &engine,
+      std::string("rql shell — ") + (persistent ? "persistent" : "in-memory") +
+          " databases '" + prefix + "_*'");
+  return rql::server::RunRepl(std::cin, std::cout, &backend, true);
+}
 
-  std::printf("rql shell — %s databases '%s_*'; .help for commands\n",
-              argc > 1 ? "persistent" : "in-memory", prefix.c_str());
-  std::string buffer;
-  std::string line;
-  while (true) {
-    std::printf("%s", buffer.empty() ? "rql> " : "...> ");
-    std::fflush(stdout);
-    if (!std::getline(std::cin, line)) break;
-
-    if (buffer.empty() && !line.empty() && line[0] == '.') {
-      std::istringstream iss(line);
-      std::string cmd;
-      iss >> cmd;
-      if (cmd == ".quit" || cmd == ".exit") break;
-      if (cmd == ".help") {
-        std::printf("%s", kHelp);
-      } else if (cmd == ".tables") {
-        for (const auto& [key, table] :
-             (*data)->catalog()->data().tables) {
-          std::printf("%s (%s)\n", table.name.c_str(),
-                      table.schema.Serialize().c_str());
-        }
-      } else if (cmd == ".indexes") {
-        for (const auto& [key, index] :
-             (*data)->catalog()->data().indexes) {
-          std::printf("%s ON %s\n", index.name.c_str(),
-                      index.table.c_str());
-        }
-      } else if (cmd == ".snapshot") {
-        std::string label;
-        std::getline(iss, label);
-        auto snap = engine.CommitWithSnapshot("", label);
-        if (snap.ok()) {
-          std::printf("declared snapshot %u\n", *snap);
-        } else {
-          std::printf("error: %s\n", snap.status().ToString().c_str());
-        }
-      } else if (cmd == ".snapshots") {
-        RunSql(meta->get(), "SELECT * FROM SnapIds");
-      } else if (cmd == ".meta") {
-        std::string sql;
-        std::getline(iss, sql);
-        RunSql(meta->get(), sql);
-        (void)engine.FinishUdfRuns();
-      } else if (cmd == ".stats") {
-        ShowStats(&engine);
-      } else if (cmd == ".truncate") {
-        unsigned keep = 0;
-        iss >> keep;
-        if (keep == 0) {
-          std::printf("usage: .truncate <keep_from_snapshot_id>\n");
-        } else {
-          auto s = (*data)->store()->TruncateHistory(keep);
-          if (s.ok()) {
-            std::printf("history truncated; earliest snapshot is now %u\n",
-                        (*data)->store()->earliest_snapshot());
-          } else {
-            std::printf("error: %s\n", s.ToString().c_str());
-          }
-        }
-      } else {
-        std::printf("unknown command %s (.help)\n", cmd.c_str());
-      }
-      continue;
-    }
-
-    buffer += line;
-    buffer += '\n';
-    // Execute once the statement list is terminated.
-    std::string trimmed = buffer;
-    while (!trimmed.empty() &&
-           (trimmed.back() == '\n' || trimmed.back() == ' ')) {
-      trimmed.pop_back();
-    }
-    if (trimmed.empty()) {
-      buffer.clear();
-      continue;
-    }
-    if (trimmed.back() != ';') continue;
-    RunSql(data->get(), buffer);
-    buffer.clear();
+int RunOnce(Client* client, const std::string& mech_name,
+            const std::string& qs, const std::string& qq,
+            const std::string& table, const std::string& extra,
+            int workers) {
+  Mechanism mech;
+  if (mech_name == "collate") {
+    mech = Mechanism::kCollateData;
+  } else if (mech_name == "aggvar") {
+    mech = Mechanism::kAggregateDataInVariable;
+  } else if (mech_name == "aggtable") {
+    mech = Mechanism::kAggregateDataInTable;
+  } else if (mech_name == "intervals") {
+    mech = Mechanism::kCollateDataIntoIntervals;
+  } else {
+    std::fprintf(stderr, "unknown mechanism '%s'\n", mech_name.c_str());
+    return 2;
   }
-  std::printf("\nbye\n");
+  auto run_id = client->StartRun(mech, qs, qq, table, extra, workers);
+  if (!run_id.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n",
+                 run_id.status().ToString().c_str());
+    return 1;
+  }
+  auto done = client->WaitRun(*run_id);
+  if (!done.ok()) {
+    std::fprintf(stderr, "wait failed: %s\n",
+                 done.status().ToString().c_str());
+    return 1;
+  }
+  if (!done->status.ok()) {
+    std::fprintf(stderr, "run %llu failed: %s\n",
+                 static_cast<unsigned long long>(*run_id),
+                 done->status.ToString().c_str());
+    return 1;
+  }
+  std::printf("run %llu ok: %u iterations, %.2f ms, "
+              "%lld shared page hits, %lld coalesced decodes, "
+              "%lld skipped\n",
+              static_cast<unsigned long long>(*run_id), done->iterations,
+              done->total_us / 1000.0,
+              static_cast<long long>(done->shared_page_hits),
+              static_cast<long long>(done->coalesced_decodes),
+              static_cast<long long>(done->iterations_skipped));
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string prefix = "shell";
+  bool persistent = false;
+  bool pull_stats = false;
+  std::string run_mech, run_qs, run_qq, run_table, run_extra;
+  int workers = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--connect") {
+      if (i + 1 >= argc) return Usage();
+      socket_path = argv[++i];
+    } else if (arg == "--pull-stats") {
+      pull_stats = true;
+    } else if (arg == "--run") {
+      if (i + 4 >= argc) return Usage();
+      run_mech = argv[++i];
+      run_qs = argv[++i];
+      run_qq = argv[++i];
+      run_table = argv[++i];
+    } else if (arg == "--extra") {
+      if (i + 1 >= argc) return Usage();
+      run_extra = argv[++i];
+    } else if (arg == "--workers") {
+      if (i + 1 >= argc) return Usage();
+      workers = std::atoi(argv[++i]);
+    } else if (arg[0] == '-') {
+      return Usage();
+    } else {
+      prefix = arg;
+      persistent = true;
+    }
+  }
+
+  if (socket_path.empty()) {
+    if (pull_stats || !run_mech.empty()) return Usage();
+    return RunEmbedded(prefix, persistent);
+  }
+
+  auto client = Client::Connect(socket_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "cannot connect to %s: %s\n", socket_path.c_str(),
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  if (pull_stats) {
+    auto json = (*client)->StatsJson();
+    if (!json.ok()) {
+      std::fprintf(stderr, "stats pull failed: %s\n",
+                   json.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(json->c_str(), stdout);
+    return 0;
+  }
+  if (!run_mech.empty()) {
+    return RunOnce(client->get(), run_mech, run_qs, run_qq, run_table,
+                   run_extra, workers);
+  }
+  rql::server::RemoteBackend backend(
+      client->get(), "rql shell — connected to " + socket_path +
+                         " (session " +
+                         std::to_string((*client)->session_id()) + ")");
+  return rql::server::RunRepl(std::cin, std::cout, &backend, true);
 }
